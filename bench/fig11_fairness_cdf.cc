@@ -1,0 +1,48 @@
+// Fig. 11: CDF of request latency under different starvation offsets
+// lambda in {0, 200, 2000}. Higher lambda trades average latency for tail
+// latency: pure SRJF (lambda = 0) starves long requests under load; strong
+// aging approaches FIFO.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace prefillonly;
+  using namespace prefillonly::bench;
+  Header("Fig. 11 - latency CDF vs fairness parameter lambda");
+
+  const auto hw = HardwareSetup::H100_Llama70B();
+  Dataset dataset = MakePostRecommendationDataset({});
+  // Overload the engine so scheduling order matters for the tail.
+  const double x = MeasureSaturatedThroughput(
+      EngineConfig::Make(EngineKind::kPrefillOnly, hw), dataset);
+  const double qps = 2.0 * x;
+
+  const double lambdas[] = {0.0, 200.0, 2000.0};
+  std::vector<ClusterResult> results;
+  for (double lambda : lambdas) {
+    EngineConfig config = EngineConfig::Make(EngineKind::kPrefillOnly, hw);
+    config.lambda = lambda;
+    results.push_back(RunCluster(config, WithArrivals(dataset, qps, 21)));
+  }
+
+  std::printf("\npost recommendation at %.1f QPS (2x saturation), 2x H100\n\n", qps);
+  std::printf("%10s", "CDF");
+  for (double lambda : lambdas) {
+    std::printf("  lambda=%-8.0f", lambda);
+  }
+  std::printf("\n");
+  for (double pct : {10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 100.0}) {
+    std::printf("%9.0f%%", pct);
+    for (const auto& r : results) {
+      std::printf("  %13.2fs", r.latencies.Percentile(pct));
+    }
+    std::printf("\n");
+  }
+  std::printf("\n%10s", "mean");
+  for (const auto& r : results) {
+    std::printf("  %13.2fs", r.mean_latency_s);
+  }
+  std::printf("\n\npaper: higher lambda -> better P99, worse average.\n");
+  return 0;
+}

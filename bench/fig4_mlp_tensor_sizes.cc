@@ -1,0 +1,43 @@
+// Fig. 4: tensor sizes inside the MLP module of Llama-3.1-8B.
+//
+// Paper: for a 32,768-token prefill, intermediate 1 (the fused gate_up
+// output) is [32768 x 28672] - 28672 floats per token, 14x the one-layer KV
+// cache; intermediate 2 (after SwiGLU) is [32768 x 14336], 7x.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/gpu/specs.h"
+
+int main() {
+  using namespace prefillonly;
+  bench::Header("Fig. 4 - MLP intermediate tensor sizes (Llama-3.1-8B)");
+
+  const LlmSpec spec = LlmSpec::Llama31_8B();
+  const int64_t tokens = 32768;
+  const int64_t one_layer_kv_floats = 2 * spec.kv_width();
+
+  struct Row {
+    const char* name;
+    int64_t cols;
+  } rows[] = {
+      {"Input (hidden)", spec.hidden},
+      {"Intermediate 1 (gate_up out)", 2 * spec.intermediate},
+      {"Intermediate 2 (after SwiGLU)", spec.intermediate},
+      {"Output (hidden)", spec.hidden},
+      {"One-layer KV cache (K+V)", one_layer_kv_floats},
+  };
+
+  std::printf("%-32s %14s %12s %18s\n", "Tensor", "shape", "MB (bf16)",
+              "x one-layer KV");
+  for (const auto& row : rows) {
+    const double mb = static_cast<double>(tokens) * row.cols * 2.0 / 1e6;
+    std::printf("%-32s %7ld x %-5ld %11.1f %17.1fx\n", row.name,
+                static_cast<long>(tokens), static_cast<long>(row.cols), mb,
+                static_cast<double>(row.cols) / one_layer_kv_floats);
+  }
+  std::printf(
+      "\npaper check: intermediate 1 = %ld floats/token (14x one-layer KV), "
+      "intermediate 2 = %ld (7x)\n",
+      static_cast<long>(2 * spec.intermediate), static_cast<long>(spec.intermediate));
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Fig. 6: QPS vs MEAN latency for 5 engines x 2 workloads x 4 hardware
+// setups (8 panels). PrefillOnly should hold the lowest latency at high
+// QPS everywhere; tensor parallelism may win at low QPS (2 GPUs per
+// request), which is the paper's observed crossover.
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace prefillonly;
+  using namespace prefillonly::bench;
+  Header("Fig. 6 - QPS vs mean latency (5 engines, 2 workloads, 4 setups)");
+
+  const Dataset post_rec = MakePostRecommendationDataset({});
+  const Dataset credit = MakeCreditVerificationDataset({});
+
+  for (const Dataset* dataset : {&post_rec, &credit}) {
+    for (const auto& hw : HardwareSetup::All()) {
+      const auto grid = QpsGrid(hw, *dataset);
+      const auto series = RunQpsSweep(hw, *dataset, grid);
+      PrintLatencyPanel(dataset->name + " / " + hw.name, series,
+                        LatencyMetric::kMean);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Fig. 7: QPS vs P99 latency, same grid as Fig. 6. Shows that PrefillOnly's
+// JCT-based scheduling does not hurt the tail once the starvation offset
+// (lambda = 500) is applied.
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace prefillonly;
+  using namespace prefillonly::bench;
+  Header("Fig. 7 - QPS vs P99 latency (5 engines, 2 workloads, 4 setups)");
+
+  const Dataset post_rec = MakePostRecommendationDataset({});
+  const Dataset credit = MakeCreditVerificationDataset({});
+
+  for (const Dataset* dataset : {&post_rec, &credit}) {
+    for (const auto& hw : HardwareSetup::All()) {
+      const auto grid = QpsGrid(hw, *dataset);
+      const auto series = RunQpsSweep(hw, *dataset, grid);
+      PrintLatencyPanel(dataset->name + " / " + hw.name, series, LatencyMetric::kP99);
+    }
+  }
+  return 0;
+}

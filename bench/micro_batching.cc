@@ -1,0 +1,48 @@
+// §6.1 design choice: why PrefillOnly does NOT batch prefill-only requests.
+//
+// Decoding is memory-bound: batching B sequences costs barely more than one
+// (the weight sweep dominates), so continuous batching multiplies decode
+// throughput. Prefill is compute-bound: a batch of B requests costs ~B
+// times one request, so batching only inflates average latency (everyone
+// waits for the batch) without adding throughput.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/gpu/cost_model.h"
+
+int main() {
+  using namespace prefillonly;
+  bench::Header("Micro (6.1) - why not batch prefill-only requests");
+
+  CostModel cost(LlmSpec::Llama33_70B_Fp8(), GpuSpec::H100_80G());
+
+  std::printf("\n[A] decode step (memory-bound): batching is ~free\n");
+  std::printf("  %8s %14s %22s\n", "batch", "step time", "per-sequence cost");
+  const double step1 = cost.DecodeStepTime(1);
+  for (int batch : {1, 8, 64, 256}) {
+    const double step = cost.DecodeStepTime(batch);
+    std::printf("  %8d %12.2fms %20.3fms (%.0f%% of solo)\n", batch, step * 1e3,
+                step / batch * 1e3, step / batch / step1 * 100.0);
+  }
+
+  std::printf("\n[B] prefill of 14,000 tokens (compute-bound): batching is ~linear\n");
+  const double solo = cost.PrefillTime(14000, 0, PassStrategy::kHybrid, 2048);
+  std::printf("  %8s %14s %22s %16s\n", "batch", "batch time", "mean latency in batch",
+              "throughput");
+  for (int batch : {1, 2, 4, 8}) {
+    // A fused batch is one long prefill; every request waits for the whole
+    // batch to finish.
+    const double batch_time =
+        cost.PrefillTime(static_cast<int64_t>(14000) * batch, 0, PassStrategy::kHybrid,
+                         2048);
+    std::printf("  %8d %12.2fs %20.2fs %13.3f req/s\n", batch, batch_time, batch_time,
+                batch / batch_time);
+  }
+  std::printf("  serial (PrefillOnly): mean latency (B+1)/2 x %.2fs, same %.3f req/s\n",
+              solo, 1.0 / solo);
+  std::printf(
+      "\n-> batching prefill-only requests raises everyone's latency to the\n"
+      "   batch completion time without improving throughput; PrefillOnly\n"
+      "   schedules one request at a time (paper 6.1).\n");
+  return 0;
+}

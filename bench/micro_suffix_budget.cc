@@ -1,0 +1,62 @@
+// Design-choice ablation: how the suffix-discard budget (prefix-cache size)
+// trades memory for hit rate on the real CPU engine.
+//
+// One user's profile is scored against several posts under different cache
+// budgets: a budget that covers the profile converts 11 of 12 requests into
+// prefix hits; smaller budgets degrade gracefully (suffix KV discarding
+// keeps the most valuable prefix blocks).
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/common/rng.h"
+#include "src/core/engine.h"
+
+int main() {
+  using namespace prefillonly;
+  bench::Header("Ablation - suffix-discard budget vs prefix hit rate (real engine)");
+
+  const int64_t profile_len = 192;
+  const int n_posts = 12;
+  Rng rng(15);
+  std::vector<int32_t> profile(profile_len);
+  for (auto& t : profile) {
+    t = static_cast<int32_t>(rng.NextBounded(256));
+  }
+
+  std::printf("\nprofile %ld tokens + %d posts of 8 tokens, block 16\n",
+              static_cast<long>(profile_len), n_posts);
+  std::printf("%16s %14s %14s %16s\n", "budget (tokens)", "hit rate", "cache MB",
+              "mean n_cached");
+  for (int64_t budget : {0, 32, 64, 128, 192, 256, 512}) {
+    EngineOptions options;
+    options.model = ModelConfig::Tiny();
+    options.block_size = 16;
+    options.chunk_size = 32;
+    options.cache_budget_tokens = budget;
+    Engine engine(options);
+
+    double total_cached = 0;
+    for (int p = 0; p < n_posts; ++p) {
+      auto tokens = profile;
+      for (int j = 0; j < 8; ++j) {
+        tokens.push_back(static_cast<int32_t>(rng.NextBounded(256)));
+      }
+      ScoringRequest request;
+      request.tokens = std::move(tokens);
+      request.allowed_tokens = {10, 20};
+      auto response = engine.ScoreSync(std::move(request));
+      if (response.ok()) {
+        total_cached += static_cast<double>(response.value().n_cached);
+      }
+    }
+    const auto stats = engine.stats();
+    std::printf("%16ld %13.1f%% %14.3f %16.1f\n", static_cast<long>(budget),
+                stats.cache.HitRate() * 100.0,
+                static_cast<double>(stats.cache_bytes) / 1e6, total_cached / n_posts);
+  }
+  std::printf(
+      "\n-> a budget covering the shared profile captures nearly all reuse;\n"
+      "   beyond it, extra cache buys nothing (the suffix is never reused).\n");
+  return 0;
+}

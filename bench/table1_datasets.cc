@@ -1,0 +1,52 @@
+// Table 1: the two evaluation datasets and their shapes.
+//
+// Regenerates the summary row for each dataset from the actual generators
+// in src/workload, so the numbers printed here are the numbers every other
+// benchmark runs on.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/workload/dataset.h"
+
+int main() {
+  using namespace prefillonly;
+  bench::Header("Table 1 - evaluation datasets (regenerated)");
+
+  {
+    const Dataset data = MakePostRecommendationDataset({});
+    int64_t min_profile = 1 << 30;
+    int64_t max_profile = 0;
+    for (const auto& r : data.requests) {
+      min_profile = std::min(min_profile, r.n_tokens - 150);
+      max_profile = std::max(max_profile, r.n_tokens - 150);
+    }
+    std::printf(
+        "\nPost recommendation   (paper: 20 users, 11k-17k profile, 150-token "
+        "posts,\n                       50 req/user, 14,000,000 tokens)\n");
+    std::printf("  users:              %ld\n", static_cast<long>(data.UserCount()));
+    std::printf("  profile length:     %ld - %ld tokens\n",
+                static_cast<long>(min_profile), static_cast<long>(max_profile));
+    std::printf("  post length:        150 tokens\n");
+    std::printf("  requests per user:  %.0f\n", data.RequestsPerUser());
+    std::printf("  total tokens:       %ld\n", static_cast<long>(data.TotalTokens()));
+  }
+
+  {
+    const Dataset data = MakeCreditVerificationDataset({});
+    int64_t min_len = 1 << 30;
+    int64_t max_len = 0;
+    for (const auto& r : data.requests) {
+      min_len = std::min(min_len, r.n_tokens);
+      max_len = std::max(max_len, r.n_tokens);
+    }
+    std::printf(
+        "\nCredit verification   (paper: 60 users, 40k-60k tokens, 1 req/user,\n"
+        "                       3,000,000 tokens)\n");
+    std::printf("  users:              %ld\n", static_cast<long>(data.UserCount()));
+    std::printf("  input length:       %ld - %ld tokens\n",
+                static_cast<long>(min_len), static_cast<long>(max_len));
+    std::printf("  requests per user:  %.0f\n", data.RequestsPerUser());
+    std::printf("  total tokens:       %ld\n", static_cast<long>(data.TotalTokens()));
+  }
+  return 0;
+}

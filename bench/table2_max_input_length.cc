@@ -1,0 +1,64 @@
+// Table 2: maximum input length (MIL) per engine per hardware setup, with
+// the workload feasibility ticks (WL1 = post recommendation needs ~17k
+// tokens, WL2 = credit verification needs ~60k tokens).
+//
+// Paper reference values (tokens):
+//              L4        A100      H100
+//   Paged      24,000    11,000    15,000
+//   Chunked    46,000    17,000    25,000
+//   Pipeline   72,000    38,000    183,000
+//   Tensor     195,000   77,000    238,000
+//   PrefillOnly 130,000  87,000    97,000
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/gpu/memory_model.h"
+
+int main() {
+  using namespace prefillonly;
+  bench::Header("Table 2 - max input length per engine (modeled)");
+
+  const int64_t wl1_needed = 17'150;  // longest post-recommendation request
+  const int64_t wl2_needed = 60'000;  // longest credit-verification request
+
+  const HardwareSetup setups[] = {HardwareSetup::L4_Llama8B(),
+                                  HardwareSetup::A100_Qwen32B(),
+                                  HardwareSetup::H100_Llama70B()};
+  const EngineKind kinds[] = {
+      EngineKind::kPagedAttention, EngineKind::kChunkedPrefill,
+      EngineKind::kPipelineParallel, EngineKind::kTensorParallel,
+      EngineKind::kPrefillOnly,
+  };
+
+  std::printf("%-18s", "Config");
+  for (const auto& hw : setups) {
+    std::printf("  %22s", hw.name.c_str());
+  }
+  std::printf("\n");
+  for (EngineKind kind : kinds) {
+    std::printf("%-18s", std::string(EngineKindName(kind)).c_str());
+    for (const auto& hw : setups) {
+      MemoryModel mem(hw.llm, hw.gpu);
+      const int64_t mil = mem.MaxInputLength(kind);
+      char cell[64];
+      std::snprintf(cell, sizeof(cell), "%ld  WL1:%s WL2:%s", static_cast<long>(mil),
+                    mil >= wl1_needed ? "Y" : "x", mil >= wl2_needed ? "Y" : "x");
+      std::printf("  %22s", cell);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nModel per GPU (setups): %s / %s / %s\n"
+      "Headline check: PrefillOnly MIL vs best non-parallel baseline:\n",
+      setups[0].llm.name.c_str(), setups[1].llm.name.c_str(),
+      setups[2].llm.name.c_str());
+  for (const auto& hw : setups) {
+    MemoryModel mem(hw.llm, hw.gpu);
+    const double ratio =
+        static_cast<double>(mem.MaxInputLength(EngineKind::kPrefillOnly)) /
+        static_cast<double>(mem.MaxInputLength(EngineKind::kChunkedPrefill));
+    std::printf("  %-16s %.1fx over chunked prefill (paper: ~3-5x)\n",
+                hw.name.c_str(), ratio);
+  }
+  return 0;
+}

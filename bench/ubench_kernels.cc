@@ -1,0 +1,134 @@
+// google-benchmark microbenchmarks for the hot paths of the library:
+// tensor kernels, prefix-cache operations, scheduler decisions and the
+// end-to-end CPU prefill. These are engineering benchmarks (regression
+// tracking), not paper reproductions.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "src/common/hash.h"
+#include "src/common/rng.h"
+#include "src/kvcache/prefix_cache.h"
+#include "src/model/llama.h"
+#include "src/sched/scheduler.h"
+#include "src/tensor/ops.h"
+#include "src/tensor/tracking_allocator.h"
+
+namespace {
+
+using namespace prefillonly;
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t m = state.range(0);
+  const int64_t k = 256;
+  const int64_t n = 256;
+  Rng rng(1);
+  std::vector<float> a(static_cast<size_t>(m * k));
+  std::vector<float> b(static_cast<size_t>(k * n));
+  std::vector<float> c(static_cast<size_t>(m * n));
+  for (auto& v : a) {
+    v = rng.NextUniformFloat(1.0f);
+  }
+  for (auto& v : b) {
+    v = rng.NextUniformFloat(1.0f);
+  }
+  for (auto _ : state) {
+    MatMul(a.data(), b.data(), c.data(), m, k, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m * k * n * 2);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_RmsNorm(benchmark::State& state) {
+  const int64_t m = state.range(0);
+  const int64_t h = 256;
+  Rng rng(2);
+  std::vector<float> x(static_cast<size_t>(m * h));
+  std::vector<float> w(static_cast<size_t>(h), 1.0f);
+  std::vector<float> y(static_cast<size_t>(m * h));
+  for (auto& v : x) {
+    v = rng.NextUniformFloat(1.0f);
+  }
+  for (auto _ : state) {
+    RmsNormRows(x.data(), w.data(), y.data(), m, h);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_RmsNorm)->Arg(128)->Arg(1024);
+
+void BM_BlockHashChain(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(3);
+  std::vector<int32_t> tokens(static_cast<size_t>(n));
+  for (auto& t : tokens) {
+    t = static_cast<int32_t>(rng.NextBounded(32000));
+  }
+  for (auto _ : state) {
+    auto chain = BlockHashChain(tokens, 256);
+    benchmark::DoNotOptimize(chain.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BlockHashChain)->Arg(14000)->Arg(60000);
+
+void BM_PrefixCacheAcquireRelease(benchmark::State& state) {
+  PrefixCache cache(256, 1024);
+  Rng rng(4);
+  std::vector<std::vector<uint64_t>> chains;
+  for (int i = 0; i < 64; ++i) {
+    std::vector<uint64_t> chain;
+    for (int b = 0; b < 56; ++b) {
+      chain.push_back(rng.NextU64());
+    }
+    chains.push_back(std::move(chain));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& chain = chains[i++ % chains.size()];
+    auto acq = cache.Acquire(chain, static_cast<int64_t>(chain.size()) + 1);
+    if (acq.ok()) {
+      cache.Release(acq.value(), static_cast<int64_t>(chain.size()));
+    }
+  }
+}
+BENCHMARK(BM_PrefixCacheAcquireRelease);
+
+void BM_SchedulerPickNext(benchmark::State& state) {
+  const size_t queue_len = static_cast<size_t>(state.range(0));
+  CacheMissProxyEstimator proxy;
+  Scheduler sched(SchedPolicy::kSrjfCalibrated, 500.0, &proxy);
+  Rng rng(5);
+  std::vector<SchedEntry> queue(queue_len);
+  for (auto& e : queue) {
+    e.arrival_time = rng.NextDouble() * 100;
+    e.n_input = static_cast<int64_t>(rng.NextBounded(60000)) + 1;
+    e.n_cached_now = static_cast<int64_t>(rng.NextBounded(static_cast<uint64_t>(e.n_input)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched.PickNext(queue, 101.0));
+  }
+}
+BENCHMARK(BM_SchedulerPickNext)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_PrefillHybridTiny(benchmark::State& state) {
+  static const LlamaModel* model = new LlamaModel(ModelConfig::Tiny(), 7);
+  Rng rng(6);
+  std::vector<int32_t> tokens(static_cast<size_t>(state.range(0)));
+  for (auto& t : tokens) {
+    t = static_cast<int32_t>(
+        rng.NextBounded(static_cast<uint64_t>(model->config().vocab_size)));
+  }
+  TrackingAllocator act;
+  PrefillOptions options;
+  options.mode = PrefillMode::kHybrid;
+  options.chunk_size = 32;
+  for (auto _ : state) {
+    auto result = model->Prefill(tokens, nullptr, options, act);
+    benchmark::DoNotOptimize(result.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PrefillHybridTiny)->Arg(64)->Arg(256);
+
+}  // namespace

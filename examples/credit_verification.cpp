@@ -1,0 +1,90 @@
+// Credit verification: the paper's long-context application (§2.4), under a
+// hard memory budget.
+//
+// A bank scores a customer's multi-month credit history — a single long
+// request, no prefix sharing. This is where hybrid prefilling earns its
+// keep: under the same activation budget the standard pass runs out of
+// memory while the hybrid pass completes, because the MLP intermediates are
+// materialized chunk-by-chunk and the per-layer KV is discarded after use
+// (the request generates one token; the KV has no future).
+#include <cstdio>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/engine.h"
+#include "src/model/llama.h"
+
+int main() {
+  using namespace prefillonly;
+  const ModelConfig model_config = ModelConfig::Small();
+  constexpr int64_t kHistoryTokens = 1024;  // scaled stand-in for 40k-60k
+
+  Rng rng(7);
+  std::vector<int32_t> history(kHistoryTokens);
+  for (auto& t : history) {
+    t = static_cast<int32_t>(rng.NextBounded(
+        static_cast<uint64_t>(model_config.vocab_size)));
+  }
+
+  // First, find the budget between the two execution strategies' peaks.
+  LlamaModel model(model_config, 42);
+  TrackingAllocator probe;
+  PrefillOptions standard;
+  standard.mode = PrefillMode::kStandard;
+  if (auto r = model.Prefill(history, nullptr, standard, probe); !r.ok()) {
+    std::printf("probe failed: %s\n", r.status().ToString().c_str());
+    return 1;
+  }
+  const size_t standard_peak = probe.peak_bytes();
+  const size_t budget = standard_peak / 2;
+  std::printf("standard prefill of %ld tokens peaks at %.2f MB\n",
+              static_cast<long>(kHistoryTokens),
+              static_cast<double>(standard_peak) / 1e6);
+  std::printf("imposing a %.2f MB activation budget ('the GPU')\n\n",
+              static_cast<double>(budget) / 1e6);
+
+  // Engine A: standard prefill under the budget -> out of memory.
+  {
+    EngineOptions options;
+    options.model = model_config;
+    options.mode = PrefillMode::kStandard;
+    options.activation_budget_bytes = budget;
+    options.cache_budget_tokens = 0;
+    Engine engine(options);
+    ScoringRequest request;
+    request.tokens = history;
+    request.allowed_tokens = {3, 4};  // approve / deny
+    auto response = engine.ScoreSync(std::move(request));
+    std::printf("[standard engine]  %s\n",
+                response.ok() ? "completed (unexpected!)"
+                              : response.status().ToString().c_str());
+  }
+
+  // Engine B: hybrid prefilling under the SAME budget -> completes.
+  {
+    EngineOptions options;
+    options.model = model_config;
+    options.mode = PrefillMode::kHybrid;
+    options.chunk_size = 64;
+    options.activation_budget_bytes = budget;
+    options.cache_budget_tokens = 0;
+    Engine engine(options);
+    ScoringRequest request;
+    request.tokens = history;
+    request.allowed_tokens = {3, 4};
+    auto response = engine.ScoreSync(std::move(request));
+    if (!response.ok()) {
+      std::printf("[hybrid engine]    failed: %s\n",
+                  response.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("[hybrid engine]    P(approve) = %.4f in %.1f ms, peak %.2f MB\n",
+                response.value().score, response.value().execute_time_s * 1e3,
+                static_cast<double>(engine.stats().peak_activation_bytes) / 1e6);
+  }
+
+  std::printf(
+      "\nsame model, same budget: only the hybrid engine can serve the long\n"
+      "request - the max-input-length expansion of Table 2 in miniature.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Post recommendation: the paper's motivating application (§2.3), end to
+// end on the real engine.
+//
+// Each user has a browsing-history profile; the system scores 10 candidate
+// posts per user by P(Yes) and ranks them. All of a user's requests share
+// the profile prefix, so after the first request the remaining nine hit
+// the prefix cache — with SRJF + continuous JCT calibration the engine
+// drains those cheap cache-hit requests first, which is what keeps
+// throughput up under load (Figs. 5 and 9).
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/engine.h"
+
+namespace {
+
+using namespace prefillonly;
+
+std::vector<int32_t> RandomTokens(Rng& rng, int64_t count, int64_t vocab) {
+  std::vector<int32_t> tokens(static_cast<size_t>(count));
+  for (auto& t : tokens) {
+    t = static_cast<int32_t>(rng.NextBounded(static_cast<uint64_t>(vocab)));
+  }
+  return tokens;
+}
+
+}  // namespace
+
+int main() {
+  using namespace prefillonly;
+  constexpr int kUsers = 3;
+  constexpr int kPosts = 10;
+  constexpr int64_t kProfileLen = 256;
+  constexpr int64_t kPostLen = 16;
+
+  EngineOptions options;
+  options.model = ModelConfig::Small();
+  options.block_size = 32;
+  options.cache_budget_tokens = 2048;
+  Engine engine(options);
+
+  const int32_t kYes = 7;
+  const int32_t kNo = 9;
+  Rng rng(2024);
+
+  std::printf("scoring %d posts for each of %d users (profile %ld tokens)\n\n",
+              kPosts, kUsers, static_cast<long>(kProfileLen));
+  for (int user = 0; user < kUsers; ++user) {
+    Rng user_rng = rng.Fork();
+    const auto profile = RandomTokens(user_rng, kProfileLen, options.model.vocab_size);
+
+    // Submit all candidate posts at once; the scheduler orders execution.
+    std::vector<int64_t> ids;
+    for (int post = 0; post < kPosts; ++post) {
+      ScoringRequest request;
+      request.user_id = user;
+      request.tokens = profile;
+      const auto post_tokens =
+          RandomTokens(user_rng, kPostLen, options.model.vocab_size);
+      request.tokens.insert(request.tokens.end(), post_tokens.begin(),
+                            post_tokens.end());
+      request.allowed_tokens = {kYes, kNo};
+      auto id = engine.Submit(std::move(request));
+      if (id.ok()) {
+        ids.push_back(id.value());
+      }
+    }
+    auto responses = engine.RunPending();
+
+    // Rank by P(Yes).
+    std::sort(responses.begin(), responses.end(),
+              [](const auto& a, const auto& b) { return a.score > b.score; });
+    std::printf("user %d - top 3 of %zu posts by P(Yes):\n", user, responses.size());
+    for (size_t i = 0; i < 3 && i < responses.size(); ++i) {
+      std::printf("  #%zu: request %ld  P(Yes)=%.4f  (cached %ld/%ld tokens, %.1f ms)\n",
+                  i + 1, static_cast<long>(responses[i].request_id), responses[i].score,
+                  static_cast<long>(responses[i].n_cached),
+                  static_cast<long>(responses[i].n_input),
+                  responses[i].execute_time_s * 1e3);
+    }
+  }
+
+  const auto stats = engine.stats();
+  std::printf("\nengine stats: %ld completed, prefix-cache hit rate %.0f%%, "
+              "cache %zu bytes, peak activations %zu bytes\n",
+              static_cast<long>(stats.completed), stats.cache.HitRate() * 100.0,
+              stats.cache_bytes, stats.peak_activation_bytes);
+  return 0;
+}

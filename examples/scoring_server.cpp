@@ -1,0 +1,89 @@
+// The paper's deployment shape (§3.1): an HTTP frontend over the engine.
+//
+// Starts the scoring service on loopback, issues two requests against it
+// through a real socket (the second hits the prefix cache), prints the
+// JSON responses, and shuts down. Run it with no arguments; pass a port
+// via PO_PORT if you want to poke it with curl while it sleeps briefly:
+//
+//   PO_PORT=8080 ./build/examples/scoring_server &
+//   curl -s localhost:8080/v1/score -d \
+//     '{"text":"user profile: likes systems papers. article: cache design. yes or no?",
+//       "allowed":["yes","no"]}'
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/server/scoring_service.h"
+
+namespace {
+
+std::string RoundTrip(uint16_t port, const std::string& body) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return "(connect failed)";
+  }
+  const std::string request = "POST /v1/score HTTP/1.1\r\nHost: localhost\r\n"
+                              "Content-Length: " +
+                              std::to_string(body.size()) + "\r\n\r\n" + body;
+  (void)!::write(fd, request.data(), request.size());
+  std::string response;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buffer, sizeof(buffer))) > 0) {
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  const size_t split = response.find("\r\n\r\n");
+  return split == std::string::npos ? response : response.substr(split + 4);
+}
+
+}  // namespace
+
+int main() {
+  using namespace prefillonly;
+
+  EngineOptions options;
+  options.model = ModelConfig::Small();
+  options.block_size = 8;  // text prompts are short; small blocks still share
+  ScoringService service(std::move(options));
+
+  uint16_t port = 0;
+  if (const char* env = std::getenv("PO_PORT"); env != nullptr) {
+    port = static_cast<uint16_t>(std::atoi(env));
+  }
+  if (auto status = service.Start(port); !status.ok()) {
+    std::printf("failed to start: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("scoring service on http://127.0.0.1:%u\n\n", service.port());
+
+  const std::string profile =
+      "user profile : reads long systems papers , bakes sourdough , rides "
+      "gravel routes and collects synthesizers . history : twelve articles "
+      "on schedulers and caches . ";
+  const std::string q1 = R"({"text":")" + profile +
+                         R"(article : gpu memory management", "allowed":["yes","no"]})";
+  const std::string q2 = R"({"text":")" + profile +
+                         R"(article : celebrity gossip weekly", "allowed":["yes","no"]})";
+
+  std::printf("request 1 -> %s\n", RoundTrip(service.port(), q1).c_str());
+  std::printf("request 2 -> %s\n", RoundTrip(service.port(), q2).c_str());
+  std::printf("\n(request 2's n_cached shows the shared profile prefix being "
+              "reused across HTTP requests.)\n");
+
+  if (std::getenv("PO_PORT") != nullptr) {
+    std::printf("\nserving for 30s; try curl now...\n");
+    ::sleep(30);
+  }
+  service.Stop();
+  return 0;
+}

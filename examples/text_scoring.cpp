@@ -1,0 +1,66 @@
+// Text in, decision out: the paper's §2.3 prompt pattern end to end.
+//
+// Builds the recommendation prompt from actual text with the hash
+// tokenizer, restricts the output to the "yes"/"no" token ids, and scores
+// several candidate articles for one user. The shared profile text becomes
+// a shared token prefix, so every article after the first hits the cache.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/workload/tokenizer.h"
+
+int main() {
+  using namespace prefillonly;
+
+  EngineOptions options;
+  options.model = ModelConfig::Small();
+  options.block_size = 16;
+  options.cache_budget_tokens = 4096;
+  Engine engine(options);
+  HashTokenizer tokenizer(static_cast<int32_t>(options.model.vocab_size));
+
+  const std::string profile =
+      "You are a recommendation assistant. Here is the user profile: "
+      "enjoys long form journalism , systems research papers , cycling "
+      "routes , sourdough baking experiments and vintage synthesizers . "
+      "Browsing history : read twelve articles about operating systems , "
+      "saved three gravel bike reviews , shared one sourdough starter "
+      "guide , skipped every celebrity gossip item . ";
+
+  const std::vector<std::string> articles = {
+      "A deep dive into GPU memory management for ML serving systems",
+      "Celebrity chef opens fourth restaurant in downtown",
+      "Touring the Alps on gravel: a 900 km ride report",
+      "Why your sourdough starter died and how to revive it",
+      "Market recap: bonds edge higher on rate expectations",
+  };
+
+  const int32_t yes = tokenizer.TokenFor("yes");
+  const int32_t no = tokenizer.TokenFor("no");
+
+  std::printf("%-62s %8s %8s %s\n", "article", "P(yes)", "cached", "time");
+  for (const auto& article : articles) {
+    const std::string prompt = profile +
+                               "If we recommend the following article , will the "
+                               "user be interested ? Please respond yes or no . " +
+                               article + " . Your answer is :";
+    ScoringRequest request;
+    request.tokens = tokenizer.Encode(prompt);
+    request.allowed_tokens = {yes, no};
+    auto response = engine.ScoreSync(std::move(request));
+    if (!response.ok()) {
+      std::printf("%-62s failed: %s\n", article.c_str(),
+                  response.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%-62s %8.4f %5ld/%-3ld %5.1fms\n", article.c_str(),
+                response.value().score, static_cast<long>(response.value().n_cached),
+                static_cast<long>(response.value().n_input),
+                response.value().execute_time_s * 1e3);
+  }
+  std::printf("\n(random weights, so the scores are arbitrary - the point is the\n"
+              "API shape: text -> tokens -> one prefill -> constrained P(yes).)\n");
+  return 0;
+}

@@ -1,0 +1,20 @@
+#include "src/common/hash.h"
+
+#include <cassert>
+
+namespace prefillonly {
+
+std::vector<uint64_t> BlockHashChain(std::span<const int32_t> tokens, int block_size) {
+  assert(block_size > 0);
+  const size_t n_blocks = tokens.size() / static_cast<size_t>(block_size);
+  std::vector<uint64_t> chain;
+  chain.reserve(n_blocks);
+  uint64_t parent = kFnvOffset;
+  for (size_t b = 0; b < n_blocks; ++b) {
+    parent = HashTokenBlock(parent, tokens.subspan(b * block_size, block_size));
+    chain.push_back(parent);
+  }
+  return chain;
+}
+
+}  // namespace prefillonly

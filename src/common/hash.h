@@ -1,0 +1,48 @@
+// Hashing utilities for prefix caching.
+//
+// Prefix caches identify shared prefixes by hashing token blocks into a
+// chain: hash(block_i) = Mix(hash(block_{i-1}), tokens of block_i). Two
+// sequences share a prefix of k blocks iff their first k chain hashes match
+// (modulo negligible collision probability), which is exactly the scheme
+// vLLM-style engines use for block-granular prefix caching.
+#ifndef SRC_COMMON_HASH_H_
+#define SRC_COMMON_HASH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace prefillonly {
+
+inline constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+inline constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+inline uint64_t Fnv1a64(const void* data, size_t size, uint64_t seed = kFnvOffset) {
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  uint64_t hash = seed;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  // boost::hash_combine style mixing with 64-bit constants.
+  a ^= b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4);
+  return a;
+}
+
+// Chain hash for one token block given the previous block's chain hash.
+inline uint64_t HashTokenBlock(uint64_t parent_hash, std::span<const int32_t> tokens) {
+  uint64_t h = Fnv1a64(tokens.data(), tokens.size() * sizeof(int32_t));
+  return HashCombine(parent_hash, h);
+}
+
+// Chain hashes for all complete blocks of a token sequence. The trailing
+// partial block (if any) is not hashed: partial blocks are never shared.
+std::vector<uint64_t> BlockHashChain(std::span<const int32_t> tokens, int block_size);
+
+}  // namespace prefillonly
+
+#endif  // SRC_COMMON_HASH_H_

@@ -1,0 +1,96 @@
+// Deterministic random number generation.
+//
+// Everything in this repository that involves randomness (synthetic datasets,
+// Poisson arrivals, random weight initialization) goes through these
+// generators so that every test, example and benchmark is reproducible from
+// a seed.
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace prefillonly {
+
+// SplitMix64: used to expand a single seed into stream seeds.
+inline uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256** by Blackman & Vigna. Small, fast, high-quality, and fully
+// deterministic across platforms (unlike std::mt19937 distributions).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed5eed5eedULL) {
+    uint64_t sm = seed;
+    for (auto& word : state_) {
+      word = SplitMix64(sm);
+    }
+  }
+
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) { return NextU64() % bound; }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(NextBounded(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Standard normal via Box-Muller.
+  double NextGaussian() {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 < 1e-300) {
+      u1 = 1e-300;
+    }
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  }
+
+  // Exponential with the given rate (events per unit time); used for Poisson
+  // inter-arrival gaps.
+  double NextExponential(double rate) {
+    double u = NextDouble();
+    if (u < 1e-300) {
+      u = 1e-300;
+    }
+    return -std::log(u) / rate;
+  }
+
+  // Uniform float in [-scale, scale); used for weight initialization.
+  float NextUniformFloat(float scale) {
+    return static_cast<float>((NextDouble() * 2.0 - 1.0) * scale);
+  }
+
+  // Derive an independent child generator (e.g. one stream per user).
+  Rng Fork() { return Rng(NextU64()); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace prefillonly
+
+#endif  // SRC_COMMON_RNG_H_

@@ -1,0 +1,117 @@
+// Lightweight status / result types used across the PrefillOnly libraries.
+//
+// The library does not throw for recoverable conditions (allocation budget
+// exhausted, request over the maximum input length, cache miss, ...).
+// Functions that can fail return Status or Result<T> instead.
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace prefillonly {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+};
+
+std::string_view StatusCodeName(StatusCode code);
+
+// Value-semantic error descriptor. An engaged message is only kept for
+// non-OK statuses.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk);
+  }
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Result<T> holds either a value or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : data_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(data_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) {
+      return kOk;
+    }
+    return std::get<Status>(data_);
+  }
+
+  // Precondition: ok().
+  T& value() {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  const T& value() const {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& take() {
+    assert(ok());
+    return std::move(std::get<T>(data_));
+  }
+
+  const T& value_or(const T& fallback) const { return ok() ? value() : fallback; }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace prefillonly
+
+#endif  // SRC_COMMON_STATUS_H_

@@ -1,0 +1,73 @@
+#include "src/core/capacity_planner.h"
+
+#include <algorithm>
+
+#include "src/gpu/memory_model.h"
+
+namespace prefillonly {
+
+namespace {
+
+const EngineKind kCandidates[] = {
+    EngineKind::kPagedAttention, EngineKind::kChunkedPrefill,
+    EngineKind::kPipelineParallel, EngineKind::kTensorParallel,
+    EngineKind::kPrefillOnly,
+};
+
+}  // namespace
+
+CapacityPlan PlanCapacity(const HardwareSetup& hardware, const Dataset& dataset,
+                          double probe_qps) {
+  CapacityPlan plan;
+  const int64_t workload_max = dataset.MaxTokens();
+
+  double best_throughput = 0.0;
+  for (EngineKind kind : kCandidates) {
+    EngineAssessment assessment;
+    assessment.kind = kind;
+    EngineConfig config = EngineConfig::Make(kind, hardware);
+    MemoryModel memory(hardware.llm, hardware.gpu, config.memory);
+    assessment.max_input_length = memory.MaxInputLength(kind);
+    assessment.fits_workload = assessment.max_input_length >= workload_max;
+    if (assessment.fits_workload) {
+      assessment.saturated_throughput = MeasureSaturatedThroughput(config, dataset);
+      best_throughput = std::max(best_throughput, assessment.saturated_throughput);
+    }
+    plan.assessments.push_back(assessment);
+  }
+
+  const double qps = probe_qps > 0.0 ? probe_qps : std::max(best_throughput / 2.0, 1e-6);
+  for (auto& assessment : plan.assessments) {
+    if (!assessment.fits_workload) {
+      continue;
+    }
+    Dataset probe = dataset;
+    AssignUserBurstArrivals(probe, qps, /*seed=*/7);
+    EngineConfig config = EngineConfig::Make(assessment.kind, hardware);
+    const ClusterResult result = RunCluster(config, probe);
+    assessment.mean_latency_s = result.mean_latency_s;
+    assessment.p99_latency_s = result.p99_latency_s;
+    assessment.cache_hit_rate = result.cache_hit_rate;
+  }
+
+  // Recommend the feasible engine with the highest saturated throughput;
+  // break ties toward lower mean latency.
+  plan.recommended = EngineKind::kPrefillOnly;
+  double best_score = -1.0;
+  for (const auto& assessment : plan.assessments) {
+    if (!assessment.fits_workload) {
+      continue;
+    }
+    if (assessment.saturated_throughput > best_score) {
+      best_score = assessment.saturated_throughput;
+      plan.recommended = assessment.kind;
+    }
+  }
+  plan.rationale = best_score < 0
+                       ? "no engine can serve the workload's longest request"
+                       : "highest saturated throughput among engines whose max input "
+                         "length covers the workload";
+  return plan;
+}
+
+}  // namespace prefillonly

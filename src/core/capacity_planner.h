@@ -1,0 +1,45 @@
+// Deployment advisor built on the analytic models.
+//
+// Answers the practical question the paper's evaluation answers
+// empirically: for THIS hardware, model and workload, which engine should
+// serve it, can it serve it at all (max input length vs. workload length),
+// and what throughput/latency should be expected. Used by the
+// capacity_planner example and by tests as an end-to-end consistency check
+// of the memory model + cost model + simulator stack.
+#ifndef SRC_CORE_CAPACITY_PLANNER_H_
+#define SRC_CORE_CAPACITY_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/engine/cluster.h"
+#include "src/engine/engine_config.h"
+#include "src/gpu/specs.h"
+#include "src/workload/dataset.h"
+
+namespace prefillonly {
+
+struct EngineAssessment {
+  EngineKind kind;
+  int64_t max_input_length = 0;
+  bool fits_workload = false;        // MIL >= workload max request
+  double saturated_throughput = 0.0; // req/s with all requests at t=0
+  double mean_latency_s = 0.0;       // at the probe QPS
+  double p99_latency_s = 0.0;
+  double cache_hit_rate = 0.0;
+};
+
+struct CapacityPlan {
+  std::vector<EngineAssessment> assessments;  // one per engine kind
+  EngineKind recommended;
+  std::string rationale;
+};
+
+// Evaluates every engine kind on `hardware` against `dataset`, probing
+// latency at `probe_qps` (0 = half the best engine's saturated throughput).
+CapacityPlan PlanCapacity(const HardwareSetup& hardware, const Dataset& dataset,
+                          double probe_qps = 0.0);
+
+}  // namespace prefillonly
+
+#endif  // SRC_CORE_CAPACITY_PLANNER_H_

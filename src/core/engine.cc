@@ -1,0 +1,402 @@
+#include "src/core/engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "src/common/hash.h"
+#include "src/common/logging.h"
+
+namespace prefillonly {
+
+Engine::Engine(EngineOptions options)
+    : options_(std::move(options)),
+      activations_(options_.activation_budget_bytes),
+      epoch_(std::chrono::steady_clock::now()) {
+  assert(options_.model.Valid());
+  model_ = std::make_unique<LlamaModel>(options_.model, options_.weight_seed);
+  const int64_t pool_blocks =
+      options_.cache_budget_tokens / std::max(options_.block_size, 1);
+  cache_ = std::make_unique<PrefixCache>(options_.block_size, pool_blocks);
+  store_ = std::make_unique<KvBlockStore>(options_.model, options_.block_size,
+                                          cache_memory_);
+  offload_dir_ = std::make_unique<OffloadDirectory>(
+      options_.cpu_offload_budget_tokens / std::max(options_.block_size, 1));
+  cache_->SetEvictionListener([this](uint64_t hash, BlockId block, int64_t depth) {
+    if (offload_dir_->capacity_blocks() <= 0) {
+      store_->Drop(block);
+      return;
+    }
+    // Demote instead of discard (§9): copy the payload to the CPU tier.
+    KvBlock payload = store_->Take(block);
+    if (payload.empty()) {
+      return;
+    }
+    offload_payloads_[hash] = CloneBlock(payload, offload_memory_);
+    ++offload_demotions_;
+    const uint64_t displaced = offload_dir_->Insert(hash, depth);
+    if (displaced != 0) {
+      offload_payloads_.erase(displaced);
+    }
+  });
+  estimator_ = std::make_unique<CacheMissProxyEstimator>();
+  scheduler_ =
+      std::make_unique<Scheduler>(options_.policy, options_.lambda, estimator_.get());
+}
+
+Engine::~Engine() { StopWorker(); }
+
+double Engine::NowSeconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_).count();
+}
+
+Status Engine::Validate(const ScoringRequest& request) const {
+  if (request.tokens.empty()) {
+    return Status::InvalidArgument("request has no tokens");
+  }
+  if (static_cast<int64_t>(request.tokens.size()) > options_.max_input_length) {
+    return Status::OutOfRange("request exceeds the maximum input length");
+  }
+  if (request.allowed_tokens.empty()) {
+    return Status::InvalidArgument("allowed token list is empty");
+  }
+  for (int32_t t : request.tokens) {
+    if (t < 0 || t >= options_.model.vocab_size) {
+      return Status::InvalidArgument("token id out of vocabulary range");
+    }
+  }
+  for (int32_t t : request.allowed_tokens) {
+    if (t < 0 || t >= options_.model.vocab_size) {
+      return Status::InvalidArgument("allowed token out of vocabulary range");
+    }
+  }
+  return Status::Ok();
+}
+
+Result<int64_t> Engine::Submit(ScoringRequest request) {
+  if (Status s = Validate(request); !s.ok()) {
+    return s;
+  }
+  Pending pending;
+  pending.request = std::move(request);
+  pending.arrival_s = NowSeconds();
+  pending.chain = BlockHashChain(pending.request.tokens, options_.block_size);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  pending.id = next_id_++;
+  ++stats_.submitted;
+  const int64_t id = pending.id;
+  if (worker_running_) {
+    inbox_.Push(std::move(pending));
+  } else {
+    waiting_.push_back(std::move(pending));
+  }
+  return id;
+}
+
+size_t Engine::PickIndex() {
+  assert(!waiting_.empty());
+  std::vector<SchedEntry> entries;
+  entries.reserve(waiting_.size());
+  const bool calibrate = options_.policy == SchedPolicy::kSrjfCalibrated;
+  for (const Pending& p : waiting_) {
+    SchedEntry entry;
+    entry.arrival_time = p.arrival_s;
+    entry.n_input = static_cast<int64_t>(p.request.tokens.size());
+    // Continuous JCT calibration: the hit length is refreshed against the
+    // live cache on every decision. Offloaded blocks count as cached: their
+    // reload is far cheaper than recomputation.
+    const int64_t gpu_match = cache_->MatchTokens(p.chain);
+    const int64_t offload_match =
+        offload_dir_->PeekContinuation(p.chain, gpu_match / options_.block_size) *
+        options_.block_size;
+    const int64_t match = std::min(gpu_match + offload_match, entry.n_input - 1);
+    entry.n_cached_at_arrival = match;  // static policies are approximated
+    entry.n_cached_now = calibrate ? match : entry.n_cached_at_arrival;
+    entries.push_back(entry);
+  }
+  return scheduler_->PickNext(entries, NowSeconds());
+}
+
+Result<ScoringResponse> Engine::Execute(Pending pending) {
+  const auto& tokens = pending.request.tokens;
+  const auto n_tokens = static_cast<int64_t>(tokens.size());
+  const double start_s = NowSeconds();
+
+  // Suffix KV cache discarding, decided up front: only the prefix that fits
+  // the cache budget is ever granted blocks.
+  const int64_t budget_blocks =
+      std::min<int64_t>(static_cast<int64_t>(pending.chain.size()),
+                        cache_->capacity_blocks());
+  std::span<const uint64_t> chain(pending.chain);
+  chain = chain.subspan(0, static_cast<size_t>(budget_blocks));
+
+  auto acquired = cache_->Acquire(chain, budget_blocks);
+  if (!acquired.ok()) {
+    return acquired.status();
+  }
+  Acquisition acq = acquired.take();
+
+  // Block-aligned prefix reuse; the final token is always recomputed. The
+  // GPU-tier match may continue into the offload tier (§9).
+  const int64_t gpu_matched = acq.matched_blocks;
+  const int64_t offload_matched = offload_dir_->MatchContinuation(chain, gpu_matched);
+  const int64_t max_prefix_blocks = (n_tokens - 1) / options_.block_size;
+  const int64_t prefix_blocks =
+      std::min(gpu_matched + offload_matched, max_prefix_blocks);
+  const int64_t gpu_prefix_blocks = std::min(gpu_matched, prefix_blocks);
+  const int64_t n_cached = prefix_blocks * options_.block_size;
+
+  KvCacheData prefix;
+  if (prefix_blocks > 0) {
+    // GPU-resident blocks first, then offloaded payloads "reloaded" into
+    // the contiguous prefix (the copy is the simulated H2D transfer).
+    prefix.n_tokens = n_cached;
+    prefix.layers.resize(static_cast<size_t>(options_.model.n_layers));
+    for (auto& layer : prefix.layers) {
+      layer.k = Tensor::Uninit(activations_, {n_cached, options_.model.kv_size()},
+                               "kvstore.prefix.k");
+      layer.v = Tensor::Uninit(activations_, {n_cached, options_.model.kv_size()},
+                               "kvstore.prefix.v");
+    }
+    if (gpu_prefix_blocks > 0) {
+      const KvCacheData gpu_part = store_->AssemblePrefix(acq.blocks, gpu_prefix_blocks);
+      for (size_t l = 0; l < prefix.layers.size(); ++l) {
+        std::memcpy(prefix.layers[l].k.data(), gpu_part.layers[l].k.data(),
+                    gpu_part.layers[l].k.bytes());
+        std::memcpy(prefix.layers[l].v.data(), gpu_part.layers[l].v.data(),
+                    gpu_part.layers[l].v.bytes());
+      }
+    }
+    for (int64_t b = gpu_prefix_blocks; b < prefix_blocks; ++b) {
+      auto payload = offload_payloads_.find(chain[static_cast<size_t>(b)]);
+      assert(payload != offload_payloads_.end());
+      CopyBlockInto(payload->second, prefix, b, options_.block_size);
+      offload_hit_tokens_ += options_.block_size;
+    }
+  }
+
+  PrefillOptions prefill;
+  prefill.mode = options_.mode;
+  prefill.chunk_size = options_.chunk_size;
+  prefill.preallocate_outputs = options_.preallocate_outputs;
+  prefill.in_place = options_.in_place;
+  prefill.retention = KvRetention::kPrefixBudget;
+  prefill.prefix_budget_tokens = budget_blocks * options_.block_size;
+
+  auto result = model_->Prefill(tokens, prefix.empty() ? nullptr : &prefix, prefill,
+                                activations_);
+  if (!result.ok()) {
+    cache_->Release(acq, 0);
+    return result.status();
+  }
+  PrefillResult& pass = result.value();
+
+  // Hand the retained fresh prefix blocks to the cache + payload store.
+  // Blocks served from the offload tier are PROMOTED: their payload moves
+  // back to the GPU tier instead of being recomputed or duplicated.
+  const auto inserted = cache_->Release(acq, budget_blocks);
+  for (const auto& [block_index, block_id] : inserted) {
+    const uint64_t hash = chain[static_cast<size_t>(block_index)];
+    auto payload = offload_payloads_.find(hash);
+    if (block_index < prefix_blocks && payload != offload_payloads_.end()) {
+      store_->PutBlock(block_id, CloneBlock(payload->second, cache_memory_));
+      offload_payloads_.erase(payload);
+      offload_dir_->Erase(hash);
+      ++offload_promotions_;
+    } else {
+      store_->Put(block_id, pass.kv, pass.kv_start, block_index);
+    }
+  }
+
+  auto probabilities =
+      ConstrainedProbabilities(pass.last_logits, pending.request.allowed_tokens);
+  if (!probabilities.ok()) {
+    return probabilities.status();
+  }
+
+  ScoringResponse response;
+  response.request_id = pending.id;
+  response.user_id = pending.request.user_id;
+  response.probabilities = probabilities.take();
+  response.score = response.probabilities[0].probability;
+  response.n_input = n_tokens;
+  response.n_cached = n_cached;
+  response.n_cached_offload =
+      (prefix_blocks - gpu_prefix_blocks) * options_.block_size;
+  response.queue_time_s = start_s - pending.arrival_s;
+  response.execute_time_s = NowSeconds() - start_s;
+  return response;
+}
+
+std::vector<ScoringResponse> Engine::RunPending() {
+  std::vector<ScoringResponse> responses;
+  while (true) {
+    Pending pending;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (waiting_.empty()) {
+        break;
+      }
+      const size_t index = PickIndex();
+      pending = std::move(waiting_[index]);
+      waiting_.erase(waiting_.begin() + static_cast<std::ptrdiff_t>(index));
+    }
+    auto response = Execute(std::move(pending));
+    std::lock_guard<std::mutex> lock(mu_);
+    if (response.ok()) {
+      ++stats_.completed;
+      stats_.total_execute_s += response.value().execute_time_s;
+      responses.push_back(response.take());
+    } else {
+      ++stats_.failed;
+      PO_LOG_WARNING << "request failed: " << response.status().ToString();
+    }
+  }
+  return responses;
+}
+
+Result<ScoringResponse> Engine::ScoreSync(ScoringRequest request) {
+  if (Status s = Validate(request); !s.ok()) {
+    return s;
+  }
+  Pending pending;
+  pending.request = std::move(request);
+  pending.arrival_s = NowSeconds();
+  pending.chain = BlockHashChain(pending.request.tokens, options_.block_size);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending.id = next_id_++;
+    ++stats_.submitted;
+  }
+  auto response = Execute(std::move(pending));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (response.ok()) {
+    ++stats_.completed;
+    stats_.total_execute_s += response.value().execute_time_s;
+  } else {
+    ++stats_.failed;
+  }
+  return response;
+}
+
+void Engine::StartWorker(ResponseCallback callback) {
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(!worker_running_);
+  worker_running_ = true;
+  worker_ = std::thread([this, callback = std::move(callback)] { WorkerLoop(callback); });
+}
+
+void Engine::StopWorker() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!worker_running_) {
+      return;
+    }
+  }
+  inbox_.Close();
+  worker_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  worker_running_ = false;
+}
+
+void Engine::WorkerLoop(ResponseCallback callback) {
+  while (true) {
+    if (waiting_.empty()) {
+      auto item = inbox_.Pop();  // blocks; nullopt on Close
+      if (!item.has_value()) {
+        break;
+      }
+      waiting_.push_back(std::move(*item));
+    }
+    // Drain whatever else arrived so the scheduler sees the whole queue.
+    while (auto more = inbox_.TryPop()) {
+      waiting_.push_back(std::move(*more));
+    }
+    const size_t index = PickIndex();
+    Pending pending = std::move(waiting_[index]);
+    waiting_.erase(waiting_.begin() + static_cast<std::ptrdiff_t>(index));
+    auto response = Execute(std::move(pending));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (response.ok()) {
+        ++stats_.completed;
+        stats_.total_execute_s += response.value().execute_time_s;
+      } else {
+        ++stats_.failed;
+      }
+    }
+    callback(std::move(response));
+  }
+  // Serve anything left in the waiting list before shutting down.
+  while (!waiting_.empty()) {
+    const size_t index = PickIndex();
+    Pending pending = std::move(waiting_[index]);
+    waiting_.erase(waiting_.begin() + static_cast<std::ptrdiff_t>(index));
+    auto response = Execute(std::move(pending));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (response.ok()) {
+        ++stats_.completed;
+        stats_.total_execute_s += response.value().execute_time_s;
+      } else {
+        ++stats_.failed;
+      }
+    }
+    callback(std::move(response));
+  }
+}
+
+Result<double> Engine::ProfileJct(int64_t max_input_len, int64_t granularity) {
+  // Time real prefill passes; a zero-filled fake prefix of n_cached tokens
+  // reproduces the exact computation shape of a cache hit.
+  auto measure = [&](int64_t n_input, int64_t n_cached) -> double {
+    std::vector<int32_t> tokens(static_cast<size_t>(n_input), 1);
+    KvCacheData prefix;
+    if (n_cached > 0) {
+      prefix.n_tokens = n_cached;
+      prefix.layers.resize(static_cast<size_t>(options_.model.n_layers));
+      for (auto& layer : prefix.layers) {
+        layer.k = Tensor::Zeros(activations_, {n_cached, options_.model.kv_size()},
+                                "profile.k");
+        layer.v = Tensor::Zeros(activations_, {n_cached, options_.model.kv_size()},
+                                "profile.v");
+      }
+    }
+    PrefillOptions prefill;
+    prefill.mode = options_.mode;
+    prefill.chunk_size = options_.chunk_size;
+    const double t0 = NowSeconds();
+    auto result = model_->Prefill(tokens, n_cached > 0 ? &prefix : nullptr, prefill,
+                                  activations_);
+    (void)result;
+    return NowSeconds() - t0;
+  };
+  auto profiled = ProfiledJctEstimator::Profile(measure, max_input_len, granularity);
+  if (!profiled.ok()) {
+    return profiled.status();
+  }
+  const double r2 = profiled.value().r_squared();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    estimator_ = std::make_unique<ProfiledJctEstimator>(profiled.take());
+    scheduler_ = std::make_unique<Scheduler>(options_.policy, options_.lambda,
+                                             estimator_.get());
+  }
+  return r2;
+}
+
+EngineStats Engine::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  EngineStats out = stats_;
+  out.peak_activation_bytes = activations_.peak_bytes();
+  out.cache_bytes = cache_memory_.current_bytes();
+  out.cache = cache_->stats();
+  out.offload_bytes = offload_memory_.current_bytes();
+  out.offload_hit_tokens = offload_hit_tokens_;
+  out.offload_demotions = offload_demotions_;
+  out.offload_promotions = offload_promotions_;
+  return out;
+}
+
+}  // namespace prefillonly

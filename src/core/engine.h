@@ -1,0 +1,170 @@
+// The real PrefillOnly engine: the paper's system, runnable on CPU.
+//
+// Wires together everything below it:
+//   * LlamaModel with HYBRID PREFILLING (§4) — attention unchunked, linear
+//     layers chunk-by-chunk, with output preallocation and in-place reuse;
+//   * SUFFIX KV CACHE DISCARDING (§5.1) — only the prefix that fits the
+//     cache budget is retained, via KvRetention::kPrefixBudget;
+//   * a block-granular PREFIX CACHE (§2.1): PrefixCache metadata plus
+//     KvBlockStore tensor payloads, LRU-evicted under a token budget;
+//   * SRJF scheduling with CONTINUOUS JCT CALIBRATION (§6.3, Algorithm 1):
+//     before every scheduling decision the cache-hit length of each waiting
+//     request is refreshed against the live cache, and a starvation offset
+//     lambda * queueing-time keeps the tail bounded;
+//   * constrained sampling (§2.3): probabilities over the caller's allowed
+//     token list, from a single prefill pass.
+//
+// Two frontends:
+//   * synchronous: Submit(...) then RunPending() — deterministic, used by
+//     tests and benchmarks;
+//   * asynchronous: StartWorker() + Submit(...) + a response callback —
+//     mirrors the paper's frontend/scheduler process split (§3.1).
+#ifndef SRC_CORE_ENGINE_H_
+#define SRC_CORE_ENGINE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/queue.h"
+#include "src/common/status.h"
+#include "src/core/kv_block_store.h"
+#include "src/core/request.h"
+#include "src/kvcache/offload_directory.h"
+#include "src/kvcache/prefix_cache.h"
+#include "src/model/llama.h"
+#include "src/sched/jct.h"
+#include "src/sched/scheduler.h"
+
+namespace prefillonly {
+
+struct EngineOptions {
+  ModelConfig model = ModelConfig::Small();
+  uint64_t weight_seed = 42;
+
+  // Execution strategy. kHybrid is the paper's engine; kStandard/kChunked
+  // turn the same engine into the baselines for A/B comparisons.
+  PrefillMode mode = PrefillMode::kHybrid;
+  int64_t chunk_size = 64;
+  bool preallocate_outputs = true;
+  bool in_place = true;
+
+  // Activation budget in bytes (0 = unlimited). Exceeding it fails the
+  // request with kResourceExhausted — the CPU analogue of GPU OOM.
+  size_t activation_budget_bytes = 0;
+
+  // Prefix-cache budget in tokens; KV beyond it is discarded (suffix KV
+  // cache discarding). 0 disables caching entirely.
+  int64_t cache_budget_tokens = 4096;
+  // Second-tier budget (§9 "offloading the KV caches to CPU"): blocks
+  // evicted from the primary cache are demoted here instead of discarded,
+  // and reloaded on a later hit. 0 keeps the paper's default (discard).
+  int64_t cpu_offload_budget_tokens = 0;
+  int block_size = 32;
+
+  int64_t max_input_length = 1 << 20;
+
+  SchedPolicy policy = SchedPolicy::kSrjfCalibrated;
+  // Starvation offset in estimator units per second (§6.3).
+  double lambda = 500.0;
+};
+
+struct EngineStats {
+  int64_t submitted = 0;
+  int64_t completed = 0;
+  int64_t failed = 0;
+  double total_execute_s = 0.0;
+  size_t peak_activation_bytes = 0;
+  size_t cache_bytes = 0;
+  PrefixCacheStats cache;
+  // Offload tier (zeros unless cpu_offload_budget_tokens > 0).
+  size_t offload_bytes = 0;
+  int64_t offload_hit_tokens = 0;
+  int64_t offload_demotions = 0;
+  int64_t offload_promotions = 0;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineOptions options);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  const EngineOptions& options() const { return options_; }
+  const LlamaModel& model() const { return *model_; }
+
+  // --- Synchronous frontend -------------------------------------------
+  // Validates and enqueues; returns the request id.
+  Result<int64_t> Submit(ScoringRequest request);
+  // Schedules and executes everything queued; returns responses in
+  // completion (i.e. scheduling) order.
+  std::vector<ScoringResponse> RunPending();
+  // Convenience: submit one request and run it to completion.
+  Result<ScoringResponse> ScoreSync(ScoringRequest request);
+
+  // --- Asynchronous frontend ------------------------------------------
+  // Responses are delivered on the worker thread. Do not mix with
+  // RunPending().
+  using ResponseCallback = std::function<void(Result<ScoringResponse>)>;
+  void StartWorker(ResponseCallback callback);
+  void StopWorker();
+
+  // --- JCT profiling (§6.3) -------------------------------------------
+  // Times real prefill passes over an (n_input, n_cached) grid and fits the
+  // linear JCT model; on success the scheduler uses it instead of the
+  // cache-miss-token proxy.
+  Result<double> ProfileJct(int64_t max_input_len, int64_t granularity);
+
+  EngineStats stats() const;
+  // Seconds since engine construction (the queueing-time clock).
+  double NowSeconds() const;
+
+ private:
+  struct Pending {
+    int64_t id;
+    ScoringRequest request;
+    double arrival_s;
+    std::vector<uint64_t> chain;
+  };
+
+  Status Validate(const ScoringRequest& request) const;
+  Result<ScoringResponse> Execute(Pending pending);
+  size_t PickIndex();  // scheduling decision over waiting_
+  void WorkerLoop(ResponseCallback callback);
+
+  EngineOptions options_;
+  std::unique_ptr<LlamaModel> model_;
+  TrackingAllocator activations_;
+  TrackingAllocator cache_memory_;
+  TrackingAllocator offload_memory_;  // the "CPU side" of the offload tier
+  std::unique_ptr<PrefixCache> cache_;
+  std::unique_ptr<KvBlockStore> store_;
+  std::unique_ptr<OffloadDirectory> offload_dir_;
+  std::unordered_map<uint64_t, KvBlock> offload_payloads_;
+  int64_t offload_hit_tokens_ = 0;
+  int64_t offload_demotions_ = 0;
+  int64_t offload_promotions_ = 0;
+  std::unique_ptr<JctEstimator> estimator_;
+  std::unique_ptr<Scheduler> scheduler_;
+
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<Pending> waiting_;
+  int64_t next_id_ = 0;
+  EngineStats stats_;
+
+  BlockingQueue<Pending> inbox_;  // async frontend
+  std::thread worker_;
+  bool worker_running_ = false;
+};
+
+}  // namespace prefillonly
+
+#endif  // SRC_CORE_ENGINE_H_

@@ -1,0 +1,60 @@
+// Tensor payloads for cached KV blocks.
+//
+// PrefixCache (src/kvcache) tracks WHICH prefixes are cached as block
+// metadata; this store holds the actual per-layer K/V tensors for each
+// cached block on the real CPU engine. It subscribes to the cache's
+// eviction listener so payloads die with their metadata, and it can
+// assemble the contiguous prefix KvCacheData that LlamaModel::Prefill
+// consumes from a run of matched blocks.
+#ifndef SRC_CORE_KV_BLOCK_STORE_H_
+#define SRC_CORE_KV_BLOCK_STORE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/kvcache/block_allocator.h"
+#include "src/model/config.h"
+#include "src/model/kv.h"
+#include "src/tensor/tracking_allocator.h"
+
+namespace prefillonly {
+
+class KvBlockStore {
+ public:
+  KvBlockStore(const ModelConfig& model, int block_size, TrackingAllocator& alloc);
+
+  // Stores the KV rows for one block: `source` must cover token positions
+  // [block_index * block_size, (block_index + 1) * block_size) relative to
+  // source_start (the absolute position of source row 0).
+  void Put(BlockId block, const KvCacheData& source, int64_t source_start,
+           int64_t block_index);
+
+  // Stores an already-materialized block payload (offload-tier promotion).
+  void PutBlock(BlockId block, KvBlock payload);
+
+  // Removes and returns the payload (empty KvBlock if absent) — used when a
+  // block is demoted to the offload tier instead of dropped.
+  KvBlock Take(BlockId block);
+
+  void Drop(BlockId block);
+  bool Contains(BlockId block) const { return blocks_.contains(block); }
+  size_t block_count() const { return blocks_.size(); }
+  size_t bytes() const;
+
+  // Concatenates `blocks` (in order) into a contiguous prefix KvCacheData of
+  // blocks.size() * block_size tokens. Every id must be present.
+  KvCacheData AssemblePrefix(const std::vector<BlockId>& blocks,
+                             int64_t n_blocks) const;
+
+ private:
+  int64_t n_layers_;
+  int64_t kv_width_;
+  int block_size_;
+  TrackingAllocator& alloc_;
+  std::unordered_map<BlockId, KvBlock> blocks_;
+};
+
+}  // namespace prefillonly
+
+#endif  // SRC_CORE_KV_BLOCK_STORE_H_

@@ -1,0 +1,42 @@
+// Public request/response types of the real PrefillOnly engine.
+//
+// A scoring request is the paper's §2.3 pattern: a long prompt (user
+// profile + candidate item, or a credit history) plus a list of acceptable
+// output tokens. The engine prefills the prompt and returns the constrained
+// probability distribution over the allowed tokens — e.g. P(Yes) as a
+// recommendation score. No decoding loop ever runs.
+#ifndef SRC_CORE_REQUEST_H_
+#define SRC_CORE_REQUEST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/model/sampler.h"
+
+namespace prefillonly {
+
+struct ScoringRequest {
+  int64_t user_id = 0;
+  std::vector<int32_t> tokens;
+  // Output restricted to these token ids; probabilities[i] corresponds to
+  // allowed_tokens[i].
+  std::vector<int32_t> allowed_tokens;
+};
+
+struct ScoringResponse {
+  int64_t request_id = 0;
+  int64_t user_id = 0;
+  std::vector<TokenProbability> probabilities;
+  // Convenience: probability of allowed_tokens[0] (e.g. P(Yes)).
+  double score = 0.0;
+
+  int64_t n_input = 0;
+  int64_t n_cached = 0;          // prefix tokens served from any cache tier
+  int64_t n_cached_offload = 0;  // subset reloaded from the CPU offload tier
+  double queue_time_s = 0.0;     // arrival -> execution start
+  double execute_time_s = 0.0;   // wall time of the prefill pass
+};
+
+}  // namespace prefillonly
+
+#endif  // SRC_CORE_REQUEST_H_

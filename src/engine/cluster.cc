@@ -1,0 +1,88 @@
+#include "src/engine/cluster.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "src/kvcache/prefix_cache.h"
+#include "src/sim/simulation.h"
+#include "src/workload/router.h"
+
+namespace prefillonly {
+
+namespace {
+
+bool IsParallelKind(EngineKind kind) {
+  return kind == EngineKind::kPipelineParallel || kind == EngineKind::kTensorParallel;
+}
+
+}  // namespace
+
+ClusterResult RunCluster(const EngineConfig& config, const Dataset& dataset) {
+  Simulation sim;
+
+  EngineConfig effective = config;
+  if (effective.reserve_tokens == 0) {
+    effective.reserve_tokens = dataset.MaxTokens();
+  }
+
+  const int n_instances = IsParallelKind(config.kind) ? 1 : config.hardware.n_gpus;
+  std::vector<std::unique_ptr<EngineInstance>> instances;
+  instances.reserve(static_cast<size_t>(n_instances));
+  for (int i = 0; i < n_instances; ++i) {
+    instances.push_back(std::make_unique<EngineInstance>(
+        sim, effective, std::string(EngineKindName(config.kind)) + "#" +
+                            std::to_string(i)));
+  }
+
+  UserRoundRobinRouter router(n_instances);
+  double first_arrival = 0.0;
+  for (const SimRequest& request : dataset.requests) {
+    first_arrival = std::min(first_arrival, request.arrival_time);
+  }
+  for (const SimRequest& request : dataset.requests) {
+    EngineInstance* instance = instances[static_cast<size_t>(router.Route(request.user_id))].get();
+    sim.Schedule(request.arrival_time, [instance, &request] { instance->Submit(request); });
+  }
+  sim.Run();
+
+  ClusterResult result;
+  result.engine = std::string(EngineKindName(config.kind));
+  double last_completion = first_arrival;
+  int64_t hit_tokens = 0;
+  int64_t lookup_tokens = 0;
+  for (const auto& instance : instances) {
+    const InstanceStats& stats = instance->stats();
+    result.submitted += stats.submitted;
+    result.completed += stats.completed;
+    result.rejected += stats.rejected;
+    for (double latency : stats.latencies.samples()) {
+      result.latencies.Add(latency);
+    }
+    last_completion = std::max(last_completion, stats.last_completion_s);
+    hit_tokens += stats.scheduled_cached_tokens;
+    lookup_tokens += stats.scheduled_tokens;
+    result.offload_hit_tokens += stats.offload_hit_tokens;
+  }
+  if (result.latencies.count() > 0) {
+    result.mean_latency_s = result.latencies.Mean();
+    result.p99_latency_s = result.latencies.P99();
+    result.max_latency_s = result.latencies.Max();
+  }
+  result.makespan_s = last_completion - first_arrival;
+  if (result.makespan_s > 0) {
+    result.throughput_rps = static_cast<double>(result.completed) / result.makespan_s;
+  }
+  if (lookup_tokens > 0) {
+    result.cache_hit_rate =
+        static_cast<double>(hit_tokens) / static_cast<double>(lookup_tokens);
+  }
+  return result;
+}
+
+double MeasureSaturatedThroughput(const EngineConfig& config, Dataset dataset) {
+  AssignAllAtOnce(dataset);
+  const ClusterResult result = RunCluster(config, dataset);
+  return result.throughput_rps;
+}
+
+}  // namespace prefillonly

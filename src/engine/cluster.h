@@ -1,0 +1,48 @@
+// Cluster harness: router + engine instances + arrival schedule.
+//
+// Reproduces the paper's deployment (§7.1): non-parallel engines get one
+// instance per GPU behind user-id round-robin routing; TP/PP get a single
+// instance spanning both GPUs. Run() replays a dataset's arrival schedule
+// through the discrete-event simulator and aggregates the metrics the
+// paper plots: mean latency, P99 latency, throughput, cache hit rate.
+#ifndef SRC_ENGINE_CLUSTER_H_
+#define SRC_ENGINE_CLUSTER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/engine/engine_config.h"
+#include "src/engine/instance.h"
+#include "src/metrics/stats.h"
+#include "src/workload/dataset.h"
+
+namespace prefillonly {
+
+struct ClusterResult {
+  std::string engine;
+  int64_t submitted = 0;
+  int64_t completed = 0;
+  int64_t rejected = 0;
+  double mean_latency_s = 0.0;
+  double p99_latency_s = 0.0;
+  double max_latency_s = 0.0;
+  double throughput_rps = 0.0;  // completed / makespan
+  double makespan_s = 0.0;
+  double cache_hit_rate = 0.0;     // token-weighted across instances
+  int64_t offload_hit_tokens = 0;  // KV reloaded from the CPU tier
+  SampleSet latencies;             // pooled across instances (for CDFs)
+
+  bool Feasible() const { return completed > 0 && rejected == 0; }
+};
+
+// Runs `dataset` (arrival times must be assigned) on a fresh deployment of
+// `config`. Deterministic: same config + dataset => same result.
+ClusterResult RunCluster(const EngineConfig& config, const Dataset& dataset);
+
+// The paper's QPS anchor: saturated request throughput with every request
+// arriving at t = 0 (user bursts intact, routing as usual).
+double MeasureSaturatedThroughput(const EngineConfig& config, Dataset dataset);
+
+}  // namespace prefillonly
+
+#endif  // SRC_ENGINE_CLUSTER_H_

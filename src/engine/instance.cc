@@ -1,0 +1,260 @@
+#include "src/engine/instance.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace prefillonly {
+
+namespace {
+
+int64_t CeilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+EngineInstance::EngineInstance(Simulation& sim, const EngineConfig& config,
+                               std::string name)
+    : sim_(sim),
+      config_(config),
+      name_(std::move(name)),
+      cost_(config.hardware.llm, config.hardware.gpu, config.cost),
+      memory_(config.hardware.llm, config.hardware.gpu, config.memory),
+      is_pipeline_(config.kind == EngineKind::kPipelineParallel) {
+  mil_ = memory_.MaxInputLength(config_.kind);
+  const int64_t reserve =
+      config_.reserve_tokens > 0 ? std::min(config_.reserve_tokens, mil_) : mil_;
+  pool_tokens_ = std::max<int64_t>(
+      memory_.CachePoolTokensPerInstance(config_.kind, std::max<int64_t>(reserve, 1)), 0);
+  cache_ = std::make_unique<PrefixCache>(config_.block_size,
+                                         CeilDiv(pool_tokens_, config_.block_size));
+  const double kv_per_token = memory_.KvBytesPerTokenPerGpu(config_.kind);
+  const int64_t offload_blocks =
+      kv_per_token > 0
+          ? static_cast<int64_t>(config_.offload_bytes / kv_per_token) /
+                config_.block_size
+          : 0;
+  offload_ = std::make_unique<OffloadDirectory>(offload_blocks);
+  if (offload_blocks > 0) {
+    // Demote evicted blocks to the host tier instead of discarding them.
+    cache_->SetEvictionListener([this](uint64_t hash, BlockId, int64_t depth) {
+      offload_->Insert(hash, depth);
+    });
+  }
+  estimator_ = std::make_unique<CacheMissProxyEstimator>();
+  scheduler_ = std::make_unique<Scheduler>(config_.policy, config_.lambda,
+                                           estimator_.get());
+}
+
+void EngineInstance::SyncCacheClock() {
+  cache_->SetClock(static_cast<uint64_t>(sim_.now() * 1e6) + 1);
+}
+
+int64_t EngineInstance::MatchedTokens(const SimRequest& request) const {
+  const int64_t gpu = cache_->MatchTokens(request.block_hashes);
+  const int64_t offload =
+      offload_->PeekContinuation(request.block_hashes, gpu / config_.block_size) *
+      config_.block_size;
+  // The last token's logits are always computed, so at most n-1 tokens of a
+  // request can be served from cache.
+  return std::min(gpu + offload, request.n_tokens - 1);
+}
+
+void EngineInstance::Submit(const SimRequest& request) {
+  ++stats_.submitted;
+  if (request.n_tokens > mil_) {
+    // The request cannot fit on this engine at all (Table 2's "x").
+    ++stats_.rejected;
+    return;
+  }
+  queue_.push_back(Waiting{&request, sim_.now(), MatchedTokens(request)});
+  MaybeStart();
+}
+
+EngineInstance::Waiting EngineInstance::PickNext() {
+  assert(!queue_.empty());
+  std::vector<SchedEntry> entries;
+  entries.reserve(queue_.size());
+  const bool calibrate = config_.policy == SchedPolicy::kSrjfCalibrated;
+  for (const Waiting& w : queue_) {
+    SchedEntry entry;
+    entry.arrival_time = w.arrival;
+    entry.n_input = w.request->n_tokens;
+    entry.n_cached_at_arrival = w.n_cached_at_arrival;
+    // Continuous JCT calibration: refresh the cache-hit length against the
+    // *current* cache contents before every decision (§6.3). Non-calibrated
+    // policies keep the stale arrival-time estimate.
+    entry.n_cached_now = calibrate ? MatchedTokens(*w.request) : w.n_cached_at_arrival;
+    entries.push_back(entry);
+  }
+  const size_t pick = scheduler_->PickNext(entries, sim_.now());
+  Waiting chosen = queue_[pick];
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(pick));
+  return chosen;
+}
+
+double EngineInstance::ServiceTime(int64_t n_new, int64_t n_cached) const {
+  const auto& mem_cfg = config_.memory;
+  switch (config_.kind) {
+    case EngineKind::kPagedAttention:
+    case EngineKind::kKvDropNaive:
+      return cost_.PrefillTime(n_new, n_cached, PassStrategy::kStandard, 0);
+    case EngineKind::kChunkedPrefill:
+      return cost_.PrefillTime(n_new, n_cached, PassStrategy::kChunkedPrefill,
+                               mem_cfg.chunk_tokens);
+    case EngineKind::kPrefillOnly:
+      return cost_.PrefillTime(n_new, n_cached, PassStrategy::kHybrid,
+                               mem_cfg.hybrid_chunk_tokens);
+    case EngineKind::kTensorParallel:
+      return cost_.TensorParallelTime(
+          n_new, n_cached, mem_cfg.parallel_degree, config_.hardware.link,
+          mem_cfg.tp_uses_chunked ? PassStrategy::kChunkedPrefill
+                                  : PassStrategy::kStandard,
+          mem_cfg.chunk_tokens);
+    case EngineKind::kPipelineParallel:
+      break;  // handled by StageTime
+  }
+  return 0.0;
+}
+
+double EngineInstance::StageTime(int64_t n_new, int64_t n_cached, int stage) const {
+  (void)stage;
+  const auto& mem_cfg = config_.memory;
+  return cost_.PipelineStageTime(
+      n_new, n_cached, mem_cfg.parallel_degree, config_.hardware.link,
+      mem_cfg.pp_uses_chunked ? PassStrategy::kChunkedPrefill : PassStrategy::kStandard,
+      mem_cfg.chunk_tokens);
+}
+
+void EngineInstance::MaybeStart() {
+  if (server_busy_ || queue_.empty()) {
+    return;
+  }
+  StartOnServer(PickNext());
+}
+
+void EngineInstance::StartOnServer(Waiting waiting) {
+  const SimRequest& request = *waiting.request;
+  SyncCacheClock();
+
+  // Block acquisition. PrefillOnly only ever takes blocks for the prefix it
+  // will retain (suffix KV discarding): the chain is truncated to the pool
+  // capacity up front. Baselines must hold the FULL request KV during
+  // execution, cache-evicting as needed.
+  const auto chain_len = static_cast<int64_t>(request.block_hashes.size());
+  std::span<const uint64_t> chain(request.block_hashes);
+  int64_t need_blocks = 0;
+  int64_t cacheable_blocks = 0;
+  if (config_.kind == EngineKind::kPrefillOnly) {
+    cacheable_blocks = std::min(chain_len, cache_->capacity_blocks());
+    chain = chain.subspan(0, static_cast<size_t>(cacheable_blocks));
+    need_blocks = cacheable_blocks;
+  } else if (config_.kind == EngineKind::kKvDropNaive) {
+    // The naive strawman discards all KV: nothing acquired, nothing cached.
+    chain = chain.subspan(0, 0);
+    need_blocks = 0;
+    cacheable_blocks = 0;
+  } else {
+    need_blocks = CeilDiv(request.n_tokens, config_.block_size);
+    cacheable_blocks = chain_len;
+  }
+
+  auto acquisition = cache_->Acquire(chain, need_blocks);
+  if (!acquisition.ok()) {
+    // Even with every cache entry evicted the request KV does not fit.
+    PO_LOG_DEBUG << name_ << ": reject request " << request.id << " ("
+                 << request.n_tokens << " tokens > pool)";
+    ++stats_.rejected;
+    MaybeStart();
+    return;
+  }
+
+  auto running = std::make_shared<Running>();
+  running->request = &request;
+  running->arrival = waiting.arrival;
+  running->acquisition = std::move(acquisition.value());
+  running->cacheable_blocks = cacheable_blocks;
+
+  // Offloaded blocks extend the cached prefix (§9): they skip recomputation
+  // but are reloaded from host memory at link speed.
+  const int64_t gpu_cached_tokens =
+      running->acquisition.matched_blocks * config_.block_size;
+  int64_t offload_tokens = 0;
+  if (offload_->capacity_blocks() > 0) {
+    offload_tokens = offload_->MatchContinuation(
+                         request.block_hashes, running->acquisition.matched_blocks) *
+                     config_.block_size;
+  }
+  const int64_t n_cached =
+      std::min(gpu_cached_tokens + offload_tokens, request.n_tokens - 1);
+  const int64_t reload_tokens = std::max<int64_t>(n_cached - gpu_cached_tokens, 0);
+  const int64_t n_new = request.n_tokens - n_cached;
+  stats_.scheduled_tokens += request.n_tokens;
+  stats_.scheduled_cached_tokens += n_cached;
+  const double reload_time =
+      static_cast<double>(reload_tokens) * memory_.KvBytesPerTokenPerGpu(config_.kind) /
+      config_.offload_load_bandwidth;
+  stats_.offload_hit_tokens += reload_tokens;
+
+  server_busy_ = true;
+  if (is_pipeline_) {
+    const double t = StageTime(n_new, n_cached, 0) + reload_time;
+    stats_.busy_time_s += t;
+    sim_.ScheduleAfter(t, [this, running] { FinishStage1(running); });
+  } else {
+    const double t = ServiceTime(n_new, n_cached) + reload_time;
+    stats_.busy_time_s += t;
+    sim_.ScheduleAfter(t, [this, running] { Complete(running); });
+  }
+}
+
+void EngineInstance::FinishStage1(std::shared_ptr<Running> running) {
+  server_busy_ = false;
+  stage2_queue_.push_back(std::move(running));
+  MaybeStartStage2();
+  MaybeStart();  // stage 1 is free: admit the next request (pipelining)
+}
+
+void EngineInstance::MaybeStartStage2() {
+  if (stage2_busy_ || stage2_queue_.empty()) {
+    return;
+  }
+  std::shared_ptr<Running> running = std::move(stage2_queue_.front());
+  stage2_queue_.pop_front();
+  stage2_busy_ = true;
+  const SimRequest& request = *running->request;
+  const int64_t n_cached = std::min(
+      running->acquisition.matched_blocks * config_.block_size, request.n_tokens - 1);
+  const double t = StageTime(request.n_tokens - n_cached, n_cached, 1);
+  sim_.ScheduleAfter(t, [this, running] {
+    stage2_busy_ = false;
+    Complete(running);
+    MaybeStartStage2();
+  });
+}
+
+void EngineInstance::Complete(std::shared_ptr<Running> running) {
+  SyncCacheClock();
+  cache_->Release(running->acquisition, running->cacheable_blocks);
+  // Suffix KV offloading (§9): blocks beyond the GPU retention budget are
+  // streamed to host memory during the pass instead of being discarded,
+  // so a future identical prefix can reload rather than recompute them.
+  if (offload_->capacity_blocks() > 0) {
+    offload_->SetClock(static_cast<uint64_t>(sim_.now() * 1e6) + 1);
+    const auto& chain = running->request->block_hashes;
+    for (size_t idx = static_cast<size_t>(running->cacheable_blocks);
+         idx < chain.size(); ++idx) {
+      offload_->Insert(chain[idx], static_cast<int64_t>(idx));
+    }
+  }
+  ++stats_.completed;
+  stats_.last_completion_s = sim_.now();
+  stats_.latencies.Add(sim_.now() - running->arrival);
+  if (!is_pipeline_) {
+    server_busy_ = false;
+  }
+  MaybeStart();
+}
+
+}  // namespace prefillonly

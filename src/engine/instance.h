@@ -1,0 +1,111 @@
+// One simulated engine instance (a single-GPU engine, a TP group, or a
+// 2-stage pipeline).
+//
+// The instance owns a waiting queue, a scheduling policy, a prefix cache
+// backed by a block pool sized from the memory model, and a service-time
+// function from the cost model. Requests flow:
+//
+//   Submit -> waiting queue -> (scheduler picks; PrefillOnly refreshes
+//   n_cached against the live cache first = continuous JCT calibration) ->
+//   Acquire KV blocks -> busy for ServiceTime(n_new, n_cached) ->
+//   Release (cache the prefix, discard the suffix) -> record latency.
+//
+// Pipeline-parallel instances chain two stage servers with a FIFO handoff
+// queue; pipeline bubbles emerge from the queueing rather than a constant.
+#ifndef SRC_ENGINE_INSTANCE_H_
+#define SRC_ENGINE_INSTANCE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/engine/engine_config.h"
+#include "src/kvcache/offload_directory.h"
+#include "src/kvcache/prefix_cache.h"
+#include "src/metrics/stats.h"
+#include "src/sim/simulation.h"
+#include "src/workload/dataset.h"
+
+namespace prefillonly {
+
+struct InstanceStats {
+  int64_t submitted = 0;
+  int64_t completed = 0;
+  int64_t rejected = 0;
+  double busy_time_s = 0.0;
+  double last_completion_s = 0.0;
+  int64_t offload_hit_tokens = 0;  // KV reloaded from the CPU tier
+  // Request-level cache accounting (covers both tiers, full request
+  // lengths — unlike PrefixCacheStats, which sees PrefillOnly's truncated
+  // chains only).
+  int64_t scheduled_tokens = 0;
+  int64_t scheduled_cached_tokens = 0;
+  SampleSet latencies;  // completion - arrival, per completed request
+};
+
+class EngineInstance {
+ public:
+  EngineInstance(Simulation& sim, const EngineConfig& config, std::string name);
+
+  // Hands a request to this instance at the current simulation time.
+  void Submit(const SimRequest& request);
+
+  const InstanceStats& stats() const { return stats_; }
+  const PrefixCache& cache() const { return *cache_; }
+  const std::string& name() const { return name_; }
+  int64_t cache_pool_tokens() const { return pool_tokens_; }
+  int64_t max_input_length() const { return mil_; }
+
+ private:
+  struct Waiting {
+    const SimRequest* request;
+    double arrival;
+    int64_t n_cached_at_arrival;
+  };
+  struct Running {
+    const SimRequest* request;
+    double arrival;
+    Acquisition acquisition;
+    int64_t cacheable_blocks;
+  };
+
+  void MaybeStart();
+  // Picks a waiting request (refreshing n_cached for calibrated SRJF),
+  // removes it from the queue and returns it.
+  Waiting PickNext();
+  int64_t MatchedTokens(const SimRequest& request) const;
+  double ServiceTime(int64_t n_new, int64_t n_cached) const;
+  double StageTime(int64_t n_new, int64_t n_cached, int stage) const;
+  void StartOnServer(Waiting waiting);
+  void FinishStage1(std::shared_ptr<Running> running);
+  void MaybeStartStage2();
+  void Complete(std::shared_ptr<Running> running);
+  void SyncCacheClock();
+
+  Simulation& sim_;
+  EngineConfig config_;
+  std::string name_;
+  CostModel cost_;
+  MemoryModel memory_;
+  std::unique_ptr<PrefixCache> cache_;
+  std::unique_ptr<OffloadDirectory> offload_;
+  std::unique_ptr<Scheduler> scheduler_;
+  std::unique_ptr<JctEstimator> estimator_;
+
+  int64_t mil_ = 0;
+  int64_t pool_tokens_ = 0;
+  bool is_pipeline_ = false;
+
+  std::vector<Waiting> queue_;
+  bool server_busy_ = false;   // single server / PP stage 1
+  bool stage2_busy_ = false;   // PP stage 2
+  std::deque<std::shared_ptr<Running>> stage2_queue_;
+
+  InstanceStats stats_;
+};
+
+}  // namespace prefillonly
+
+#endif  // SRC_ENGINE_INSTANCE_H_

@@ -1,0 +1,108 @@
+#include "src/gpu/cost_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace prefillonly {
+
+CostModel::CostModel(LlmSpec llm, GpuSpec gpu, CostModelConfig config)
+    : llm_(std::move(llm)), gpu_(std::move(gpu)), config_(config) {}
+
+double CostModel::LinearPeakFlops() const {
+  return llm_.weight_bytes_per_param == 1 ? gpu_.flops_fp8 : gpu_.flops_bf16;
+}
+
+double CostModel::LinearFlops(int64_t n_new) const {
+  return 2.0 * static_cast<double>(n_new) * static_cast<double>(llm_.linear_params_total());
+}
+
+double CostModel::AttentionFlops(int64_t n_new, int64_t n_cached) const {
+  // Each new token i attends to n_cached + i + 1 keys; QK^T plus AV costs
+  // 4 * head_dim FLOPs per (query head, key).
+  const double n = static_cast<double>(n_new);
+  const double keys = n * static_cast<double>(n_cached) + n * (n + 1.0) / 2.0;
+  return 4.0 * static_cast<double>(llm_.head_dim) * static_cast<double>(llm_.n_heads) *
+         static_cast<double>(llm_.n_layers) * keys;
+}
+
+double CostModel::ComputeTime(int64_t n_new, int64_t n_cached, PassStrategy strategy,
+                              int64_t chunk, double layer_fraction,
+                              double tensor_fraction) const {
+  const double linear_flops = LinearFlops(n_new) * layer_fraction * tensor_fraction;
+  const double attn_flops =
+      AttentionFlops(n_new, n_cached) * layer_fraction * tensor_fraction;
+
+  const bool chunked_attn = strategy == PassStrategy::kChunkedPrefill;
+  const double attn_eff = chunked_attn ? config_.eff_attn_chunked : config_.eff_attn;
+  double t = linear_flops / (LinearPeakFlops() * config_.eff_linear) +
+             attn_flops / (gpu_.flops_bf16 * attn_eff);
+
+  if (strategy != PassStrategy::kStandard && chunk > 0) {
+    const double n_chunks = std::ceil(static_cast<double>(n_new) / static_cast<double>(chunk));
+    const double per_chunk = strategy == PassStrategy::kHybrid
+                                 ? config_.hybrid_chunk_overhead_s
+                                 : config_.chunk_overhead_s;
+    t += n_chunks * static_cast<double>(llm_.n_layers) * layer_fraction * per_chunk;
+  }
+  return t;
+}
+
+double CostModel::PrefillTime(int64_t n_new, int64_t n_cached, PassStrategy strategy,
+                              int64_t chunk) const {
+  assert(n_new > 0);
+  const double compute = ComputeTime(n_new, n_cached, strategy, chunk, 1.0, 1.0);
+  const double weight_sweep = llm_.weight_bytes() / gpu_.hbm_bandwidth;
+  return std::max(compute, weight_sweep) + config_.pass_overhead_s;
+}
+
+double CostModel::TensorParallelTime(int64_t n_new, int64_t n_cached, int degree,
+                                     const LinkSpec& link, PassStrategy strategy,
+                                     int64_t chunk) const {
+  assert(degree >= 1);
+  const double compute =
+      ComputeTime(n_new, n_cached, strategy, chunk, 1.0, 1.0 / degree);
+  const double weight_sweep = llm_.weight_bytes() / degree / gpu_.hbm_bandwidth;
+  // Two all-reduces per layer (after attention and after the MLP), each
+  // moving the full hidden activation of the new tokens. Ring all-reduce
+  // over d GPUs moves 2*(d-1)/d of the buffer per GPU.
+  const double buffer =
+      static_cast<double>(n_new) * static_cast<double>(llm_.hidden) * llm_.act_bytes;
+  const double ring_factor = 2.0 * (degree - 1) / degree;
+  const double comm =
+      2.0 * static_cast<double>(llm_.n_layers) *
+      (buffer * ring_factor / link.bandwidth + link.latency_s + config_.allreduce_latency_s);
+  // The paper observes GPUs idle during all-reduce: communication is not
+  // overlapped with compute.
+  return std::max(compute, weight_sweep) + comm + config_.pass_overhead_s;
+}
+
+double CostModel::PipelineStageTime(int64_t n_new, int64_t n_cached, int degree,
+                                    const LinkSpec& link, PassStrategy strategy,
+                                    int64_t chunk) const {
+  assert(degree >= 1);
+  const double compute =
+      ComputeTime(n_new, n_cached, strategy, chunk, 1.0 / degree, 1.0);
+  const double weight_sweep = llm_.weight_bytes() / degree / gpu_.hbm_bandwidth;
+  // Hand the hidden activations of all new tokens to the next stage.
+  const double handoff =
+      static_cast<double>(n_new) * static_cast<double>(llm_.hidden) * llm_.act_bytes /
+          link.bandwidth +
+      config_.stage_handoff_s;
+  return (std::max(compute, weight_sweep) + handoff +
+          config_.pass_overhead_s / degree) /
+         config_.pp_efficiency;
+}
+
+double CostModel::DecodeStepTime(int batch) const {
+  assert(batch >= 1);
+  // One token per sequence: a full weight sweep (memory-bound) or the
+  // batched matmul FLOPs, whichever dominates.
+  const double compute = 2.0 * static_cast<double>(llm_.linear_params_total()) *
+                         static_cast<double>(batch) /
+                         (LinearPeakFlops() * config_.eff_linear);
+  const double weight_sweep = llm_.weight_bytes() / gpu_.hbm_bandwidth;
+  return std::max(compute, weight_sweep) + config_.pass_overhead_s / 4.0;
+}
+
+}  // namespace prefillonly

@@ -1,0 +1,93 @@
+// Roofline execution-time model for prefill passes.
+//
+// Time = max(compute, weight-sweep memory time) + fixed overheads, where
+// compute splits into linear-layer FLOPs (run at the matmul efficiency of
+// the weight dtype) and attention FLOPs (bf16, with a degraded efficiency
+// when the attention kernel is chunked — the §2.5 "chunked prefill reduces
+// attention kernel performance" effect, calibrated so a 20k-token request
+// chunked at 512 loses ~14% end-to-end throughput).
+//
+// Tensor parallelism adds per-layer all-reduce time over the interconnect
+// (the reason TP throughput lags even with NVLink, Fig. 8); pipeline
+// parallelism is exposed as a per-stage time that the discrete-event
+// simulator chains, so pipeline bubbles emerge from the queueing model
+// rather than from a baked-in constant.
+//
+// Prefix caching enters as `n_cached`: cached tokens skip their linear
+// FLOPs entirely and their attention query FLOPs (they are still attended
+// to as keys) — which is exactly why JCT depends on the cache state and
+// must be continuously recalibrated (§6.3).
+#ifndef SRC_GPU_COST_MODEL_H_
+#define SRC_GPU_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "src/gpu/activation_model.h"
+#include "src/gpu/specs.h"
+
+namespace prefillonly {
+
+struct CostModelConfig {
+  double eff_linear = 0.55;        // achieved fraction of peak matmul FLOPs
+  double eff_attn = 0.40;          // flash-attention efficiency, unchunked
+  // Chunked attention kernel efficiency: calibrated so chunking a
+  // 20k-token request at 512 costs ~14% end-to-end (§2.5).
+  double eff_attn_chunked = 0.29;
+  double chunk_overhead_s = 30e-6;    // per chunk per layer (launches, reads)
+  double hybrid_chunk_overhead_s = 3e-6;  // linear-only chunking is cheap
+  double pass_overhead_s = 0.004;  // scheduler + tokenizer + launch per pass
+  double allreduce_latency_s = 40e-6;  // per collective
+  double stage_handoff_s = 1e-3;   // PP activation transfer bookkeeping
+  // vLLM's pipeline parallelism synchronizes stages at scheduler steps, so
+  // it never reaches ideal pipelining even with balanced stages; observed
+  // scaling efficiency for prefill-heavy work is ~0.75-0.85. Queueing
+  // bubbles from length variance come on top (they emerge in the DES).
+  double pp_efficiency = 0.8;
+};
+
+class CostModel {
+ public:
+  CostModel(LlmSpec llm, GpuSpec gpu, CostModelConfig config = {});
+
+  const LlmSpec& llm() const { return llm_; }
+  const CostModelConfig& config() const { return config_; }
+
+  // FLOP counts (whole model, all layers).
+  double LinearFlops(int64_t n_new) const;
+  double AttentionFlops(int64_t n_new, int64_t n_cached) const;
+
+  // Single-GPU prefill time: PrefillOnly (kHybrid), vanilla vLLM
+  // (kStandard) and the chunked-prefill baseline (kChunkedPrefill).
+  double PrefillTime(int64_t n_new, int64_t n_cached, PassStrategy strategy,
+                     int64_t chunk) const;
+
+  // Tensor-parallel prefill over `degree` GPUs joined by `link`.
+  double TensorParallelTime(int64_t n_new, int64_t n_cached, int degree,
+                            const LinkSpec& link, PassStrategy strategy,
+                            int64_t chunk) const;
+
+  // One pipeline stage (n_layers / degree) plus the activation handoff.
+  // A request's latency is the sum over stages; throughput is set by the
+  // slowest stage, which the simulator models with a queue per stage.
+  double PipelineStageTime(int64_t n_new, int64_t n_cached, int degree,
+                           const LinkSpec& link, PassStrategy strategy,
+                           int64_t chunk) const;
+
+  // One decoding step for a batch of sequences (memory-bound weight sweep).
+  // Used by the prefill-vs-decode microbenchmark (§2.3's 1.5x claim).
+  double DecodeStepTime(int batch) const;
+
+ private:
+  // Compute time for a `layer_fraction` slice of the model.
+  double ComputeTime(int64_t n_new, int64_t n_cached, PassStrategy strategy,
+                     int64_t chunk, double layer_fraction, double tensor_fraction) const;
+  double LinearPeakFlops() const;
+
+  LlmSpec llm_;
+  GpuSpec gpu_;
+  CostModelConfig config_;
+};
+
+}  // namespace prefillonly
+
+#endif  // SRC_GPU_COST_MODEL_H_

@@ -1,0 +1,133 @@
+#include "src/gpu/specs.h"
+
+namespace prefillonly {
+
+namespace {
+constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+constexpr double kTera = 1e12;
+constexpr double kGiga = 1e9;
+}  // namespace
+
+GpuSpec GpuSpec::L4() {
+  return GpuSpec{.name = "L4",
+                 .mem_bytes = 24 * kGiB,
+                 .flops_bf16 = 121 * kTera,
+                 .flops_fp8 = 242 * kTera,
+                 .fp8_compute = true,
+                 .hbm_bandwidth = 300 * kGiga};
+}
+
+GpuSpec GpuSpec::A100_40G() {
+  // A100 has no fp8 tensor cores: fp8-quantized weights are dequantized and
+  // computed in bf16, so fp8 peak == bf16 peak.
+  return GpuSpec{.name = "A100-40G",
+                 .mem_bytes = 40 * kGiB,
+                 .flops_bf16 = 312 * kTera,
+                 .flops_fp8 = 312 * kTera,
+                 .fp8_compute = false,
+                 .hbm_bandwidth = 1555 * kGiga};
+}
+
+GpuSpec GpuSpec::H100_80G() {
+  return GpuSpec{.name = "H100-80G",
+                 .mem_bytes = 80 * kGiB,
+                 .flops_bf16 = 756 * kTera,
+                 .flops_fp8 = 1513 * kTera,
+                 .fp8_compute = true,
+                 .hbm_bandwidth = 2000 * kGiga};
+}
+
+LinkSpec LinkSpec::PcieGen4() {
+  return LinkSpec{.name = "PCIe4", .bandwidth = 25 * kGiga, .latency_s = 30e-6};
+}
+LinkSpec LinkSpec::PcieGen5() {
+  return LinkSpec{.name = "PCIe5", .bandwidth = 50 * kGiga, .latency_s = 25e-6};
+}
+LinkSpec LinkSpec::NvLink() {
+  return LinkSpec{.name = "NVLink", .bandwidth = 450 * kGiga, .latency_s = 10e-6};
+}
+
+int64_t LlmSpec::linear_params_per_layer() const {
+  return hidden * (q_size() + 2 * kv_width())  // fused QKV projection
+         + q_size() * hidden                   // output projection
+         + 2 * hidden * intermediate           // fused gate_up projection
+         + intermediate * hidden;              // down projection
+}
+
+int64_t LlmSpec::total_params() const {
+  return linear_params_total() + 2 * vocab * hidden;  // embedding + LM head
+}
+
+LlmSpec LlmSpec::Llama31_8B() {
+  return LlmSpec{.name = "Llama-3.1-8B",
+                 .n_layers = 32,
+                 .hidden = 4096,
+                 .n_heads = 32,
+                 .n_kv_heads = 8,
+                 .head_dim = 128,
+                 .intermediate = 14336,
+                 .vocab = 128256,
+                 .weight_bytes_per_param = 2};
+}
+
+LlmSpec LlmSpec::Qwen_32B_Fp8() {
+  return LlmSpec{.name = "Qwen-32B-FP8",
+                 .n_layers = 64,
+                 .hidden = 5120,
+                 .n_heads = 40,
+                 .n_kv_heads = 8,
+                 .head_dim = 128,
+                 .intermediate = 27648,
+                 .vocab = 152064,
+                 .weight_bytes_per_param = 1};
+}
+
+LlmSpec LlmSpec::Llama33_70B_Fp8() {
+  return LlmSpec{.name = "Llama-3.3-70B-FP8",
+                 .n_layers = 80,
+                 .hidden = 8192,
+                 .n_heads = 64,
+                 .n_kv_heads = 8,
+                 .head_dim = 128,
+                 .intermediate = 28672,
+                 .vocab = 128256,
+                 .weight_bytes_per_param = 1};
+}
+
+HardwareSetup HardwareSetup::L4_Llama8B() {
+  return HardwareSetup{.name = "L4",
+                       .gpu = GpuSpec::L4(),
+                       .n_gpus = 2,
+                       .link = LinkSpec::PcieGen4(),
+                       .llm = LlmSpec::Llama31_8B()};
+}
+
+HardwareSetup HardwareSetup::A100_Qwen32B() {
+  return HardwareSetup{.name = "A100",
+                       .gpu = GpuSpec::A100_40G(),
+                       .n_gpus = 2,
+                       .link = LinkSpec::PcieGen4(),
+                       .llm = LlmSpec::Qwen_32B_Fp8()};
+}
+
+HardwareSetup HardwareSetup::H100_Llama70B() {
+  return HardwareSetup{.name = "H100 w/o NVLink",
+                       .gpu = GpuSpec::H100_80G(),
+                       .n_gpus = 2,
+                       .link = LinkSpec::PcieGen5(),
+                       .llm = LlmSpec::Llama33_70B_Fp8()};
+}
+
+HardwareSetup HardwareSetup::H100_NvLink_Llama70B() {
+  return HardwareSetup{.name = "H100 w/ NVLink",
+                       .gpu = GpuSpec::H100_80G(),
+                       .n_gpus = 2,
+                       .link = LinkSpec::NvLink(),
+                       .llm = LlmSpec::Llama33_70B_Fp8()};
+}
+
+std::vector<HardwareSetup> HardwareSetup::All() {
+  return {L4_Llama8B(), A100_Qwen32B(), H100_Llama70B(), H100_NvLink_Llama70B()};
+}
+
+}  // namespace prefillonly

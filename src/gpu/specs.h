@@ -1,0 +1,92 @@
+// Hardware and model specifications for the analytic models.
+//
+// Everything here is a public datasheet number (GPU capacity, peak FLOPs,
+// HBM bandwidth, interconnect bandwidth) or a published architecture shape
+// (layer counts, head counts, MLP widths of the three models in the paper's
+// Table 3). The cost and memory models in this directory combine them to
+// reproduce the paper's quantitative evaluation without the hardware.
+#ifndef SRC_GPU_SPECS_H_
+#define SRC_GPU_SPECS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace prefillonly {
+
+struct GpuSpec {
+  std::string name;
+  double mem_bytes = 0;
+  double flops_bf16 = 0;  // dense peak, FLOP/s
+  double flops_fp8 = 0;   // dense peak; == flops_bf16 when fp8 unsupported
+  bool fp8_compute = false;
+  double hbm_bandwidth = 0;  // bytes/s
+
+  static GpuSpec L4();
+  static GpuSpec A100_40G();
+  static GpuSpec H100_80G();
+};
+
+struct LinkSpec {
+  std::string name;
+  double bandwidth = 0;  // effective bytes/s per direction
+  double latency_s = 0;
+
+  static LinkSpec PcieGen4();
+  static LinkSpec PcieGen5();
+  static LinkSpec NvLink();
+};
+
+// Full-size LLM architecture (the paper's Table 3 models). The scaled-down
+// CPU models in src/model mirror these ratios.
+struct LlmSpec {
+  std::string name;
+  int64_t n_layers = 0;
+  int64_t hidden = 0;
+  int64_t n_heads = 0;
+  int64_t n_kv_heads = 0;
+  int64_t head_dim = 0;
+  int64_t intermediate = 0;
+  int64_t vocab = 0;
+  int weight_bytes_per_param = 2;  // 2 = bf16, 1 = fp8
+  int act_bytes = 2;               // activations in bf16
+  int kv_bytes = 2;                // KV cache in fp16
+
+  int64_t q_size() const { return n_heads * head_dim; }
+  int64_t kv_width() const { return n_kv_heads * head_dim; }
+  // K+V bytes per token for one layer / all layers.
+  int64_t kv_bytes_per_token_layer() const { return 2 * kv_width() * kv_bytes; }
+  int64_t kv_bytes_per_token() const { return kv_bytes_per_token_layer() * n_layers; }
+
+  int64_t linear_params_per_layer() const;
+  int64_t linear_params_total() const { return linear_params_per_layer() * n_layers; }
+  int64_t total_params() const;
+  double weight_bytes() const {
+    return static_cast<double>(total_params()) * weight_bytes_per_param;
+  }
+
+  static LlmSpec Llama31_8B();    // bf16
+  static LlmSpec Qwen_32B_Fp8();  // DeepSeek-R1-Distill-Qwen-32B, fp8 weights
+  static LlmSpec Llama33_70B_Fp8();
+};
+
+// One row of the paper's Table 3: GPUs + interconnect + model.
+struct HardwareSetup {
+  std::string name;
+  GpuSpec gpu;
+  int n_gpus = 2;
+  LinkSpec link;
+  LlmSpec llm;
+
+  static HardwareSetup L4_Llama8B();
+  static HardwareSetup A100_Qwen32B();
+  static HardwareSetup H100_Llama70B();          // PCIe interconnect
+  static HardwareSetup H100_NvLink_Llama70B();
+
+  // All four, in the paper's order.
+  static std::vector<HardwareSetup> All();
+};
+
+}  // namespace prefillonly
+
+#endif  // SRC_GPU_SPECS_H_

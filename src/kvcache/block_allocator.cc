@@ -1,0 +1,50 @@
+#include "src/kvcache/block_allocator.h"
+
+#include <cassert>
+
+namespace prefillonly {
+
+BlockAllocator::BlockAllocator(int64_t n_blocks) {
+  assert(n_blocks >= 0);
+  refcounts_.assign(static_cast<size_t>(n_blocks), 0);
+  free_list_.reserve(static_cast<size_t>(n_blocks));
+  // Hand out low ids first: free list is filled in reverse.
+  for (int64_t i = n_blocks - 1; i >= 0; --i) {
+    free_list_.push_back(static_cast<BlockId>(i));
+  }
+}
+
+Result<BlockId> BlockAllocator::Allocate() {
+  if (free_list_.empty()) {
+    return Status::ResourceExhausted("KV block pool exhausted");
+  }
+  const BlockId id = free_list_.back();
+  free_list_.pop_back();
+  refcounts_[static_cast<size_t>(id)] = 1;
+  return id;
+}
+
+void BlockAllocator::IncRef(BlockId id) {
+  assert(id >= 0 && static_cast<size_t>(id) < refcounts_.size());
+  assert(refcounts_[static_cast<size_t>(id)] > 0);
+  ++refcounts_[static_cast<size_t>(id)];
+}
+
+bool BlockAllocator::DecRef(BlockId id) {
+  assert(id >= 0 && static_cast<size_t>(id) < refcounts_.size());
+  int32_t& count = refcounts_[static_cast<size_t>(id)];
+  assert(count > 0);
+  --count;
+  if (count == 0) {
+    free_list_.push_back(id);
+    return true;
+  }
+  return false;
+}
+
+int32_t BlockAllocator::RefCount(BlockId id) const {
+  assert(id >= 0 && static_cast<size_t>(id) < refcounts_.size());
+  return refcounts_[static_cast<size_t>(id)];
+}
+
+}  // namespace prefillonly

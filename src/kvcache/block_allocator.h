@@ -1,0 +1,43 @@
+// Fixed-pool block allocator with reference counting.
+//
+// Models vLLM's PagedAttention block pool: GPU KV memory is carved into
+// fixed-size blocks identified by small integer ids; blocks are shared
+// between sequences via reference counts (prefix caching holds one
+// reference, every in-flight request using a block holds another).
+#ifndef SRC_KVCACHE_BLOCK_ALLOCATOR_H_
+#define SRC_KVCACHE_BLOCK_ALLOCATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace prefillonly {
+
+using BlockId = int32_t;
+
+class BlockAllocator {
+ public:
+  explicit BlockAllocator(int64_t n_blocks);
+
+  // Allocates a block with refcount 1; kResourceExhausted when the pool is
+  // empty.
+  Result<BlockId> Allocate();
+
+  void IncRef(BlockId id);
+  // Drops one reference; frees and returns true when it was the last.
+  bool DecRef(BlockId id);
+
+  int32_t RefCount(BlockId id) const;
+  int64_t total_blocks() const { return static_cast<int64_t>(refcounts_.size()); }
+  int64_t free_blocks() const { return static_cast<int64_t>(free_list_.size()); }
+  int64_t used_blocks() const { return total_blocks() - free_blocks(); }
+
+ private:
+  std::vector<int32_t> refcounts_;
+  std::vector<BlockId> free_list_;
+};
+
+}  // namespace prefillonly
+
+#endif  // SRC_KVCACHE_BLOCK_ALLOCATOR_H_

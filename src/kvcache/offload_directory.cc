@@ -1,0 +1,67 @@
+#include "src/kvcache/offload_directory.h"
+
+namespace prefillonly {
+
+uint64_t OffloadDirectory::Insert(uint64_t hash, int64_t depth) {
+  if (capacity_blocks_ <= 0) {
+    return 0;
+  }
+  const uint64_t stamp = NextStamp();
+  auto [it, inserted] = entries_.try_emplace(hash, Entry{depth, stamp});
+  if (!inserted) {
+    it->second.last_use = stamp;
+    return 0;
+  }
+  ++insertions_;
+  if (static_cast<int64_t>(entries_.size()) <= capacity_blocks_) {
+    return 0;
+  }
+  // LRU victim, deepest first on ties (same policy as the GPU tier).
+  auto victim = entries_.end();
+  for (auto e = entries_.begin(); e != entries_.end(); ++e) {
+    if (e->first == hash) {
+      continue;  // never evict what we just inserted
+    }
+    if (victim == entries_.end() || e->second.last_use < victim->second.last_use ||
+        (e->second.last_use == victim->second.last_use &&
+         e->second.depth > victim->second.depth)) {
+      victim = e;
+    }
+  }
+  if (victim == entries_.end()) {
+    return 0;
+  }
+  const uint64_t evicted = victim->first;
+  entries_.erase(victim);
+  ++evictions_;
+  return evicted;
+}
+
+int64_t OffloadDirectory::MatchContinuation(std::span<const uint64_t> chain,
+                                            int64_t start_index) {
+  const uint64_t stamp = NextStamp();
+  int64_t matched = 0;
+  for (size_t i = static_cast<size_t>(start_index); i < chain.size(); ++i) {
+    auto it = entries_.find(chain[i]);
+    if (it == entries_.end()) {
+      break;
+    }
+    it->second.last_use = stamp;
+    ++matched;
+  }
+  return matched;
+}
+
+int64_t OffloadDirectory::PeekContinuation(std::span<const uint64_t> chain,
+                                           int64_t start_index) const {
+  int64_t matched = 0;
+  for (size_t i = static_cast<size_t>(start_index); i < chain.size(); ++i) {
+    if (!entries_.contains(chain[i])) {
+      break;
+    }
+    ++matched;
+  }
+  return matched;
+}
+
+}  // namespace prefillonly

@@ -1,0 +1,155 @@
+#include "src/kvcache/prefix_cache.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/logging.h"
+
+namespace prefillonly {
+
+PrefixCache::PrefixCache(int block_size_tokens, int64_t capacity_blocks)
+    : block_size_(block_size_tokens), allocator_(capacity_blocks) {
+  assert(block_size_tokens > 0);
+}
+
+int64_t PrefixCache::MatchTokens(std::span<const uint64_t> chain) const {
+  int64_t matched = 0;
+  for (uint64_t hash : chain) {
+    if (!entries_.contains(hash)) {
+      break;
+    }
+    ++matched;
+  }
+  return matched * block_size_;
+}
+
+bool PrefixCache::EvictUntilFree(int64_t needed) {
+  while (allocator_.free_blocks() < needed) {
+    // LRU victim; deeper blocks first so a chain's suffix dies before its
+    // prefix (the prefix is the shareable part).
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (allocator_.RefCount(it->second.block) != 1) {
+        continue;  // pinned by an in-flight request
+      }
+      if (victim == entries_.end() ||
+          it->second.last_use < victim->second.last_use ||
+          (it->second.last_use == victim->second.last_use &&
+           it->second.depth > victim->second.depth)) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) {
+      return false;
+    }
+    if (eviction_listener_) {
+      eviction_listener_(victim->first, victim->second.block, victim->second.depth);
+    }
+    const bool freed = allocator_.DecRef(victim->second.block);
+    assert(freed);
+    (void)freed;
+    entries_.erase(victim);
+    ++stats_.evictions;
+  }
+  return true;
+}
+
+Result<Acquisition> PrefixCache::Acquire(std::span<const uint64_t> chain,
+                                         int64_t need_blocks) {
+  if (need_blocks < static_cast<int64_t>(chain.size())) {
+    return Status::InvalidArgument("need_blocks smaller than the hash chain");
+  }
+  ++stats_.lookups;
+  stats_.lookup_tokens += static_cast<int64_t>(chain.size()) * block_size_;
+
+  Acquisition acq;
+  acq.chain.assign(chain.begin(), chain.end());
+
+  // Pin the cached prefix so eviction (below) cannot take it.
+  const uint64_t stamp = NextStamp();
+  for (uint64_t hash : chain) {
+    auto it = entries_.find(hash);
+    if (it == entries_.end()) {
+      break;
+    }
+    allocator_.IncRef(it->second.block);
+    it->second.last_use = stamp;
+    acq.blocks.push_back(it->second.block);
+    ++acq.matched_blocks;
+  }
+  stats_.hit_tokens += acq.matched_blocks * block_size_;
+
+  const int64_t fresh_needed = need_blocks - acq.matched_blocks;
+  if (!EvictUntilFree(fresh_needed)) {
+    for (int64_t i = 0; i < acq.matched_blocks; ++i) {
+      allocator_.DecRef(acq.blocks[static_cast<size_t>(i)]);
+    }
+    ++stats_.failed_acquires;
+    return Status::ResourceExhausted("request KV does not fit in the block pool");
+  }
+  for (int64_t i = 0; i < fresh_needed; ++i) {
+    auto block = allocator_.Allocate();
+    assert(block.ok());
+    acq.blocks.push_back(block.value());
+  }
+  acq.active = true;
+  return acq;
+}
+
+std::vector<std::pair<int64_t, BlockId>> PrefixCache::Release(Acquisition& acq,
+                                                              int64_t cache_blocks) {
+  assert(acq.active);
+  std::vector<std::pair<int64_t, BlockId>> inserted_blocks;
+  const auto chain_len = static_cast<int64_t>(acq.chain.size());
+  cache_blocks = std::clamp<int64_t>(cache_blocks, 0, chain_len);
+  const uint64_t stamp = NextStamp();
+
+  for (int64_t i = 0; i < static_cast<int64_t>(acq.blocks.size()); ++i) {
+    const BlockId block = acq.blocks[static_cast<size_t>(i)];
+    if (i < acq.matched_blocks) {
+      // Was cached before we pinned it; drop only our pin.
+      allocator_.DecRef(block);
+      continue;
+    }
+    if (i < cache_blocks) {
+      // Freshly computed block that falls inside the retained prefix:
+      // hand ownership to the cache (suffix KV discarding caps
+      // cache_blocks for PrefillOnly; baselines cache everything).
+      const uint64_t hash = acq.chain[static_cast<size_t>(i)];
+      auto [it, inserted] = entries_.try_emplace(hash, Entry{block, i, stamp});
+      if (inserted) {
+        ++stats_.insertions;
+        inserted_blocks.emplace_back(i, block);
+      } else {
+        // A concurrent request already cached this prefix block; ours is a
+        // duplicate.
+        allocator_.DecRef(block);
+      }
+      continue;
+    }
+    // Suffix beyond the retained prefix, or the trailing partial block:
+    // discarded.
+    allocator_.DecRef(block);
+  }
+  acq.blocks.clear();
+  acq.matched_blocks = 0;
+  acq.active = false;
+  return inserted_blocks;
+}
+
+void PrefixCache::Clear() {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (allocator_.RefCount(it->second.block) == 1) {
+      if (eviction_listener_) {
+        eviction_listener_(it->first, it->second.block, it->second.depth);
+      }
+      allocator_.DecRef(it->second.block);
+      ++stats_.evictions;
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace prefillonly

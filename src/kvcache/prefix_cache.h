@@ -1,0 +1,133 @@
+// Block-granular prefix cache over a fixed KV block pool.
+//
+// The cache is keyed by chain hashes (src/common/hash.h): block i of a
+// token sequence is identified by the hash of blocks 0..i, so equal hashes
+// mean equal prefixes. This is the prefix-caching scheme of vLLM/SGLang
+// that the paper builds on (§2.1) and that continuous JCT calibration
+// queries before every scheduling decision (§6.3).
+//
+// Lifecycle of a request against the cache:
+//   1. MatchTokens(chain)          — how much prefix is already cached
+//                                    (what the JCT calibrator calls).
+//   2. Acquire(chain, need_blocks) — pin the matched prefix and allocate
+//                                    the remaining blocks from the pool,
+//                                    evicting unpinned LRU entries; fails
+//                                    with kResourceExhausted when the
+//                                    request cannot fit (the Table 2 "x").
+//   3. Release(acq, cache_blocks)  — unpin; convert the first
+//                                    `cache_blocks` of the request into
+//                                    cached entries (for PrefillOnly this
+//                                    is the retained prefix — suffix KV
+//                                    cache discarding caps it); free the
+//                                    rest.
+//
+// Eviction is LRU with deepest-blocks-first tie-breaking, so a chain's
+// suffix is evicted before its prefix. Orphaned descendants (child cached,
+// parent evicted) are legal: they are unreachable by Match and age out.
+#ifndef SRC_KVCACHE_PREFIX_CACHE_H_
+#define SRC_KVCACHE_PREFIX_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/kvcache/block_allocator.h"
+
+namespace prefillonly {
+
+struct PrefixCacheStats {
+  int64_t lookups = 0;
+  int64_t hit_tokens = 0;     // total tokens served from cache
+  int64_t lookup_tokens = 0;  // total tokens looked up
+  int64_t evictions = 0;
+  int64_t insertions = 0;
+  int64_t failed_acquires = 0;
+
+  double HitRate() const {
+    return lookup_tokens == 0
+               ? 0.0
+               : static_cast<double>(hit_tokens) / static_cast<double>(lookup_tokens);
+  }
+};
+
+// Handle for blocks held by an in-flight request.
+struct Acquisition {
+  std::vector<uint64_t> chain;   // full chain of the request (copied)
+  int64_t matched_blocks = 0;    // prefix blocks served from cache (pinned)
+  std::vector<BlockId> blocks;   // all block ids: matched first, then fresh
+  bool active = false;
+};
+
+class PrefixCache {
+ public:
+  // `capacity_blocks` is the whole pool: cached + in-flight blocks share it,
+  // exactly like KV memory on a GPU.
+  PrefixCache(int block_size_tokens, int64_t capacity_blocks);
+
+  int block_size() const { return block_size_; }
+  int64_t capacity_blocks() const { return allocator_.total_blocks(); }
+  int64_t cached_blocks() const { return static_cast<int64_t>(entries_.size()); }
+  int64_t free_blocks() const { return allocator_.free_blocks(); }
+  const PrefixCacheStats& stats() const { return stats_; }
+
+  // Longest cached prefix, in tokens (block granularity). Does not touch
+  // LRU state — safe to call speculatively from the scheduler.
+  int64_t MatchTokens(std::span<const uint64_t> chain) const;
+
+  // Pins the matched prefix of `chain` and allocates `need_blocks` total
+  // blocks for the request (matched + fresh), evicting unpinned entries
+  // (LRU, deepest first) as necessary. `need_blocks` may exceed the chain
+  // length (trailing partial block). On failure nothing is held.
+  Result<Acquisition> Acquire(std::span<const uint64_t> chain, int64_t need_blocks);
+
+  // Releases an acquisition: unpins matched blocks and caches the first
+  // `cache_blocks` chain blocks of the request (including already-matched
+  // ones); frees all other fresh blocks. `cache_blocks` beyond the chain
+  // length is clamped. Returns the (chain index, block id) pairs newly
+  // inserted into the cache — callers that attach real KV data to blocks
+  // (src/core) populate exactly those.
+  std::vector<std::pair<int64_t, BlockId>> Release(Acquisition& acq,
+                                                   int64_t cache_blocks);
+
+  // Invoked whenever a cached block is dropped (eviction or Clear), so a
+  // data layer keyed by block id can drop the payload too.
+  void SetEvictionListener(
+      std::function<void(uint64_t hash, BlockId block, int64_t depth)> listener) {
+    eviction_listener_ = std::move(listener);
+  }
+
+  // Drops every unpinned cached entry (used by failure-injection tests).
+  void Clear();
+
+  // Advances the logical clock used for LRU stamping. The simulator calls
+  // this with event timestamps so recency follows simulated time.
+  void SetClock(uint64_t now) { clock_ = now; }
+
+ private:
+  struct Entry {
+    BlockId block;
+    int64_t depth;      // index within its chain
+    uint64_t last_use;  // LRU stamp
+  };
+
+  // Evicts unpinned entries until at least `needed` blocks are free.
+  // Returns false if impossible.
+  bool EvictUntilFree(int64_t needed);
+  uint64_t NextStamp() { return (clock_ != 0) ? clock_ : ++auto_stamp_; }
+
+  int block_size_;
+  BlockAllocator allocator_;
+  std::unordered_map<uint64_t, Entry> entries_;
+  PrefixCacheStats stats_;
+  uint64_t clock_ = 0;
+  uint64_t auto_stamp_ = 0;
+  std::function<void(uint64_t, BlockId, int64_t)> eviction_listener_;
+};
+
+}  // namespace prefillonly
+
+#endif  // SRC_KVCACHE_PREFIX_CACHE_H_

@@ -1,0 +1,108 @@
+#include "src/metrics/regression.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+
+namespace prefillonly {
+
+double LinearModel::Predict(const std::vector<double>& features) const {
+  assert(features.size() == coefficients.size());
+  double y = intercept;
+  for (size_t i = 0; i < coefficients.size(); ++i) {
+    y += coefficients[i] * features[i];
+  }
+  return y;
+}
+
+Result<LinearModel> FitLinear(const std::vector<std::vector<double>>& rows,
+                              const std::vector<double>& y) {
+  if (rows.empty() || rows.size() != y.size()) {
+    return Status::InvalidArgument("regression needs matching, non-empty X and y");
+  }
+  const size_t n_features = rows[0].size();
+  const size_t dim = n_features + 1;  // + intercept column
+  if (rows.size() < dim) {
+    return Status::InvalidArgument("under-determined system");
+  }
+  for (const auto& row : rows) {
+    if (row.size() != n_features) {
+      return Status::InvalidArgument("ragged feature rows");
+    }
+  }
+
+  // Normal equations: (A^T A) beta = A^T y with A = [X | 1].
+  std::vector<std::vector<double>> ata(dim, std::vector<double>(dim, 0.0));
+  std::vector<double> aty(dim, 0.0);
+  for (size_t r = 0; r < rows.size(); ++r) {
+    std::vector<double> a(dim);
+    for (size_t j = 0; j < n_features; ++j) {
+      a[j] = rows[r][j];
+    }
+    a[n_features] = 1.0;
+    for (size_t i = 0; i < dim; ++i) {
+      for (size_t j = 0; j < dim; ++j) {
+        ata[i][j] += a[i] * a[j];
+      }
+      aty[i] += a[i] * y[r];
+    }
+  }
+
+  // Gaussian elimination with partial pivoting.
+  for (size_t col = 0; col < dim; ++col) {
+    size_t pivot = col;
+    for (size_t r = col + 1; r < dim; ++r) {
+      if (std::abs(ata[r][col]) > std::abs(ata[pivot][col])) {
+        pivot = r;
+      }
+    }
+    if (std::abs(ata[pivot][col]) < 1e-12) {
+      return Status::InvalidArgument("singular design matrix");
+    }
+    std::swap(ata[col], ata[pivot]);
+    std::swap(aty[col], aty[pivot]);
+    for (size_t r = 0; r < dim; ++r) {
+      if (r == col) {
+        continue;
+      }
+      const double factor = ata[r][col] / ata[col][col];
+      for (size_t c = col; c < dim; ++c) {
+        ata[r][c] -= factor * ata[col][c];
+      }
+      aty[r] -= factor * aty[col];
+    }
+  }
+
+  LinearModel model;
+  model.coefficients.resize(n_features);
+  for (size_t i = 0; i < n_features; ++i) {
+    model.coefficients[i] = aty[i] / ata[i][i];
+  }
+  model.intercept = aty[n_features] / ata[n_features][n_features];
+  return model;
+}
+
+double RSquared(const LinearModel& model, const std::vector<std::vector<double>>& rows,
+                const std::vector<double>& y) {
+  if (rows.empty() || rows.size() != y.size()) {
+    return 0.0;
+  }
+  double mean_y = 0.0;
+  for (double v : y) {
+    mean_y += v;
+  }
+  mean_y /= static_cast<double>(y.size());
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const double pred = model.Predict(rows[i]);
+    ss_res += (y[i] - pred) * (y[i] - pred);
+    ss_tot += (y[i] - mean_y) * (y[i] - mean_y);
+  }
+  if (ss_tot <= 0.0) {
+    return ss_res <= 1e-12 ? 1.0 : 0.0;
+  }
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace prefillonly

@@ -1,0 +1,36 @@
+// Ordinary least squares for small feature counts.
+//
+// The JCT profiler (paper §6.3) fits a linear model
+//   jct ~ a * n_input + b * n_cached + c
+// over a profiled grid. Feature dimensionality is tiny, so the normal
+// equations are solved directly with Gaussian elimination.
+#ifndef SRC_METRICS_REGRESSION_H_
+#define SRC_METRICS_REGRESSION_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace prefillonly {
+
+struct LinearModel {
+  // coefficients[i] multiplies feature i; intercept is added.
+  std::vector<double> coefficients;
+  double intercept = 0.0;
+
+  double Predict(const std::vector<double>& features) const;
+};
+
+// Fits y ~ X * beta + intercept by OLS. Each row of `rows` is one sample's
+// feature vector; all rows must have the same size. Fails when the system
+// is singular or under-determined.
+Result<LinearModel> FitLinear(const std::vector<std::vector<double>>& rows,
+                              const std::vector<double>& y);
+
+// Coefficient of determination of `model` on the given data (1 = perfect).
+double RSquared(const LinearModel& model, const std::vector<std::vector<double>>& rows,
+                const std::vector<double>& y);
+
+}  // namespace prefillonly
+
+#endif  // SRC_METRICS_REGRESSION_H_

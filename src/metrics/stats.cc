@@ -1,0 +1,118 @@
+#include "src/metrics/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace prefillonly {
+
+void OnlineStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double SampleSet::Mean() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double s : samples_) {
+    sum += s;
+  }
+  return sum / static_cast<double>(samples_.size());
+}
+
+void SampleSet::EnsureSorted() const {
+  if (sorted_.size() != samples_.size()) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+  }
+}
+
+double SampleSet::Percentile(double p) const {
+  assert(!samples_.empty());
+  EnsureSorted();
+  if (sorted_.size() == 1) {
+    return sorted_[0];
+  }
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+double SampleSet::Max() const {
+  assert(!samples_.empty());
+  EnsureSorted();
+  return sorted_.back();
+}
+
+std::vector<std::pair<double, double>> SampleSet::Cdf(int points) const {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty() || points <= 0) {
+    return out;
+  }
+  EnsureSorted();
+  out.reserve(static_cast<size_t>(points));
+  for (int i = 1; i <= points; ++i) {
+    const double frac = static_cast<double>(i) / points;
+    const auto idx = static_cast<size_t>(
+        std::min<double>(frac * static_cast<double>(sorted_.size()),
+                         static_cast<double>(sorted_.size())) -
+        1.0 + 0.5);
+    const size_t clamped_idx = std::min(idx, sorted_.size() - 1);
+    out.emplace_back(sorted_[clamped_idx], frac);
+  }
+  return out;
+}
+
+double PearsonCorrelation(const std::vector<double>& x, const std::vector<double>& y) {
+  if (x.size() != y.size() || x.size() < 2) {
+    return 0.0;
+  }
+  const auto n = static_cast<double>(x.size());
+  double mx = 0.0;
+  double my = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= n;
+  my /= n;
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) {
+    return 0.0;
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace prefillonly

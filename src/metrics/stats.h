@@ -1,0 +1,72 @@
+// Statistics helpers: streaming moments, exact percentiles, CDFs.
+//
+// The evaluation reports mean latency, P99 latency, throughput and latency
+// CDFs (Figs. 6, 7, 11). Sample counts per run are small (hundreds to a few
+// thousand requests), so percentiles are computed exactly from the sorted
+// sample rather than with a sketch.
+#ifndef SRC_METRICS_STATS_H_
+#define SRC_METRICS_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace prefillonly {
+
+// Welford's online mean/variance.
+class OnlineStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Collects raw samples; computes exact order statistics on demand.
+class SampleSet {
+ public:
+  void Add(double x) { samples_.push_back(x); }
+  void Reserve(size_t n) { samples_.reserve(n); }
+
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double Mean() const;
+  // Percentile by linear interpolation between closest ranks; p in [0, 100].
+  // Precondition: at least one sample.
+  double Percentile(double p) const;
+  double P50() const { return Percentile(50.0); }
+  double P99() const { return Percentile(99.0); }
+  double Max() const;
+
+  // Empirical CDF evaluated at `points` evenly spaced sample quantiles;
+  // returns (value, cumulative_fraction) pairs suitable for plotting Fig. 11.
+  std::vector<std::pair<double, double>> Cdf(int points = 100) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+};
+
+// Pearson correlation coefficient of two equal-length series.
+// Returns 0 when either series is constant or lengths mismatch.
+double PearsonCorrelation(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace prefillonly
+
+#endif  // SRC_METRICS_STATS_H_

@@ -1,0 +1,60 @@
+#include "src/model/config.h"
+
+namespace prefillonly {
+
+int64_t ModelConfig::ApproxParams() const {
+  const int64_t per_layer = hidden_size * q_size()          // wq
+                            + 2 * hidden_size * kv_size()   // wk, wv
+                            + q_size() * hidden_size        // wo
+                            + 2 * hidden_size * intermediate_size  // gate_up
+                            + intermediate_size * hidden_size;     // down
+  return n_layers * per_layer + 2 * vocab_size * hidden_size;  // embed + lm head
+}
+
+bool ModelConfig::Valid() const {
+  if (vocab_size <= 0 || hidden_size <= 0 || n_layers <= 0 || n_heads <= 0 ||
+      n_kv_heads <= 0 || head_dim <= 0 || intermediate_size <= 0) {
+    return false;
+  }
+  if (n_heads % n_kv_heads != 0) {
+    return false;
+  }
+  if (head_dim % 2 != 0) {  // RoPE needs even head_dim
+    return false;
+  }
+  return true;
+}
+
+ModelConfig ModelConfig::Tiny() {
+  ModelConfig c;
+  c.name = "tiny";
+  return c;
+}
+
+ModelConfig ModelConfig::Small() {
+  ModelConfig c;
+  c.name = "small";
+  c.vocab_size = 512;
+  c.hidden_size = 128;
+  c.n_layers = 4;
+  c.n_heads = 8;
+  c.n_kv_heads = 2;
+  c.head_dim = 16;
+  c.intermediate_size = 448;
+  return c;
+}
+
+ModelConfig ModelConfig::Medium() {
+  ModelConfig c;
+  c.name = "medium";
+  c.vocab_size = 1024;
+  c.hidden_size = 256;
+  c.n_layers = 6;
+  c.n_heads = 8;
+  c.n_kv_heads = 2;
+  c.head_dim = 32;
+  c.intermediate_size = 896;
+  return c;
+}
+
+}  // namespace prefillonly

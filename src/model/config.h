@@ -1,0 +1,56 @@
+// Transformer architecture configuration.
+//
+// The shapes follow the Llama family: RMSNorm, rotary embeddings,
+// grouped-query attention, SwiGLU MLP with a fused gate_up projection.
+// Presets are scaled-down (the real CPU engine runs these); the full-size
+// production shapes (Llama-3.1-8B etc.) live in src/gpu/specs.h where they
+// feed the analytic cost and memory models.
+#ifndef SRC_MODEL_CONFIG_H_
+#define SRC_MODEL_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace prefillonly {
+
+struct ModelConfig {
+  std::string name = "tiny";
+  int64_t vocab_size = 256;
+  int64_t hidden_size = 64;
+  int64_t n_layers = 2;
+  int64_t n_heads = 4;
+  int64_t n_kv_heads = 2;
+  int64_t head_dim = 16;
+  int64_t intermediate_size = 224;  // 3.5x hidden, like Llama
+  float rope_theta = 10000.0f;
+  float rms_eps = 1e-5f;
+
+  int64_t q_size() const { return n_heads * head_dim; }
+  int64_t kv_size() const { return n_kv_heads * head_dim; }
+  // Bytes of K+V per token per layer at float32 (CPU engine precision).
+  int64_t kv_bytes_per_token_layer() const {
+    return 2 * kv_size() * static_cast<int64_t>(sizeof(float));
+  }
+  int64_t kv_bytes_per_token() const { return kv_bytes_per_token_layer() * n_layers; }
+
+  // Approximate parameter count of all linear layers (used for sanity
+  // checks; the exact count is LlamaModel::weight_bytes()).
+  int64_t ApproxParams() const;
+
+  // Validation for user-supplied configs.
+  bool Valid() const;
+
+  // 2-layer, hidden-64 model for unit tests (fast even in debug builds).
+  static ModelConfig Tiny();
+  // 4-layer, hidden-128 model for examples and measured benchmarks; keeps
+  // the Llama ratios (intermediate = 3.5x hidden, 4 Q heads per KV head) so
+  // the MLP-dominates-memory effect is visible.
+  static ModelConfig Small();
+  // 6-layer, hidden-256: the "scaled Llama" used by the measured memory
+  // trace benchmark (Fig. 3 analogue).
+  static ModelConfig Medium();
+};
+
+}  // namespace prefillonly
+
+#endif  // SRC_MODEL_CONFIG_H_

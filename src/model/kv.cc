@@ -1,0 +1,115 @@
+#include "src/model/kv.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace prefillonly {
+
+namespace {
+
+// Copies the first `rows` rows of `src` into `dst` starting at dst row
+// `dst_row`. Both must share the column width.
+void CopyRows(const Tensor& src, Tensor& dst, int64_t rows, int64_t dst_row) {
+  assert(src.cols() == dst.cols());
+  assert(rows <= src.rows());
+  assert(dst_row + rows <= dst.rows());
+  std::memcpy(dst.row(dst_row), src.data(),
+              static_cast<size_t>(rows) * src.cols() * sizeof(float));
+}
+
+}  // namespace
+
+KvCacheData ConcatKv(const KvCacheData* prefix, const KvCacheData& fresh,
+                     int64_t take_new, TrackingAllocator& alloc) {
+  assert(take_new >= 0 && take_new <= fresh.n_tokens);
+  const int64_t n_prefix = (prefix != nullptr) ? prefix->n_tokens : 0;
+  const int64_t n_total = n_prefix + take_new;
+
+  KvCacheData out;
+  out.n_tokens = n_total;
+  out.layers.resize(fresh.layers.size());
+  for (size_t l = 0; l < fresh.layers.size(); ++l) {
+    const int64_t width = fresh.layers[l].k.cols();
+    out.layers[l].k = Tensor::Uninit(alloc, {n_total, width}, "kvcache.k");
+    out.layers[l].v = Tensor::Uninit(alloc, {n_total, width}, "kvcache.v");
+    if (n_prefix > 0) {
+      CopyRows(prefix->layers[l].k, out.layers[l].k, n_prefix, 0);
+      CopyRows(prefix->layers[l].v, out.layers[l].v, n_prefix, 0);
+    }
+    if (take_new > 0) {
+      assert(fresh.layers[l].k.cols() == width);
+      std::memcpy(out.layers[l].k.row(n_prefix), fresh.layers[l].k.data(),
+                  static_cast<size_t>(take_new) * width * sizeof(float));
+      std::memcpy(out.layers[l].v.row(n_prefix), fresh.layers[l].v.data(),
+                  static_cast<size_t>(take_new) * width * sizeof(float));
+    }
+  }
+  return out;
+}
+
+KvBlock CopyBlockFrom(const KvCacheData& source, int64_t source_start,
+                      int64_t block_index, int64_t block_size,
+                      TrackingAllocator& alloc) {
+  const int64_t row_begin = block_index * block_size - source_start;
+  assert(row_begin >= 0);
+  assert(row_begin + block_size <= source.n_tokens);
+  KvBlock block;
+  block.layers.resize(source.layers.size());
+  const size_t bytes =
+      static_cast<size_t>(block_size) * source.layers[0].k.cols() * sizeof(float);
+  for (size_t l = 0; l < source.layers.size(); ++l) {
+    const int64_t width = source.layers[l].k.cols();
+    block.layers[l].k = Tensor::Uninit(alloc, {block_size, width}, "kvblock.k");
+    block.layers[l].v = Tensor::Uninit(alloc, {block_size, width}, "kvblock.v");
+    std::memcpy(block.layers[l].k.data(), source.layers[l].k.row(row_begin), bytes);
+    std::memcpy(block.layers[l].v.data(), source.layers[l].v.row(row_begin), bytes);
+  }
+  return block;
+}
+
+KvBlock CloneBlock(const KvBlock& block, TrackingAllocator& alloc) {
+  KvBlock out;
+  out.layers.resize(block.layers.size());
+  for (size_t l = 0; l < block.layers.size(); ++l) {
+    out.layers[l].k = Tensor::Uninit(alloc, {block.layers[l].k.rows(),
+                                             block.layers[l].k.cols()},
+                                     "kvblock.k");
+    out.layers[l].v = Tensor::Uninit(alloc, {block.layers[l].v.rows(),
+                                             block.layers[l].v.cols()},
+                                     "kvblock.v");
+    std::memcpy(out.layers[l].k.data(), block.layers[l].k.data(),
+                block.layers[l].k.bytes());
+    std::memcpy(out.layers[l].v.data(), block.layers[l].v.data(),
+                block.layers[l].v.bytes());
+  }
+  return out;
+}
+
+void CopyBlockInto(const KvBlock& block, KvCacheData& dst, int64_t dst_block_index,
+                   int64_t block_size) {
+  assert(block.layers.size() == dst.layers.size());
+  const int64_t dst_row = dst_block_index * block_size;
+  for (size_t l = 0; l < block.layers.size(); ++l) {
+    assert(dst_row + block_size <= dst.n_tokens);
+    const size_t bytes = block.layers[l].k.bytes();
+    std::memcpy(dst.layers[l].k.row(dst_row), block.layers[l].k.data(), bytes);
+    std::memcpy(dst.layers[l].v.row(dst_row), block.layers[l].v.data(), bytes);
+  }
+}
+
+KvCacheData SliceKv(const KvCacheData& source, int64_t n_tokens, TrackingAllocator& alloc) {
+  assert(n_tokens <= source.n_tokens);
+  KvCacheData out;
+  out.n_tokens = n_tokens;
+  out.layers.resize(source.layers.size());
+  for (size_t l = 0; l < source.layers.size(); ++l) {
+    const int64_t width = source.layers[l].k.cols();
+    out.layers[l].k = Tensor::Uninit(alloc, {n_tokens, width}, "kvcache.k");
+    out.layers[l].v = Tensor::Uninit(alloc, {n_tokens, width}, "kvcache.v");
+    CopyRows(source.layers[l].k, out.layers[l].k, n_tokens, 0);
+    CopyRows(source.layers[l].v, out.layers[l].v, n_tokens, 0);
+  }
+  return out;
+}
+
+}  // namespace prefillonly

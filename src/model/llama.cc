@@ -1,0 +1,650 @@
+#include "src/model/llama.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/tensor/ops.h"
+
+namespace prefillonly {
+
+namespace {
+
+Status Oom(const char* tag) {
+  return Status::ResourceExhausted(std::string("activation allocation failed: ") + tag);
+}
+
+// Fills a tensor with deterministic uniform values in [-scale, scale).
+void InitUniform(Tensor& t, Rng& rng, float scale) {
+  for (float& v : t.span()) {
+    v = rng.NextUniformFloat(scale);
+  }
+}
+
+}  // namespace
+
+// Declares `var` as a budget-checked activation tensor; returns
+// kResourceExhausted from the enclosing function when the allocator budget
+// would be exceeded. The shape goes last so brace-lists with commas work.
+#define PO_TRY_ALLOC(var, alloc, tag, ...)                 \
+  Tensor var = Tensor::TryCreate(alloc, __VA_ARGS__, tag); \
+  if (var.empty()) {                                       \
+    return Oom(tag);                                       \
+  }
+
+LlamaModel::LlamaModel(ModelConfig config, uint64_t seed)
+    : config_(std::move(config)), weight_alloc_(std::make_unique<TrackingAllocator>()) {
+  assert(config_.Valid());
+  Rng rng(seed);
+  const int64_t h = config_.hidden_size;
+  const int64_t qs = config_.q_size();
+  const int64_t kv = config_.kv_size();
+  const int64_t inter = config_.intermediate_size;
+  auto& wa = *weight_alloc_;
+
+  embedding_ = Tensor::Uninit(wa, {config_.vocab_size, h}, "w.embedding");
+  InitUniform(embedding_, rng, 0.05f);
+
+  const auto fan = [](int64_t fan_in) {
+    return 1.0f / std::sqrt(static_cast<float>(fan_in));
+  };
+
+  layers_.resize(static_cast<size_t>(config_.n_layers));
+  for (auto& layer : layers_) {
+    layer.attn_norm = Tensor::Uninit(wa, {h}, "w.attn_norm");
+    for (float& v : layer.attn_norm.span()) {
+      v = 1.0f + rng.NextUniformFloat(0.02f);
+    }
+    layer.wq = Tensor::Uninit(wa, {h, qs}, "w.wq");
+    InitUniform(layer.wq, rng, fan(h));
+    layer.wk = Tensor::Uninit(wa, {h, kv}, "w.wk");
+    InitUniform(layer.wk, rng, fan(h));
+    layer.wv = Tensor::Uninit(wa, {h, kv}, "w.wv");
+    InitUniform(layer.wv, rng, fan(h));
+    layer.wo = Tensor::Uninit(wa, {qs, h}, "w.wo");
+    InitUniform(layer.wo, rng, fan(qs));
+    layer.mlp_norm = Tensor::Uninit(wa, {h}, "w.mlp_norm");
+    for (float& v : layer.mlp_norm.span()) {
+      v = 1.0f + rng.NextUniformFloat(0.02f);
+    }
+    layer.w_gate_up = Tensor::Uninit(wa, {h, 2 * inter}, "w.gate_up");
+    InitUniform(layer.w_gate_up, rng, fan(h));
+    layer.w_down = Tensor::Uninit(wa, {inter, h}, "w.down");
+    InitUniform(layer.w_down, rng, fan(inter));
+  }
+
+  final_norm_ = Tensor::Uninit(wa, {h}, "w.final_norm");
+  for (float& v : final_norm_.span()) {
+    v = 1.0f + rng.NextUniformFloat(0.02f);
+  }
+  lm_head_ = Tensor::Uninit(wa, {h, config_.vocab_size}, "w.lm_head");
+  InitUniform(lm_head_, rng, fan(h));
+}
+
+Status LlamaModel::Validate(std::span<const int32_t> tokens,
+                            const KvCacheData* cached_prefix,
+                            const PrefillOptions& options) const {
+  if (tokens.empty()) {
+    return Status::InvalidArgument("empty token sequence");
+  }
+  for (int32_t t : tokens) {
+    if (t < 0 || t >= config_.vocab_size) {
+      return Status::InvalidArgument("token id out of vocabulary range");
+    }
+  }
+  if (cached_prefix != nullptr && !cached_prefix->empty()) {
+    if (cached_prefix->n_tokens >= static_cast<int64_t>(tokens.size())) {
+      return Status::InvalidArgument(
+          "cached prefix must be shorter than the request: the last token's "
+          "logits are always recomputed");
+    }
+    if (cached_prefix->layers.size() != layers_.size()) {
+      return Status::InvalidArgument("cached prefix layer count mismatch");
+    }
+  }
+  if (options.chunk_size <= 0 &&
+      (options.mode == PrefillMode::kChunked || options.mode == PrefillMode::kHybrid)) {
+    return Status::InvalidArgument("chunk_size must be positive");
+  }
+  if (options.in_place && !options.preallocate_outputs) {
+    return Status::InvalidArgument("in_place requires preallocate_outputs");
+  }
+  if (options.drop_kv_in_pass) {
+    if (options.mode != PrefillMode::kStandard) {
+      return Status::InvalidArgument("drop_kv_in_pass only applies to kStandard");
+    }
+    if (options.retention != KvRetention::kNone) {
+      return Status::InvalidArgument("drop_kv_in_pass cannot retain KV");
+    }
+  }
+  if (options.retention == KvRetention::kPrefixBudget &&
+      options.prefix_budget_tokens < 0) {
+    return Status::InvalidArgument("negative prefix budget");
+  }
+  return Status::Ok();
+}
+
+Result<PrefillResult> LlamaModel::Prefill(std::span<const int32_t> tokens,
+                                          const KvCacheData* cached_prefix,
+                                          const PrefillOptions& options,
+                                          TrackingAllocator& activations) const {
+  if (Status s = Validate(tokens, cached_prefix, options); !s.ok()) {
+    return s;
+  }
+  const KvCacheData* prefix =
+      (cached_prefix != nullptr && !cached_prefix->empty()) ? cached_prefix : nullptr;
+  switch (options.mode) {
+    case PrefillMode::kStandard:
+      return PrefillStandard(tokens, prefix, options, activations);
+    case PrefillMode::kChunked:
+      return PrefillChunked(tokens, prefix, options, activations);
+    case PrefillMode::kHybrid:
+      return PrefillHybrid(tokens, prefix, options, activations);
+  }
+  return Status::Internal("unknown prefill mode");
+}
+
+void LlamaModel::Attention(const Tensor& q, int64_t q_rows, int64_t q_pos0,
+                           const LayerKv* prefix, const Tensor& k_new,
+                           const Tensor& v_new, int64_t new_rows, float* out,
+                           float* scores) const {
+  const int64_t head_dim = config_.head_dim;
+  const int64_t n_heads = config_.n_heads;
+  const int64_t group = n_heads / config_.n_kv_heads;
+  const int64_t qs = config_.q_size();
+  const int64_t kvw = config_.kv_size();
+  const int64_t n_prefix = (prefix != nullptr) ? prefix->k.rows() : 0;
+  const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(head_dim));
+  (void)new_rows;
+
+  for (int64_t i = 0; i < q_rows; ++i) {
+    const int64_t abs_pos = q_pos0 + i;  // this query attends keys [0, abs_pos]
+    const int64_t n_keys = abs_pos + 1;
+    assert(n_keys - n_prefix <= new_rows);
+    float* out_row = out + i * qs;
+    std::memset(out_row, 0, static_cast<size_t>(qs) * sizeof(float));
+    for (int64_t head = 0; head < n_heads; ++head) {
+      const int64_t kv_head = head / group;
+      const float* q_vec = q.row(i) + head * head_dim;
+      // Scores over all visible keys.
+      for (int64_t j = 0; j < n_keys; ++j) {
+        const float* k_vec = (j < n_prefix)
+                                 ? prefix->k.row(j) + kv_head * head_dim
+                                 : k_new.row(j - n_prefix) + kv_head * head_dim;
+        scores[j] = Dot(q_vec, k_vec, head_dim) * inv_sqrt_d;
+      }
+      SoftmaxRow(scores, n_keys);
+      float* o_vec = out_row + head * head_dim;
+      for (int64_t j = 0; j < n_keys; ++j) {
+        const float* v_vec = (j < n_prefix)
+                                 ? prefix->v.row(j) + kv_head * head_dim
+                                 : v_new.row(j - n_prefix) + kv_head * head_dim;
+        Axpy(o_vec, v_vec, scores[j], head_dim);
+      }
+      (void)kvw;
+    }
+  }
+}
+
+std::vector<float> LlamaModel::LastLogits(const float* hidden_row,
+                                          TrackingAllocator& act) const {
+  (void)act;  // the two row-sized buffers below are negligible
+  const int64_t h = config_.hidden_size;
+  std::vector<float> normed(static_cast<size_t>(h));
+  RmsNormRows(hidden_row, final_norm_.data(), normed.data(), 1, h, config_.rms_eps);
+  std::vector<float> logits(static_cast<size_t>(config_.vocab_size));
+  MatMul(normed.data(), lm_head_.data(), logits.data(), 1, h, config_.vocab_size);
+  return logits;
+}
+
+namespace {
+
+// Shared retention bookkeeping: how many of the `n_new` freshly computed
+// tokens (starting at absolute position n_cached) should be kept.
+int64_t RetainedNewTokens(const PrefillOptions& options, int64_t n_cached,
+                          int64_t n_new) {
+  switch (options.retention) {
+    case KvRetention::kNone:
+      return 0;
+    case KvRetention::kAll:
+      return n_new;
+    case KvRetention::kPrefixBudget:
+      return std::clamp<int64_t>(options.prefix_budget_tokens - n_cached, 0, n_new);
+  }
+  return 0;
+}
+
+}  // namespace
+
+Result<PrefillResult> LlamaModel::PrefillStandard(std::span<const int32_t> tokens,
+                                                  const KvCacheData* prefix,
+                                                  const PrefillOptions& options,
+                                                  TrackingAllocator& act) const {
+  const int64_t n_total = static_cast<int64_t>(tokens.size());
+  const int64_t n_cached = (prefix != nullptr) ? prefix->n_tokens : 0;
+  const int64_t n_new = n_total - n_cached;
+  const int64_t h = config_.hidden_size;
+  const int64_t qs = config_.q_size();
+  const int64_t kvw = config_.kv_size();
+  const int64_t inter = config_.intermediate_size;
+
+  std::vector<int32_t> positions(static_cast<size_t>(n_new));
+  for (int64_t i = 0; i < n_new; ++i) {
+    positions[static_cast<size_t>(i)] = static_cast<int32_t>(n_cached + i);
+  }
+
+  PO_TRY_ALLOC(hidden, act, "act.hidden", {n_new, h});
+  EmbeddingLookup(embedding_.data(), tokens.subspan(static_cast<size_t>(n_cached)),
+                  hidden.data(), h);
+
+  // Vanilla engines allocate KV for every layer for the whole pass.
+  std::vector<LayerKv> pass_kv;
+  if (!options.drop_kv_in_pass) {
+    pass_kv.resize(layers_.size());
+    for (size_t l = 0; l < layers_.size(); ++l) {
+      pass_kv[l].k = Tensor::TryCreate(act, {n_new, kvw}, "kv.k");
+      pass_kv[l].v = Tensor::TryCreate(act, {n_new, kvw}, "kv.v");
+      if (pass_kv[l].k.empty() || pass_kv[l].v.empty()) {
+        return Oom("kv.all_layers");
+      }
+    }
+  }
+
+  PO_TRY_ALLOC(scores, act, "attn.scores", {n_total});
+
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const LayerWeights& w = layers_[l];
+    const LayerKv* layer_prefix = (prefix != nullptr) ? &prefix->layers[l] : nullptr;
+
+    PO_TRY_ALLOC(normed, act, "act.normed", {n_new, h});
+    RmsNormRows(hidden.data(), w.attn_norm.data(), normed.data(), n_new, h,
+                config_.rms_eps);
+
+    PO_TRY_ALLOC(q, act, "act.q", {n_new, qs});
+    MatMul(normed.data(), w.wq.data(), q.data(), n_new, h, qs);
+
+    Tensor k_local;
+    Tensor v_local;
+    Tensor* k_layer = nullptr;
+    Tensor* v_layer = nullptr;
+    if (options.drop_kv_in_pass) {
+      k_local = Tensor::TryCreate(act, {n_new, kvw}, "kv.k");
+      v_local = Tensor::TryCreate(act, {n_new, kvw}, "kv.v");
+      if (k_local.empty() || v_local.empty()) {
+        return Oom("kv.layer");
+      }
+      k_layer = &k_local;
+      v_layer = &v_local;
+    } else {
+      k_layer = &pass_kv[l].k;
+      v_layer = &pass_kv[l].v;
+    }
+    MatMul(normed.data(), w.wk.data(), k_layer->data(), n_new, h, kvw);
+    MatMul(normed.data(), w.wv.data(), v_layer->data(), n_new, h, kvw);
+    normed = Tensor();  // free before attention
+
+    ApplyRope(q.data(), n_new, config_.n_heads, config_.head_dim, positions,
+              config_.rope_theta);
+    ApplyRope(k_layer->data(), n_new, config_.n_kv_heads, config_.head_dim, positions,
+              config_.rope_theta);
+
+    PO_TRY_ALLOC(attn_out, act, "act.attn_out", {n_new, qs});
+    Attention(q, n_new, n_cached, layer_prefix, *k_layer, *v_layer, n_new,
+              attn_out.data(), scores.data());
+    q = Tensor();
+
+    PO_TRY_ALLOC(attn_proj, act, "act.attn_proj", {n_new, h});
+    MatMul(attn_out.data(), w.wo.data(), attn_proj.data(), n_new, qs, h);
+    attn_out = Tensor();
+    AddInPlace(hidden.data(), attn_proj.data(), n_new * h);
+    attn_proj = Tensor();
+
+    PO_TRY_ALLOC(normed2, act, "act.normed", {n_new, h});
+    RmsNormRows(hidden.data(), w.mlp_norm.data(), normed2.data(), n_new, h,
+                config_.rms_eps);
+    // The Fig. 3/4 spike: [n_new, 2*intermediate] = 28672 floats/token at
+    // Llama-3.1-8B scale, 14x one layer's KV cache.
+    PO_TRY_ALLOC(gate_up, act, "mlp.intermediate1", {n_new, 2 * inter});
+    MatMul(normed2.data(), w.w_gate_up.data(), gate_up.data(), n_new, h, 2 * inter);
+    normed2 = Tensor();
+    PO_TRY_ALLOC(mlp_act, act, "mlp.intermediate2", {n_new, inter});
+    SwiGluRows(gate_up.data(), mlp_act.data(), n_new, inter);
+    gate_up = Tensor();
+    PO_TRY_ALLOC(down, act, "mlp.down", {n_new, h});
+    MatMul(mlp_act.data(), w.w_down.data(), down.data(), n_new, inter, h);
+    mlp_act = Tensor();
+    AddInPlace(hidden.data(), down.data(), n_new * h);
+  }
+
+  PrefillResult result;
+  result.n_new = n_new;
+  result.kv_start = n_cached;
+  result.last_logits = LastLogits(hidden.row(n_new - 1), act);
+
+  const int64_t retained = RetainedNewTokens(options, n_cached, n_new);
+  if (retained > 0) {
+    KvCacheData fresh;
+    fresh.n_tokens = n_new;
+    fresh.layers = std::move(pass_kv);
+    if (retained == n_new) {
+      result.kv = std::move(fresh);
+    } else {
+      result.kv = SliceKv(fresh, retained, act);
+    }
+  }
+  return result;
+}
+
+Result<PrefillResult> LlamaModel::PrefillChunked(std::span<const int32_t> tokens,
+                                                 const KvCacheData* prefix,
+                                                 const PrefillOptions& options,
+                                                 TrackingAllocator& act) const {
+  const int64_t n_total = static_cast<int64_t>(tokens.size());
+  const int64_t n_cached = (prefix != nullptr) ? prefix->n_tokens : 0;
+  const int64_t n_new = n_total - n_cached;
+  const int64_t h = config_.hidden_size;
+  const int64_t qs = config_.q_size();
+  const int64_t kvw = config_.kv_size();
+  const int64_t inter = config_.intermediate_size;
+  const int64_t chunk = std::min(options.chunk_size, n_new);
+
+  // Chunked prefill must keep the KV cache of EVERY layer resident between
+  // chunks — later chunks attend to it. This is why it only marginally
+  // raises the maximum input length (§2.5).
+  std::vector<LayerKv> pass_kv(layers_.size());
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    pass_kv[l].k = Tensor::TryCreate(act, {n_new, kvw}, "kv.k");
+    pass_kv[l].v = Tensor::TryCreate(act, {n_new, kvw}, "kv.v");
+    if (pass_kv[l].k.empty() || pass_kv[l].v.empty()) {
+      return Oom("kv.all_layers");
+    }
+  }
+
+  PO_TRY_ALLOC(scores, act, "attn.scores", {n_total});
+
+  std::vector<float> last_logits;
+  for (int64_t r0 = 0; r0 < n_new; r0 += chunk) {
+    const int64_t r1 = std::min(r0 + chunk, n_new);
+    const int64_t cs = r1 - r0;
+
+    std::vector<int32_t> positions(static_cast<size_t>(cs));
+    for (int64_t i = 0; i < cs; ++i) {
+      positions[static_cast<size_t>(i)] = static_cast<int32_t>(n_cached + r0 + i);
+    }
+
+    PO_TRY_ALLOC(hidden_c, act, "act.hidden", {cs, h});
+    EmbeddingLookup(embedding_.data(),
+                    tokens.subspan(static_cast<size_t>(n_cached + r0),
+                                   static_cast<size_t>(cs)),
+                    hidden_c.data(), h);
+
+    for (size_t l = 0; l < layers_.size(); ++l) {
+      const LayerWeights& w = layers_[l];
+      const LayerKv* layer_prefix = (prefix != nullptr) ? &prefix->layers[l] : nullptr;
+
+      PO_TRY_ALLOC(normed, act, "act.normed", {cs, h});
+      RmsNormRows(hidden_c.data(), w.attn_norm.data(), normed.data(), cs, h,
+                  config_.rms_eps);
+
+      PO_TRY_ALLOC(q, act, "act.q", {cs, qs});
+      MatMul(normed.data(), w.wq.data(), q.data(), cs, h, qs);
+      // K/V of this chunk go straight into the resident per-layer cache.
+      MatMul(normed.data(), w.wk.data(), pass_kv[l].k.row(r0), cs, h, kvw);
+      MatMul(normed.data(), w.wv.data(), pass_kv[l].v.row(r0), cs, h, kvw);
+      normed = Tensor();
+
+      ApplyRope(q.data(), cs, config_.n_heads, config_.head_dim, positions,
+                config_.rope_theta);
+      ApplyRope(pass_kv[l].k.row(r0), cs, config_.n_kv_heads, config_.head_dim,
+                positions, config_.rope_theta);
+
+      PO_TRY_ALLOC(attn_out, act, "act.attn_out", {cs, qs});
+      Attention(q, cs, n_cached + r0, layer_prefix, pass_kv[l].k, pass_kv[l].v, r1,
+                attn_out.data(), scores.data());
+      q = Tensor();
+
+      PO_TRY_ALLOC(attn_proj, act, "act.attn_proj", {cs, h});
+      MatMul(attn_out.data(), w.wo.data(), attn_proj.data(), cs, qs, h);
+      attn_out = Tensor();
+      AddInPlace(hidden_c.data(), attn_proj.data(), cs * h);
+      attn_proj = Tensor();
+
+      PO_TRY_ALLOC(normed2, act, "act.normed", {cs, h});
+      RmsNormRows(hidden_c.data(), w.mlp_norm.data(), normed2.data(), cs, h,
+                  config_.rms_eps);
+      PO_TRY_ALLOC(gate_up, act, "mlp.intermediate1", {cs, 2 * inter});
+      MatMul(normed2.data(), w.w_gate_up.data(), gate_up.data(), cs, h, 2 * inter);
+      normed2 = Tensor();
+      PO_TRY_ALLOC(mlp_act, act, "mlp.intermediate2", {cs, inter});
+      SwiGluRows(gate_up.data(), mlp_act.data(), cs, inter);
+      gate_up = Tensor();
+      PO_TRY_ALLOC(down, act, "mlp.down", {cs, h});
+      MatMul(mlp_act.data(), w.w_down.data(), down.data(), cs, inter, h);
+      mlp_act = Tensor();
+      AddInPlace(hidden_c.data(), down.data(), cs * h);
+    }
+
+    if (r1 == n_new) {
+      last_logits = LastLogits(hidden_c.row(cs - 1), act);
+    }
+  }
+
+  PrefillResult result;
+  result.n_new = n_new;
+  result.kv_start = n_cached;
+  result.last_logits = std::move(last_logits);
+
+  const int64_t retained = RetainedNewTokens(options, n_cached, n_new);
+  if (retained > 0) {
+    KvCacheData fresh;
+    fresh.n_tokens = n_new;
+    fresh.layers = std::move(pass_kv);
+    if (retained == n_new) {
+      result.kv = std::move(fresh);
+    } else {
+      result.kv = SliceKv(fresh, retained, act);
+    }
+  }
+  return result;
+}
+
+Result<PrefillResult> LlamaModel::PrefillHybrid(std::span<const int32_t> tokens,
+                                                const KvCacheData* prefix,
+                                                const PrefillOptions& options,
+                                                TrackingAllocator& act) const {
+  const int64_t n_total = static_cast<int64_t>(tokens.size());
+  const int64_t n_cached = (prefix != nullptr) ? prefix->n_tokens : 0;
+  const int64_t n_new = n_total - n_cached;
+  const int64_t h = config_.hidden_size;
+  const int64_t qs = config_.q_size();
+  const int64_t kvw = config_.kv_size();
+  const int64_t inter = config_.intermediate_size;
+  const int64_t chunk = std::min(options.chunk_size, n_new);
+  const bool prealloc = options.preallocate_outputs;
+  const bool in_place = options.in_place;
+
+  std::vector<int32_t> positions(static_cast<size_t>(n_new));
+  for (int64_t i = 0; i < n_new; ++i) {
+    positions[static_cast<size_t>(i)] = static_cast<int32_t>(n_cached + i);
+  }
+
+  PO_TRY_ALLOC(hidden, act, "act.hidden", {n_new, h});
+  EmbeddingLookup(embedding_.data(), tokens.subspan(static_cast<size_t>(n_cached)),
+                  hidden.data(), h);
+
+  // Retained-prefix KV (suffix discarding): allocated up front, filled per
+  // layer, survives the pass. Everything else KV-related is transient.
+  const int64_t retained = RetainedNewTokens(options, n_cached, n_new);
+  KvCacheData result_kv;
+  if (retained > 0) {
+    result_kv.n_tokens = retained;
+    result_kv.layers.resize(layers_.size());
+    for (auto& lkv : result_kv.layers) {
+      lkv.k = Tensor::TryCreate(act, {retained, kvw}, "kvcache.k");
+      lkv.v = Tensor::TryCreate(act, {retained, kvw}, "kvcache.v");
+      if (lkv.k.empty() || lkv.v.empty()) {
+        return Oom("kvcache.retained");
+      }
+    }
+  }
+
+  // Whole-sequence buffers reused across layers: one layer's K/V at a time
+  // (the paper's "KV cache of only the last computed layer"), plus Q and
+  // the attention output.
+  PO_TRY_ALLOC(k_buf, act, "kv.k.current_layer", {n_new, kvw});
+  PO_TRY_ALLOC(v_buf, act, "kv.v.current_layer", {n_new, kvw});
+  PO_TRY_ALLOC(q_buf, act, "act.q", {n_new, qs});
+  PO_TRY_ALLOC(attn_out, act, "act.attn_out", {n_new, qs});
+  PO_TRY_ALLOC(normed, act, "act.normed", {n_new, h});
+  PO_TRY_ALLOC(scores, act, "attn.scores", {n_total});
+
+  // Without in-place reuse, linear-layer outputs need their own
+  // full-sequence buffer.
+  Tensor proj_buf;
+  if (prealloc && !in_place) {
+    proj_buf = Tensor::TryCreate(act, {n_new, h}, "act.proj");
+    if (proj_buf.empty()) {
+      return Oom("act.proj");
+    }
+  }
+
+  // Runs `fn(r0, cs, out_rows)` for each row chunk, where out_rows points at
+  // the output buffer's chunk rows. Emulates the three ablation levels:
+  //  - prealloc: write chunks straight into the final buffer;
+  //  - no prealloc: materialize per-chunk outputs, then concatenate — the
+  //    transient 2x output footprint hybrid prefilling's preallocation
+  //    optimization removes (§4.3).
+  // Returns the buffer holding the full [n_new, width] output.
+  auto chunked_linear = [&](int64_t width, Tensor* reuse, const char* tag,
+                            auto&& fn) -> Result<Tensor*> {
+    if (prealloc) {
+      Tensor* out = reuse;
+      for (int64_t r0 = 0; r0 < n_new; r0 += chunk) {
+        const int64_t cs = std::min(chunk, n_new - r0);
+        if (Status s = fn(r0, cs, out->row(r0)); !s.ok()) {
+          return s;
+        }
+      }
+      return out;
+    }
+    // Ablation path: per-chunk tensors then concatenate.
+    std::vector<Tensor> pieces;
+    for (int64_t r0 = 0; r0 < n_new; r0 += chunk) {
+      const int64_t cs = std::min(chunk, n_new - r0);
+      Tensor piece = Tensor::TryCreate(act, {cs, width}, tag);
+      if (piece.empty()) {
+        return Oom(tag);
+      }
+      if (Status s = fn(r0, cs, piece.data()); !s.ok()) {
+        return s;
+      }
+      pieces.push_back(std::move(piece));
+    }
+    *reuse = Tensor();  // mirror: reuse target not used on this path
+    Tensor full = Tensor::TryCreate(act, {n_new, width}, tag);
+    if (full.empty()) {
+      return Oom(tag);
+    }
+    int64_t r0 = 0;
+    for (Tensor& piece : pieces) {
+      std::memcpy(full.row(r0), piece.data(), piece.bytes());
+      r0 += piece.rows();
+      piece = Tensor();
+    }
+    *reuse = std::move(full);
+    return reuse;
+  };
+
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const LayerWeights& w = layers_[l];
+    const LayerKv* layer_prefix = (prefix != nullptr) ? &prefix->layers[l] : nullptr;
+
+    RmsNormRows(hidden.data(), w.attn_norm.data(), normed.data(), n_new, h,
+                config_.rms_eps);
+
+    // QKV projections: linear, so chunked; outputs written directly into the
+    // preallocated whole-sequence buffers (chunking + preallocation).
+    for (int64_t r0 = 0; r0 < n_new; r0 += chunk) {
+      const int64_t cs = std::min(chunk, n_new - r0);
+      MatMul(normed.row(r0), w.wq.data(), q_buf.row(r0), cs, h, qs);
+      MatMul(normed.row(r0), w.wk.data(), k_buf.row(r0), cs, h, kvw);
+      MatMul(normed.row(r0), w.wv.data(), v_buf.row(r0), cs, h, kvw);
+    }
+    ApplyRope(q_buf.data(), n_new, config_.n_heads, config_.head_dim, positions,
+              config_.rope_theta);
+    ApplyRope(k_buf.data(), n_new, config_.n_kv_heads, config_.head_dim, positions,
+              config_.rope_theta);
+
+    // Attention runs UNCHUNKED over the full sequence — the "hybrid" in
+    // hybrid prefilling: chunking attention would degrade kernel efficiency
+    // (the chunked-prefill baseline's flaw), while linear layers chunk for
+    // free.
+    Attention(q_buf, n_new, n_cached, layer_prefix, k_buf, v_buf, n_new,
+              attn_out.data(), scores.data());
+
+    // Retain the prefix slice of this layer's KV before the buffers are
+    // reused: this is suffix KV cache discarding in action.
+    if (retained > 0) {
+      std::memcpy(result_kv.layers[l].k.data(), k_buf.data(),
+                  static_cast<size_t>(retained) * kvw * sizeof(float));
+      std::memcpy(result_kv.layers[l].v.data(), v_buf.data(),
+                  static_cast<size_t>(retained) * kvw * sizeof(float));
+    }
+
+    // Output projection: linear -> chunked. With in_place, the `normed`
+    // buffer (dead after QKV) is reused as the output.
+    Tensor* o_target = in_place ? &normed : &proj_buf;
+    auto o_proj = chunked_linear(h, o_target, "act.attn_proj",
+                                 [&](int64_t r0, int64_t cs, float* out) -> Status {
+                                   MatMul(attn_out.row(r0), w.wo.data(), out, cs, qs, h);
+                                   return Status::Ok();
+                                 });
+    if (!o_proj.ok()) {
+      return o_proj.status();
+    }
+    AddInPlace(hidden.data(), o_proj.value()->data(), n_new * h);
+
+    RmsNormRows(hidden.data(), w.mlp_norm.data(), normed.data(), n_new, h,
+                config_.rms_eps);
+
+    // MLP virtual layer (gate_up -> SwiGLU -> down), chunk-by-chunk. The
+    // [chunk, 2*intermediate] temporaries replace the [n_new, 2*inter]
+    // spike of the standard path.
+    PO_TRY_ALLOC(gate_up_c, act, "mlp.intermediate1.chunk", {chunk, 2 * inter});
+    PO_TRY_ALLOC(mlp_act_c, act, "mlp.intermediate2.chunk", {chunk, inter});
+    Tensor* mlp_target = in_place ? &normed : &proj_buf;
+    auto mlp_out = chunked_linear(
+        h, mlp_target, "mlp.down",
+        [&](int64_t r0, int64_t cs, float* out) -> Status {
+          // When in_place, `out` aliases normed.row(r0): gate_up reads the
+          // chunk's normed rows BEFORE down writes over them, so the
+          // aliasing is safe — this is the relative-position argument of
+          // §4.3 (chunk i of the output lands exactly where chunk i of the
+          // input lived).
+          MatMul(normed.row(r0), w.w_gate_up.data(), gate_up_c.data(), cs, h, 2 * inter);
+          SwiGluRows(gate_up_c.data(), mlp_act_c.data(), cs, inter);
+          MatMul(mlp_act_c.data(), w.w_down.data(), out, cs, inter, h);
+          return Status::Ok();
+        });
+    if (!mlp_out.ok()) {
+      return mlp_out.status();
+    }
+    AddInPlace(hidden.data(), mlp_out.value()->data(), n_new * h);
+  }
+
+  PrefillResult result;
+  result.n_new = n_new;
+  result.kv_start = n_cached;
+  result.last_logits = LastLogits(hidden.row(n_new - 1), act);
+  if (retained > 0) {
+    result.kv = std::move(result_kv);
+  }
+  return result;
+}
+
+#undef PO_TRY_ALLOC
+
+}  // namespace prefillonly

@@ -1,0 +1,153 @@
+// Llama-architecture transformer with three prefill execution strategies.
+//
+// This is the real-computation half of the reproduction: a from-scratch
+// CPU implementation of the model family the paper serves (RMSNorm + RoPE +
+// grouped-query attention + SwiGLU MLP), with the execution strategies the
+// paper contrasts:
+//
+//  - kStandard: full-sequence forward, one layer at a time. Linear-layer
+//    intermediates are materialized for the whole sequence — the memory
+//    spikes of Fig. 3a. KV for all layers is held for the whole pass (what
+//    vanilla engines do), unless `drop_kv_in_pass` models the naive
+//    "just drop KV" ablation of §4.1.
+//  - kChunked: chunked prefill (Sarathi-style baseline). Tokens advance
+//    through all layers chunk-by-chunk, so the KV cache of every layer must
+//    stay resident between chunks — the reason chunked prefill only buys
+//    ~2x max input length (§2.5).
+//  - kHybrid: the paper's hybrid prefilling (§4.2). Attention runs over the
+//    full sequence; every linear layer runs chunk-by-chunk. Only the
+//    current layer's KV is alive during the pass, plus whatever prefix the
+//    retention policy keeps. `preallocate_outputs` and `in_place` are the
+//    two optimizations of §4.3.
+//
+// All three strategies produce bitwise identical logits (linear layers are
+// row-independent and the attention summation order is fixed); the test
+// suite asserts exact equality.
+#ifndef SRC_MODEL_LLAMA_H_
+#define SRC_MODEL_LLAMA_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/model/config.h"
+#include "src/model/kv.h"
+#include "src/tensor/tensor.h"
+
+namespace prefillonly {
+
+enum class PrefillMode { kStandard, kChunked, kHybrid };
+
+enum class KvRetention {
+  kNone,          // discard everything (pure prefill-only execution)
+  kAll,           // keep KV of all new tokens, all layers (vanilla engine)
+  kPrefixBudget,  // suffix KV discarding: keep new tokens' KV only up to a
+                  // global prefix budget (absolute token position)
+};
+
+struct PrefillOptions {
+  PrefillMode mode = PrefillMode::kHybrid;
+  int64_t chunk_size = 64;
+
+  // Hybrid-only optimizations (§4.3). Disabling them reproduces the
+  // Fig. 10 ablation bars.
+  bool preallocate_outputs = true;
+  bool in_place = true;
+
+  // Standard-only: free each layer's KV right after its attention instead
+  // of keeping all layers resident (the naive §4.1 ablation; incompatible
+  // with retention != kNone).
+  bool drop_kv_in_pass = false;
+
+  KvRetention retention = KvRetention::kNone;
+  // Absolute token position up to which KV is retained under kPrefixBudget.
+  int64_t prefix_budget_tokens = 0;
+};
+
+struct PrefillResult {
+  // Logits of the final position — all a prefill-only request needs.
+  std::vector<float> last_logits;
+  // Newly computed KV, starting at absolute position `kv_start`, covering
+  // `kv.n_tokens` tokens (per the retention policy). Empty for kNone.
+  KvCacheData kv;
+  int64_t kv_start = 0;
+  int64_t n_new = 0;  // tokens actually computed (input minus cached prefix)
+};
+
+class LlamaModel {
+ public:
+  // Deterministically random-initialized weights (scaled uniform).
+  LlamaModel(ModelConfig config, uint64_t seed);
+
+  LlamaModel(const LlamaModel&) = delete;
+  LlamaModel& operator=(const LlamaModel&) = delete;
+
+  const ModelConfig& config() const { return config_; }
+  size_t weight_bytes() const { return weight_alloc_->current_bytes(); }
+
+  // Runs the prefill phase over `tokens`, reusing `cached_prefix` (KV of
+  // tokens [0, cached_prefix->n_tokens), may be null) and allocating all
+  // activations from `activations` — which may carry a byte budget, in
+  // which case exceeding it returns kResourceExhausted.
+  //
+  // Requires cached_prefix->n_tokens < tokens.size(): the last token's
+  // logits must be computed, so at least one token is always prefilled.
+  Result<PrefillResult> Prefill(std::span<const int32_t> tokens,
+                                const KvCacheData* cached_prefix,
+                                const PrefillOptions& options,
+                                TrackingAllocator& activations) const;
+
+ private:
+  struct LayerWeights {
+    Tensor attn_norm;  // [h]
+    Tensor wq;         // [h, q_size]
+    Tensor wk;         // [h, kv_size]
+    Tensor wv;         // [h, kv_size]
+    Tensor wo;         // [q_size, h]
+    Tensor mlp_norm;   // [h]
+    Tensor w_gate_up;  // [h, 2*intermediate]  (fused gate/up projection)
+    Tensor w_down;     // [intermediate, h]
+  };
+
+  Status Validate(std::span<const int32_t> tokens, const KvCacheData* cached_prefix,
+                  const PrefillOptions& options) const;
+
+  Result<PrefillResult> PrefillStandard(std::span<const int32_t> tokens,
+                                        const KvCacheData* prefix,
+                                        const PrefillOptions& options,
+                                        TrackingAllocator& act) const;
+  Result<PrefillResult> PrefillChunked(std::span<const int32_t> tokens,
+                                       const KvCacheData* prefix,
+                                       const PrefillOptions& options,
+                                       TrackingAllocator& act) const;
+  Result<PrefillResult> PrefillHybrid(std::span<const int32_t> tokens,
+                                      const KvCacheData* prefix,
+                                      const PrefillOptions& options,
+                                      TrackingAllocator& act) const;
+
+  // Causal attention for query rows at absolute positions
+  // [q_pos0, q_pos0 + q_rows) over prefix KV (may be null) plus the first
+  // `new_rows` rows of k_new/v_new (absolute positions n_prefix..).
+  // `scores` is a caller-provided scratch of at least q_pos0 + q_rows
+  // floats. Writes [q_rows, q_size] into `out` starting at out_row.
+  void Attention(const Tensor& q, int64_t q_rows, int64_t q_pos0, const LayerKv* prefix,
+                 const Tensor& k_new, const Tensor& v_new, int64_t new_rows, float* out,
+                 float* scores) const;
+
+  // Final RMSNorm + LM head for a single hidden row.
+  std::vector<float> LastLogits(const float* hidden_row,
+                                TrackingAllocator& act) const;
+
+  ModelConfig config_;
+  std::unique_ptr<TrackingAllocator> weight_alloc_;
+  Tensor embedding_;   // [vocab, h]
+  std::vector<LayerWeights> layers_;
+  Tensor final_norm_;  // [h]
+  Tensor lm_head_;     // [h, vocab]
+};
+
+}  // namespace prefillonly
+
+#endif  // SRC_MODEL_LLAMA_H_

@@ -1,0 +1,51 @@
+#include "src/model/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace prefillonly {
+
+Result<std::vector<TokenProbability>> ConstrainedProbabilities(
+    std::span<const float> logits, std::span<const int32_t> allowed_tokens) {
+  if (allowed_tokens.empty()) {
+    return Status::InvalidArgument("allowed token list is empty");
+  }
+  std::unordered_set<int32_t> seen;
+  for (int32_t t : allowed_tokens) {
+    if (t < 0 || static_cast<size_t>(t) >= logits.size()) {
+      return Status::InvalidArgument("allowed token out of vocabulary range");
+    }
+    if (!seen.insert(t).second) {
+      return Status::InvalidArgument("duplicate allowed token");
+    }
+  }
+
+  double max_logit = logits[static_cast<size_t>(allowed_tokens[0])];
+  for (int32_t t : allowed_tokens) {
+    max_logit = std::max(max_logit, static_cast<double>(logits[static_cast<size_t>(t)]));
+  }
+  double sum = 0.0;
+  std::vector<TokenProbability> out;
+  out.reserve(allowed_tokens.size());
+  for (int32_t t : allowed_tokens) {
+    const double e = std::exp(static_cast<double>(logits[static_cast<size_t>(t)]) - max_logit);
+    out.push_back(TokenProbability{t, e});
+    sum += e;
+  }
+  for (auto& tp : out) {
+    tp.probability /= sum;
+  }
+  return out;
+}
+
+Result<double> ScoreFirstToken(std::span<const float> logits,
+                               std::span<const int32_t> allowed_tokens) {
+  auto probs = ConstrainedProbabilities(logits, allowed_tokens);
+  if (!probs.ok()) {
+    return probs.status();
+  }
+  return probs.value()[0].probability;
+}
+
+}  // namespace prefillonly

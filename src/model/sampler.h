@@ -1,0 +1,35 @@
+// Constrained output sampling for prefill-only requests.
+//
+// §2.3: the application passes a list of acceptable tokens (e.g. "Yes",
+// "No") and the engine softmaxes the final logits over that list only,
+// returning a probability per allowed token — P(Yes) + P(No) = 1. No
+// decoding loop, no fine-tuning, no output parsing.
+#ifndef SRC_MODEL_SAMPLER_H_
+#define SRC_MODEL_SAMPLER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace prefillonly {
+
+struct TokenProbability {
+  int32_t token = 0;
+  double probability = 0.0;
+};
+
+// Softmax of `logits` restricted to `allowed_tokens`. Probabilities sum to
+// 1 over the allowed set. Fails on an empty allowed set, duplicate entries,
+// or out-of-range token ids.
+Result<std::vector<TokenProbability>> ConstrainedProbabilities(
+    std::span<const float> logits, std::span<const int32_t> allowed_tokens);
+
+// Convenience: P(allowed_tokens[0]) — e.g. the recommendation score P(Yes).
+Result<double> ScoreFirstToken(std::span<const float> logits,
+                               std::span<const int32_t> allowed_tokens);
+
+}  // namespace prefillonly
+
+#endif  // SRC_MODEL_SAMPLER_H_

@@ -1,0 +1,34 @@
+#include "src/sched/jct.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace prefillonly {
+
+Result<ProfiledJctEstimator> ProfiledJctEstimator::Profile(
+    const std::function<double(int64_t, int64_t)>& measure, int64_t max_input_len,
+    int64_t granularity) {
+  if (max_input_len < granularity || granularity <= 0) {
+    return Status::InvalidArgument("profile grid needs max_input_len >= granularity > 0");
+  }
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (int64_t n_input = granularity; n_input <= max_input_len; n_input += granularity) {
+    for (int64_t n_cached = 0; n_cached < n_input; n_cached += granularity) {
+      rows.push_back({static_cast<double>(n_input), static_cast<double>(n_cached)});
+      y.push_back(measure(n_input, n_cached));
+    }
+  }
+  auto fit = FitLinear(rows, y);
+  if (!fit.ok()) {
+    return fit.status();
+  }
+  const double r2 = RSquared(fit.value(), rows, y);
+  return ProfiledJctEstimator(fit.take(), r2);
+}
+
+double ProfiledJctEstimator::Estimate(int64_t n_input, int64_t n_cached) const {
+  return model_.Predict({static_cast<double>(n_input), static_cast<double>(n_cached)});
+}
+
+}  // namespace prefillonly

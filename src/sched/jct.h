@@ -1,0 +1,68 @@
+// Job-completion-time estimation for prefill-only requests (§6.3).
+//
+// Because a prefill-only request emits exactly one token, its JCT is a
+// deterministic function of (n_input, n_cached). The paper offers two
+// estimators:
+//
+//  * ProfiledJctEstimator — profile jct(n_input, n_cached) on a grid with
+//    1000-token granularity and fit a linear model by least squares;
+//  * CacheMissProxyEstimator — score by n_input - n_cached alone, which the
+//    paper measured to correlate with true JCT at Pearson r = 0.987 and
+//    uses by default.
+//
+// Estimator scores only need to *order* requests, so their unit (seconds
+// vs. tokens) is irrelevant to the scheduler as long as the starvation
+// offset lambda is expressed in the same unit per second of waiting.
+#ifndef SRC_SCHED_JCT_H_
+#define SRC_SCHED_JCT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "src/common/status.h"
+#include "src/metrics/regression.h"
+
+namespace prefillonly {
+
+class JctEstimator {
+ public:
+  virtual ~JctEstimator() = default;
+  virtual double Estimate(int64_t n_input, int64_t n_cached) const = 0;
+};
+
+// jct ~ a*(n_input) + b*(n_cached) + c, fitted over a profiled grid.
+class ProfiledJctEstimator : public JctEstimator {
+ public:
+  // `measure` returns the observed JCT for a (n_input, n_cached) pair —
+  // a real timed run for the CPU engine, the cost model for the simulator.
+  // The grid covers n_input in [granularity, max_input_len] and n_cached in
+  // [0, n_input) at the same granularity (paper: 1000 tokens).
+  static Result<ProfiledJctEstimator> Profile(
+      const std::function<double(int64_t, int64_t)>& measure, int64_t max_input_len,
+      int64_t granularity = 1000);
+
+  double Estimate(int64_t n_input, int64_t n_cached) const override;
+
+  const LinearModel& model() const { return model_; }
+  double r_squared() const { return r_squared_; }
+
+ private:
+  explicit ProfiledJctEstimator(LinearModel model, double r_squared)
+      : model_(std::move(model)), r_squared_(r_squared) {}
+
+  LinearModel model_;
+  double r_squared_ = 0.0;
+};
+
+// The paper's default: JCT proxy = number of cache-miss tokens.
+class CacheMissProxyEstimator : public JctEstimator {
+ public:
+  double Estimate(int64_t n_input, int64_t n_cached) const override {
+    return static_cast<double>(n_input - n_cached);
+  }
+};
+
+}  // namespace prefillonly
+
+#endif  // SRC_SCHED_JCT_H_

@@ -1,0 +1,54 @@
+#include "src/sched/scheduler.h"
+
+#include <cassert>
+
+namespace prefillonly {
+
+std::string_view SchedPolicyName(SchedPolicy policy) {
+  switch (policy) {
+    case SchedPolicy::kFifo:
+      return "FIFO";
+    case SchedPolicy::kSjfStatic:
+      return "SRJF (static)";
+    case SchedPolicy::kSrjfCalibrated:
+      return "SRJF + continuous JCT calibration";
+  }
+  return "?";
+}
+
+Scheduler::Scheduler(SchedPolicy policy, double lambda, const JctEstimator* estimator)
+    : policy_(policy), lambda_(lambda), estimator_(estimator) {
+  assert(policy == SchedPolicy::kFifo || estimator != nullptr);
+}
+
+double Scheduler::Score(const SchedEntry& entry, double now) const {
+  switch (policy_) {
+    case SchedPolicy::kFifo:
+      return entry.arrival_time;
+    case SchedPolicy::kSjfStatic:
+      return estimator_->Estimate(entry.n_input, entry.n_cached_at_arrival) -
+             lambda_ * (now - entry.arrival_time);
+    case SchedPolicy::kSrjfCalibrated:
+      // Algorithm 1, line 9: score = jct(n_input, n_cached) - lambda * T_queue.
+      return estimator_->Estimate(entry.n_input, entry.n_cached_now) -
+             lambda_ * (now - entry.arrival_time);
+  }
+  return 0.0;
+}
+
+size_t Scheduler::PickNext(std::span<const SchedEntry> queue, double now) const {
+  assert(!queue.empty());
+  size_t best = 0;
+  double best_score = Score(queue[0], now);
+  for (size_t i = 1; i < queue.size(); ++i) {
+    const double score = Score(queue[i], now);
+    // Strict < keeps ties FIFO by queue order (queues are arrival-ordered).
+    if (score < best_score) {
+      best_score = score;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace prefillonly

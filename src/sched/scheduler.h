@@ -1,0 +1,66 @@
+// Request scheduling policies (paper §6, Algorithm 1).
+//
+// The engine presents its waiting queue as SchedEntry records; the policy
+// picks which request runs next. The three policies of Fig. 5:
+//
+//  * kFifo            — first-come-first-serve (what vLLM does);
+//  * kSjfStatic       — shortest-job-first using the JCT estimated once at
+//                       ARRIVAL (traditional JCT-aware scheduling);
+//  * kSrjfCalibrated  — Algorithm 1: before every decision the engine
+//                       refreshes n_cached_now against the live prefix
+//                       cache, and the score subtracts lambda * queueing
+//                       time for starvation freedom.
+//
+// The policy only reads entries; refreshing n_cached_now is the engine's
+// job (that refresh IS continuous JCT calibration).
+#ifndef SRC_SCHED_SCHEDULER_H_
+#define SRC_SCHED_SCHEDULER_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "src/sched/jct.h"
+
+namespace prefillonly {
+
+enum class SchedPolicy { kFifo, kSjfStatic, kSrjfCalibrated };
+
+std::string_view SchedPolicyName(SchedPolicy policy);
+
+struct SchedEntry {
+  double arrival_time = 0.0;
+  int64_t n_input = 0;
+  // Prefix-cache hit length captured when the request arrived.
+  int64_t n_cached_at_arrival = 0;
+  // Hit length against the cache as of *now* (refreshed by the engine
+  // before each scheduling decision for kSrjfCalibrated).
+  int64_t n_cached_now = 0;
+};
+
+class Scheduler {
+ public:
+  // `estimator` must outlive the scheduler. `lambda` is the starvation
+  // offset in estimator units per second of queueing (paper default 500
+  // with the cache-miss-token proxy).
+  Scheduler(SchedPolicy policy, double lambda, const JctEstimator* estimator);
+
+  // Index of the entry to run next. Precondition: non-empty queue.
+  size_t PickNext(std::span<const SchedEntry> queue, double now) const;
+
+  // The score used for selection (lower runs first); exposed for tests and
+  // for the Fig. 5 walkthrough benchmark.
+  double Score(const SchedEntry& entry, double now) const;
+
+  SchedPolicy policy() const { return policy_; }
+  double lambda() const { return lambda_; }
+
+ private:
+  SchedPolicy policy_;
+  double lambda_;
+  const JctEstimator* estimator_;
+};
+
+}  // namespace prefillonly
+
+#endif  // SRC_SCHED_SCHEDULER_H_

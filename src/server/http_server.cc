@@ -1,0 +1,195 @@
+#include "src/server/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+
+#include "src/common/logging.h"
+
+namespace prefillonly {
+
+namespace {
+
+std::string ToLower(std::string s) {
+  for (char& c : s) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+std::string StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 500:
+      return "Internal Server Error";
+    default:
+      return "Unknown";
+  }
+}
+
+}  // namespace
+
+Result<HttpRequest> HttpServer::ParseRequest(const std::string& raw) {
+  const size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    return Status::InvalidArgument("incomplete HTTP header");
+  }
+  HttpRequest request;
+  size_t line_start = 0;
+  size_t line_end = raw.find("\r\n");
+  {
+    const std::string line = raw.substr(0, line_end);
+    const size_t sp1 = line.find(' ');
+    const size_t sp2 = line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos) {
+      return Status::InvalidArgument("malformed request line");
+    }
+    request.method = line.substr(0, sp1);
+    request.path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  }
+  line_start = line_end + 2;
+  while (line_start < header_end) {
+    line_end = raw.find("\r\n", line_start);
+    const std::string line = raw.substr(line_start, line_end - line_start);
+    const size_t colon = line.find(':');
+    if (colon != std::string::npos) {
+      std::string key = ToLower(line.substr(0, colon));
+      size_t value_start = colon + 1;
+      while (value_start < line.size() && line[value_start] == ' ') {
+        ++value_start;
+      }
+      request.headers[key] = line.substr(value_start);
+    }
+    line_start = line_end + 2;
+  }
+  request.body = raw.substr(header_end + 4);
+  return request;
+}
+
+Status HttpServer::Start(uint16_t port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal("socket() failed");
+  }
+  const int enable = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("bind() failed");
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  PO_LOG_INFO << "HTTP server listening on 127.0.0.1:" << port_;
+  return Status::Ok();
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  // Shutting the listener down unblocks accept().
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+}
+
+void HttpServer::AcceptLoop() {
+  while (running_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (running_.load()) {
+        PO_LOG_WARNING << "accept() failed";
+      }
+      break;
+    }
+    ServeConnection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpServer::ServeConnection(int fd) {
+  std::string raw;
+  char buffer[4096];
+  size_t content_length = 0;
+  size_t header_end = std::string::npos;
+  // Read headers, then the declared body length.
+  while (true) {
+    if (header_end != std::string::npos &&
+        raw.size() >= header_end + 4 + content_length) {
+      break;
+    }
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n <= 0) {
+      break;
+    }
+    raw.append(buffer, static_cast<size_t>(n));
+    if (header_end == std::string::npos) {
+      header_end = raw.find("\r\n\r\n");
+      if (header_end != std::string::npos) {
+        auto parsed = ParseRequest(raw.substr(0, header_end + 4));
+        if (parsed.ok()) {
+          auto it = parsed.value().headers.find("content-length");
+          if (it != parsed.value().headers.end()) {
+            content_length = static_cast<size_t>(std::stoul(it->second));
+          }
+        }
+      }
+    }
+  }
+
+  HttpResponse response;
+  auto request = ParseRequest(raw);
+  if (!request.ok()) {
+    response.status = 400;
+    response.body = R"({"error":"malformed request"})";
+  } else {
+    response = handler_(request.value());
+  }
+
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    StatusText(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  size_t sent = 0;
+  while (sent < out.size()) {
+    const ssize_t n = ::write(fd, out.data() + sent, out.size() - sent);
+    if (n <= 0) {
+      break;
+    }
+    sent += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace prefillonly

@@ -1,0 +1,69 @@
+// Minimal HTTP/1.1 server for the scoring frontend.
+//
+// The paper's PrefillOnly "opens an HTTP server compatible with the OpenAI
+// API protocol for the user to send their prefill-only requests" (§3.1).
+// This is that frontend in miniature: a blocking accept loop on its own
+// thread, request-line + header + Content-Length body parsing, and a
+// handler callback per request. Connections are handled one at a time
+// (close-delimited), which matches the single-executor engine behind it.
+#ifndef SRC_SERVER_HTTP_SERVER_H_
+#define SRC_SERVER_HTTP_SERVER_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "src/common/status.h"
+
+namespace prefillonly {
+
+struct HttpRequest {
+  std::string method;
+  std::string path;
+  std::map<std::string, std::string> headers;  // lower-cased keys
+  std::string body;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  explicit HttpServer(Handler handler) : handler_(std::move(handler)) {}
+  ~HttpServer() { Stop(); }
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  // Binds 127.0.0.1:`port` (0 = ephemeral) and starts the accept thread.
+  Status Start(uint16_t port);
+  void Stop();
+
+  // The bound port (valid after Start succeeds).
+  uint16_t port() const { return port_; }
+  bool running() const { return running_.load(); }
+
+  // Parses one HTTP request out of `raw` (exposed for unit tests).
+  static Result<HttpRequest> ParseRequest(const std::string& raw);
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  Handler handler_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+};
+
+}  // namespace prefillonly
+
+#endif  // SRC_SERVER_HTTP_SERVER_H_

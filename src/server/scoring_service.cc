@@ -1,0 +1,132 @@
+#include "src/server/scoring_service.h"
+
+namespace prefillonly {
+
+namespace {
+
+HttpResponse ErrorResponse(int status, const std::string& message) {
+  Json::Object object;
+  object.emplace("error", Json(message));
+  HttpResponse response;
+  response.status = status;
+  response.body = Json(std::move(object)).Serialize();
+  return response;
+}
+
+}  // namespace
+
+ScoringService::ScoringService(EngineOptions options) {
+  tokenizer_ = std::make_unique<HashTokenizer>(
+      static_cast<int32_t>(options.model.vocab_size));
+  engine_ = std::make_unique<Engine>(std::move(options));
+  server_ = std::make_unique<HttpServer>(
+      [this](const HttpRequest& request) { return Handle(request); });
+}
+
+Status ScoringService::Start(uint16_t port) { return server_->Start(port); }
+
+HttpResponse ScoringService::Handle(const HttpRequest& request) {
+  if (request.path == "/v1/score" && request.method == "POST") {
+    return HandleScore(request);
+  }
+  if (request.path == "/v1/stats" && request.method == "GET") {
+    return HandleStats();
+  }
+  return ErrorResponse(404, "unknown route: " + request.method + " " + request.path);
+}
+
+HttpResponse ScoringService::HandleScore(const HttpRequest& request) {
+  auto parsed = Json::Parse(request.body);
+  if (!parsed.ok()) {
+    return ErrorResponse(400, parsed.status().message());
+  }
+  const Json& body = parsed.value();
+  if (!body.is_object()) {
+    return ErrorResponse(400, "request body must be a JSON object");
+  }
+
+  ScoringRequest scoring;
+  if (const Json* user = body.Find("user_id"); user != nullptr && user->is_number()) {
+    scoring.user_id = user->AsInt();
+  }
+
+  // Token input: raw ids, or text through the tokenizer.
+  if (const Json* tokens = body.Find("tokens"); tokens != nullptr) {
+    if (!tokens->is_array()) {
+      return ErrorResponse(400, "'tokens' must be an array of ids");
+    }
+    for (const Json& t : tokens->AsArray()) {
+      if (!t.is_number()) {
+        return ErrorResponse(400, "'tokens' must contain numbers");
+      }
+      scoring.tokens.push_back(static_cast<int32_t>(t.AsInt()));
+    }
+  } else if (const Json* text = body.Find("text"); text != nullptr && text->is_string()) {
+    scoring.tokens = tokenizer_->Encode(text->AsString());
+  } else {
+    return ErrorResponse(400, "provide 'tokens' (ids) or 'text' (string)");
+  }
+
+  // Allowed outputs: ids, or words through the tokenizer.
+  if (const Json* allowed = body.Find("allowed_tokens"); allowed != nullptr) {
+    if (!allowed->is_array()) {
+      return ErrorResponse(400, "'allowed_tokens' must be an array of ids");
+    }
+    for (const Json& t : allowed->AsArray()) {
+      scoring.allowed_tokens.push_back(static_cast<int32_t>(t.AsInt()));
+    }
+  } else if (const Json* allowed_words = body.Find("allowed"); allowed_words != nullptr &&
+                                                               allowed_words->is_array()) {
+    for (const Json& word : allowed_words->AsArray()) {
+      if (!word.is_string()) {
+        return ErrorResponse(400, "'allowed' must contain strings");
+      }
+      scoring.allowed_tokens.push_back(tokenizer_->TokenFor(word.AsString()));
+    }
+  } else {
+    return ErrorResponse(400, "provide 'allowed_tokens' (ids) or 'allowed' (words)");
+  }
+
+  auto response = engine_->ScoreSync(std::move(scoring));
+  if (!response.ok()) {
+    const int status =
+        response.status().code() == StatusCode::kResourceExhausted ? 500 : 400;
+    return ErrorResponse(status, response.status().ToString());
+  }
+
+  Json::Array probabilities;
+  for (const auto& p : response.value().probabilities) {
+    Json::Object entry;
+    entry.emplace("token", Json(static_cast<int64_t>(p.token)));
+    entry.emplace("probability", Json(p.probability));
+    probabilities.push_back(Json(std::move(entry)));
+  }
+  Json::Object out;
+  out.emplace("score", Json(response.value().score));
+  out.emplace("probabilities", Json(std::move(probabilities)));
+  out.emplace("n_input", Json(response.value().n_input));
+  out.emplace("n_cached", Json(response.value().n_cached));
+  out.emplace("n_cached_offload", Json(response.value().n_cached_offload));
+  out.emplace("execute_time_s", Json(response.value().execute_time_s));
+  HttpResponse http;
+  http.body = Json(std::move(out)).Serialize();
+  return http;
+}
+
+HttpResponse ScoringService::HandleStats() const {
+  const EngineStats stats = engine_->stats();
+  Json::Object out;
+  out.emplace("submitted", Json(stats.submitted));
+  out.emplace("completed", Json(stats.completed));
+  out.emplace("failed", Json(stats.failed));
+  out.emplace("cache_hit_rate", Json(stats.cache.HitRate()));
+  out.emplace("cache_bytes", Json(static_cast<int64_t>(stats.cache_bytes)));
+  out.emplace("offload_bytes", Json(static_cast<int64_t>(stats.offload_bytes)));
+  out.emplace("peak_activation_bytes",
+              Json(static_cast<int64_t>(stats.peak_activation_bytes)));
+  HttpResponse http;
+  http.body = Json(std::move(out)).Serialize();
+  return http;
+}
+
+}  // namespace prefillonly

@@ -1,0 +1,55 @@
+// The scoring HTTP API: binds the PrefillOnly engine to the HTTP server.
+//
+// Routes (JSON in, JSON out; modeled on the paper's OpenAI-compatible
+// frontend, specialized to prefill-only scoring):
+//
+//   POST /v1/score
+//     { "text": "...", "allowed": ["yes", "no"], "user_id": 7 }      or
+//     { "tokens": [1,2,3], "allowed_tokens": [10, 20], "user_id": 7 }
+//     -> { "score": 0.71, "probabilities": [...], "n_input": 400,
+//          "n_cached": 384, "n_cached_offload": 0 }
+//
+//   GET /v1/stats
+//     -> engine counters (completed, cache hit rate, memory, ...)
+//
+// Requests are executed synchronously on the connection thread; the engine
+// underneath still applies hybrid prefilling, prefix caching and suffix
+// discarding per request.
+#ifndef SRC_SERVER_SCORING_SERVICE_H_
+#define SRC_SERVER_SCORING_SERVICE_H_
+
+#include <memory>
+
+#include "src/core/engine.h"
+#include "src/server/http_server.h"
+#include "src/server/json.h"
+#include "src/workload/tokenizer.h"
+
+namespace prefillonly {
+
+class ScoringService {
+ public:
+  explicit ScoringService(EngineOptions options);
+
+  // Starts serving on 127.0.0.1:`port` (0 = ephemeral).
+  Status Start(uint16_t port);
+  void Stop() { server_->Stop(); }
+  uint16_t port() const { return server_->port(); }
+
+  Engine& engine() { return *engine_; }
+
+  // Request handling, exposed for tests (no socket required).
+  HttpResponse Handle(const HttpRequest& request);
+
+ private:
+  HttpResponse HandleScore(const HttpRequest& request);
+  HttpResponse HandleStats() const;
+
+  std::unique_ptr<Engine> engine_;
+  std::unique_ptr<HashTokenizer> tokenizer_;
+  std::unique_ptr<HttpServer> server_;
+};
+
+}  // namespace prefillonly
+
+#endif  // SRC_SERVER_SCORING_SERVICE_H_

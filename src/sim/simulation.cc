@@ -1,0 +1,38 @@
+#include "src/sim/simulation.h"
+
+#include <cassert>
+#include <utility>
+
+namespace prefillonly {
+
+uint64_t Simulation::Schedule(double when, Callback fn) {
+  assert(when >= now_);
+  const uint64_t seq = next_seq_++;
+  queue_.push(Event{when, seq, std::move(fn)});
+  return seq;
+}
+
+void Simulation::Run(uint64_t max_events) {
+  while (!queue_.empty() && processed_ < max_events) {
+    // priority_queue::top returns const&; the callback must be moved out
+    // before pop, so copy the metadata and steal the function.
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.when;
+    ++processed_;
+    event.fn();
+  }
+}
+
+void Simulation::RunUntil(double deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.when;
+    ++processed_;
+    event.fn();
+  }
+  now_ = deadline;
+}
+
+}  // namespace prefillonly

@@ -1,0 +1,62 @@
+// Discrete-event simulation core.
+//
+// A single-threaded event loop with a deterministic total order: events fire
+// in (time, insertion sequence) order, so equal-time events run FIFO and
+// every simulation is exactly reproducible from its seed. This is the
+// substrate under the serving-cluster simulator (src/engine) that reproduces
+// the paper's QPS-latency evaluation.
+#ifndef SRC_SIM_SIMULATION_H_
+#define SRC_SIM_SIMULATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace prefillonly {
+
+class Simulation {
+ public:
+  using Callback = std::function<void()>;
+
+  // Schedules `fn` at absolute time `when` (>= now). Returns an event id.
+  uint64_t Schedule(double when, Callback fn);
+  // Schedules `fn` at now + delay.
+  uint64_t ScheduleAfter(double delay, Callback fn) {
+    return Schedule(now_ + delay, std::move(fn));
+  }
+
+  // Runs until the event queue drains (or `max_events` fire).
+  void Run(uint64_t max_events = UINT64_MAX);
+  // Runs until simulated time reaches `deadline` (events at exactly
+  // `deadline` still fire).
+  void RunUntil(double deadline);
+
+  double now() const { return now_; }
+  uint64_t events_processed() const { return processed_; }
+  bool empty() const { return queue_.empty(); }
+
+ private:
+  struct Event {
+    double when;
+    uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  double now_ = 0.0;
+  uint64_t next_seq_ = 0;
+  uint64_t processed_ = 0;
+};
+
+}  // namespace prefillonly
+
+#endif  // SRC_SIM_SIMULATION_H_

@@ -1,0 +1,80 @@
+#include "src/tensor/tensor.h"
+
+#include <cstring>
+
+namespace prefillonly {
+
+int64_t Tensor::Numel(const std::vector<int64_t>& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    assert(d >= 0);
+    n *= d;
+  }
+  return n;
+}
+
+Tensor::Tensor(TrackingAllocator* alloc, float* data, std::vector<int64_t> shape)
+    : alloc_(alloc), data_(data), shape_(std::move(shape)), numel_(Numel(shape_)) {}
+
+Tensor Tensor::Uninit(TrackingAllocator& alloc, std::vector<int64_t> shape,
+                      const std::string& tag) {
+  Tensor t = TryCreate(alloc, std::move(shape), tag);
+  assert(!t.empty());
+  return t;
+}
+
+Tensor Tensor::TryCreate(TrackingAllocator& alloc, std::vector<int64_t> shape,
+                         const std::string& tag) {
+  const int64_t numel = Numel(shape);
+  auto* data = static_cast<float*>(
+      alloc.Allocate(static_cast<size_t>(numel) * sizeof(float), tag));
+  if (data == nullptr) {
+    return Tensor();
+  }
+  return Tensor(&alloc, data, std::move(shape));
+}
+
+Tensor Tensor::Zeros(TrackingAllocator& alloc, std::vector<int64_t> shape,
+                     const std::string& tag) {
+  Tensor t = Uninit(alloc, std::move(shape), tag);
+  t.FillZero();
+  return t;
+}
+
+Tensor Tensor::Clone(const std::string& tag) const {
+  if (empty()) {
+    return Tensor();
+  }
+  Tensor copy = Uninit(*alloc_, shape_, tag);
+  std::memcpy(copy.data_, data_, bytes());
+  return copy;
+}
+
+void Tensor::FillZero() {
+  if (data_ != nullptr) {
+    std::memset(data_, 0, bytes());
+  }
+}
+
+void Tensor::Release() {
+  if (data_ != nullptr && alloc_ != nullptr) {
+    alloc_->Deallocate(data_);
+  }
+  data_ = nullptr;
+  alloc_ = nullptr;
+  shape_.clear();
+  numel_ = 0;
+}
+
+void Tensor::MoveFrom(Tensor& other) {
+  alloc_ = other.alloc_;
+  data_ = other.data_;
+  shape_ = std::move(other.shape_);
+  numel_ = other.numel_;
+  other.alloc_ = nullptr;
+  other.data_ = nullptr;
+  other.shape_.clear();
+  other.numel_ = 0;
+}
+
+}  // namespace prefillonly

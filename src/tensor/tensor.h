@@ -1,0 +1,97 @@
+// Row-major float32 tensor with explicit allocator-backed ownership.
+//
+// Deliberately minimal: the transformer in src/model only needs 1-D and 2-D
+// float tensors. Tensors are move-only (copies are explicit via Clone) so
+// every allocation visible in a TrackingAllocator trace corresponds to a
+// deliberate buffer, mirroring how the paper reasons about GPU tensors.
+#ifndef SRC_TENSOR_TENSOR_H_
+#define SRC_TENSOR_TENSOR_H_
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/tensor/tracking_allocator.h"
+
+namespace prefillonly {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  // Uninitialized contents. Asserts on budget exhaustion; use TryCreate for
+  // the Status-reporting path.
+  static Tensor Uninit(TrackingAllocator& alloc, std::vector<int64_t> shape,
+                       const std::string& tag);
+  static Tensor Zeros(TrackingAllocator& alloc, std::vector<int64_t> shape,
+                      const std::string& tag);
+  // Returns an empty tensor (data() == nullptr) when the allocator budget
+  // would be exceeded.
+  static Tensor TryCreate(TrackingAllocator& alloc, std::vector<int64_t> shape,
+                          const std::string& tag);
+
+  ~Tensor() { Release(); }
+
+  Tensor(const Tensor&) = delete;
+  Tensor& operator=(const Tensor&) = delete;
+
+  Tensor(Tensor&& other) noexcept { MoveFrom(other); }
+  Tensor& operator=(Tensor&& other) noexcept {
+    if (this != &other) {
+      Release();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  Tensor Clone(const std::string& tag) const;
+
+  bool empty() const { return data_ == nullptr; }
+  float* data() { return data_; }
+  const float* data() const { return data_; }
+  const std::vector<int64_t>& shape() const { return shape_; }
+  int64_t dim(size_t i) const { return shape_[i]; }
+  int64_t numel() const { return numel_; }
+  size_t bytes() const { return static_cast<size_t>(numel_) * sizeof(float); }
+
+  // 2-D accessors.
+  int64_t rows() const {
+    assert(shape_.size() == 2);
+    return shape_[0];
+  }
+  int64_t cols() const {
+    assert(shape_.size() == 2);
+    return shape_[1];
+  }
+  float* row(int64_t r) {
+    assert(shape_.size() == 2 && r >= 0 && r < shape_[0]);
+    return data_ + r * shape_[1];
+  }
+  const float* row(int64_t r) const {
+    assert(shape_.size() == 2 && r >= 0 && r < shape_[0]);
+    return data_ + r * shape_[1];
+  }
+
+  std::span<float> span() { return {data_, static_cast<size_t>(numel_)}; }
+  std::span<const float> span() const { return {data_, static_cast<size_t>(numel_)}; }
+
+  void FillZero();
+
+ private:
+  Tensor(TrackingAllocator* alloc, float* data, std::vector<int64_t> shape);
+
+  void Release();
+  void MoveFrom(Tensor& other);
+  static int64_t Numel(const std::vector<int64_t>& shape);
+
+  TrackingAllocator* alloc_ = nullptr;
+  float* data_ = nullptr;
+  std::vector<int64_t> shape_;
+  int64_t numel_ = 0;
+};
+
+}  // namespace prefillonly
+
+#endif  // SRC_TENSOR_TENSOR_H_

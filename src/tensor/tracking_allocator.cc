@@ -1,0 +1,61 @@
+#include "src/tensor/tracking_allocator.h"
+
+#include <cstdlib>
+
+#include "src/common/logging.h"
+
+namespace prefillonly {
+
+TrackingAllocator::~TrackingAllocator() {
+  if (!sizes_.empty()) {
+    PO_LOG_WARNING << "TrackingAllocator destroyed with " << sizes_.size()
+                   << " live allocations (" << current_bytes_ << " bytes)";
+    for (auto& [ptr, info] : sizes_) {
+      std::free(ptr);
+    }
+  }
+}
+
+void* TrackingAllocator::Allocate(size_t bytes, const std::string& tag) {
+  if (budget_bytes_ != 0 && current_bytes_ + bytes > budget_bytes_) {
+    return nullptr;
+  }
+  void* ptr = nullptr;
+  // 64-byte alignment to keep matmul kernels on cache-line boundaries.
+  if (posix_memalign(&ptr, 64, bytes == 0 ? 64 : bytes) != 0) {
+    return nullptr;
+  }
+  sizes_[ptr] = Allocation{bytes, tag};
+  current_bytes_ += bytes;
+  peak_bytes_ = std::max(peak_bytes_, current_bytes_);
+  ++total_allocs_;
+  if (record_timeline_) {
+    timeline_.push_back(Event{seq_++, tag, static_cast<int64_t>(bytes), current_bytes_});
+  }
+  return ptr;
+}
+
+void TrackingAllocator::Deallocate(void* ptr) {
+  if (ptr == nullptr) {
+    return;
+  }
+  auto it = sizes_.find(ptr);
+  if (it == sizes_.end()) {
+    PO_LOG_ERROR << "Deallocate of unknown pointer";
+    return;
+  }
+  current_bytes_ -= it->second.bytes;
+  if (record_timeline_) {
+    timeline_.push_back(Event{seq_++, it->second.tag,
+                              -static_cast<int64_t>(it->second.bytes), current_bytes_});
+  }
+  sizes_.erase(it);
+  std::free(ptr);
+}
+
+TrackingAllocator& TrackingAllocator::Default() {
+  static TrackingAllocator* instance = new TrackingAllocator();
+  return *instance;
+}
+
+}  // namespace prefillonly

@@ -1,0 +1,157 @@
+#include "src/workload/dataset.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+#include "src/common/hash.h"
+#include "src/common/rng.h"
+
+namespace prefillonly {
+
+int64_t Dataset::TotalTokens() const {
+  int64_t total = 0;
+  for (const auto& r : requests) {
+    total += r.n_tokens;
+  }
+  return total;
+}
+
+int64_t Dataset::MaxTokens() const {
+  int64_t max_tokens = 0;
+  for (const auto& r : requests) {
+    max_tokens = std::max(max_tokens, r.n_tokens);
+  }
+  return max_tokens;
+}
+
+int64_t Dataset::UserCount() const {
+  std::unordered_set<int64_t> users;
+  for (const auto& r : requests) {
+    users.insert(r.user_id);
+  }
+  return static_cast<int64_t>(users.size());
+}
+
+double Dataset::RequestsPerUser() const {
+  const int64_t users = UserCount();
+  return users == 0 ? 0.0
+                    : static_cast<double>(requests.size()) / static_cast<double>(users);
+}
+
+namespace {
+
+std::vector<int32_t> RandomTokens(Rng& rng, int64_t count, int32_t vocab) {
+  std::vector<int32_t> tokens(static_cast<size_t>(count));
+  for (auto& t : tokens) {
+    t = static_cast<int32_t>(rng.NextBounded(static_cast<uint64_t>(vocab)));
+  }
+  return tokens;
+}
+
+}  // namespace
+
+Dataset MakePostRecommendationDataset(const PostRecommendationConfig& config) {
+  assert(config.n_users > 0 && config.posts_per_user > 0);
+  Dataset dataset;
+  dataset.name = "post-recommendation";
+  dataset.block_size = config.block_size;
+  Rng rng(config.seed);
+
+  int64_t next_id = 0;
+  for (int u = 0; u < config.n_users; ++u) {
+    Rng user_rng = rng.Fork();
+    const double raw = config.profile_mean_tokens +
+                       config.profile_std_tokens * user_rng.NextGaussian();
+    const int64_t profile_len =
+        std::clamp<int64_t>(static_cast<int64_t>(raw), config.profile_min_tokens,
+                            config.profile_max_tokens);
+    const std::vector<int32_t> profile = RandomTokens(user_rng, profile_len, config.vocab);
+
+    for (int p = 0; p < config.posts_per_user; ++p) {
+      std::vector<int32_t> tokens = profile;
+      const std::vector<int32_t> post =
+          RandomTokens(user_rng, config.post_tokens, config.vocab);
+      tokens.insert(tokens.end(), post.begin(), post.end());
+
+      SimRequest request;
+      request.id = next_id++;
+      request.user_id = u;
+      request.n_tokens = static_cast<int64_t>(tokens.size());
+      request.block_hashes = BlockHashChain(tokens, config.block_size);
+      if (config.keep_tokens) {
+        request.tokens = std::move(tokens);
+      }
+      dataset.requests.push_back(std::move(request));
+    }
+  }
+  return dataset;
+}
+
+Dataset MakeCreditVerificationDataset(const CreditVerificationConfig& config) {
+  assert(config.n_users > 0);
+  Dataset dataset;
+  dataset.name = "credit-verification";
+  dataset.block_size = config.block_size;
+  Rng rng(config.seed);
+
+  for (int u = 0; u < config.n_users; ++u) {
+    Rng user_rng = rng.Fork();
+    const int64_t len = user_rng.NextInRange(config.min_tokens, config.max_tokens);
+    std::vector<int32_t> tokens = RandomTokens(user_rng, len, config.vocab);
+
+    SimRequest request;
+    request.id = u;
+    request.user_id = u;
+    request.n_tokens = len;
+    request.block_hashes = BlockHashChain(tokens, config.block_size);
+    if (config.keep_tokens) {
+      request.tokens = std::move(tokens);
+    }
+    dataset.requests.push_back(std::move(request));
+  }
+  return dataset;
+}
+
+void AssignAllAtOnce(Dataset& dataset) {
+  for (auto& r : dataset.requests) {
+    r.arrival_time = 0.0;
+  }
+}
+
+void AssignPoissonArrivals(Dataset& dataset, double qps, uint64_t seed) {
+  assert(qps > 0);
+  Rng rng(seed);
+  double t = 0.0;
+  for (auto& r : dataset.requests) {
+    t += rng.NextExponential(qps);
+    r.arrival_time = t;
+  }
+}
+
+void AssignUserBurstArrivals(Dataset& dataset, double qps, uint64_t seed,
+                             double intra_burst_gap_s) {
+  assert(qps > 0);
+  const double reqs_per_user = dataset.RequestsPerUser();
+  assert(reqs_per_user > 0);
+  const double user_rate = qps / reqs_per_user;
+  Rng rng(seed);
+
+  // Requests are grouped by user in generation order; each user gets one
+  // session start, and the user's requests trickle in from there.
+  double session_start = 0.0;
+  double t = 0.0;
+  int64_t current_user = -1;
+  for (auto& r : dataset.requests) {
+    if (r.user_id != current_user) {
+      current_user = r.user_id;
+      session_start += rng.NextExponential(user_rate);
+      t = session_start;
+    } else if (intra_burst_gap_s > 0.0) {
+      t += rng.NextExponential(1.0 / intra_burst_gap_s);
+    }
+    r.arrival_time = t;
+  }
+}
+
+}  // namespace prefillonly

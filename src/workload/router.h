@@ -1,0 +1,39 @@
+// User-id based routing across engine instances (paper §7.1 "Routing").
+//
+// Non-parallelized engines (PrefillOnly, PagedAttention, chunked prefill)
+// run one instance per GPU; requests from the same user must land on the
+// same instance so that the user's profile prefix can be reused from that
+// instance's cache. Users are assigned to instances round-robin in order
+// of first appearance.
+#ifndef SRC_WORKLOAD_ROUTER_H_
+#define SRC_WORKLOAD_ROUTER_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace prefillonly {
+
+class UserRoundRobinRouter {
+ public:
+  explicit UserRoundRobinRouter(int n_instances) : n_instances_(n_instances) {}
+
+  // Instance index in [0, n_instances) for this user; sticky per user.
+  int Route(int64_t user_id) {
+    auto [it, inserted] = assignment_.try_emplace(user_id, next_);
+    if (inserted) {
+      next_ = (next_ + 1) % n_instances_;
+    }
+    return it->second;
+  }
+
+  int n_instances() const { return n_instances_; }
+
+ private:
+  int n_instances_;
+  int next_ = 0;
+  std::unordered_map<int64_t, int> assignment_;
+};
+
+}  // namespace prefillonly
+
+#endif  // SRC_WORKLOAD_ROUTER_H_

@@ -1,0 +1,51 @@
+#include "src/workload/tokenizer.h"
+
+#include <cassert>
+#include <cctype>
+
+#include "src/common/hash.h"
+
+namespace prefillonly {
+
+HashTokenizer::HashTokenizer(int32_t vocab_size, int32_t reserved)
+    : vocab_size_(vocab_size), reserved_(reserved) {
+  assert(vocab_size > reserved);
+  assert(reserved >= 0);
+}
+
+int32_t HashTokenizer::TokenFor(std::string_view word) const {
+  std::string lowered(word);
+  for (char& c : lowered) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  const uint64_t hash = Fnv1a64(lowered.data(), lowered.size());
+  const auto range = static_cast<uint64_t>(vocab_size_ - reserved_);
+  return reserved_ + static_cast<int32_t>(hash % range);
+}
+
+std::vector<int32_t> HashTokenizer::Encode(std::string_view text) const {
+  std::vector<int32_t> tokens;
+  size_t i = 0;
+  while (i < text.size()) {
+    const auto c = static_cast<unsigned char>(text[i]);
+    if (std::isspace(c)) {
+      ++i;
+      continue;
+    }
+    if (std::isalnum(c)) {
+      size_t j = i;
+      while (j < text.size() &&
+             std::isalnum(static_cast<unsigned char>(text[j]))) {
+        ++j;
+      }
+      tokens.push_back(TokenFor(text.substr(i, j - i)));
+      i = j;
+    } else {
+      tokens.push_back(TokenFor(text.substr(i, 1)));
+      ++i;
+    }
+  }
+  return tokens;
+}
+
+}  // namespace prefillonly

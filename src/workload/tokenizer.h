@@ -1,0 +1,42 @@
+// Deterministic hash-based word tokenizer.
+//
+// The paper's requests are text prompts ("Here is the user profile: ...").
+// This tokenizer maps text to stable token ids without a trained vocab:
+// words (and standalone punctuation) hash into a fixed id range. Two
+// prompts sharing a textual prefix therefore share a token-id prefix, which
+// is all prefix caching needs. It is NOT a linguistic tokenizer — it exists
+// so examples and applications can feed text end-to-end through the engine.
+#ifndef SRC_WORKLOAD_TOKENIZER_H_
+#define SRC_WORKLOAD_TOKENIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace prefillonly {
+
+class HashTokenizer {
+ public:
+  // Ids are produced in [reserved, vocab_size): ids below `reserved` are
+  // left for control/answer tokens the application defines (e.g. Yes/No).
+  explicit HashTokenizer(int32_t vocab_size, int32_t reserved = 32);
+
+  // Splits on whitespace; runs of alphanumerics and each punctuation
+  // character become separate tokens. Lowercases ASCII so "Yes" == "yes".
+  std::vector<int32_t> Encode(std::string_view text) const;
+
+  // Stable id for a single word (e.g. to build an allowed-token list).
+  int32_t TokenFor(std::string_view word) const;
+
+  int32_t vocab_size() const { return vocab_size_; }
+  int32_t reserved() const { return reserved_; }
+
+ private:
+  int32_t vocab_size_;
+  int32_t reserved_;
+};
+
+}  // namespace prefillonly
+
+#endif  // SRC_WORKLOAD_TOKENIZER_H_

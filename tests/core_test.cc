@@ -1,0 +1,429 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/capacity_planner.h"
+#include "src/core/engine.h"
+#include "src/core/kv_block_store.h"
+#include "src/core/request.h"
+#include "src/workload/dataset.h"
+
+namespace prefillonly {
+namespace {
+
+EngineOptions TinyEngineOptions() {
+  EngineOptions options;
+  options.model = ModelConfig::Tiny();
+  options.block_size = 16;
+  options.cache_budget_tokens = 512;
+  options.chunk_size = 32;
+  return options;
+}
+
+std::vector<int32_t> Tokens(int64_t n, uint64_t seed, int64_t vocab = 256) {
+  Rng rng(seed);
+  std::vector<int32_t> out(static_cast<size_t>(n));
+  for (auto& t : out) {
+    t = static_cast<int32_t>(rng.NextBounded(static_cast<uint64_t>(vocab)));
+  }
+  return out;
+}
+
+ScoringRequest YesNoRequest(std::vector<int32_t> tokens, int64_t user = 0) {
+  ScoringRequest request;
+  request.user_id = user;
+  request.tokens = std::move(tokens);
+  request.allowed_tokens = {10, 20};  // "Yes", "No"
+  return request;
+}
+
+// -------------------------------------------------------------- Scoring
+
+TEST(EngineTest, ScoreSyncReturnsValidProbability) {
+  Engine engine(TinyEngineOptions());
+  auto response = engine.ScoreSync(YesNoRequest(Tokens(70, 1)));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_GT(response.value().score, 0.0);
+  EXPECT_LT(response.value().score, 1.0);
+  ASSERT_EQ(response.value().probabilities.size(), 2u);
+  EXPECT_NEAR(response.value().probabilities[0].probability +
+                  response.value().probabilities[1].probability,
+              1.0, 1e-9);
+  EXPECT_EQ(response.value().n_cached, 0);
+  EXPECT_EQ(response.value().n_input, 70);
+}
+
+TEST(EngineTest, ScoreMatchesDirectModelInference) {
+  // The engine (hybrid + caching + scheduling) must produce exactly the
+  // probability a bare standard-prefill + constrained softmax produces.
+  EngineOptions options = TinyEngineOptions();
+  Engine engine(options);
+  const auto tokens = Tokens(90, 2);
+  auto via_engine = engine.ScoreSync(YesNoRequest(tokens));
+  ASSERT_TRUE(via_engine.ok());
+
+  LlamaModel model(options.model, options.weight_seed);
+  TrackingAllocator act;
+  PrefillOptions prefill;
+  prefill.mode = PrefillMode::kStandard;
+  auto direct = model.Prefill(tokens, nullptr, prefill, act);
+  ASSERT_TRUE(direct.ok());
+  std::vector<int32_t> allowed{10, 20};
+  auto probs = ConstrainedProbabilities(direct.value().last_logits, allowed);
+  ASSERT_TRUE(probs.ok());
+  EXPECT_DOUBLE_EQ(via_engine.value().score, probs.value()[0].probability);
+}
+
+TEST(EngineTest, SecondRequestHitsPrefixCache) {
+  Engine engine(TinyEngineOptions());
+  auto profile = Tokens(64, 3);
+  auto post_a = profile;
+  post_a.push_back(5);
+  post_a.push_back(6);
+  auto post_b = profile;
+  post_b.push_back(7);
+  post_b.push_back(8);
+
+  auto first = engine.ScoreSync(YesNoRequest(post_a));
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value().n_cached, 0);
+
+  auto second = engine.ScoreSync(YesNoRequest(post_b));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value().n_cached, 64);  // whole shared profile reused
+}
+
+TEST(EngineTest, CacheHitDoesNotChangeScores) {
+  // Cold engine vs warm engine must agree bitwise on the score.
+  const auto profile = Tokens(64, 4);
+  auto query = profile;
+  query.push_back(42);
+
+  EngineOptions options = TinyEngineOptions();
+  Engine cold(options);
+  auto cold_score = cold.ScoreSync(YesNoRequest(query));
+  ASSERT_TRUE(cold_score.ok());
+
+  Engine warm(options);
+  auto warm_up = profile;
+  warm_up.push_back(99);
+  ASSERT_TRUE(warm_up != query);
+  ASSERT_TRUE(warm.ScoreSync(YesNoRequest(warm_up)).ok());
+  auto warm_score = warm.ScoreSync(YesNoRequest(query));
+  ASSERT_TRUE(warm_score.ok());
+  EXPECT_GT(warm_score.value().n_cached, 0);
+  EXPECT_DOUBLE_EQ(warm_score.value().score, cold_score.value().score);
+}
+
+TEST(EngineTest, SuffixDiscardingCapsCacheUse) {
+  EngineOptions options = TinyEngineOptions();
+  options.cache_budget_tokens = 32;  // 2 blocks only
+  Engine engine(options);
+  const auto tokens = Tokens(100, 5);
+  ASSERT_TRUE(engine.ScoreSync(YesNoRequest(tokens)).ok());
+  // Re-scoring the same input can reuse at most the retained prefix.
+  auto again = engine.ScoreSync(YesNoRequest(tokens));
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().n_cached, 32);
+  const auto stats = engine.stats();
+  EXPECT_LE(static_cast<int64_t>(stats.cache_bytes),
+            32 * options.model.kv_bytes_per_token() + 1024);
+}
+
+TEST(EngineTest, ZeroCacheBudgetStillCorrect) {
+  EngineOptions options = TinyEngineOptions();
+  options.cache_budget_tokens = 0;
+  Engine engine(options);
+  const auto tokens = Tokens(50, 6);
+  auto first = engine.ScoreSync(YesNoRequest(tokens));
+  auto second = engine.ScoreSync(YesNoRequest(tokens));
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value().n_cached, 0);
+  EXPECT_DOUBLE_EQ(first.value().score, second.value().score);
+}
+
+TEST(EngineTest, LruEvictionAcrossUsers) {
+  EngineOptions options = TinyEngineOptions();
+  options.cache_budget_tokens = 64;  // room for ~one profile
+  Engine engine(options);
+  const auto user_a = Tokens(64, 7);
+  const auto user_b = Tokens(64, 8);
+  ASSERT_TRUE(engine.ScoreSync(YesNoRequest(user_a, 1)).ok());
+  ASSERT_TRUE(engine.ScoreSync(YesNoRequest(user_b, 2)).ok());  // evicts A
+  auto again_a = engine.ScoreSync(YesNoRequest(user_a, 1));
+  ASSERT_TRUE(again_a.ok());
+  EXPECT_EQ(again_a.value().n_cached, 0);  // A was evicted
+  const auto stats = engine.stats();
+  EXPECT_GT(stats.cache.evictions, 0);
+}
+
+// --------------------------------------------------------- Offload tier
+
+TEST(EngineTest, OffloadRecoversEvictedPrefix) {
+  // With offload enabled, an LRU-evicted profile is demoted to the CPU
+  // tier and reloaded on the next hit instead of being recomputed.
+  EngineOptions options = TinyEngineOptions();
+  options.cache_budget_tokens = 64;        // one profile fits
+  options.cpu_offload_budget_tokens = 256; // plenty of host space
+  Engine engine(options);
+  const auto user_a = Tokens(64, 7);
+  const auto user_b = Tokens(64, 8);
+  ASSERT_TRUE(engine.ScoreSync(YesNoRequest(user_a, 1)).ok());
+  ASSERT_TRUE(engine.ScoreSync(YesNoRequest(user_b, 2)).ok());  // demotes A
+
+  auto again_a = engine.ScoreSync(YesNoRequest(user_a, 1));
+  ASSERT_TRUE(again_a.ok());
+  EXPECT_EQ(again_a.value().n_cached, 48);          // (64-1)/16 blocks
+  EXPECT_GT(again_a.value().n_cached_offload, 0);   // served from CPU tier
+  const auto stats = engine.stats();
+  EXPECT_GT(stats.offload_demotions, 0);
+  EXPECT_GT(stats.offload_hit_tokens, 0);
+  EXPECT_GT(stats.offload_promotions, 0);
+}
+
+TEST(EngineTest, OffloadHitScoresBitwiseEqualToCold) {
+  const auto query = Tokens(80, 31);
+
+  EngineOptions options = TinyEngineOptions();
+  Engine cold(options);
+  auto cold_score = cold.ScoreSync(YesNoRequest(query));
+  ASSERT_TRUE(cold_score.ok());
+
+  EngineOptions offload = TinyEngineOptions();
+  offload.cache_budget_tokens = 80;
+  offload.cpu_offload_budget_tokens = 512;
+  Engine warm(offload);
+  ASSERT_TRUE(warm.ScoreSync(YesNoRequest(query)).ok());      // fill GPU tier
+  ASSERT_TRUE(warm.ScoreSync(YesNoRequest(Tokens(80, 32))).ok());  // demote
+  auto via_offload = warm.ScoreSync(YesNoRequest(query));
+  ASSERT_TRUE(via_offload.ok());
+  EXPECT_GT(via_offload.value().n_cached_offload, 0);
+  EXPECT_DOUBLE_EQ(via_offload.value().score, cold_score.value().score);
+}
+
+TEST(EngineTest, OffloadDisabledByDefault) {
+  Engine engine(TinyEngineOptions());
+  const auto a = Tokens(64, 7);
+  ASSERT_TRUE(engine.ScoreSync(YesNoRequest(a, 1)).ok());
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.offload_bytes, 0u);
+  EXPECT_EQ(stats.offload_demotions, 0);
+}
+
+TEST(EngineTest, OffloadMemoryAccountedSeparately) {
+  EngineOptions options = TinyEngineOptions();
+  options.cache_budget_tokens = 32;
+  options.cpu_offload_budget_tokens = 128;
+  Engine engine(options);
+  ASSERT_TRUE(engine.ScoreSync(YesNoRequest(Tokens(48, 41), 1)).ok());
+  ASSERT_TRUE(engine.ScoreSync(YesNoRequest(Tokens(48, 42), 2)).ok());
+  const auto stats = engine.stats();
+  EXPECT_GT(stats.offload_bytes, 0u);
+  // Host tier bounded by its own budget.
+  EXPECT_LE(static_cast<int64_t>(stats.offload_bytes),
+            options.cpu_offload_budget_tokens * options.model.kv_bytes_per_token());
+}
+
+// ----------------------------------------------------------- Scheduling
+
+TEST(EngineTest, RunPendingSchedulesShortestFirst) {
+  EngineOptions options = TinyEngineOptions();
+  options.lambda = 0.0;
+  Engine engine(options);
+  auto long_id = engine.Submit(YesNoRequest(Tokens(120, 9)));
+  auto short_id = engine.Submit(YesNoRequest(Tokens(20, 10)));
+  ASSERT_TRUE(long_id.ok());
+  ASSERT_TRUE(short_id.ok());
+  const auto responses = engine.RunPending();
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_EQ(responses[0].request_id, short_id.value());
+  EXPECT_EQ(responses[1].request_id, long_id.value());
+}
+
+TEST(EngineTest, FifoPolicyPreservesSubmissionOrder) {
+  EngineOptions options = TinyEngineOptions();
+  options.policy = SchedPolicy::kFifo;
+  Engine engine(options);
+  auto long_id = engine.Submit(YesNoRequest(Tokens(120, 11)));
+  auto short_id = engine.Submit(YesNoRequest(Tokens(20, 12)));
+  const auto responses = engine.RunPending();
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_EQ(responses[0].request_id, long_id.value());
+  EXPECT_EQ(responses[1].request_id, short_id.value());
+}
+
+TEST(EngineTest, CalibrationPrioritizesCacheHitRequest) {
+  // Fig. 5's mechanism end-to-end on the REAL engine: after the shared-
+  // prefix request runs, its sibling jumps ahead of a shorter stranger.
+  EngineOptions options = TinyEngineOptions();
+  options.lambda = 0.0;
+  Engine engine(options);
+  const auto profile = Tokens(96, 13);
+
+  auto first = profile;
+  first.push_back(1);
+  ASSERT_TRUE(engine.ScoreSync(YesNoRequest(first, 1)).ok());  // warm cache
+
+  auto sibling = profile;  // 96 cached + 3 fresh vs stranger's 48 fresh
+  sibling.push_back(2);
+  sibling.push_back(3);
+  sibling.push_back(4);
+  auto stranger_id = engine.Submit(YesNoRequest(Tokens(48, 14), 2));
+  auto sibling_id = engine.Submit(YesNoRequest(sibling, 1));
+  const auto responses = engine.RunPending();
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_EQ(responses[0].request_id, sibling_id.value());
+  EXPECT_GT(responses[0].n_cached, 0);
+  EXPECT_EQ(responses[1].request_id, stranger_id.value());
+}
+
+// ----------------------------------------------------------- Validation
+
+TEST(EngineTest, RejectsEmptyRequest) {
+  Engine engine(TinyEngineOptions());
+  EXPECT_EQ(engine.ScoreSync(YesNoRequest({})).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EngineTest, RejectsOverlongRequest) {
+  EngineOptions options = TinyEngineOptions();
+  options.max_input_length = 64;
+  Engine engine(options);
+  EXPECT_EQ(engine.ScoreSync(YesNoRequest(Tokens(65, 15))).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(EngineTest, RejectsBadAllowedTokens) {
+  Engine engine(TinyEngineOptions());
+  ScoringRequest request = YesNoRequest(Tokens(10, 16));
+  request.allowed_tokens = {9999};
+  EXPECT_EQ(engine.ScoreSync(std::move(request)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EngineTest, ActivationBudgetFailureIsReported) {
+  EngineOptions options = TinyEngineOptions();
+  options.activation_budget_bytes = 16 * 1024;  // far too small
+  Engine engine(options);
+  auto response = engine.ScoreSync(YesNoRequest(Tokens(64, 17)));
+  EXPECT_EQ(response.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(engine.stats().failed, 1);
+}
+
+// ---------------------------------------------------------------- Async
+
+TEST(EngineTest, AsyncWorkerDeliversAllResponses) {
+  Engine engine(TinyEngineOptions());
+  std::atomic<int> delivered{0};
+  std::atomic<int> ok{0};
+  engine.StartWorker([&](Result<ScoringResponse> response) {
+    if (response.ok()) {
+      ++ok;
+    }
+    ++delivered;
+  });
+  const int n = 8;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(engine.Submit(YesNoRequest(Tokens(30 + i, 18 + i), i)).ok());
+  }
+  engine.StopWorker();  // drains the queue before returning
+  EXPECT_EQ(delivered.load(), n);
+  EXPECT_EQ(ok.load(), n);
+  EXPECT_EQ(engine.stats().completed, n);
+}
+
+// ------------------------------------------------------------- Profiling
+
+TEST(EngineTest, ProfileJctFitsTimingModel) {
+  EngineOptions options = TinyEngineOptions();
+  Engine engine(options);
+  auto r2 = engine.ProfileJct(/*max_input_len=*/128, /*granularity=*/32);
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  // Real timings are noisy, but the linear fit should explain most of it.
+  EXPECT_GT(r2.value(), 0.3);
+  // Engine still works after the estimator swap.
+  EXPECT_TRUE(engine.ScoreSync(YesNoRequest(Tokens(40, 30))).ok());
+}
+
+// ----------------------------------------------------------- KvBlockStore
+
+TEST(KvBlockStoreTest, PutAssembleRoundTrip) {
+  const ModelConfig config = ModelConfig::Tiny();
+  TrackingAllocator alloc;
+  KvBlockStore store(config, /*block_size=*/8, alloc);
+
+  // Source KV covering 16 tokens starting at position 0.
+  KvCacheData source;
+  source.n_tokens = 16;
+  source.layers.resize(static_cast<size_t>(config.n_layers));
+  float fill = 1.0f;
+  for (auto& layer : source.layers) {
+    layer.k = Tensor::Uninit(alloc, {16, config.kv_size()}, "k");
+    layer.v = Tensor::Uninit(alloc, {16, config.kv_size()}, "v");
+    for (float& x : layer.k.span()) {
+      x = fill++;
+    }
+    for (float& x : layer.v.span()) {
+      x = fill++;
+    }
+  }
+  store.Put(1, source, /*source_start=*/0, /*block_index=*/0);
+  store.Put(2, source, /*source_start=*/0, /*block_index=*/1);
+  EXPECT_EQ(store.block_count(), 2u);
+
+  const KvCacheData assembled = store.AssemblePrefix({1, 2}, 2);
+  ASSERT_EQ(assembled.n_tokens, 16);
+  for (size_t l = 0; l < assembled.layers.size(); ++l) {
+    EXPECT_EQ(std::memcmp(assembled.layers[l].k.data(), source.layers[l].k.data(),
+                          source.layers[l].k.bytes()),
+              0);
+  }
+}
+
+TEST(KvBlockStoreTest, DropReleasesMemory) {
+  const ModelConfig config = ModelConfig::Tiny();
+  TrackingAllocator alloc;
+  KvBlockStore store(config, 8, alloc);
+  KvCacheData source;
+  source.n_tokens = 8;
+  source.layers.resize(static_cast<size_t>(config.n_layers));
+  for (auto& layer : source.layers) {
+    layer.k = Tensor::Zeros(alloc, {8, config.kv_size()}, "k");
+    layer.v = Tensor::Zeros(alloc, {8, config.kv_size()}, "v");
+  }
+  store.Put(5, source, 0, 0);
+  const size_t with_block = store.bytes();
+  EXPECT_GT(with_block, 0u);
+  store.Drop(5);
+  EXPECT_EQ(store.bytes(), 0u);
+  EXPECT_FALSE(store.Contains(5));
+}
+
+// ------------------------------------------------------ Capacity planner
+
+TEST(CapacityPlannerTest, RecommendsFeasibleEngine) {
+  CreditVerificationConfig config;
+  config.n_users = 6;
+  const Dataset dataset = MakeCreditVerificationDataset(config);
+  const auto plan = PlanCapacity(HardwareSetup::H100_Llama70B(), dataset, 0.02);
+  ASSERT_EQ(plan.assessments.size(), 5u);
+  // Paged cannot fit 40k-60k requests on H100+70B.
+  for (const auto& a : plan.assessments) {
+    if (a.kind == EngineKind::kPagedAttention) {
+      EXPECT_FALSE(a.fits_workload);
+    }
+    if (a.kind == EngineKind::kPrefillOnly) {
+      EXPECT_TRUE(a.fits_workload);
+      EXPECT_GT(a.saturated_throughput, 0.0);
+    }
+  }
+  // The paper's result: PrefillOnly should be the pick for this workload.
+  EXPECT_EQ(plan.recommended, EngineKind::kPrefillOnly);
+}
+
+}  // namespace
+}  // namespace prefillonly

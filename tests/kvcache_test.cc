@@ -1,0 +1,453 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/common/hash.h"
+#include "src/common/rng.h"
+#include "src/kvcache/block_allocator.h"
+#include "src/kvcache/offload_directory.h"
+#include "src/kvcache/prefix_cache.h"
+
+namespace prefillonly {
+namespace {
+
+// Builds a chain of n distinct hashes rooted at `seed` (stands in for a
+// token sequence's block hash chain).
+std::vector<uint64_t> Chain(uint64_t seed, int64_t n) {
+  std::vector<uint64_t> chain;
+  uint64_t h = kFnvOffset ^ seed;
+  for (int64_t i = 0; i < n; ++i) {
+    h = HashCombine(h, seed * 1315423911ULL + static_cast<uint64_t>(i) + 1);
+    chain.push_back(h);
+  }
+  return chain;
+}
+
+// -------------------------------------------------------- BlockAllocator
+
+TEST(BlockAllocatorTest, AllocatesUntilExhausted) {
+  BlockAllocator alloc(3);
+  EXPECT_EQ(alloc.free_blocks(), 3);
+  std::set<BlockId> ids;
+  for (int i = 0; i < 3; ++i) {
+    auto id = alloc.Allocate();
+    ASSERT_TRUE(id.ok());
+    ids.insert(id.value());
+  }
+  EXPECT_EQ(ids.size(), 3u);  // distinct ids
+  EXPECT_EQ(alloc.free_blocks(), 0);
+  EXPECT_EQ(alloc.Allocate().status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(BlockAllocatorTest, RefCountingSharesBlocks) {
+  BlockAllocator alloc(1);
+  const BlockId id = alloc.Allocate().value();
+  alloc.IncRef(id);
+  EXPECT_EQ(alloc.RefCount(id), 2);
+  EXPECT_FALSE(alloc.DecRef(id));  // still referenced
+  EXPECT_EQ(alloc.free_blocks(), 0);
+  EXPECT_TRUE(alloc.DecRef(id));  // last reference frees
+  EXPECT_EQ(alloc.free_blocks(), 1);
+}
+
+TEST(BlockAllocatorTest, FreedBlockIsReusable) {
+  BlockAllocator alloc(1);
+  const BlockId a = alloc.Allocate().value();
+  alloc.DecRef(a);
+  const BlockId b = alloc.Allocate().value();
+  EXPECT_EQ(a, b);
+}
+
+TEST(BlockAllocatorTest, UsedBlocksAccounting) {
+  BlockAllocator alloc(4);
+  auto a = alloc.Allocate().value();
+  auto b = alloc.Allocate().value();
+  (void)b;
+  EXPECT_EQ(alloc.used_blocks(), 2);
+  alloc.DecRef(a);
+  EXPECT_EQ(alloc.used_blocks(), 1);
+}
+
+// ----------------------------------------------------------- PrefixCache
+
+TEST(PrefixCacheTest, MissThenHitAfterRelease) {
+  PrefixCache cache(/*block_size=*/16, /*capacity=*/10);
+  const auto chain = Chain(1, 4);
+  EXPECT_EQ(cache.MatchTokens(chain), 0);
+
+  auto acq = cache.Acquire(chain, 4);
+  ASSERT_TRUE(acq.ok());
+  EXPECT_EQ(acq.value().matched_blocks, 0);
+  cache.Release(acq.value(), 4);
+
+  EXPECT_EQ(cache.MatchTokens(chain), 4 * 16);
+  EXPECT_EQ(cache.cached_blocks(), 4);
+}
+
+TEST(PrefixCacheTest, PartialPrefixMatch) {
+  PrefixCache cache(16, 10);
+  const auto chain = Chain(2, 6);
+  auto acq = cache.Acquire(chain, 6);
+  ASSERT_TRUE(acq.ok());
+  cache.Release(acq.value(), 3);  // cache only 3 blocks (suffix discarded)
+
+  EXPECT_EQ(cache.MatchTokens(chain), 3 * 16);
+  // A different sequence sharing the first 3 blocks also hits.
+  auto shared = chain;
+  shared.resize(3);
+  EXPECT_EQ(cache.MatchTokens(shared), 3 * 16);
+}
+
+TEST(PrefixCacheTest, AcquireCountsHitTokens) {
+  PrefixCache cache(16, 10);
+  const auto chain = Chain(3, 4);
+  auto first = cache.Acquire(chain, 4);
+  cache.Release(first.value(), 4);
+  auto second = cache.Acquire(chain, 4);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value().matched_blocks, 4);
+  cache.Release(second.value(), 4);
+  EXPECT_EQ(cache.stats().hit_tokens, 4 * 16);
+  EXPECT_EQ(cache.stats().lookup_tokens, 8 * 16);
+  EXPECT_NEAR(cache.stats().HitRate(), 0.5, 1e-12);
+}
+
+TEST(PrefixCacheTest, EvictsLruWhenFull) {
+  PrefixCache cache(16, 4);
+  const auto a = Chain(10, 2);
+  const auto b = Chain(11, 2);
+  const auto c = Chain(12, 2);
+
+  auto acq_a = cache.Acquire(a, 2);
+  cache.Release(acq_a.value(), 2);
+  auto acq_b = cache.Acquire(b, 2);
+  cache.Release(acq_b.value(), 2);
+  EXPECT_EQ(cache.cached_blocks(), 4);
+
+  // Touch `a` so `b` becomes LRU.
+  auto touch = cache.Acquire(a, 2);
+  cache.Release(touch.value(), 2);
+
+  auto acq_c = cache.Acquire(c, 2);  // must evict b's blocks
+  ASSERT_TRUE(acq_c.ok());
+  cache.Release(acq_c.value(), 2);
+
+  EXPECT_EQ(cache.MatchTokens(a), 2 * 16);
+  EXPECT_EQ(cache.MatchTokens(b), 0);
+  EXPECT_EQ(cache.MatchTokens(c), 2 * 16);
+  EXPECT_GT(cache.stats().evictions, 0);
+}
+
+TEST(PrefixCacheTest, PinnedBlocksAreNotEvicted) {
+  PrefixCache cache(16, 4);
+  const auto a = Chain(20, 2);
+  auto acq_a = cache.Acquire(a, 2);
+  cache.Release(acq_a.value(), 2);
+
+  // Re-acquire `a` (pins its 2 blocks) and hold it while filling the pool.
+  auto held = cache.Acquire(a, 2);
+  ASSERT_TRUE(held.ok());
+  EXPECT_EQ(held.value().matched_blocks, 2);
+
+  const auto b = Chain(21, 3);  // needs 3 fresh; only 2 free
+  auto acq_b = cache.Acquire(b, 3);
+  EXPECT_EQ(acq_b.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(cache.stats().failed_acquires, 1);
+
+  // Cached `a` must have survived the eviction pressure.
+  cache.Release(held.value(), 2);
+  EXPECT_EQ(cache.MatchTokens(a), 2 * 16);
+}
+
+TEST(PrefixCacheTest, FailedAcquireRollsBackPins) {
+  PrefixCache cache(16, 3);
+  const auto a = Chain(30, 2);
+  auto acq_a = cache.Acquire(a, 2);
+  cache.Release(acq_a.value(), 2);
+
+  // Request shares `a`'s prefix but needs 4 blocks > capacity.
+  auto extended = Chain(30, 2);
+  extended.push_back(777);
+  extended.push_back(888);
+  auto fail = cache.Acquire(extended, 4);
+  EXPECT_FALSE(fail.ok());
+  // The matched pins must have been rolled back: `a` remains evictable.
+  const auto b = Chain(31, 3);
+  auto acq_b = cache.Acquire(b, 3);
+  EXPECT_TRUE(acq_b.ok());
+  cache.Release(acq_b.value(), 0);
+}
+
+TEST(PrefixCacheTest, RequestLargerThanPoolIsRejected) {
+  PrefixCache cache(16, 2);
+  const auto chain = Chain(40, 5);
+  auto acq = cache.Acquire(chain, 5);
+  EXPECT_EQ(acq.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(PrefixCacheTest, NeedBeyondChainAllocatesAnonymousBlocks) {
+  // A 70-token request at block 16 has 4 chain blocks + 1 partial: the
+  // partial block is anonymous (never cached).
+  PrefixCache cache(16, 10);
+  const auto chain = Chain(50, 4);
+  auto acq = cache.Acquire(chain, 5);
+  ASSERT_TRUE(acq.ok());
+  EXPECT_EQ(acq.value().blocks.size(), 5u);
+  cache.Release(acq.value(), 4);
+  EXPECT_EQ(cache.cached_blocks(), 4);
+  EXPECT_EQ(cache.free_blocks(), 6);  // partial block went back to the pool
+}
+
+TEST(PrefixCacheTest, NeedSmallerThanChainIsInvalid) {
+  PrefixCache cache(16, 10);
+  const auto chain = Chain(55, 4);
+  auto acq = cache.Acquire(chain, 2);
+  EXPECT_EQ(acq.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PrefixCacheTest, ConcurrentDuplicateInsertIsDeduplicated) {
+  PrefixCache cache(16, 10);
+  const auto chain = Chain(60, 2);
+  auto acq1 = cache.Acquire(chain, 2);
+  auto acq2 = cache.Acquire(chain, 2);  // same prefix, in flight together
+  ASSERT_TRUE(acq1.ok());
+  ASSERT_TRUE(acq2.ok());
+  EXPECT_EQ(acq2.value().matched_blocks, 0);  // acq1 not yet released
+
+  const auto ins1 = cache.Release(acq1.value(), 2);
+  const auto ins2 = cache.Release(acq2.value(), 2);
+  EXPECT_EQ(ins1.size(), 2u);
+  EXPECT_EQ(ins2.size(), 0u);  // duplicate blocks freed, not double-cached
+  EXPECT_EQ(cache.cached_blocks(), 2);
+  EXPECT_EQ(cache.free_blocks(), 8);
+}
+
+TEST(PrefixCacheTest, SuffixEvictedBeforePrefix) {
+  // Same stamp => deeper blocks evicted first, keeping the shareable
+  // prefix alive longest.
+  PrefixCache cache(16, 4);
+  const auto a = Chain(70, 4);
+  auto acq = cache.Acquire(a, 4);
+  cache.Release(acq.value(), 4);
+
+  const auto b = Chain(71, 1);
+  auto acq_b = cache.Acquire(b, 1);
+  ASSERT_TRUE(acq_b.ok());
+  cache.Release(acq_b.value(), 1);
+
+  // One of a's blocks was evicted; it must be the deepest one.
+  EXPECT_EQ(cache.MatchTokens(a), 3 * 16);
+}
+
+TEST(PrefixCacheTest, EvictionListenerFires) {
+  PrefixCache cache(16, 2);
+  std::vector<BlockId> evicted;
+  cache.SetEvictionListener(
+      [&](uint64_t /*hash*/, BlockId block, int64_t /*depth*/) { evicted.push_back(block); });
+  const auto a = Chain(80, 2);
+  auto acq = cache.Acquire(a, 2);
+  cache.Release(acq.value(), 2);
+  const auto b = Chain(81, 2);
+  auto acq_b = cache.Acquire(b, 2);  // evicts both of a's blocks
+  ASSERT_TRUE(acq_b.ok());
+  cache.Release(acq_b.value(), 0);
+  EXPECT_EQ(evicted.size(), 2u);
+}
+
+TEST(PrefixCacheTest, ClearDropsUnpinnedOnly) {
+  PrefixCache cache(16, 4);
+  const auto a = Chain(90, 2);
+  auto acq = cache.Acquire(a, 2);
+  cache.Release(acq.value(), 2);
+  auto pinned = cache.Acquire(a, 2);  // re-pin
+  cache.Clear();
+  EXPECT_EQ(cache.MatchTokens(a), 2 * 16);  // survived (pinned)
+  cache.Release(pinned.value(), 2);
+  cache.Clear();
+  EXPECT_EQ(cache.MatchTokens(a), 0);
+}
+
+TEST(PrefixCacheTest, ZeroCapacityAlwaysMissesGracefully) {
+  PrefixCache cache(16, 0);
+  std::vector<uint64_t> empty_chain;
+  auto acq = cache.Acquire(empty_chain, 0);
+  ASSERT_TRUE(acq.ok());
+  cache.Release(acq.value(), 0);
+  EXPECT_EQ(cache.MatchTokens(Chain(1, 3)), 0);
+}
+
+TEST(PrefixCacheTest, ClockDrivesLruOrder) {
+  PrefixCache cache(16, 2);
+  const auto a = Chain(100, 1);
+  const auto b = Chain(101, 1);
+  cache.SetClock(100);
+  auto acq_a = cache.Acquire(a, 1);
+  cache.Release(acq_a.value(), 1);
+  cache.SetClock(200);
+  auto acq_b = cache.Acquire(b, 1);
+  cache.Release(acq_b.value(), 1);
+  cache.SetClock(300);
+  const auto c = Chain(102, 1);
+  auto acq_c = cache.Acquire(c, 1);  // must evict a (older stamp)
+  ASSERT_TRUE(acq_c.ok());
+  cache.Release(acq_c.value(), 1);
+  EXPECT_EQ(cache.MatchTokens(a), 0);
+  EXPECT_EQ(cache.MatchTokens(b), 16);
+}
+
+// Invariant sweep: after arbitrary operation sequences, block accounting
+// stays consistent (no leaks, no double frees).
+TEST(PrefixCacheTest, AccountingInvariantUnderChurn) {
+  PrefixCache cache(8, 16);
+  for (int round = 0; round < 50; ++round) {
+    const auto chain = Chain(static_cast<uint64_t>(round % 7), 1 + round % 5);
+    const auto need = static_cast<int64_t>(chain.size()) + round % 2;
+    auto acq = cache.Acquire(chain, need);
+    if (!acq.ok()) {
+      continue;
+    }
+    cache.Release(acq.value(), static_cast<int64_t>(chain.size()) - round % 3);
+    EXPECT_EQ(cache.cached_blocks() + cache.free_blocks(), 16)
+        << "round " << round;
+  }
+}
+
+
+// ------------------------------------------- Model-based property check
+//
+// Drives PrefixCache with a random Acquire/Release workload and checks it
+// against a simple reference model of what must hold: matches only ever
+// report prefixes that were cached and not evicted; accounting stays
+// consistent; pinned entries survive arbitrary pressure.
+
+TEST(PrefixCachePropertyTest, RandomWorkloadAgainstReferenceModel) {
+  Rng rng(2025);
+  PrefixCache cache(8, 24);
+  // Ten distinct chains of 1..6 blocks, some sharing roots.
+  std::vector<std::vector<uint64_t>> chains;
+  for (uint64_t u = 0; u < 5; ++u) {
+    const auto full = Chain(u, 6);
+    for (int64_t len : {3, 6}) {
+      chains.emplace_back(full.begin(), full.begin() + len);
+    }
+  }
+
+  std::vector<Acquisition> in_flight;
+  for (int step = 0; step < 400; ++step) {
+    const bool do_acquire = in_flight.size() < 2 && rng.NextDouble() < 0.7;
+    if (do_acquire) {
+      const auto& chain = chains[rng.NextBounded(chains.size())];
+      const int64_t need = static_cast<int64_t>(chain.size()) +
+                           static_cast<int64_t>(rng.NextBounded(2));
+      const int64_t match_before = cache.MatchTokens(chain);
+      auto acq = cache.Acquire(chain, need);
+      if (acq.ok()) {
+        // The acquire must serve at least the previously visible prefix:
+        // nothing between MatchTokens and Acquire could evict it.
+        EXPECT_GE(acq.value().matched_blocks * 8, match_before);
+        in_flight.push_back(std::move(acq.value()));
+      }
+    } else if (!in_flight.empty()) {
+      const size_t idx = rng.NextBounded(in_flight.size());
+      Acquisition acq = std::move(in_flight[idx]);
+      in_flight.erase(in_flight.begin() + static_cast<std::ptrdiff_t>(idx));
+      const auto chain_len = static_cast<int64_t>(acq.chain.size());
+      const auto keep = static_cast<int64_t>(rng.NextBounded(
+          static_cast<uint64_t>(chain_len) + 1));
+      const std::vector<uint64_t> chain_copy = acq.chain;
+      cache.Release(acq, keep);
+      // Everything retained must now be visible.
+      EXPECT_GE(cache.MatchTokens(chain_copy), keep * 8);
+    }
+    // Invariants after every step.
+    const int64_t pinned = [&] {
+      int64_t total = 0;
+      for (const auto& acq : in_flight) {
+        total += static_cast<int64_t>(acq.blocks.size());
+      }
+      return total;
+    }();
+    EXPECT_LE(cache.cached_blocks(), 24);
+    EXPECT_GE(cache.free_blocks(), 0);
+    EXPECT_LE(cache.cached_blocks() + pinned, 24 + pinned);  // no phantom blocks
+    // Every in-flight matched prefix must still be visible (pinned).
+    for (const auto& acq : in_flight) {
+      EXPECT_GE(cache.MatchTokens(acq.chain), acq.matched_blocks * 8);
+    }
+  }
+  for (auto& acq : in_flight) {
+    cache.Release(acq, 0);
+  }
+  // Drain: everything evictable, accounting returns to full pool.
+  cache.Clear();
+  EXPECT_EQ(cache.free_blocks(), 24);
+  EXPECT_EQ(cache.cached_blocks(), 0);
+}
+
+// ------------------------------------------------------ OffloadDirectory
+
+TEST(OffloadDirectoryTest, InsertAndMatchContinuation) {
+  OffloadDirectory dir(4);
+  const auto chain = Chain(200, 4);
+  for (size_t i = 0; i < chain.size(); ++i) {
+    EXPECT_EQ(dir.Insert(chain[i], static_cast<int64_t>(i)), 0u);
+  }
+  EXPECT_EQ(dir.size(), 4);
+  EXPECT_EQ(dir.MatchContinuation(chain, 0), 4);
+  EXPECT_EQ(dir.MatchContinuation(chain, 2), 2);
+  EXPECT_EQ(dir.PeekContinuation(chain, 1), 3);
+}
+
+TEST(OffloadDirectoryTest, LruEvictionOnOverflow) {
+  OffloadDirectory dir(2);
+  dir.SetClock(1);
+  dir.Insert(100, 0);
+  dir.SetClock(2);
+  dir.Insert(200, 0);
+  dir.SetClock(3);
+  const uint64_t evicted = dir.Insert(300, 0);
+  EXPECT_EQ(evicted, 100u);  // oldest entry displaced
+  EXPECT_FALSE(dir.Contains(100));
+  EXPECT_TRUE(dir.Contains(200));
+  EXPECT_TRUE(dir.Contains(300));
+  EXPECT_EQ(dir.evictions(), 1);
+}
+
+TEST(OffloadDirectoryTest, ZeroCapacityDropsEverything) {
+  OffloadDirectory dir(0);
+  EXPECT_EQ(dir.Insert(1, 0), 0u);
+  EXPECT_FALSE(dir.Contains(1));
+  EXPECT_EQ(dir.size(), 0);
+}
+
+TEST(OffloadDirectoryTest, ReinsertRefreshesLru) {
+  OffloadDirectory dir(2);
+  dir.SetClock(1);
+  dir.Insert(100, 0);
+  dir.SetClock(2);
+  dir.Insert(200, 0);
+  dir.SetClock(3);
+  dir.Insert(100, 0);  // refresh
+  dir.SetClock(4);
+  const uint64_t evicted = dir.Insert(300, 0);
+  EXPECT_EQ(evicted, 200u);
+}
+
+TEST(OffloadDirectoryTest, MatchTouchesLru) {
+  OffloadDirectory dir(2);
+  const auto a = Chain(300, 1);
+  const auto b = Chain(301, 1);
+  dir.SetClock(1);
+  dir.Insert(a[0], 0);
+  dir.SetClock(2);
+  dir.Insert(b[0], 0);
+  dir.SetClock(3);
+  dir.MatchContinuation(a, 0);  // a becomes most recent
+  dir.SetClock(4);
+  const auto c = Chain(302, 1);
+  EXPECT_EQ(dir.Insert(c[0], 0), b[0]);
+}
+
+}  // namespace
+}  // namespace prefillonly

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/metrics/regression.h"
+#include "src/metrics/stats.h"
+
+namespace prefillonly {
+namespace {
+
+// ----------------------------------------------------------- OnlineStats
+
+TEST(OnlineStatsTest, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStatsTest, MeanAndVariance) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(x);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStatsTest, SingleSampleVarianceZero) {
+  OnlineStats s;
+  s.Add(3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.mean(), 3.5);
+}
+
+// ------------------------------------------------------------- SampleSet
+
+TEST(SampleSetTest, PercentilesOfKnownData) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) {
+    s.Add(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 100.0);
+  EXPECT_NEAR(s.P50(), 50.5, 1e-9);
+  EXPECT_NEAR(s.P99(), 99.01, 1e-9);
+  EXPECT_DOUBLE_EQ(s.Max(), 100.0);
+}
+
+TEST(SampleSetTest, PercentileSingleSample) {
+  SampleSet s;
+  s.Add(7.0);
+  EXPECT_EQ(s.P50(), 7.0);
+  EXPECT_EQ(s.P99(), 7.0);
+}
+
+TEST(SampleSetTest, MeanUnsortedInput) {
+  SampleSet s;
+  for (double x : {5.0, 1.0, 3.0}) {
+    s.Add(x);
+  }
+  EXPECT_DOUBLE_EQ(s.Mean(), 3.0);
+}
+
+TEST(SampleSetTest, PercentileAfterMoreSamples) {
+  // EnsureSorted must refresh after additional Adds.
+  SampleSet s;
+  s.Add(1.0);
+  EXPECT_EQ(s.P50(), 1.0);
+  s.Add(3.0);
+  s.Add(2.0);
+  EXPECT_DOUBLE_EQ(s.P50(), 2.0);
+}
+
+TEST(SampleSetTest, CdfIsMonotonic) {
+  SampleSet s;
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    s.Add(rng.NextDouble() * 10.0);
+  }
+  const auto cdf = s.Cdf(50);
+  ASSERT_EQ(cdf.size(), 50u);
+  for (size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].first, cdf[i - 1].first);   // values nondecreasing
+    EXPECT_GT(cdf[i].second, cdf[i - 1].second); // fractions increasing
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(SampleSetTest, CdfEmpty) {
+  SampleSet s;
+  EXPECT_TRUE(s.Cdf(10).empty());
+}
+
+// --------------------------------------------------------------- Pearson
+
+TEST(PearsonTest, PerfectPositiveCorrelation) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y{2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+}
+
+TEST(PearsonTest, PerfectNegativeCorrelation) {
+  std::vector<double> x{1, 2, 3};
+  std::vector<double> y{3, 2, 1};
+  EXPECT_NEAR(PearsonCorrelation(x, y), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, ConstantSeriesIsZero) {
+  std::vector<double> x{1, 1, 1};
+  std::vector<double> y{1, 2, 3};
+  EXPECT_EQ(PearsonCorrelation(x, y), 0.0);
+}
+
+TEST(PearsonTest, MismatchedLengthsIsZero) {
+  EXPECT_EQ(PearsonCorrelation({1, 2}, {1, 2, 3}), 0.0);
+}
+
+TEST(PearsonTest, NoisyLinearIsHigh) {
+  Rng rng(3);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    const double v = rng.NextDouble() * 100;
+    x.push_back(v);
+    y.push_back(3 * v + rng.NextGaussian() * 2.0);
+  }
+  EXPECT_GT(PearsonCorrelation(x, y), 0.99);
+}
+
+// ------------------------------------------------------------ Regression
+
+TEST(RegressionTest, RecoversExactLinearModel) {
+  // y = 2*a + 3*b + 5
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    const double a = rng.NextDouble() * 10;
+    const double b = rng.NextDouble() * 10;
+    rows.push_back({a, b});
+    y.push_back(2 * a + 3 * b + 5);
+  }
+  auto fit = FitLinear(rows, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit.value().coefficients[0], 2.0, 1e-9);
+  EXPECT_NEAR(fit.value().coefficients[1], 3.0, 1e-9);
+  EXPECT_NEAR(fit.value().intercept, 5.0, 1e-9);
+  EXPECT_NEAR(RSquared(fit.value(), rows, y), 1.0, 1e-12);
+}
+
+TEST(RegressionTest, PredictsNewPoints) {
+  std::vector<std::vector<double>> rows{{0}, {1}, {2}, {3}};
+  std::vector<double> y{1, 3, 5, 7};  // y = 2x + 1
+  auto fit = FitLinear(rows, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit.value().Predict({10}), 21.0, 1e-9);
+}
+
+TEST(RegressionTest, RejectsEmptyInput) {
+  EXPECT_FALSE(FitLinear({}, {}).ok());
+}
+
+TEST(RegressionTest, RejectsUnderdeterminedSystem) {
+  // 2 features + intercept needs >= 3 samples.
+  EXPECT_FALSE(FitLinear({{1.0, 2.0}}, {3.0}).ok());
+}
+
+TEST(RegressionTest, RejectsSingularDesign) {
+  // Feature 2 is a constant multiple of feature 1.
+  std::vector<std::vector<double>> rows{{1, 2}, {2, 4}, {3, 6}, {4, 8}};
+  std::vector<double> y{1, 2, 3, 4};
+  EXPECT_FALSE(FitLinear(rows, y).ok());
+}
+
+TEST(RegressionTest, RejectsRaggedRows) {
+  std::vector<std::vector<double>> rows{{1, 2}, {2}};
+  std::vector<double> y{1, 2};
+  EXPECT_FALSE(FitLinear(rows, y).ok());
+}
+
+TEST(RegressionTest, NoisyFitHasReasonableR2) {
+  Rng rng(21);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (int i = 0; i < 300; ++i) {
+    const double a = rng.NextDouble() * 100;
+    rows.push_back({a});
+    y.push_back(0.5 * a + rng.NextGaussian());
+  }
+  auto fit = FitLinear(rows, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_GT(RSquared(fit.value(), rows, y), 0.99);
+}
+
+}  // namespace
+}  // namespace prefillonly

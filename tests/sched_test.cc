@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/sched/jct.h"
+#include "src/sched/scheduler.h"
+
+namespace prefillonly {
+namespace {
+
+SchedEntry Entry(double arrival, int64_t n_input, int64_t cached_arrival,
+                 int64_t cached_now) {
+  SchedEntry e;
+  e.arrival_time = arrival;
+  e.n_input = n_input;
+  e.n_cached_at_arrival = cached_arrival;
+  e.n_cached_now = cached_now;
+  return e;
+}
+
+// -------------------------------------------------------------- Estimators
+
+TEST(JctEstimatorTest, ProxyIsCacheMissTokens) {
+  CacheMissProxyEstimator proxy;
+  EXPECT_EQ(proxy.Estimate(1000, 0), 1000.0);
+  EXPECT_EQ(proxy.Estimate(1000, 900), 100.0);
+}
+
+TEST(JctEstimatorTest, ProfiledRecoversLinearGroundTruth) {
+  // Ground truth jct = 2ms/token_input - 1.5ms/token_cached + 40ms.
+  auto measure = [](int64_t n_input, int64_t n_cached) {
+    return 0.002 * static_cast<double>(n_input) -
+           0.0015 * static_cast<double>(n_cached) + 0.04;
+  };
+  auto estimator = ProfiledJctEstimator::Profile(measure, 8000, 1000);
+  ASSERT_TRUE(estimator.ok());
+  EXPECT_GT(estimator.value().r_squared(), 0.999);
+  EXPECT_NEAR(estimator.value().Estimate(5500, 2500), measure(5500, 2500), 1e-6);
+}
+
+TEST(JctEstimatorTest, ProfiledRejectsBadGrid) {
+  auto measure = [](int64_t, int64_t) { return 1.0; };
+  EXPECT_FALSE(ProfiledJctEstimator::Profile(measure, 500, 1000).ok());
+  EXPECT_FALSE(ProfiledJctEstimator::Profile(measure, 1000, 0).ok());
+}
+
+// --------------------------------------------------------------- Policies
+
+TEST(SchedulerTest, FifoPicksEarliestArrival) {
+  Scheduler sched(SchedPolicy::kFifo, 0.0, nullptr);
+  std::vector<SchedEntry> queue{
+      Entry(2.0, 100, 0, 0), Entry(1.0, 900, 0, 0), Entry(3.0, 10, 0, 0)};
+  EXPECT_EQ(sched.PickNext(queue, 10.0), 1u);
+}
+
+TEST(SchedulerTest, SjfPicksShortestJob) {
+  CacheMissProxyEstimator proxy;
+  Scheduler sched(SchedPolicy::kSjfStatic, 0.0, &proxy);
+  std::vector<SchedEntry> queue{
+      Entry(0.0, 500, 0, 0), Entry(0.0, 100, 0, 0), Entry(0.0, 900, 0, 0)};
+  EXPECT_EQ(sched.PickNext(queue, 1.0), 1u);
+}
+
+TEST(SchedulerTest, StaticSjfIgnoresFreshCacheState) {
+  // Request 0 became fully cached AFTER arrival; static SJF cannot see it.
+  CacheMissProxyEstimator proxy;
+  Scheduler stale(SchedPolicy::kSjfStatic, 0.0, &proxy);
+  Scheduler calibrated(SchedPolicy::kSrjfCalibrated, 0.0, &proxy);
+  std::vector<SchedEntry> queue{
+      Entry(0.0, 1000, 0, 950),  // 50 miss tokens NOW, 1000 at arrival
+      Entry(0.0, 400, 0, 0)};
+  EXPECT_EQ(stale.PickNext(queue, 1.0), 1u);       // sees 1000 vs 400
+  EXPECT_EQ(calibrated.PickNext(queue, 1.0), 0u);  // sees 50 vs 400
+}
+
+TEST(SchedulerTest, LambdaAgingPreventsStarvation) {
+  // A long job that has waited long enough must win over fresh short jobs
+  // (Algorithm 1's - lambda * T_queue term).
+  CacheMissProxyEstimator proxy;
+  Scheduler sched(SchedPolicy::kSrjfCalibrated, /*lambda=*/500.0, &proxy);
+  std::vector<SchedEntry> queue{
+      Entry(0.0, 10000, 0, 0),   // 10k miss tokens, waiting since t=0
+      Entry(19.0, 100, 0, 0)};   // tiny job, just arrived
+  // At t=19: scores are 10000 - 500*19 = 500 vs 100 - 0 = 100: short wins.
+  EXPECT_EQ(sched.PickNext(queue, 19.0), 1u);
+  // At t=21: 10000 - 500*21 = -500 vs 100 - 500*2 = -900: short STILL wins
+  // (it ages at the same rate); the long job wins once the score gap from
+  // arrival-time difference dominates.
+  EXPECT_EQ(sched.PickNext(queue, 21.0), 1u);
+  std::vector<SchedEntry> queue2{
+      Entry(0.0, 10000, 0, 0),
+      Entry(25.0, 100, 0, 0)};  // arrives 25s later
+  // 10000 - 500*25 = -2500 vs 100: the starved job finally runs.
+  EXPECT_EQ(sched.PickNext(queue2, 25.0), 0u);
+}
+
+TEST(SchedulerTest, ZeroLambdaNeverAges) {
+  CacheMissProxyEstimator proxy;
+  Scheduler sched(SchedPolicy::kSrjfCalibrated, 0.0, &proxy);
+  std::vector<SchedEntry> queue{
+      Entry(0.0, 10000, 0, 0), Entry(1000.0, 100, 0, 0)};
+  EXPECT_EQ(sched.PickNext(queue, 2000.0), 1u);  // short always wins
+}
+
+TEST(SchedulerTest, TieBreaksFifo) {
+  CacheMissProxyEstimator proxy;
+  Scheduler sched(SchedPolicy::kSrjfCalibrated, 0.0, &proxy);
+  std::vector<SchedEntry> queue{
+      Entry(1.0, 100, 0, 0), Entry(2.0, 100, 0, 0)};
+  EXPECT_EQ(sched.PickNext(queue, 3.0), 0u);
+}
+
+TEST(SchedulerTest, ScoreExposesAlgorithm1) {
+  CacheMissProxyEstimator proxy;
+  Scheduler sched(SchedPolicy::kSrjfCalibrated, 500.0, &proxy);
+  const SchedEntry e = Entry(10.0, 5000, 0, 2000);
+  // score = (5000 - 2000) - 500 * (now - 10)
+  EXPECT_DOUBLE_EQ(sched.Score(e, 14.0), 3000.0 - 500.0 * 4.0);
+}
+
+// ------------------------------------------------- Fig. 5 walkthrough
+//
+// Four requests A, B, C, D with length A < C < B < D; A and D share a
+// prefix, B and C share a prefix; the cache holds only ONE request's KV.
+// FIFO and static SRJF each get 1 cache hit; SRJF with continuous
+// calibration gets 2 (it notices D's JCT collapse right after A runs).
+// This mirrors the paper's Fig. 5 exactly, with the cache dynamics
+// emulated deterministically.
+
+struct Fig5Request {
+  const char* name;
+  int64_t length;
+  int group;  // shared-prefix group: 0 = {A, D}, 1 = {B, C}
+};
+
+int RunFig5(SchedPolicy policy) {
+  // Lengths satisfy A < C < B < D, with the shared prefixes large enough
+  // that a cache hit flips the JCT order (D's miss after A = 100 tokens,
+  // below C's 350) — the situation Fig. 5 illustrates.
+  const Fig5Request requests[] = {
+      {"A", 300, 0}, {"B", 380, 1}, {"C", 350, 1}, {"D", 400, 0}};
+  CacheMissProxyEstimator proxy;
+  Scheduler sched(policy, 0.0, &proxy);
+
+  std::vector<int> remaining{0, 1, 2, 3};
+  int cached_group = -1;  // cache holds one request's prefix
+  int64_t cached_len = 0;
+  int hits = 0;
+  double now = 0;
+  while (!remaining.empty()) {
+    std::vector<SchedEntry> queue;
+    for (int idx : remaining) {
+      const auto& r = requests[idx];
+      const int64_t hit =
+          (r.group == cached_group) ? std::min(cached_len, r.length - 1) : 0;
+      SchedEntry e = Entry(0.0, r.length, 0, hit);
+      // Static policies saw an empty cache at arrival.
+      if (policy != SchedPolicy::kSrjfCalibrated) {
+        e.n_cached_now = e.n_cached_at_arrival;
+      }
+      queue.push_back(e);
+    }
+    const size_t pick = sched.PickNext(queue, now);
+    const int idx = remaining[pick];
+    const auto& r = requests[idx];
+    if (r.group == cached_group && cached_len > 0) {
+      ++hits;
+    }
+    cached_group = r.group;  // tiny cache: last request's prefix only
+    cached_len = r.length;
+    now += 1.0;
+    remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(pick));
+  }
+  return hits;
+}
+
+TEST(Fig5Test, FifoGetsOneHit) { EXPECT_EQ(RunFig5(SchedPolicy::kFifo), 1); }
+
+TEST(Fig5Test, StaticSrjfGetsOneHit) {
+  EXPECT_EQ(RunFig5(SchedPolicy::kSjfStatic), 1);
+}
+
+TEST(Fig5Test, CalibratedSrjfGetsTwoHits) {
+  EXPECT_EQ(RunFig5(SchedPolicy::kSrjfCalibrated), 2);
+}
+
+}  // namespace
+}  // namespace prefillonly

@@ -1,0 +1,234 @@
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+
+#include "src/server/http_server.h"
+#include "src/server/json.h"
+#include "src/server/scoring_service.h"
+
+namespace prefillonly {
+namespace {
+
+// -------------------------------------------------------------------- JSON
+
+TEST(JsonTest, ParsePrimitives) {
+  EXPECT_TRUE(Json::Parse("null").value().is_null());
+  EXPECT_EQ(Json::Parse("true").value().AsBool(), true);
+  EXPECT_EQ(Json::Parse("false").value().AsBool(), false);
+  EXPECT_DOUBLE_EQ(Json::Parse("3.25").value().AsDouble(), 3.25);
+  EXPECT_EQ(Json::Parse("-17").value().AsInt(), -17);
+  EXPECT_EQ(Json::Parse("\"hi\"").value().AsString(), "hi");
+}
+
+TEST(JsonTest, ParseNested) {
+  auto parsed = Json::Parse(R"({"a": [1, 2, {"b": "c"}], "d": null})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Json& v = parsed.value();
+  ASSERT_TRUE(v.is_object());
+  const Json* a = v.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  EXPECT_EQ(a->AsArray().size(), 3u);
+  EXPECT_EQ(a->AsArray()[2].Find("b")->AsString(), "c");
+  EXPECT_TRUE(v.Find("d")->is_null());
+  EXPECT_EQ(v.Find("missing"), nullptr);
+}
+
+TEST(JsonTest, ParseEscapes) {
+  auto parsed = Json::Parse(R"("line\nbreak \"quoted\" tab\t uA")");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().AsString(), "line\nbreak \"quoted\" tab\t uA");
+}
+
+TEST(JsonTest, RejectsMalformed) {
+  EXPECT_FALSE(Json::Parse("").ok());
+  EXPECT_FALSE(Json::Parse("{").ok());
+  EXPECT_FALSE(Json::Parse("[1,]").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(Json::Parse("\"unterminated").ok());
+  EXPECT_FALSE(Json::Parse("12 34").ok());
+  EXPECT_FALSE(Json::Parse("nul").ok());
+}
+
+TEST(JsonTest, SerializeRoundTrip) {
+  Json::Object object;
+  object.emplace("name", Json("prefill\"only\""));
+  object.emplace("n", Json(42));
+  object.emplace("pi", Json(3.5));
+  object.emplace("flags", Json(Json::Array{Json(true), Json(nullptr)}));
+  const std::string serialized = Json(std::move(object)).Serialize();
+  auto reparsed = Json::Parse(serialized);
+  ASSERT_TRUE(reparsed.ok()) << serialized;
+  EXPECT_EQ(reparsed.value().Find("name")->AsString(), "prefill\"only\"");
+  EXPECT_EQ(reparsed.value().Find("n")->AsInt(), 42);
+  EXPECT_DOUBLE_EQ(reparsed.value().Find("pi")->AsDouble(), 3.5);
+  EXPECT_TRUE(reparsed.value().Find("flags")->AsArray()[1].is_null());
+}
+
+// -------------------------------------------------------------- HTTP parse
+
+TEST(HttpParseTest, ParsesRequestLineHeadersBody) {
+  const std::string raw =
+      "POST /v1/score HTTP/1.1\r\n"
+      "Host: localhost\r\n"
+      "Content-Type: application/json\r\n"
+      "Content-Length: 2\r\n"
+      "\r\n"
+      "{}";
+  auto request = HttpServer::ParseRequest(raw);
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request.value().method, "POST");
+  EXPECT_EQ(request.value().path, "/v1/score");
+  EXPECT_EQ(request.value().headers.at("content-type"), "application/json");
+  EXPECT_EQ(request.value().body, "{}");
+}
+
+TEST(HttpParseTest, RejectsMalformed) {
+  EXPECT_FALSE(HttpServer::ParseRequest("garbage").ok());
+  EXPECT_FALSE(HttpServer::ParseRequest("GET\r\n\r\n").ok());
+}
+
+// ----------------------------------------------------- Service (no socket)
+
+EngineOptions SmallEngineOptions() {
+  EngineOptions options;
+  options.model = ModelConfig::Tiny();
+  options.block_size = 16;
+  return options;
+}
+
+HttpRequest Post(const std::string& path, const std::string& body) {
+  HttpRequest request;
+  request.method = "POST";
+  request.path = path;
+  request.body = body;
+  return request;
+}
+
+TEST(ScoringServiceTest, ScoresTokenRequest) {
+  ScoringService service(SmallEngineOptions());
+  const auto response = service.Handle(
+      Post("/v1/score", R"({"tokens":[1,2,3,4,5,6,7,8], "allowed_tokens":[10,20]})"));
+  ASSERT_EQ(response.status, 200) << response.body;
+  auto body = Json::Parse(response.body);
+  ASSERT_TRUE(body.ok());
+  const double score = body.value().Find("score")->AsDouble();
+  EXPECT_GT(score, 0.0);
+  EXPECT_LT(score, 1.0);
+  EXPECT_EQ(body.value().Find("n_input")->AsInt(), 8);
+}
+
+TEST(ScoringServiceTest, ScoresTextRequestAndHitsCache) {
+  ScoringService service(SmallEngineOptions());
+  const std::string profile =
+      "user profile : systems papers , sourdough , gravel cycling , synths "
+      "and long reads about databases storage and schedulers every week";
+  const std::string req1 = R"({"text":")" + profile + R"( article one",
+                               "allowed":["yes","no"]})";
+  const std::string req2 = R"({"text":")" + profile + R"( article two",
+                               "allowed":["yes","no"]})";
+  ASSERT_EQ(service.Handle(Post("/v1/score", req1)).status, 200);
+  const auto response = service.Handle(Post("/v1/score", req2));
+  ASSERT_EQ(response.status, 200);
+  auto body = Json::Parse(response.body);
+  ASSERT_TRUE(body.ok());
+  EXPECT_GT(body.value().Find("n_cached")->AsInt(), 0);
+}
+
+TEST(ScoringServiceTest, BadRequestsGet400) {
+  ScoringService service(SmallEngineOptions());
+  EXPECT_EQ(service.Handle(Post("/v1/score", "not json")).status, 400);
+  EXPECT_EQ(service.Handle(Post("/v1/score", "{}")).status, 400);
+  EXPECT_EQ(service.Handle(Post("/v1/score", R"({"tokens":[1]})")).status, 400);
+  EXPECT_EQ(service.Handle(Post("/v1/score",
+                                R"({"tokens":[99999], "allowed_tokens":[1]})"))
+                .status,
+            400);
+}
+
+TEST(ScoringServiceTest, UnknownRouteGets404) {
+  ScoringService service(SmallEngineOptions());
+  HttpRequest request;
+  request.method = "GET";
+  request.path = "/v2/nonsense";
+  EXPECT_EQ(service.Handle(request).status, 404);
+}
+
+TEST(ScoringServiceTest, StatsEndpoint) {
+  ScoringService service(SmallEngineOptions());
+  service.Handle(
+      Post("/v1/score", R"({"tokens":[1,2,3,4], "allowed_tokens":[10,20]})"));
+  HttpRequest request;
+  request.method = "GET";
+  request.path = "/v1/stats";
+  const auto response = service.Handle(request);
+  ASSERT_EQ(response.status, 200);
+  auto body = Json::Parse(response.body);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(body.value().Find("completed")->AsInt(), 1);
+}
+
+// ------------------------------------------------- End to end over a socket
+
+// Minimal blocking HTTP client for the loopback test.
+std::string HttpRoundTrip(uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::write(fd, request.data() + sent, request.size() - sent);
+    if (n <= 0) {
+      break;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buffer, sizeof(buffer))) > 0) {
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(HttpEndToEndTest, ScoreOverLoopback) {
+  ScoringService service(SmallEngineOptions());
+  ASSERT_TRUE(service.Start(/*port=*/0).ok());
+  ASSERT_GT(service.port(), 0);
+
+  const std::string body =
+      R"({"tokens":[3,1,4,1,5,9,2,6,5,3,5,9], "allowed_tokens":[10,20], "user_id": 7})";
+  const std::string request = "POST /v1/score HTTP/1.1\r\n"
+                              "Host: localhost\r\n"
+                              "Content-Type: application/json\r\n"
+                              "Content-Length: " +
+                              std::to_string(body.size()) + "\r\n\r\n" + body;
+  const std::string response = HttpRoundTrip(service.port(), request);
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos) << response;
+  const size_t json_start = response.find("\r\n\r\n");
+  ASSERT_NE(json_start, std::string::npos);
+  auto parsed = Json::Parse(response.substr(json_start + 4));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_GT(parsed.value().Find("score")->AsDouble(), 0.0);
+  service.Stop();
+}
+
+TEST(HttpEndToEndTest, StartStopIsIdempotent) {
+  ScoringService service(SmallEngineOptions());
+  ASSERT_TRUE(service.Start(0).ok());
+  service.Stop();
+  service.Stop();  // no-op
+}
+
+}  // namespace
+}  // namespace prefillonly

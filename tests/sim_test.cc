@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/simulation.h"
+
+namespace prefillonly {
+namespace {
+
+TEST(SimulationTest, EventsFireInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.Schedule(3.0, [&] { order.push_back(3); });
+  sim.Schedule(1.0, [&] { order.push_back(1); });
+  sim.Schedule(2.0, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 3.0);
+  EXPECT_EQ(sim.events_processed(), 3u);
+}
+
+TEST(SimulationTest, EqualTimesFireFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.Schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulationTest, CallbacksCanScheduleMoreEvents) {
+  Simulation sim;
+  std::vector<double> times;
+  sim.Schedule(1.0, [&] {
+    times.push_back(sim.now());
+    sim.ScheduleAfter(2.0, [&] { times.push_back(sim.now()); });
+  });
+  sim.Run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_EQ(times[0], 1.0);
+  EXPECT_EQ(times[1], 3.0);
+}
+
+TEST(SimulationTest, RunUntilStopsAtDeadline) {
+  Simulation sim;
+  int fired = 0;
+  sim.Schedule(1.0, [&] { ++fired; });
+  sim.Schedule(2.0, [&] { ++fired; });
+  sim.Schedule(5.0, [&] { ++fired; });
+  sim.RunUntil(2.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 2.0);
+  EXPECT_FALSE(sim.empty());
+  sim.Run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(SimulationTest, MaxEventsBound) {
+  Simulation sim;
+  // Self-perpetuating event chain: Run(max) must stop it.
+  std::function<void()> tick = [&] {
+    sim.ScheduleAfter(1.0, tick);
+  };
+  sim.Schedule(0.0, tick);
+  sim.Run(/*max_events=*/10);
+  EXPECT_EQ(sim.events_processed(), 10u);
+}
+
+TEST(SimulationTest, DeterministicReplay) {
+  auto run_once = [] {
+    Simulation sim;
+    std::vector<double> trace;
+    for (int i = 0; i < 20; ++i) {
+      sim.Schedule(static_cast<double>((i * 7) % 5),
+                   [&trace, &sim] { trace.push_back(sim.now()); });
+    }
+    sim.Run();
+    return trace;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace prefillonly
