@@ -1,22 +1,227 @@
-// google-benchmark microbenchmarks for the hot paths of the library:
-// tensor kernels, prefix-cache operations, scheduler decisions and the
-// end-to-end CPU prefill. These are engineering benchmarks (regression
-// tracking), not paper reproductions.
-#include <benchmark/benchmark.h>
-
+// Kernel microbenchmarks.
+//
+// Two jobs:
+//  1. Always: a hand-rolled GFLOP/s sweep over the hot kernels — the seed
+//     scalar MatMul (with its `a_val == 0` skip), the retained scalar
+//     reference, and the blocked/threaded kernels at 1/2/4/8 threads, plus
+//     the RoPE recompute-vs-table pair — written machine-readably to
+//     BENCH_kernels.json (and echoed as a table). docs/PERFORMANCE.md and
+//     the CI regression check read this file.
+//  2. With google-benchmark available (PO_HAVE_GBENCH) and `--gbench`:
+//     the original regression-tracking microbenchmarks over tensor kernels,
+//     prefix-cache operations, scheduler decisions and end-to-end prefill.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "src/common/hash.h"
 #include "src/common/rng.h"
+#include "src/common/thread_pool.h"
 #include "src/kvcache/prefix_cache.h"
 #include "src/model/llama.h"
+#include "src/model/rope_table.h"
 #include "src/sched/scheduler.h"
 #include "src/tensor/ops.h"
+#include "src/tensor/ops_ref.h"
 #include "src/tensor/tracking_allocator.h"
+
+#ifdef PO_HAVE_GBENCH
+#include <benchmark/benchmark.h>
+#endif
 
 namespace {
 
 using namespace prefillonly;
+
+// ------------------------------------------------------------ JSON sweep
+
+// The seed kernel, verbatim (including the sparsity skip the rewrite
+// removed): the baseline every speedup in the JSON is measured against.
+void SeedMatMul(const float* a, const float* b, float* c, int64_t m, int64_t k,
+                int64_t n) {
+  std::memset(c, 0, static_cast<size_t>(m) * n * sizeof(float));
+  for (int64_t i = 0; i < m; ++i) {
+    const float* a_row = a + i * k;
+    float* c_row = c + i * n;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float a_val = a_row[kk];
+      if (a_val == 0.0f) {
+        continue;
+      }
+      const float* b_row = b + kk * n;
+      for (int64_t j = 0; j < n; ++j) {
+        c_row[j] += a_val * b_row[j];
+      }
+    }
+  }
+}
+
+// Best-of-reps wall time of fn(), with enough inner iterations to pass
+// min_seconds per rep.
+template <typename Fn>
+double TimeSeconds(const Fn& fn, double min_seconds = 0.1, int reps = 3) {
+  using Clock = std::chrono::steady_clock;
+  // Warm-up + calibration.
+  auto t0 = Clock::now();
+  fn();
+  double once = std::chrono::duration<double>(Clock::now() - t0).count();
+  const int iters = once > 0 ? std::max(1, static_cast<int>(min_seconds / once)) : 1;
+  double best = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    t0 = Clock::now();
+    for (int it = 0; it < iters; ++it) {
+      fn();
+    }
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - t0).count() / iters;
+    best = std::min(best, elapsed);
+  }
+  return best;
+}
+
+struct KernelPoint {
+  std::string kernel;
+  std::string variant;
+  int threads;
+  double gflops;
+  double seconds;
+};
+
+void RunJsonSweep(const char* json_path) {
+  std::vector<KernelPoint> points;
+  const std::vector<int> thread_counts = {1, 2, 4, 8};
+
+  // MatMul at an engine-ish shape (chunk of 256 tokens, hidden 512).
+  {
+    const int64_t m = 256;
+    const int64_t k = 512;
+    const int64_t n = 512;
+    const double flops = 2.0 * m * k * n;
+    Rng rng(1);
+    std::vector<float> a(static_cast<size_t>(m * k));
+    std::vector<float> b(static_cast<size_t>(k * n));
+    std::vector<float> c(static_cast<size_t>(m * n));
+    for (auto& v : a) {
+      v = rng.NextUniformFloat(1.0f);
+    }
+    for (auto& v : b) {
+      v = rng.NextUniformFloat(1.0f);
+    }
+    double s = TimeSeconds([&] { SeedMatMul(a.data(), b.data(), c.data(), m, k, n); });
+    points.push_back({"matmul", "seed_scalar", 1, flops / s * 1e-9, s});
+    s = TimeSeconds([&] { ref::MatMul(a.data(), b.data(), c.data(), m, k, n); });
+    points.push_back({"matmul", "ref_scalar", 1, flops / s * 1e-9, s});
+    for (int t : thread_counts) {
+      ThreadPool pool(t);
+      s = TimeSeconds([&] { MatMul(a.data(), b.data(), c.data(), m, k, n, &pool); });
+      points.push_back({"matmul", "blocked", t, flops / s * 1e-9, s});
+    }
+  }
+
+  // RoPE: recompute (seed) vs precomputed table. ~6 arithmetic ops per
+  // rotated pair; the seed path additionally pays pow/cos/sin per element.
+  {
+    const int64_t rows = 512;
+    const int64_t n_heads = 8;
+    const int64_t head_dim = 64;
+    const double flops = 6.0 * rows * n_heads * (head_dim / 2);
+    Rng rng(2);
+    std::vector<float> x(static_cast<size_t>(rows * n_heads * head_dim));
+    for (auto& v : x) {
+      v = rng.NextUniformFloat(1.0f);
+    }
+    std::vector<int32_t> positions(static_cast<size_t>(rows));
+    for (int64_t i = 0; i < rows; ++i) {
+      positions[static_cast<size_t>(i)] = static_cast<int32_t>(i);
+    }
+    double s = TimeSeconds(
+        [&] { ref::ApplyRope(x.data(), rows, n_heads, head_dim, positions, 10000.0f); });
+    points.push_back({"rope", "seed_recompute", 1, flops / s * 1e-9, s});
+    RopeTable table(head_dim, 10000.0f);
+    table.EnsureCapacity(rows);
+    for (int t : thread_counts) {
+      ThreadPool pool(t);
+      s = TimeSeconds(
+          [&] { ApplyRopeWithTable(x.data(), rows, n_heads, head_dim, positions, table,
+                                   &pool); });
+      points.push_back({"rope", "table", t, flops / s * 1e-9, s});
+    }
+  }
+
+  // RMSNorm rows.
+  {
+    const int64_t m = 2048;
+    const int64_t h = 512;
+    const double flops = 4.0 * m * h;
+    Rng rng(3);
+    std::vector<float> x(static_cast<size_t>(m * h));
+    std::vector<float> w(static_cast<size_t>(h), 1.0f);
+    std::vector<float> y(static_cast<size_t>(m * h));
+    for (auto& v : x) {
+      v = rng.NextUniformFloat(1.0f);
+    }
+    double s = TimeSeconds([&] { ref::RmsNormRows(x.data(), w.data(), y.data(), m, h); });
+    points.push_back({"rmsnorm", "ref_scalar", 1, flops / s * 1e-9, s});
+    for (int t : thread_counts) {
+      ThreadPool pool(t);
+      s = TimeSeconds(
+          [&] { RmsNormRows(x.data(), w.data(), y.data(), m, h, 1e-5f, &pool); });
+      points.push_back({"rmsnorm", "row_parallel", t, flops / s * 1e-9, s});
+    }
+  }
+
+  // SwiGLU rows.
+  {
+    const int64_t m = 1024;
+    const int64_t inter = 896;
+    const double flops = 6.0 * m * inter;  // exp counted as one
+    Rng rng(4);
+    std::vector<float> gate_up(static_cast<size_t>(m * 2 * inter));
+    std::vector<float> out(static_cast<size_t>(m * inter));
+    for (auto& v : gate_up) {
+      v = rng.NextUniformFloat(1.0f);
+    }
+    double s = TimeSeconds([&] { ref::SwiGluRows(gate_up.data(), out.data(), m, inter); });
+    points.push_back({"swiglu", "ref_scalar", 1, flops / s * 1e-9, s});
+    for (int t : thread_counts) {
+      ThreadPool pool(t);
+      s = TimeSeconds([&] { SwiGluRows(gate_up.data(), out.data(), m, inter, &pool); });
+      points.push_back({"swiglu", "row_parallel", t, flops / s * 1e-9, s});
+    }
+  }
+
+  std::printf("%-10s %-16s %8s %12s %12s\n", "kernel", "variant", "threads",
+              "GFLOP/s", "sec/call");
+  for (const auto& p : points) {
+    std::printf("%-10s %-16s %8d %12.3f %12.6f\n", p.kernel.c_str(),
+                p.variant.c_str(), p.threads, p.gflops, p.seconds);
+  }
+
+  FILE* f = std::fopen(json_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"kernels\": [\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    std::fprintf(f,
+                 "    {\"kernel\": \"%s\", \"variant\": \"%s\", \"threads\": %d, "
+                 "\"gflops\": %.4f, \"seconds_per_call\": %.6g}%s\n",
+                 p.kernel.c_str(), p.variant.c_str(), p.threads, p.gflops, p.seconds,
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", json_path);
+}
+
+// ------------------------------------------------- google-benchmark suite
+
+#ifdef PO_HAVE_GBENCH
 
 void BM_MatMul(benchmark::State& state) {
   const int64_t m = state.range(0);
@@ -39,6 +244,29 @@ void BM_MatMul(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * m * k * n * 2);
 }
 BENCHMARK(BM_MatMul)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_MatMulThreaded(benchmark::State& state) {
+  const int64_t m = 512;
+  const int64_t k = 256;
+  const int64_t n = 256;
+  ThreadPool pool(static_cast<int>(state.range(0)));
+  Rng rng(1);
+  std::vector<float> a(static_cast<size_t>(m * k));
+  std::vector<float> b(static_cast<size_t>(k * n));
+  std::vector<float> c(static_cast<size_t>(m * n));
+  for (auto& v : a) {
+    v = rng.NextUniformFloat(1.0f);
+  }
+  for (auto& v : b) {
+    v = rng.NextUniformFloat(1.0f);
+  }
+  for (auto _ : state) {
+    MatMul(a.data(), b.data(), c.data(), m, k, n, &pool);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m * k * n * 2);
+}
+BENCHMARK(BM_MatMulThreaded)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_RmsNorm(benchmark::State& state) {
   const int64_t m = state.range(0);
@@ -131,4 +359,34 @@ void BM_PrefillHybridTiny(benchmark::State& state) {
 }
 BENCHMARK(BM_PrefillHybridTiny)->Arg(64)->Arg(256);
 
+#endif  // PO_HAVE_GBENCH
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  bool gbench = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--gbench") {
+      gbench = true;
+      // Shift the flag out so google-benchmark sees only its own args.
+      for (int j = i; j + 1 < argc; ++j) {
+        argv[j] = argv[j + 1];
+      }
+      --argc;
+      break;
+    }
+  }
+  if (!gbench) {
+    RunJsonSweep("BENCH_kernels.json");
+    return 0;
+  }
+#ifdef PO_HAVE_GBENCH
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+#else
+  std::fprintf(stderr, "built without google-benchmark; --gbench unavailable\n");
+  return 1;
+#endif
+}

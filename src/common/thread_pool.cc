@@ -1,0 +1,100 @@
+#include "src/common/thread_pool.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace prefillonly {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  num_threads_ = std::max(num_threads, 1);
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int w = 1; w < num_threads_; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+std::pair<int64_t, int64_t> ThreadPool::ShardRange(int64_t n, int shards, int shard) {
+  assert(shards > 0 && shard >= 0 && shard < shards);
+  const int64_t base = n / shards;
+  const int64_t rem = n % shards;
+  const int64_t begin = shard * base + std::min<int64_t>(shard, rem);
+  const int64_t end = begin + base + (shard < rem ? 1 : 0);
+  return {begin, end};
+}
+
+void ThreadPool::ParallelFor(int64_t n, int64_t grain, const RangeFn& fn) {
+  if (n <= 0) {
+    return;
+  }
+  grain = std::max<int64_t>(grain, 1);
+  const int shards = static_cast<int>(
+      std::clamp<int64_t>(n / grain, 1, static_cast<int64_t>(num_threads_)));
+  if (shards == 1 || workers_.empty()) {
+    fn(0, n, 0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    task_ = &fn;
+    task_n_ = n;
+    task_shards_ = shards;
+    // Only participating workers join the rendezvous; workers with index
+    // >= shards are off the critical path (they may even sleep through the
+    // whole epoch — WorkerLoop guards against reading a stale task).
+    pending_ = shards - 1;
+    ++epoch_;
+  }
+  cv_work_.notify_all();
+  // The caller is worker 0 and always participates.
+  const auto [begin, end] = ShardRange(n, shards, 0);
+  fn(begin, end, 0);
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this] { return pending_ == 0; });
+  task_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop(int worker) {
+  uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    cv_work_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+    if (stop_) {
+      return;
+    }
+    seen = epoch_;
+    const RangeFn* fn = task_;
+    const int64_t n = task_n_;
+    const int shards = task_shards_;
+    // worker >= shards: not a participant this epoch. fn may even be null
+    // here if this worker slept through the epoch it was excluded from and
+    // woke after the caller cleared task_ — the guard makes that benign.
+    if (worker >= shards) {
+      continue;
+    }
+    lock.unlock();
+    const auto [begin, end] = ShardRange(n, shards, worker);
+    if (begin < end) {
+      (*fn)(begin, end, worker);
+    }
+    lock.lock();
+    if (--pending_ == 0) {
+      cv_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace prefillonly

@@ -1,0 +1,71 @@
+// Persistent worker pool with deterministic range partitioning.
+//
+// The engine's intra-op parallelism contract: ParallelFor splits [0, n) into
+// at most num_threads() CONTIGUOUS ranges with a fixed arithmetic rule, and
+// each range is executed by exactly one thread. Because every kernel built on
+// top of it computes each output element with a code path that depends only on
+// the element's own coordinates (never on the range boundaries), results are
+// bitwise identical for every thread count — including num_threads == 1,
+// which runs the body inline on the caller with no pool machinery at all.
+// tests/kernel_parity_test.cc and tests/model_test.cc assert this property.
+#ifndef SRC_COMMON_THREAD_POOL_H_
+#define SRC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace prefillonly {
+
+class ThreadPool {
+ public:
+  // The body of a parallel loop: called as fn(begin, end, worker) with
+  // 0 <= worker < num_threads(); worker 0 is always the calling thread.
+  // Distinct calls receive disjoint [begin, end) ranges.
+  using RangeFn = std::function<void(int64_t begin, int64_t end, int worker)>;
+
+  // num_threads <= 0 resolves to std::thread::hardware_concurrency().
+  // num_threads == 1 spawns no workers: every ParallelFor runs inline,
+  // which is exactly the legacy single-threaded execution.
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  // Runs fn over a deterministic partition of [0, n). `grain` is the minimum
+  // number of iterations worth shipping to a thread: fewer than 2*grain total
+  // iterations run inline on the caller. The partition rule (ShardRange) does
+  // not affect results for kernels that are element-owned, so the grain is a
+  // pure performance knob.
+  void ParallelFor(int64_t n, int64_t grain, const RangeFn& fn);
+
+  // The range worker `shard` of `shards` owns: floor-balanced contiguous
+  // blocks, first `n % shards` blocks one element larger.
+  static std::pair<int64_t, int64_t> ShardRange(int64_t n, int shards, int shard);
+
+ private:
+  void WorkerLoop(int worker);
+
+  int num_threads_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  const RangeFn* task_ = nullptr;  // valid while an epoch is in flight
+  int64_t task_n_ = 0;
+  int task_shards_ = 0;
+  uint64_t epoch_ = 0;
+  int pending_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace prefillonly
+
+#endif  // SRC_COMMON_THREAD_POOL_H_

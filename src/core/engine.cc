@@ -14,7 +14,9 @@ Engine::Engine(EngineOptions options)
       activations_(options_.activation_budget_bytes),
       epoch_(std::chrono::steady_clock::now()) {
   assert(options_.model.Valid());
+  pool_ = std::make_unique<ThreadPool>(options_.num_threads);
   model_ = std::make_unique<LlamaModel>(options_.model, options_.weight_seed);
+  model_->SetThreadPool(pool_.get());
   const int64_t pool_blocks =
       options_.cache_budget_tokens / std::max(options_.block_size, 1);
   cache_ = std::make_unique<PrefixCache>(options_.block_size, pool_blocks);

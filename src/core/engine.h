@@ -33,6 +33,7 @@
 
 #include "src/common/queue.h"
 #include "src/common/status.h"
+#include "src/common/thread_pool.h"
 #include "src/core/kv_block_store.h"
 #include "src/core/request.h"
 #include "src/kvcache/offload_directory.h"
@@ -53,6 +54,16 @@ struct EngineOptions {
   int64_t chunk_size = 64;
   bool preallocate_outputs = true;
   bool in_place = true;
+
+  // Intra-op parallelism: CPU threads used by every kernel of the forward
+  // pass (ISSUE 1). 0 = hardware_concurrency; 1 = exact legacy serial
+  // execution (no pool machinery at all). Logits are bitwise identical for
+  // every value — work is partitioned so each output element is owned by
+  // exactly one thread with a fixed accumulation order. The activation
+  // budget is thread-count-independent: attention's extra per-thread score
+  // rows are untracked host scratch, so the tracked footprint (and the
+  // activation walker's predictions) match the serial seed exactly.
+  int num_threads = 0;
 
   // Activation budget in bytes (0 = unlimited). Exceeding it fails the
   // request with kResourceExhausted — the CPU analogue of GPU OOM.
@@ -140,6 +151,7 @@ class Engine {
   void WorkerLoop(ResponseCallback callback);
 
   EngineOptions options_;
+  std::unique_ptr<ThreadPool> pool_;  // intra-op workers, shared by the model
   std::unique_ptr<LlamaModel> model_;
   TrackingAllocator activations_;
   TrackingAllocator cache_memory_;

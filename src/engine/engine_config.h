@@ -29,6 +29,13 @@ struct EngineConfig {
   double lambda = 500.0;
 
   int block_size = 256;
+  // Intra-op CPU workers per instance; parity knob with
+  // EngineOptions::num_threads (0 = hardware concurrency, 1 = serial) for
+  // deployments that translate an EngineConfig into a real Engine. NOTE:
+  // nothing in-tree does that translation yet — the analytic simulation
+  // (instance.cc/cluster.cc) ignores this field, because its kernel timing
+  // comes from the cost model, not real execution.
+  int num_threads = 0;
   // Profile-run reserve (§3.1): activation memory is reserved for requests
   // up to this many tokens; what remains becomes the prefix-cache pool.
   // 0 = choose automatically: min(workload max length, engine MIL).

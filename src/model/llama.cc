@@ -7,6 +7,7 @@
 #include <string>
 
 #include "src/common/rng.h"
+#include "src/common/thread_pool.h"
 #include "src/tensor/ops.h"
 
 namespace prefillonly {
@@ -36,8 +37,13 @@ void InitUniform(Tensor& t, Rng& rng, float scale) {
   }
 
 LlamaModel::LlamaModel(ModelConfig config, uint64_t seed)
-    : config_(std::move(config)), weight_alloc_(std::make_unique<TrackingAllocator>()) {
+    : config_(std::move(config)),
+      weight_alloc_(std::make_unique<TrackingAllocator>()),
+      rope_table_(config_.head_dim, config_.rope_theta) {
   assert(config_.Valid());
+  // Warm the RoPE table for typical request lengths; longer passes grow it
+  // lazily (and exactly once) in Prefill.
+  rope_table_.EnsureCapacity(1024);
   Rng rng(seed);
   const int64_t h = config_.hidden_size;
   const int64_t qs = config_.q_size();
@@ -147,46 +153,98 @@ Result<PrefillResult> LlamaModel::Prefill(std::span<const int32_t> tokens,
   return Status::Internal("unknown prefill mode");
 }
 
+int64_t LlamaModel::workers() const {
+  return pool_ != nullptr ? pool_->num_threads() : 1;
+}
+
 void LlamaModel::Attention(const Tensor& q, int64_t q_rows, int64_t q_pos0,
                            const LayerKv* prefix, const Tensor& k_new,
                            const Tensor& v_new, int64_t new_rows, float* out,
-                           float* scores) const {
+                           float* scores, float* extra_scores,
+                           int64_t scores_stride) const {
   const int64_t head_dim = config_.head_dim;
   const int64_t n_heads = config_.n_heads;
   const int64_t group = n_heads / config_.n_kv_heads;
   const int64_t qs = config_.q_size();
-  const int64_t kvw = config_.kv_size();
   const int64_t n_prefix = (prefix != nullptr) ? prefix->k.rows() : 0;
   const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(head_dim));
-  (void)new_rows;
+  assert(q_pos0 + q_rows <= scores_stride);
 
-  for (int64_t i = 0; i < q_rows; ++i) {
-    const int64_t abs_pos = q_pos0 + i;  // this query attends keys [0, abs_pos]
-    const int64_t n_keys = abs_pos + 1;
-    assert(n_keys - n_prefix <= new_rows);
-    float* out_row = out + i * qs;
-    std::memset(out_row, 0, static_cast<size_t>(qs) * sizeof(float));
-    for (int64_t head = 0; head < n_heads; ++head) {
+  // One work item = one (query row, head) pair. Each pair owns the disjoint
+  // output slice out[i*qs + head*head_dim, +head_dim) and runs the full
+  // score/softmax/weighted-sum sequence on a single thread, in the same
+  // order as the serial loop — bitwise identical for every thread count.
+  const auto body = [&](int64_t begin, int64_t end, int worker) {
+    float* my_scores =
+        worker == 0 ? scores : extra_scores + (worker - 1) * scores_stride;
+    for (int64_t idx = begin; idx < end; ++idx) {
+      const int64_t i = idx / n_heads;
+      const int64_t head = idx % n_heads;
+      const int64_t abs_pos = q_pos0 + i;  // query i attends keys [0, abs_pos]
+      const int64_t n_keys = abs_pos + 1;
+      assert(n_keys - n_prefix <= new_rows);
       const int64_t kv_head = head / group;
       const float* q_vec = q.row(i) + head * head_dim;
-      // Scores over all visible keys.
       for (int64_t j = 0; j < n_keys; ++j) {
         const float* k_vec = (j < n_prefix)
                                  ? prefix->k.row(j) + kv_head * head_dim
                                  : k_new.row(j - n_prefix) + kv_head * head_dim;
-        scores[j] = Dot(q_vec, k_vec, head_dim) * inv_sqrt_d;
+        my_scores[j] = Dot(q_vec, k_vec, head_dim) * inv_sqrt_d;
       }
-      SoftmaxRow(scores, n_keys);
-      float* o_vec = out_row + head * head_dim;
+      SoftmaxRow(my_scores, n_keys);
+      float* o_vec = out + i * qs + head * head_dim;
+      std::memset(o_vec, 0, static_cast<size_t>(head_dim) * sizeof(float));
       for (int64_t j = 0; j < n_keys; ++j) {
         const float* v_vec = (j < n_prefix)
                                  ? prefix->v.row(j) + kv_head * head_dim
                                  : v_new.row(j - n_prefix) + kv_head * head_dim;
-        Axpy(o_vec, v_vec, scores[j], head_dim);
+        Axpy(o_vec, v_vec, my_scores[j], head_dim);
       }
-      (void)kvw;
     }
+  };
+  const int64_t work = q_rows * n_heads;
+  const int shards = pool_ != nullptr ? pool_->num_threads() : 1;
+  if (shards == 1 || work < 2) {
+    body(0, work, 0);
+    return;
   }
+  // Causal attention cost is triangular: row i costs ~(q_pos0 + i + 1)
+  // keys per head. Equal-size index ranges would hand the last thread ~2x
+  // the average work, so shard by equal AREA instead, at (row, head)
+  // granularity so even a 1-row chunk still spreads its heads across
+  // threads. Cumulative cost before flat index idx = (i, h):
+  //   C(idx) = W(i) * n_heads + h * (q_pos0 + i + 1),
+  // with W(i) = i*q_pos0 + i*(i+1)/2 the per-head cost of rows [0, i).
+  // Ownership stays unique and per-element computation untouched, so bits
+  // are identical to any other partition — purely a load-balance choice.
+  const auto weight_before = [&](int64_t i) { return i * q_pos0 + i * (i + 1) / 2; };
+  const auto cum_cost = [&](int64_t idx) {
+    const int64_t i = idx / n_heads;
+    const int64_t h = idx % n_heads;
+    return weight_before(i) * n_heads + h * (q_pos0 + i + 1);
+  };
+  const int64_t total = weight_before(q_rows) * n_heads;
+  std::vector<int64_t> bounds(static_cast<size_t>(shards) + 1, 0);
+  bounds[static_cast<size_t>(shards)] = work;
+  for (int s = 1; s < shards; ++s) {
+    const int64_t target = total * s / shards;
+    int64_t lo = bounds[static_cast<size_t>(s) - 1];  // monotone bounds
+    int64_t hi = work;
+    while (lo < hi) {  // smallest idx with cum_cost(idx) >= target
+      const int64_t mid = lo + (hi - lo) / 2;
+      if (cum_cost(mid) < target) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    bounds[static_cast<size_t>(s)] = lo;
+  }
+  pool_->ParallelFor(shards, /*grain=*/1, [&](int64_t s0, int64_t s1, int worker) {
+    for (int64_t s = s0; s < s1; ++s) {
+      body(bounds[static_cast<size_t>(s)], bounds[static_cast<size_t>(s) + 1], worker);
+    }
+  });
 }
 
 std::vector<float> LlamaModel::LastLogits(const float* hidden_row,
@@ -196,7 +254,8 @@ std::vector<float> LlamaModel::LastLogits(const float* hidden_row,
   std::vector<float> normed(static_cast<size_t>(h));
   RmsNormRows(hidden_row, final_norm_.data(), normed.data(), 1, h, config_.rms_eps);
   std::vector<float> logits(static_cast<size_t>(config_.vocab_size));
-  MatMul(normed.data(), lm_head_.data(), logits.data(), 1, h, config_.vocab_size);
+  MatMul(normed.data(), lm_head_.data(), logits.data(), 1, h, config_.vocab_size,
+         pool_);
   return logits;
 }
 
@@ -235,6 +294,7 @@ Result<PrefillResult> LlamaModel::PrefillStandard(std::span<const int32_t> token
   for (int64_t i = 0; i < n_new; ++i) {
     positions[static_cast<size_t>(i)] = static_cast<int32_t>(n_cached + i);
   }
+  rope_table_.EnsureCapacity(n_total);
 
   PO_TRY_ALLOC(hidden, act, "act.hidden", {n_new, h});
   EmbeddingLookup(embedding_.data(), tokens.subspan(static_cast<size_t>(n_cached)),
@@ -253,7 +313,11 @@ Result<PrefillResult> LlamaModel::PrefillStandard(std::span<const int32_t> token
     }
   }
 
+  // The modeled score-scratch row (matches the seed trace and the
+  // activation walker); extra per-thread rows are untracked host scratch so
+  // budgets stay machine-independent.
   PO_TRY_ALLOC(scores, act, "attn.scores", {n_total});
+  std::vector<float> extra_scores(static_cast<size_t>((workers() - 1) * n_total));
 
   for (size_t l = 0; l < layers_.size(); ++l) {
     const LayerWeights& w = layers_[l];
@@ -261,10 +325,10 @@ Result<PrefillResult> LlamaModel::PrefillStandard(std::span<const int32_t> token
 
     PO_TRY_ALLOC(normed, act, "act.normed", {n_new, h});
     RmsNormRows(hidden.data(), w.attn_norm.data(), normed.data(), n_new, h,
-                config_.rms_eps);
+                config_.rms_eps, pool_);
 
     PO_TRY_ALLOC(q, act, "act.q", {n_new, qs});
-    MatMul(normed.data(), w.wq.data(), q.data(), n_new, h, qs);
+    MatMul(normed.data(), w.wq.data(), q.data(), n_new, h, qs, pool_);
 
     Tensor k_local;
     Tensor v_local;
@@ -282,41 +346,43 @@ Result<PrefillResult> LlamaModel::PrefillStandard(std::span<const int32_t> token
       k_layer = &pass_kv[l].k;
       v_layer = &pass_kv[l].v;
     }
-    MatMul(normed.data(), w.wk.data(), k_layer->data(), n_new, h, kvw);
-    MatMul(normed.data(), w.wv.data(), v_layer->data(), n_new, h, kvw);
+    MatMul(normed.data(), w.wk.data(), k_layer->data(), n_new, h, kvw, pool_);
+    MatMul(normed.data(), w.wv.data(), v_layer->data(), n_new, h, kvw, pool_);
     normed = Tensor();  // free before attention
 
-    ApplyRope(q.data(), n_new, config_.n_heads, config_.head_dim, positions,
-              config_.rope_theta);
-    ApplyRope(k_layer->data(), n_new, config_.n_kv_heads, config_.head_dim, positions,
-              config_.rope_theta);
+    ApplyRopeWithTable(q.data(), n_new, config_.n_heads, config_.head_dim, positions,
+                       rope_table_, pool_);
+    ApplyRopeWithTable(k_layer->data(), n_new, config_.n_kv_heads, config_.head_dim,
+                       positions, rope_table_, pool_);
 
     PO_TRY_ALLOC(attn_out, act, "act.attn_out", {n_new, qs});
     Attention(q, n_new, n_cached, layer_prefix, *k_layer, *v_layer, n_new,
-              attn_out.data(), scores.data());
+              attn_out.data(), scores.data(),
+              extra_scores.empty() ? nullptr : extra_scores.data(), n_total);
     q = Tensor();
 
     PO_TRY_ALLOC(attn_proj, act, "act.attn_proj", {n_new, h});
-    MatMul(attn_out.data(), w.wo.data(), attn_proj.data(), n_new, qs, h);
+    MatMul(attn_out.data(), w.wo.data(), attn_proj.data(), n_new, qs, h, pool_);
     attn_out = Tensor();
-    AddInPlace(hidden.data(), attn_proj.data(), n_new * h);
+    AddInPlace(hidden.data(), attn_proj.data(), n_new * h, pool_);
     attn_proj = Tensor();
 
     PO_TRY_ALLOC(normed2, act, "act.normed", {n_new, h});
     RmsNormRows(hidden.data(), w.mlp_norm.data(), normed2.data(), n_new, h,
-                config_.rms_eps);
+                config_.rms_eps, pool_);
     // The Fig. 3/4 spike: [n_new, 2*intermediate] = 28672 floats/token at
     // Llama-3.1-8B scale, 14x one layer's KV cache.
     PO_TRY_ALLOC(gate_up, act, "mlp.intermediate1", {n_new, 2 * inter});
-    MatMul(normed2.data(), w.w_gate_up.data(), gate_up.data(), n_new, h, 2 * inter);
+    MatMul(normed2.data(), w.w_gate_up.data(), gate_up.data(), n_new, h, 2 * inter,
+           pool_);
     normed2 = Tensor();
     PO_TRY_ALLOC(mlp_act, act, "mlp.intermediate2", {n_new, inter});
-    SwiGluRows(gate_up.data(), mlp_act.data(), n_new, inter);
+    SwiGluRows(gate_up.data(), mlp_act.data(), n_new, inter, pool_);
     gate_up = Tensor();
     PO_TRY_ALLOC(down, act, "mlp.down", {n_new, h});
-    MatMul(mlp_act.data(), w.w_down.data(), down.data(), n_new, inter, h);
+    MatMul(mlp_act.data(), w.w_down.data(), down.data(), n_new, inter, h, pool_);
     mlp_act = Tensor();
-    AddInPlace(hidden.data(), down.data(), n_new * h);
+    AddInPlace(hidden.data(), down.data(), n_new * h, pool_);
   }
 
   PrefillResult result;
@@ -363,7 +429,9 @@ Result<PrefillResult> LlamaModel::PrefillChunked(std::span<const int32_t> tokens
     }
   }
 
+  rope_table_.EnsureCapacity(n_total);
   PO_TRY_ALLOC(scores, act, "attn.scores", {n_total});
+  std::vector<float> extra_scores(static_cast<size_t>((workers() - 1) * n_total));
 
   std::vector<float> last_logits;
   for (int64_t r0 = 0; r0 < n_new; r0 += chunk) {
@@ -387,44 +455,46 @@ Result<PrefillResult> LlamaModel::PrefillChunked(std::span<const int32_t> tokens
 
       PO_TRY_ALLOC(normed, act, "act.normed", {cs, h});
       RmsNormRows(hidden_c.data(), w.attn_norm.data(), normed.data(), cs, h,
-                  config_.rms_eps);
+                  config_.rms_eps, pool_);
 
       PO_TRY_ALLOC(q, act, "act.q", {cs, qs});
-      MatMul(normed.data(), w.wq.data(), q.data(), cs, h, qs);
+      MatMul(normed.data(), w.wq.data(), q.data(), cs, h, qs, pool_);
       // K/V of this chunk go straight into the resident per-layer cache.
-      MatMul(normed.data(), w.wk.data(), pass_kv[l].k.row(r0), cs, h, kvw);
-      MatMul(normed.data(), w.wv.data(), pass_kv[l].v.row(r0), cs, h, kvw);
+      MatMul(normed.data(), w.wk.data(), pass_kv[l].k.row(r0), cs, h, kvw, pool_);
+      MatMul(normed.data(), w.wv.data(), pass_kv[l].v.row(r0), cs, h, kvw, pool_);
       normed = Tensor();
 
-      ApplyRope(q.data(), cs, config_.n_heads, config_.head_dim, positions,
-                config_.rope_theta);
-      ApplyRope(pass_kv[l].k.row(r0), cs, config_.n_kv_heads, config_.head_dim,
-                positions, config_.rope_theta);
+      ApplyRopeWithTable(q.data(), cs, config_.n_heads, config_.head_dim, positions,
+                         rope_table_, pool_);
+      ApplyRopeWithTable(pass_kv[l].k.row(r0), cs, config_.n_kv_heads,
+                         config_.head_dim, positions, rope_table_, pool_);
 
       PO_TRY_ALLOC(attn_out, act, "act.attn_out", {cs, qs});
       Attention(q, cs, n_cached + r0, layer_prefix, pass_kv[l].k, pass_kv[l].v, r1,
-                attn_out.data(), scores.data());
+                attn_out.data(), scores.data(),
+                extra_scores.empty() ? nullptr : extra_scores.data(), n_total);
       q = Tensor();
 
       PO_TRY_ALLOC(attn_proj, act, "act.attn_proj", {cs, h});
-      MatMul(attn_out.data(), w.wo.data(), attn_proj.data(), cs, qs, h);
+      MatMul(attn_out.data(), w.wo.data(), attn_proj.data(), cs, qs, h, pool_);
       attn_out = Tensor();
-      AddInPlace(hidden_c.data(), attn_proj.data(), cs * h);
+      AddInPlace(hidden_c.data(), attn_proj.data(), cs * h, pool_);
       attn_proj = Tensor();
 
       PO_TRY_ALLOC(normed2, act, "act.normed", {cs, h});
       RmsNormRows(hidden_c.data(), w.mlp_norm.data(), normed2.data(), cs, h,
-                  config_.rms_eps);
+                  config_.rms_eps, pool_);
       PO_TRY_ALLOC(gate_up, act, "mlp.intermediate1", {cs, 2 * inter});
-      MatMul(normed2.data(), w.w_gate_up.data(), gate_up.data(), cs, h, 2 * inter);
+      MatMul(normed2.data(), w.w_gate_up.data(), gate_up.data(), cs, h, 2 * inter,
+             pool_);
       normed2 = Tensor();
       PO_TRY_ALLOC(mlp_act, act, "mlp.intermediate2", {cs, inter});
-      SwiGluRows(gate_up.data(), mlp_act.data(), cs, inter);
+      SwiGluRows(gate_up.data(), mlp_act.data(), cs, inter, pool_);
       gate_up = Tensor();
       PO_TRY_ALLOC(down, act, "mlp.down", {cs, h});
-      MatMul(mlp_act.data(), w.w_down.data(), down.data(), cs, inter, h);
+      MatMul(mlp_act.data(), w.w_down.data(), down.data(), cs, inter, h, pool_);
       mlp_act = Tensor();
-      AddInPlace(hidden_c.data(), down.data(), cs * h);
+      AddInPlace(hidden_c.data(), down.data(), cs * h, pool_);
     }
 
     if (r1 == n_new) {
@@ -470,6 +540,7 @@ Result<PrefillResult> LlamaModel::PrefillHybrid(std::span<const int32_t> tokens,
   for (int64_t i = 0; i < n_new; ++i) {
     positions[static_cast<size_t>(i)] = static_cast<int32_t>(n_cached + i);
   }
+  rope_table_.EnsureCapacity(n_total);
 
   PO_TRY_ALLOC(hidden, act, "act.hidden", {n_new, h});
   EmbeddingLookup(embedding_.data(), tokens.subspan(static_cast<size_t>(n_cached)),
@@ -500,6 +571,7 @@ Result<PrefillResult> LlamaModel::PrefillHybrid(std::span<const int32_t> tokens,
   PO_TRY_ALLOC(attn_out, act, "act.attn_out", {n_new, qs});
   PO_TRY_ALLOC(normed, act, "act.normed", {n_new, h});
   PO_TRY_ALLOC(scores, act, "attn.scores", {n_total});
+  std::vector<float> extra_scores(static_cast<size_t>((workers() - 1) * n_total));
 
   // Without in-place reuse, linear-layer outputs need their own
   // full-sequence buffer.
@@ -563,27 +635,28 @@ Result<PrefillResult> LlamaModel::PrefillHybrid(std::span<const int32_t> tokens,
     const LayerKv* layer_prefix = (prefix != nullptr) ? &prefix->layers[l] : nullptr;
 
     RmsNormRows(hidden.data(), w.attn_norm.data(), normed.data(), n_new, h,
-                config_.rms_eps);
+                config_.rms_eps, pool_);
 
     // QKV projections: linear, so chunked; outputs written directly into the
     // preallocated whole-sequence buffers (chunking + preallocation).
     for (int64_t r0 = 0; r0 < n_new; r0 += chunk) {
       const int64_t cs = std::min(chunk, n_new - r0);
-      MatMul(normed.row(r0), w.wq.data(), q_buf.row(r0), cs, h, qs);
-      MatMul(normed.row(r0), w.wk.data(), k_buf.row(r0), cs, h, kvw);
-      MatMul(normed.row(r0), w.wv.data(), v_buf.row(r0), cs, h, kvw);
+      MatMul(normed.row(r0), w.wq.data(), q_buf.row(r0), cs, h, qs, pool_);
+      MatMul(normed.row(r0), w.wk.data(), k_buf.row(r0), cs, h, kvw, pool_);
+      MatMul(normed.row(r0), w.wv.data(), v_buf.row(r0), cs, h, kvw, pool_);
     }
-    ApplyRope(q_buf.data(), n_new, config_.n_heads, config_.head_dim, positions,
-              config_.rope_theta);
-    ApplyRope(k_buf.data(), n_new, config_.n_kv_heads, config_.head_dim, positions,
-              config_.rope_theta);
+    ApplyRopeWithTable(q_buf.data(), n_new, config_.n_heads, config_.head_dim,
+                       positions, rope_table_, pool_);
+    ApplyRopeWithTable(k_buf.data(), n_new, config_.n_kv_heads, config_.head_dim,
+                       positions, rope_table_, pool_);
 
     // Attention runs UNCHUNKED over the full sequence — the "hybrid" in
     // hybrid prefilling: chunking attention would degrade kernel efficiency
     // (the chunked-prefill baseline's flaw), while linear layers chunk for
     // free.
     Attention(q_buf, n_new, n_cached, layer_prefix, k_buf, v_buf, n_new,
-              attn_out.data(), scores.data());
+              attn_out.data(), scores.data(),
+              extra_scores.empty() ? nullptr : extra_scores.data(), n_total);
 
     // Retain the prefix slice of this layer's KV before the buffers are
     // reused: this is suffix KV cache discarding in action.
@@ -597,18 +670,19 @@ Result<PrefillResult> LlamaModel::PrefillHybrid(std::span<const int32_t> tokens,
     // Output projection: linear -> chunked. With in_place, the `normed`
     // buffer (dead after QKV) is reused as the output.
     Tensor* o_target = in_place ? &normed : &proj_buf;
-    auto o_proj = chunked_linear(h, o_target, "act.attn_proj",
-                                 [&](int64_t r0, int64_t cs, float* out) -> Status {
-                                   MatMul(attn_out.row(r0), w.wo.data(), out, cs, qs, h);
-                                   return Status::Ok();
-                                 });
+    auto o_proj =
+        chunked_linear(h, o_target, "act.attn_proj",
+                       [&](int64_t r0, int64_t cs, float* out) -> Status {
+                         MatMul(attn_out.row(r0), w.wo.data(), out, cs, qs, h, pool_);
+                         return Status::Ok();
+                       });
     if (!o_proj.ok()) {
       return o_proj.status();
     }
-    AddInPlace(hidden.data(), o_proj.value()->data(), n_new * h);
+    AddInPlace(hidden.data(), o_proj.value()->data(), n_new * h, pool_);
 
     RmsNormRows(hidden.data(), w.mlp_norm.data(), normed.data(), n_new, h,
-                config_.rms_eps);
+                config_.rms_eps, pool_);
 
     // MLP virtual layer (gate_up -> SwiGLU -> down), chunk-by-chunk. The
     // [chunk, 2*intermediate] temporaries replace the [n_new, 2*inter]
@@ -624,15 +698,16 @@ Result<PrefillResult> LlamaModel::PrefillHybrid(std::span<const int32_t> tokens,
           // aliasing is safe — this is the relative-position argument of
           // §4.3 (chunk i of the output lands exactly where chunk i of the
           // input lived).
-          MatMul(normed.row(r0), w.w_gate_up.data(), gate_up_c.data(), cs, h, 2 * inter);
-          SwiGluRows(gate_up_c.data(), mlp_act_c.data(), cs, inter);
-          MatMul(mlp_act_c.data(), w.w_down.data(), out, cs, inter, h);
+          MatMul(normed.row(r0), w.w_gate_up.data(), gate_up_c.data(), cs, h, 2 * inter,
+                 pool_);
+          SwiGluRows(gate_up_c.data(), mlp_act_c.data(), cs, inter, pool_);
+          MatMul(mlp_act_c.data(), w.w_down.data(), out, cs, inter, h, pool_);
           return Status::Ok();
         });
     if (!mlp_out.ok()) {
       return mlp_out.status();
     }
-    AddInPlace(hidden.data(), mlp_out.value()->data(), n_new * h);
+    AddInPlace(hidden.data(), mlp_out.value()->data(), n_new * h, pool_);
   }
 
   PrefillResult result;

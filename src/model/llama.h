@@ -34,9 +34,12 @@
 #include "src/common/status.h"
 #include "src/model/config.h"
 #include "src/model/kv.h"
+#include "src/model/rope_table.h"
 #include "src/tensor/tensor.h"
 
 namespace prefillonly {
+
+class ThreadPool;
 
 enum class PrefillMode { kStandard, kChunked, kHybrid };
 
@@ -87,6 +90,15 @@ class LlamaModel {
   const ModelConfig& config() const { return config_; }
   size_t weight_bytes() const { return weight_alloc_->current_bytes(); }
 
+  // Intra-op parallelism. The pool (not owned; may be null = serial) is used
+  // by every kernel of the forward pass. Work is partitioned so each output
+  // element is owned by exactly one thread with a fixed accumulation order,
+  // so logits are bitwise identical for every thread count and every
+  // PrefillMode (tests/model_test.cc asserts this). Not thread-safe against
+  // concurrent Prefill calls; set it once at wiring time.
+  void SetThreadPool(ThreadPool* pool) { pool_ = pool; }
+  ThreadPool* thread_pool() const { return pool_; }
+
   // Runs the prefill phase over `tokens`, reusing `cached_prefix` (KV of
   // tokens [0, cached_prefix->n_tokens), may be null) and allocating all
   // activations from `activations` — which may carry a byte budget, in
@@ -130,11 +142,21 @@ class LlamaModel {
   // Causal attention for query rows at absolute positions
   // [q_pos0, q_pos0 + q_rows) over prefix KV (may be null) plus the first
   // `new_rows` rows of k_new/v_new (absolute positions n_prefix..).
-  // `scores` is a caller-provided scratch of at least q_pos0 + q_rows
-  // floats. Writes [q_rows, q_size] into `out` starting at out_row.
+  // Parallel over (query row, head) pairs; each pair is computed start to
+  // finish by one thread, so results are bitwise independent of the thread
+  // count. `scores` is worker 0's scratch row (scores_stride >= q_pos0 +
+  // q_rows floats, budget-tracked — the one row the activation walker
+  // models); `extra_scores` is untracked host scratch of (workers() - 1)
+  // more rows at the same stride, null when workers() == 1. Keeping the
+  // extra rows out of the tracked budget keeps activation accounting and
+  // MIL predictions machine-independent. Writes [q_rows, q_size] into
+  // `out`.
   void Attention(const Tensor& q, int64_t q_rows, int64_t q_pos0, const LayerKv* prefix,
                  const Tensor& k_new, const Tensor& v_new, int64_t new_rows, float* out,
-                 float* scores) const;
+                 float* scores, float* extra_scores, int64_t scores_stride) const;
+
+  // Number of score-scratch rows Attention may use (= pool threads).
+  int64_t workers() const;
 
   // Final RMSNorm + LM head for a single hidden row.
   std::vector<float> LastLogits(const float* hidden_row,
@@ -142,6 +164,10 @@ class LlamaModel {
 
   ModelConfig config_;
   std::unique_ptr<TrackingAllocator> weight_alloc_;
+  ThreadPool* pool_ = nullptr;  // not owned; null = serial
+  // Precomputed RoPE cos/sin rows, grown lazily to the longest position a
+  // pass has seen (mutable: growth is a cache fill, logically const).
+  mutable RopeTable rope_table_;
   Tensor embedding_;   // [vocab, h]
   std::vector<LayerWeights> layers_;
   Tensor final_norm_;  // [h]

@@ -1,0 +1,123 @@
+#include "src/model/rope_table.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "src/common/thread_pool.h"
+
+namespace prefillonly {
+
+RopeTable::RopeTable(int64_t head_dim, float theta)
+    : head_dim_(head_dim), half_(head_dim / 2), theta_(theta) {
+  assert(head_dim_ > 0 && head_dim_ % 2 == 0);
+  inv_freq_ = std::make_unique<float[]>(static_cast<size_t>(half_));
+  for (int64_t j = 0; j < half_; ++j) {
+    // Exactly the seed kernel's expression, hoisted out of the inner loop.
+    inv_freq_[j] =
+        std::pow(theta_, -2.0f * static_cast<float>(j) / static_cast<float>(head_dim_));
+  }
+  blocks_ = std::make_unique<std::atomic<float*>[]>(static_cast<size_t>(kMaxBlocks));
+  for (int64_t b = 0; b < kMaxBlocks; ++b) {
+    blocks_[b].store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+RopeTable::~RopeTable() {
+  for (int64_t b = 0; b < kMaxBlocks; ++b) {
+    delete[] blocks_[b].load(std::memory_order_relaxed);
+  }
+}
+
+void RopeTable::EnsureCapacity(int64_t n_positions) {
+  // Beyond the hard cap ApplyRopeWithTable recomputes per element; never
+  // index past the block-pointer array.
+  n_positions = std::min(n_positions, kMaxBlocks * kBlockPositions);
+  if (n_positions <= capacity()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(grow_mu_);
+  const int64_t have_blocks = (capacity_.load(std::memory_order_relaxed) +
+                               kBlockPositions - 1) / kBlockPositions;
+  const int64_t want_blocks = (n_positions + kBlockPositions - 1) / kBlockPositions;
+  for (int64_t b = have_blocks; b < want_blocks; ++b) {
+    const size_t floats = static_cast<size_t>(2 * kBlockPositions * half_);
+    float* block = new float[floats];
+    float* cos_part = block;
+    float* sin_part = block + kBlockPositions * half_;
+    for (int64_t p = 0; p < kBlockPositions; ++p) {
+      const auto pos = static_cast<float>(b * kBlockPositions + p);
+      for (int64_t j = 0; j < half_; ++j) {
+        const float angle = pos * inv_freq_[j];
+        cos_part[p * half_ + j] = std::cos(angle);
+        sin_part[p * half_ + j] = std::sin(angle);
+      }
+    }
+    blocks_[b].store(block, std::memory_order_release);
+  }
+  if (want_blocks > have_blocks) {
+    capacity_.store(want_blocks * kBlockPositions, std::memory_order_release);
+  }
+}
+
+const float* RopeTable::cos_row(int64_t pos) const {
+  assert(pos >= 0 && pos < capacity());
+  const float* block = blocks_[pos / kBlockPositions].load(std::memory_order_acquire);
+  return block + (pos % kBlockPositions) * half_;
+}
+
+const float* RopeTable::sin_row(int64_t pos) const {
+  assert(pos >= 0 && pos < capacity());
+  const float* block = blocks_[pos / kBlockPositions].load(std::memory_order_acquire);
+  return block + kBlockPositions * half_ + (pos % kBlockPositions) * half_;
+}
+
+void ApplyRopeWithTable(float* x, int64_t rows, int64_t n_heads, int64_t head_dim,
+                        std::span<const int32_t> positions, const RopeTable& table,
+                        ThreadPool* pool) {
+  assert(static_cast<int64_t>(positions.size()) == rows);
+  assert(head_dim == table.head_dim());
+  const int64_t half = head_dim / 2;
+  const int64_t work = rows * n_heads;
+  const int64_t table_capacity = table.capacity();
+  const auto body = [&](int64_t begin, int64_t end, int /*worker*/) {
+    for (int64_t idx = begin; idx < end; ++idx) {
+      const int64_t r = idx / n_heads;
+      const int64_t head = idx % n_heads;
+      const int64_t pos = positions[static_cast<size_t>(r)];
+      float* __restrict v = x + r * n_heads * head_dim + head * head_dim;
+      if (pos < table_capacity) {
+        const float* __restrict c_row = table.cos_row(pos);
+        const float* __restrict s_row = table.sin_row(pos);
+        for (int64_t j = 0; j < half; ++j) {
+          const float c = c_row[j];
+          const float s = s_row[j];
+          const float x0 = v[j];
+          const float x1 = v[j + half];
+          v[j] = x0 * c - x1 * s;
+          v[j + half] = x0 * s + x1 * c;
+        }
+      } else {
+        // Past the materialized table: recompute with the table's own
+        // frequencies — identical expressions, identical bits.
+        const float* __restrict freqs = table.inv_freq();
+        const auto fpos = static_cast<float>(pos);
+        for (int64_t j = 0; j < half; ++j) {
+          const float angle = fpos * freqs[j];
+          const float c = std::cos(angle);
+          const float s = std::sin(angle);
+          const float x0 = v[j];
+          const float x1 = v[j + half];
+          v[j] = x0 * c - x1 * s;
+          v[j + half] = x0 * s + x1 * c;
+        }
+      }
+    }
+  };
+  if (pool == nullptr) {
+    body(0, work, 0);
+  } else {
+    pool->ParallelFor(work, /*grain=*/8, body);
+  }
+}
+
+}  // namespace prefillonly

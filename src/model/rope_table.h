@@ -1,0 +1,89 @@
+// Precomputed rotary-embedding cos/sin table.
+//
+// The seed ApplyRope recomputed `pow(theta, -2j/d)`, `cos`, and `sin` for
+// every element of every row on every layer of every pass — three libm calls
+// per rotated pair. A prefill pass touches each absolute position
+// n_layers * 2 (Q and K) times, and the engine sees the same positions on
+// every request, so the table is computed once per (position, frequency)
+// pair and reused forever.
+//
+// Bitwise contract: the table stores exactly the values the seed kernel
+// computed — same float expressions, same libm calls — so switching the
+// model to the table path changes no logit bit (asserted by
+// tests/kernel_parity_test.cc against ref::ApplyRope).
+//
+// Growth is lazy and thread-safe: positions are materialized in fixed-size
+// blocks published through atomic pointers, so readers of already-ensured
+// positions never race with a concurrent EnsureCapacity and no pointer is
+// ever invalidated by growth.
+#ifndef SRC_MODEL_ROPE_TABLE_H_
+#define SRC_MODEL_ROPE_TABLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+
+namespace prefillonly {
+
+class ThreadPool;
+
+class RopeTable {
+ public:
+  RopeTable(int64_t head_dim, float theta);
+  ~RopeTable();
+
+  RopeTable(const RopeTable&) = delete;
+  RopeTable& operator=(const RopeTable&) = delete;
+
+  // Materializes rows for positions [0, n_positions), clamped to the table's
+  // hard cap (kMaxBlocks * kBlockPositions = 8M positions). Prefill calls
+  // this once per pass with the pass's maximum absolute position; positions
+  // beyond capacity() are handled by ApplyRopeWithTable's bitwise-identical
+  // recompute fallback, never by reading past the table.
+  void EnsureCapacity(int64_t n_positions);
+
+  int64_t capacity() const { return capacity_.load(std::memory_order_acquire); }
+  int64_t head_dim() const { return head_dim_; }
+
+  // cos/sin of `pos * freq_j` for j in [0, head_dim/2); valid for
+  // pos < capacity().
+  const float* cos_row(int64_t pos) const;
+  const float* sin_row(int64_t pos) const;
+
+  // freq_j = theta^(-2j/head_dim), j in [0, head_dim/2): the exact values
+  // the table rows were computed from (used by the fallback path).
+  const float* inv_freq() const { return inv_freq_.get(); }
+
+ private:
+  static constexpr int64_t kBlockPositions = 1024;
+  static constexpr int64_t kMaxBlocks = 8192;  // 8M positions
+
+  const int64_t head_dim_;
+  const int64_t half_;
+  const float theta_;
+  std::unique_ptr<float[]> inv_freq_;  // [half_]
+
+  std::mutex grow_mu_;
+  std::atomic<int64_t> capacity_{0};
+  // blocks_[b] holds cos rows for positions [b*kBlockPositions, ...) in the
+  // first kBlockPositions*half_ floats, sin rows in the second.
+  std::unique_ptr<std::atomic<float*>[]> blocks_;
+};
+
+// In-place RoPE over a [rows, n_heads*head_dim] matrix using the table;
+// positions[i] is the absolute position of row i. Positions beyond
+// table.capacity() (possible past the table's 8M-position hard cap) fall
+// back to recomputing cos/sin from table.inv_freq() — the same float
+// expressions, so the fallback is bitwise identical to the table rows.
+// Parallel over row*head pairs; each pair is rotated by exactly one thread,
+// so results are bitwise identical for every thread count and match
+// ref::ApplyRope.
+void ApplyRopeWithTable(float* x, int64_t rows, int64_t n_heads, int64_t head_dim,
+                        std::span<const int32_t> positions, const RopeTable& table,
+                        ThreadPool* pool = nullptr);
+
+}  // namespace prefillonly
+
+#endif  // SRC_MODEL_ROPE_TABLE_H_

@@ -6,6 +6,15 @@
 // prefilling exact — running a linear layer on row-chunks produces bitwise
 // identical results to running it on the full matrix (§4.2 of the paper),
 // and the equivalence tests in tests/model_test.cc assert exactly that.
+//
+// Determinism contract (ISSUE 1): kernels that accept a ThreadPool partition
+// work so each output element is OWNED by exactly one thread, and the
+// per-element computation (including the k-accumulation order of MatMul)
+// depends only on the element's coordinates — never on the row-chunk or
+// thread-range boundaries. Results are therefore bitwise identical across
+// num_threads ∈ {1, 2, ...}, across row chunk sizes, and equal to the
+// scalar reference kernels in ops_ref.h. tests/kernel_parity_test.cc
+// asserts exact equality.
 #ifndef SRC_TENSOR_OPS_H_
 #define SRC_TENSOR_OPS_H_
 
@@ -14,32 +23,42 @@
 
 namespace prefillonly {
 
-// c[M,N] = a[M,K] * b[K,N]. Blocked i-k-j loop; c is overwritten.
-void MatMul(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n);
+class ThreadPool;
 
-// RMSNorm per row: y = x / sqrt(mean(x^2) + eps) * weight.
+// c[M,N] = a[M,K] * b[K,N]; c is overwritten. Cache-blocked over k so a
+// [Kc, N] panel of b stays hot across the rows of a thread's range, with a
+// register-blocked inner kernel; k-accumulation is strictly ascending per
+// output element, so row-chunked and threaded calls are bitwise identical
+// to one full serial call. Rows are split across `pool` when given.
+void MatMul(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n,
+            ThreadPool* pool = nullptr);
+
+// RMSNorm per row: y = x / sqrt(mean(x^2) + eps) * weight. Row-parallel.
 void RmsNormRows(const float* x, const float* weight, float* y, int64_t m, int64_t h,
-                 float eps = 1e-5f);
+                 float eps = 1e-5f, ThreadPool* pool = nullptr);
 
-// SwiGLU combine: out = silu(gate) * up, elementwise over m*n values.
+// SwiGLU combine: out = silu(gate) * up, elementwise over count values.
 void SiluMul(const float* gate, const float* up, float* out, int64_t count);
 
 // SwiGLU over a fused gate-up matrix: gate_up is [m, 2*i] with the gate in
 // columns [0, i) and the up-projection in columns [i, 2i); out is [m, i].
 // This fused layout matches the single gate_up_proj matmul in production
 // engines and is what makes the paper's "intermediate 1" tensor 2x the MLP
-// width (28672 floats/token for Llama-3.1-8B, Fig. 4).
-void SwiGluRows(const float* gate_up, float* out, int64_t m, int64_t i);
+// width (28672 floats/token for Llama-3.1-8B, Fig. 4). Row-parallel.
+void SwiGluRows(const float* gate_up, float* out, int64_t m, int64_t i,
+                ThreadPool* pool = nullptr);
 
 // Numerically stable in-place softmax of one row of n values.
 void SoftmaxRow(float* x, int64_t n);
 
-// a += b over count values.
-void AddInPlace(float* a, const float* b, int64_t count);
+// a += b over count values; each element is touched by exactly one thread.
+void AddInPlace(float* a, const float* b, int64_t count, ThreadPool* pool = nullptr);
 
 // Rotary position embedding applied in place to a [rows, n_heads*head_dim]
 // matrix; positions[i] is the absolute position of row i. Pairs are the
-// (x_j, x_{j+d/2}) convention used by Llama.
+// (x_j, x_{j+d/2}) convention used by Llama. This is the recomputing
+// variant kept for callers without a model; the engine's hot path uses the
+// precomputed table (src/model/rope_table.h), which is bitwise identical.
 void ApplyRope(float* x, int64_t rows, int64_t n_heads, int64_t head_dim,
                std::span<const int32_t> positions, float theta);
 

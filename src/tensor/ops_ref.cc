@@ -1,0 +1,83 @@
+#include "src/tensor/ops_ref.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+namespace prefillonly::ref {
+
+void MatMul(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n) {
+  std::memset(c, 0, static_cast<size_t>(m) * n * sizeof(float));
+  for (int64_t i = 0; i < m; ++i) {
+    const float* a_row = a + i * k;
+    float* c_row = c + i * n;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float a_val = a_row[kk];
+      const float* b_row = b + kk * n;
+      for (int64_t j = 0; j < n; ++j) {
+        c_row[j] += a_val * b_row[j];
+      }
+    }
+  }
+}
+
+void RmsNormRows(const float* x, const float* weight, float* y, int64_t m, int64_t h,
+                 float eps) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* row = x + i * h;
+    float* out = y + i * h;
+    float ssq = 0.0f;
+    for (int64_t j = 0; j < h; ++j) {
+      ssq += row[j] * row[j];
+    }
+    const float scale = 1.0f / std::sqrt(ssq / static_cast<float>(h) + eps);
+    for (int64_t j = 0; j < h; ++j) {
+      out[j] = row[j] * scale * weight[j];
+    }
+  }
+}
+
+void SwiGluRows(const float* gate_up, float* out, int64_t m, int64_t i) {
+  for (int64_t r = 0; r < m; ++r) {
+    const float* gate = gate_up + r * 2 * i;
+    const float* up = gate + i;
+    float* out_row = out + r * i;
+    for (int64_t j = 0; j < i; ++j) {
+      const float g = gate[j];
+      const float silu = g / (1.0f + std::exp(-g));
+      out_row[j] = silu * up[j];
+    }
+  }
+}
+
+void AddInPlace(float* a, const float* b, int64_t count) {
+  for (int64_t i = 0; i < count; ++i) {
+    a[i] += b[i];
+  }
+}
+
+void ApplyRope(float* x, int64_t rows, int64_t n_heads, int64_t head_dim,
+               std::span<const int32_t> positions, float theta) {
+  assert(static_cast<int64_t>(positions.size()) == rows);
+  assert(head_dim % 2 == 0);
+  const int64_t half = head_dim / 2;
+  for (int64_t r = 0; r < rows; ++r) {
+    const auto pos = static_cast<float>(positions[r]);
+    for (int64_t head = 0; head < n_heads; ++head) {
+      float* v = x + r * n_heads * head_dim + head * head_dim;
+      for (int64_t j = 0; j < half; ++j) {
+        const float freq =
+            std::pow(theta, -2.0f * static_cast<float>(j) / static_cast<float>(head_dim));
+        const float angle = pos * freq;
+        const float c = std::cos(angle);
+        const float s = std::sin(angle);
+        const float x0 = v[j];
+        const float x1 = v[j + half];
+        v[j] = x0 * c - x1 * s;
+        v[j + half] = x0 * s + x1 * c;
+      }
+    }
+  }
+}
+
+}  // namespace prefillonly::ref

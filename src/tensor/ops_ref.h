@@ -1,0 +1,44 @@
+// Scalar reference kernels: the seed's naive single-threaded loops, kept
+// verbatim as the ground truth for the optimized kernels in ops.h.
+//
+// The parity tests (tests/kernel_parity_test.cc) assert EXACT bitwise
+// equality between these and the blocked/threaded kernels at every thread
+// count. That is only possible because the optimized kernels preserve the
+// reference per-element accumulation order (k strictly ascending for MatMul,
+// the same single-pass formulas elsewhere); these functions pin that order
+// down so a future kernel change that breaks it fails loudly.
+//
+// The benchmarks also use them as the "seed scalar" baseline when reporting
+// speedups (bench/ubench_kernels.cc).
+#ifndef SRC_TENSOR_OPS_REF_H_
+#define SRC_TENSOR_OPS_REF_H_
+
+#include <cstdint>
+#include <span>
+
+namespace prefillonly::ref {
+
+// c[M,N] = a[M,K] * b[K,N], plain i-k-j order. Unlike the seed kernel this
+// carries no `a_val == 0` skip: the skip silently changed the FLOP count
+// with input sparsity and pessimized dense inputs (ISSUE 1); dropping it
+// here keeps the reference the exact dense computation the fast kernel does.
+void MatMul(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n);
+
+// RMSNorm per row: y = x / sqrt(mean(x^2) + eps) * weight.
+void RmsNormRows(const float* x, const float* weight, float* y, int64_t m, int64_t h,
+                 float eps = 1e-5f);
+
+// SwiGLU over a fused [m, 2*i] gate-up matrix into [m, i].
+void SwiGluRows(const float* gate_up, float* out, int64_t m, int64_t i);
+
+// a += b over count values.
+void AddInPlace(float* a, const float* b, int64_t count);
+
+// RoPE with per-element pow/cos/sin recomputation (the seed path the
+// precomputed RopeTable replaces).
+void ApplyRope(float* x, int64_t rows, int64_t n_heads, int64_t head_dim,
+               std::span<const int32_t> positions, float theta);
+
+}  // namespace prefillonly::ref
+
+#endif  // SRC_TENSOR_OPS_REF_H_

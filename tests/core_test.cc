@@ -77,6 +77,23 @@ TEST(EngineTest, ScoreMatchesDirectModelInference) {
   EXPECT_DOUBLE_EQ(via_engine.value().score, probs.value()[0].probability);
 }
 
+TEST(EngineTest, NumThreadsDoesNotChangeScores) {
+  // The EngineOptions::num_threads knob (ISSUE 1): thread counts change
+  // wall time, never bits.
+  const auto tokens = Tokens(85, 7);
+  std::vector<double> scores;
+  for (int threads : {1, 2, 8}) {
+    EngineOptions options = TinyEngineOptions();
+    options.num_threads = threads;
+    Engine engine(options);
+    auto response = engine.ScoreSync(YesNoRequest(tokens));
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    scores.push_back(response.value().score);
+  }
+  EXPECT_EQ(scores[0], scores[1]);
+  EXPECT_EQ(scores[0], scores[2]);
+}
+
 TEST(EngineTest, SecondRequestHitsPrefixCache) {
   Engine engine(TinyEngineOptions());
   auto profile = Tokens(64, 3);

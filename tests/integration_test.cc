@@ -73,6 +73,16 @@ TEST(ModelIntegrationTest, WalkerPredictsRealEngineFeasibility) {
   Engine fails(tight);
   auto result = fails.ScoreSync(Request(Tokens(n_tokens, 1, config.vocab_size)));
   EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+
+  // Thread count must not perturb the walker contract: attention's extra
+  // per-thread score rows are untracked host scratch, so the same exact
+  // budget still fits at 8 threads (regardless of how many cores the test
+  // machine has).
+  EngineOptions threaded = exact;
+  threaded.num_threads = 8;
+  Engine fits_threaded(threaded);
+  EXPECT_TRUE(
+      fits_threaded.ScoreSync(Request(Tokens(n_tokens, 1, config.vocab_size))).ok());
 }
 
 // ----------------------------------------- Engine modes agree on decisions

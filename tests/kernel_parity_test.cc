@@ -1,0 +1,302 @@
+// Parity tests for the blocked/threaded kernel layer (ISSUE 1).
+//
+// The determinism contract: the optimized kernels in src/tensor/ops.cc and
+// the RoPE table path must produce EXACTLY the bits of the retained scalar
+// reference in src/tensor/ops_ref.h, at every thread count. Tolerances would
+// hide the class of bug these tests exist to catch — a partition-dependent
+// accumulation order.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/thread_pool.h"
+#include "src/model/rope_table.h"
+#include "src/tensor/ops.h"
+#include "src/tensor/ops_ref.h"
+
+namespace prefillonly {
+namespace {
+
+const int kThreadCounts[] = {1, 2, 8};
+
+std::vector<float> RandomVec(int64_t n, uint64_t seed, float scale = 1.0f) {
+  Rng rng(seed);
+  std::vector<float> v(static_cast<size_t>(n));
+  for (auto& x : v) {
+    x = rng.NextUniformFloat(scale);
+  }
+  return v;
+}
+
+// ------------------------------------------------------------------ ThreadPool
+
+TEST(ThreadPoolTest, ShardRangeCoversExactly) {
+  for (int64_t n : {0, 1, 5, 7, 64, 1001}) {
+    for (int shards : {1, 2, 3, 8}) {
+      int64_t covered = 0;
+      int64_t prev_end = 0;
+      for (int s = 0; s < shards; ++s) {
+        const auto [b, e] = ThreadPool::ShardRange(n, shards, s);
+        EXPECT_EQ(b, prev_end);
+        EXPECT_LE(b, e);
+        covered += e - b;
+        prev_end = e;
+      }
+      EXPECT_EQ(covered, n) << "n=" << n << " shards=" << shards;
+      EXPECT_EQ(prev_end, n);
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexOnce) {
+  for (int threads : kThreadCounts) {
+    ThreadPool pool(threads);
+    const int64_t n = 1000;
+    std::vector<int> counts(static_cast<size_t>(n), 0);
+    pool.ParallelFor(n, /*grain=*/1, [&](int64_t b, int64_t e, int /*worker*/) {
+      for (int64_t i = b; i < e; ++i) {
+        ++counts[static_cast<size_t>(i)];
+      }
+    });
+    for (int64_t i = 0; i < n; ++i) {
+      EXPECT_EQ(counts[static_cast<size_t>(i)], 1) << "i=" << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, WorkerIndicesAreDistinctAndInRange) {
+  ThreadPool pool(4);
+  const int64_t n = 4000;
+  std::vector<int> owner(static_cast<size_t>(n), -1);
+  pool.ParallelFor(n, /*grain=*/1, [&](int64_t b, int64_t e, int worker) {
+    ASSERT_GE(worker, 0);
+    ASSERT_LT(worker, pool.num_threads());
+    for (int64_t i = b; i < e; ++i) {
+      owner[static_cast<size_t>(i)] = worker;
+    }
+  });
+  // Contiguous ranges: owner is non-decreasing.
+  for (int64_t i = 1; i < n; ++i) {
+    EXPECT_LE(owner[static_cast<size_t>(i - 1)], owner[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyDispatches) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int64_t> sum{0};
+    pool.ParallelFor(100, /*grain=*/1, [&](int64_t b, int64_t e, int /*worker*/) {
+      int64_t local = 0;
+      for (int64_t i = b; i < e; ++i) {
+        local += i;
+      }
+      sum += local;
+    });
+    EXPECT_EQ(sum.load(), 99 * 100 / 2);
+  }
+}
+
+// --------------------------------------------------------------------- MatMul
+
+void ExpectMatMulParity(int64_t m, int64_t k, int64_t n, uint64_t seed) {
+  const auto a = RandomVec(m * k, seed);
+  const auto b = RandomVec(k * n, seed + 1);
+  std::vector<float> want(static_cast<size_t>(m * n));
+  ref::MatMul(a.data(), b.data(), want.data(), m, k, n);
+
+  std::vector<float> got(static_cast<size_t>(m * n));
+  MatMul(a.data(), b.data(), got.data(), m, k, n, nullptr);
+  EXPECT_EQ(std::memcmp(want.data(), got.data(), want.size() * sizeof(float)), 0)
+      << "serial m=" << m << " k=" << k << " n=" << n;
+
+  for (int threads : kThreadCounts) {
+    ThreadPool pool(threads);
+    std::fill(got.begin(), got.end(), -1.0f);
+    MatMul(a.data(), b.data(), got.data(), m, k, n, &pool);
+    EXPECT_EQ(std::memcmp(want.data(), got.data(), want.size() * sizeof(float)), 0)
+        << "threads=" << threads << " m=" << m << " k=" << k << " n=" << n;
+  }
+}
+
+TEST(KernelParityTest, MatMulExactAcrossThreadCounts) {
+  // Shapes straddle the k-panel (64) and unroll (4) boundaries and include
+  // m smaller and larger than any thread count.
+  ExpectMatMulParity(1, 64, 17, 10);
+  ExpectMatMulParity(3, 5, 7, 11);
+  ExpectMatMulParity(7, 63, 33, 12);
+  ExpectMatMulParity(16, 65, 64, 13);
+  ExpectMatMulParity(33, 130, 41, 14);
+  ExpectMatMulParity(128, 256, 96, 15);
+  // m=1 with n past the column-parallel grain: the GEMV column path.
+  ExpectMatMulParity(1, 100, 2048, 16);
+}
+
+TEST(KernelParityTest, MatMulRowChunkingStillBitwiseIdentical) {
+  // The hybrid-prefill property, now for the blocked kernel under threads.
+  const int64_t m = 48;
+  const int64_t k = 100;
+  const int64_t n = 37;
+  const auto a = RandomVec(m * k, 21);
+  const auto b = RandomVec(k * n, 22);
+  std::vector<float> full(static_cast<size_t>(m * n));
+  ThreadPool pool(8);
+  MatMul(a.data(), b.data(), full.data(), m, k, n, &pool);
+
+  for (int64_t chunk : {1, 5, 16, 48}) {
+    std::vector<float> chunked(static_cast<size_t>(m * n));
+    for (int64_t r0 = 0; r0 < m; r0 += chunk) {
+      const int64_t cs = std::min(chunk, m - r0);
+      MatMul(a.data() + r0 * k, b.data(), chunked.data() + r0 * n, cs, k, n, &pool);
+    }
+    EXPECT_EQ(std::memcmp(full.data(), chunked.data(), full.size() * sizeof(float)), 0)
+        << "chunk=" << chunk;
+  }
+}
+
+TEST(KernelParityTest, MatMulDenseResultUnaffectedByZeros) {
+  // The seed kernel's `a_val == 0` skip is gone: zeros in `a` flow through
+  // the same code path as every other value.
+  const int64_t m = 9;
+  const int64_t k = 40;
+  const int64_t n = 23;
+  auto a = RandomVec(m * k, 31);
+  for (size_t i = 0; i < a.size(); i += 3) {
+    a[i] = 0.0f;
+  }
+  const auto b = RandomVec(k * n, 32);
+  std::vector<float> want(static_cast<size_t>(m * n));
+  ref::MatMul(a.data(), b.data(), want.data(), m, k, n);
+  for (int threads : kThreadCounts) {
+    ThreadPool pool(threads);
+    std::vector<float> got(static_cast<size_t>(m * n));
+    MatMul(a.data(), b.data(), got.data(), m, k, n, &pool);
+    EXPECT_EQ(std::memcmp(want.data(), got.data(), want.size() * sizeof(float)), 0);
+  }
+}
+
+// ------------------------------------------------------------- Row kernels
+
+TEST(KernelParityTest, RmsNormExactAcrossThreadCounts) {
+  const int64_t m = 53;
+  const int64_t h = 96;
+  const auto x = RandomVec(m * h, 41);
+  const auto w = RandomVec(h, 42);
+  std::vector<float> want(static_cast<size_t>(m * h));
+  ref::RmsNormRows(x.data(), w.data(), want.data(), m, h);
+  for (int threads : kThreadCounts) {
+    ThreadPool pool(threads);
+    std::vector<float> got(static_cast<size_t>(m * h));
+    RmsNormRows(x.data(), w.data(), got.data(), m, h, 1e-5f, &pool);
+    EXPECT_EQ(std::memcmp(want.data(), got.data(), want.size() * sizeof(float)), 0)
+        << "threads=" << threads;
+  }
+}
+
+TEST(KernelParityTest, SwiGluExactAcrossThreadCounts) {
+  const int64_t m = 37;
+  const int64_t inter = 64;
+  const auto gate_up = RandomVec(m * 2 * inter, 43, 2.0f);
+  std::vector<float> want(static_cast<size_t>(m * inter));
+  ref::SwiGluRows(gate_up.data(), want.data(), m, inter);
+  for (int threads : kThreadCounts) {
+    ThreadPool pool(threads);
+    std::vector<float> got(static_cast<size_t>(m * inter));
+    SwiGluRows(gate_up.data(), got.data(), m, inter, &pool);
+    EXPECT_EQ(std::memcmp(want.data(), got.data(), want.size() * sizeof(float)), 0)
+        << "threads=" << threads;
+  }
+}
+
+TEST(KernelParityTest, AddInPlaceExactAcrossThreadCounts) {
+  const int64_t count = 100003;  // prime: uneven shards
+  const auto b = RandomVec(count, 44);
+  auto want = RandomVec(count, 45);
+  ref::AddInPlace(want.data(), b.data(), count);
+  for (int threads : kThreadCounts) {
+    ThreadPool pool(threads);
+    auto got = RandomVec(count, 45);
+    AddInPlace(got.data(), b.data(), count, &pool);
+    EXPECT_EQ(std::memcmp(want.data(), got.data(), want.size() * sizeof(float)), 0)
+        << "threads=" << threads;
+  }
+}
+
+// ------------------------------------------------------------------- RoPE
+
+TEST(KernelParityTest, RopeTableMatchesRecomputeExactly) {
+  const int64_t rows = 29;
+  const int64_t n_heads = 4;
+  const int64_t head_dim = 16;
+  const float theta = 10000.0f;
+  std::vector<int32_t> positions(static_cast<size_t>(rows));
+  for (int64_t i = 0; i < rows; ++i) {
+    positions[static_cast<size_t>(i)] = static_cast<int32_t>(3 * i + 1);
+  }
+  auto want = RandomVec(rows * n_heads * head_dim, 51);
+  auto orig = want;
+  ref::ApplyRope(want.data(), rows, n_heads, head_dim, positions, theta);
+
+  RopeTable table(head_dim, theta);
+  table.EnsureCapacity(3 * rows + 2);
+  for (int threads : kThreadCounts) {
+    ThreadPool pool(threads);
+    auto got = orig;
+    ApplyRopeWithTable(got.data(), rows, n_heads, head_dim, positions, table, &pool);
+    EXPECT_EQ(std::memcmp(want.data(), got.data(), want.size() * sizeof(float)), 0)
+        << "threads=" << threads;
+  }
+}
+
+TEST(KernelParityTest, RopeFallbackBeyondCapacityMatchesReference) {
+  // Positions past the materialized table take the recompute fallback; it
+  // must be bitwise identical to the reference (and to table rows).
+  const int64_t rows = 7;
+  const int64_t n_heads = 2;
+  const int64_t head_dim = 16;
+  const float theta = 10000.0f;
+  std::vector<int32_t> positions{0, 5, 4999, 5000, 12345, 3, 99999};
+  auto want = RandomVec(rows * n_heads * head_dim, 53);
+  auto orig = want;
+  ref::ApplyRope(want.data(), rows, n_heads, head_dim, positions, theta);
+
+  RopeTable table(head_dim, theta);
+  table.EnsureCapacity(10);  // most positions above are beyond capacity
+  ASSERT_LT(table.capacity(), 4999);
+  for (int threads : kThreadCounts) {
+    ThreadPool pool(threads);
+    auto got = orig;
+    ApplyRopeWithTable(got.data(), rows, n_heads, head_dim, positions, table, &pool);
+    EXPECT_EQ(std::memcmp(want.data(), got.data(), want.size() * sizeof(float)), 0)
+        << "threads=" << threads;
+  }
+}
+
+TEST(KernelParityTest, RopeTableLazyGrowthPreservesEarlierRows) {
+  RopeTable table(16, 10000.0f);
+  table.EnsureCapacity(10);
+  std::vector<float> before(table.cos_row(7), table.cos_row(7) + 8);
+  table.EnsureCapacity(5000);  // multiple new blocks
+  EXPECT_GE(table.capacity(), 5000);
+  EXPECT_EQ(std::memcmp(before.data(), table.cos_row(7), before.size() * sizeof(float)),
+            0);
+}
+
+TEST(KernelParityTest, OpsApplyRopeStillMatchesReference) {
+  // The recomputing ops.cc variant stays available and agrees with ref.
+  const int64_t rows = 5;
+  const int64_t n_heads = 2;
+  const int64_t head_dim = 8;
+  std::vector<int32_t> positions{0, 2, 4, 9, 1};
+  auto want = RandomVec(rows * n_heads * head_dim, 52);
+  auto got = want;
+  ref::ApplyRope(want.data(), rows, n_heads, head_dim, positions, 10000.0f);
+  ApplyRope(got.data(), rows, n_heads, head_dim, positions, 10000.0f);
+  EXPECT_EQ(std::memcmp(want.data(), got.data(), want.size() * sizeof(float)), 0);
+}
+
+}  // namespace
+}  // namespace prefillonly

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/common/thread_pool.h"
 #include "src/model/config.h"
 #include "src/model/kv.h"
 #include "src/model/llama.h"
@@ -469,6 +470,101 @@ TEST(DeterminismTest, DifferentSeedDifferentLogits) {
   const auto rb = MustPrefill(b, tokens, nullptr, PrefillOptions{}, act_b);
   EXPECT_NE(std::memcmp(ra.last_logits.data(), rb.last_logits.data(),
                         ra.last_logits.size() * sizeof(float)),
+            0);
+}
+
+// ------------------------------------------------- Thread determinism
+//
+// ISSUE 1's contract: intra-op parallelism partitions work so each output
+// element is owned by exactly one thread with a fixed accumulation order,
+// so Prefill logits are bitwise identical for every thread count — and
+// that holds simultaneously across all three execution strategies.
+
+TEST(ThreadDeterminismTest, LogitsBitwiseIdenticalAcrossThreadCountsAndModes) {
+  LlamaModel model(ModelConfig::Tiny(), 17);
+  const auto tokens = MakeTokens(97, model.config().vocab_size, 91);
+
+  // Reference: serial, no pool at all (the legacy execution).
+  TrackingAllocator act_ref;
+  PrefillOptions standard;
+  standard.mode = PrefillMode::kStandard;
+  const auto expected = MustPrefill(model, tokens, nullptr, standard, act_ref);
+
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    model.SetThreadPool(&pool);
+    for (PrefillMode mode :
+         {PrefillMode::kStandard, PrefillMode::kChunked, PrefillMode::kHybrid}) {
+      TrackingAllocator act;
+      PrefillOptions options;
+      options.mode = mode;
+      options.chunk_size = 16;
+      const auto got = MustPrefill(model, tokens, nullptr, options, act);
+      ASSERT_EQ(expected.last_logits.size(), got.last_logits.size());
+      EXPECT_EQ(std::memcmp(expected.last_logits.data(), got.last_logits.data(),
+                            expected.last_logits.size() * sizeof(float)),
+                0)
+          << "threads=" << threads << " mode=" << static_cast<int>(mode);
+    }
+    model.SetThreadPool(nullptr);
+  }
+}
+
+TEST(ThreadDeterminismTest, RetainedKvBitwiseIdenticalAcrossThreadCounts) {
+  // KV written by the threaded K/V projections + RoPE must match the serial
+  // bits too — it is what later cache hits recompute from.
+  LlamaModel model(ModelConfig::Tiny(), 19);
+  const auto tokens = MakeTokens(64, model.config().vocab_size, 93);
+
+  PrefillOptions keep_all;
+  keep_all.mode = PrefillMode::kHybrid;
+  keep_all.chunk_size = 16;
+  keep_all.retention = KvRetention::kAll;
+
+  TrackingAllocator act_ref;
+  const auto expected = MustPrefill(model, tokens, nullptr, keep_all, act_ref);
+
+  for (int threads : {2, 8}) {
+    ThreadPool pool(threads);
+    model.SetThreadPool(&pool);
+    TrackingAllocator act;
+    const auto got = MustPrefill(model, tokens, nullptr, keep_all, act);
+    ASSERT_EQ(got.kv.layers.size(), expected.kv.layers.size());
+    for (size_t l = 0; l < got.kv.layers.size(); ++l) {
+      EXPECT_EQ(std::memcmp(got.kv.layers[l].k.data(), expected.kv.layers[l].k.data(),
+                            expected.kv.layers[l].k.bytes()),
+                0)
+          << "threads=" << threads << " layer=" << l;
+      EXPECT_EQ(std::memcmp(got.kv.layers[l].v.data(), expected.kv.layers[l].v.data(),
+                            expected.kv.layers[l].v.bytes()),
+                0)
+          << "threads=" << threads << " layer=" << l;
+    }
+    model.SetThreadPool(nullptr);
+  }
+}
+
+TEST(ThreadDeterminismTest, CachedPrefixReuseUnderThreads) {
+  LlamaModel model(ModelConfig::Tiny(), 23);
+  ThreadPool pool(4);
+  model.SetThreadPool(&pool);
+  const auto tokens = MakeTokens(80, model.config().vocab_size, 95);
+
+  TrackingAllocator act;
+  PrefillOptions keep_all;
+  keep_all.mode = PrefillMode::kHybrid;
+  keep_all.chunk_size = 16;
+  keep_all.retention = KvRetention::kAll;
+  const auto full = MustPrefill(model, tokens, nullptr, keep_all, act);
+
+  TrackingAllocator act2;
+  KvCacheData prefix = SliceKv(full.kv, 48, act2);
+  PrefillOptions options;
+  options.mode = PrefillMode::kHybrid;
+  options.chunk_size = 16;
+  const auto cached = MustPrefill(model, tokens, &prefix, options, act2);
+  EXPECT_EQ(std::memcmp(full.last_logits.data(), cached.last_logits.data(),
+                        full.last_logits.size() * sizeof(float)),
             0);
 }
 
