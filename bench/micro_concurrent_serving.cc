@@ -1,0 +1,180 @@
+// Concurrent serving microbenchmark (ISSUE 2).
+//
+// Measures aggregate prefill throughput of the real engine under the
+// concurrent runtime at in-flight limits {1, 2, 4}, against the legacy
+// serial frontend (Submit + RunPending) on the same workload. The elastic
+// worker partitions mean the in-flight = 1 configuration borrows the whole
+// pool per kernel, so the concurrent path must not be slower than the
+// serial worker there — the acceptance bar of ISSUE 2, and the number this
+// bench makes diffable run over run.
+//
+// Output: a human table plus BENCH_concurrent_serving.json in the style of
+// BENCH_kernels.json. Note the dev container may expose a single core; the
+// in-flight > 1 speedups only show on real multi-core hosts (the same
+// caveat as docs/PERFORMANCE.md).
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/engine.h"
+#include "src/core/request.h"
+
+namespace {
+
+using namespace prefillonly;
+
+EngineOptions BenchOptions() {
+  EngineOptions options;
+  options.model = ModelConfig::Tiny();
+  options.block_size = 16;
+  options.cache_budget_tokens = 1024;
+  options.chunk_size = 32;
+  options.num_threads = 0;  // whole machine
+  return options;
+}
+
+std::vector<ScoringRequest> BenchWorkload(int n_requests, int64_t n_tokens) {
+  std::vector<ScoringRequest> requests;
+  Rng rng(7);
+  for (int i = 0; i < n_requests; ++i) {
+    ScoringRequest request;
+    request.user_id = i;
+    request.tokens.resize(static_cast<size_t>(n_tokens));
+    for (auto& t : request.tokens) {
+      t = static_cast<int32_t>(rng.NextBounded(256));
+    }
+    request.allowed_tokens = {10, 20};
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+double Seconds(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+struct Point {
+  std::string frontend;
+  int in_flight;
+  int requests;
+  double seconds;
+  double prefills_per_s;
+};
+
+// Serial frontend: the whole backlog through Submit + RunPending.
+Point RunSerial(const std::vector<ScoringRequest>& workload) {
+  Engine engine(BenchOptions());
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& request : workload) {
+    auto id = engine.Submit(request);
+    (void)id;
+  }
+  auto responses = engine.RunPending();
+  const double elapsed = Seconds(t0);
+  Point p;
+  p.frontend = "serial_run_pending";
+  p.in_flight = 1;
+  p.requests = static_cast<int>(responses.value().size());
+  p.seconds = elapsed;
+  p.prefills_per_s = static_cast<double>(p.requests) / elapsed;
+  return p;
+}
+
+// Concurrent runtime at a given in-flight limit: submit everything, wait on
+// the futures.
+Point RunConcurrent(const std::vector<ScoringRequest>& workload, int in_flight) {
+  EngineOptions options = BenchOptions();
+  options.max_concurrent_requests = in_flight;
+  Engine engine(options);
+  Status started = engine.StartWorker(nullptr);
+  (void)started;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<Engine::ResponseFuture> futures;
+  futures.reserve(workload.size());
+  for (const auto& request : workload) {
+    auto submitted = engine.SubmitAsync(request);
+    if (submitted.ok()) {
+      futures.push_back(submitted.take());
+    }
+  }
+  int completed = 0;
+  for (auto& future : futures) {
+    completed += future.get().ok() ? 1 : 0;
+  }
+  const double elapsed = Seconds(t0);
+  engine.StopWorker();
+  Point p;
+  p.frontend = "concurrent_runtime";
+  p.in_flight = in_flight;
+  p.requests = completed;
+  p.seconds = elapsed;
+  p.prefills_per_s = static_cast<double>(completed) / elapsed;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kRequests = 24;
+  constexpr int64_t kTokens = 96;
+  const auto workload = BenchWorkload(kRequests, kTokens);
+
+  std::printf("concurrent serving: %d requests x %lld tokens, %u hardware threads\n\n",
+              kRequests, static_cast<long long>(kTokens),
+              std::thread::hardware_concurrency());
+
+  std::vector<Point> points;
+  // Warm-up pass so first-touch costs (rope table, pool spin-up) are off the
+  // clock for every configuration equally; then best-of-3 per configuration
+  // to tame scheduler noise on small containers.
+  constexpr int kReps = 3;
+  (void)RunSerial(workload);
+  auto best_of = [](auto run) {
+    Point best = run();
+    for (int r = 1; r < kReps; ++r) {
+      Point p = run();
+      if (p.seconds < best.seconds) {
+        best = p;
+      }
+    }
+    return best;
+  };
+  points.push_back(best_of([&] { return RunSerial(workload); }));
+  for (int in_flight : {1, 2, 4}) {
+    points.push_back(best_of([&] { return RunConcurrent(workload, in_flight); }));
+  }
+
+  std::printf("%-22s %10s %10s %12s %16s\n", "frontend", "in_flight", "requests",
+              "seconds", "prefills/sec");
+  for (const auto& p : points) {
+    std::printf("%-22s %10d %10d %12.4f %16.2f\n", p.frontend.c_str(), p.in_flight,
+                p.requests, p.seconds, p.prefills_per_s);
+  }
+  const double serial = points[0].prefills_per_s;
+  const double concurrent1 = points[1].prefills_per_s;
+  std::printf("\nconcurrent@1 / serial throughput ratio: %.3f "
+              "(ISSUE 2 bar: >= ~1.0 modulo noise)\n",
+              concurrent1 / serial);
+
+  FILE* f = std::fopen("BENCH_concurrent_serving.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_concurrent_serving.json\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"concurrent_serving\": [\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    std::fprintf(f,
+                 "    {\"frontend\": \"%s\", \"in_flight\": %d, \"requests\": %d, "
+                 "\"seconds\": %.6g, \"prefills_per_s\": %.4f}%s\n",
+                 p.frontend.c_str(), p.in_flight, p.requests, p.seconds,
+                 p.prefills_per_s, i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_concurrent_serving.json\n");
+  return 0;
+}

@@ -67,7 +67,7 @@ int main() {
         ids.push_back(id.value());
       }
     }
-    auto responses = engine.RunPending();
+    auto responses = engine.RunPending().take();
 
     // Rank by P(Yes).
     std::sort(responses.begin(), responses.end(),

@@ -5,13 +5,21 @@
 
 namespace prefillonly {
 
+thread_local ThreadPool::Lease* ThreadPool::tls_lease_ = nullptr;
+
 ThreadPool::ThreadPool(int num_threads) {
   if (num_threads <= 0) {
     num_threads = static_cast<int>(std::thread::hardware_concurrency());
   }
   num_threads_ = std::max(num_threads, 1);
-  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
-  for (int w = 1; w < num_threads_; ++w) {
+  const int spawned = num_threads_ - 1;
+  slots_ = std::make_unique<Slot[]>(static_cast<size_t>(spawned));
+  free_workers_.reserve(static_cast<size_t>(spawned));
+  for (int w = 0; w < spawned; ++w) {
+    free_workers_.push_back(w);
+  }
+  workers_.reserve(static_cast<size_t>(spawned));
+  for (int w = 0; w < spawned; ++w) {
     workers_.emplace_back([this, w] { WorkerLoop(w); });
   }
 }
@@ -21,9 +29,35 @@ ThreadPool::~ThreadPool() {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
   }
-  cv_work_.notify_all();
+  for (int w = 0; w < num_threads_ - 1; ++w) {
+    slots_[w].cv.notify_one();
+  }
   for (std::thread& worker : workers_) {
     worker.join();
+  }
+}
+
+ThreadPool::Lease::Lease(ThreadPool& pool, int want) : pool_(pool) {
+  want = std::clamp(want, 0, pool_.num_threads_ - 1);
+  {
+    std::lock_guard<std::mutex> lock(pool_.mu_);
+    while (want > 0 && !pool_.free_workers_.empty()) {
+      workers_.push_back(pool_.free_workers_.back());
+      pool_.free_workers_.pop_back();
+      --want;
+    }
+  }
+  prev_ = tls_lease_;
+  tls_lease_ = this;
+}
+
+ThreadPool::Lease::~Lease() {
+  assert(tls_lease_ == this && "Lease must be destroyed on its binding thread");
+  tls_lease_ = prev_;
+  if (!workers_.empty()) {
+    std::lock_guard<std::mutex> lock(pool_.mu_);
+    pool_.free_workers_.insert(pool_.free_workers_.end(), workers_.begin(),
+                               workers_.end());
   }
 }
 
@@ -41,57 +75,98 @@ void ThreadPool::ParallelFor(int64_t n, int64_t grain, const RangeFn& fn) {
     return;
   }
   grain = std::max<int64_t>(grain, 1);
-  const int shards = static_cast<int>(
+  const int max_shards = static_cast<int>(
       std::clamp<int64_t>(n / grain, 1, static_cast<int64_t>(num_threads_)));
-  if (shards == 1 || workers_.empty()) {
+  if (max_shards == 1 || workers_.empty()) {
     fn(0, n, 0);
     return;
   }
+  // Workers for this call: the calling thread's reserved lease (if any) plus
+  // whatever is idle right now, up to max_shards - 1. The actual shard count
+  // never changes results — kernels are element-owned — only wall time.
+  Lease* lease =
+      (tls_lease_ != nullptr && &tls_lease_->pool_ == this) ? tls_lease_ : nullptr;
+  Latch latch;
+  const int max_helpers = max_shards - 1;
+  std::vector<int> helpers;
+  helpers.reserve(static_cast<size_t>(max_helpers));
+  int n_borrowed = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    task_ = &fn;
-    task_n_ = n;
-    task_shards_ = shards;
-    // Only participating workers join the rendezvous; workers with index
-    // >= shards are off the critical path (they may even sleep through the
-    // whole epoch — WorkerLoop guards against reading a stale task).
-    pending_ = shards - 1;
-    ++epoch_;
+    if (lease != nullptr) {
+      for (int w : lease->workers_) {
+        if (static_cast<int>(helpers.size()) >= max_helpers) {
+          break;
+        }
+        helpers.push_back(w);
+      }
+    }
+    while (static_cast<int>(helpers.size()) < max_helpers && !free_workers_.empty()) {
+      helpers.push_back(free_workers_.back());
+      free_workers_.pop_back();
+      ++n_borrowed;
+    }
+    const int n_helpers = static_cast<int>(helpers.size());
+    if (n_helpers > 0) {
+      const int shards = n_helpers + 1;
+      latch.pending = n_helpers;
+      for (int i = 0; i < n_helpers; ++i) {
+        Slot& slot = slots_[helpers[static_cast<size_t>(i)]];
+        assert(slot.latch == nullptr && "worker handed a task while busy");
+        slot.fn = &fn;
+        slot.n = n;
+        slot.shards = shards;
+        slot.shard = i + 1;
+        slot.latch = &latch;
+        ++slot.epoch;
+      }
+    }
   }
-  cv_work_.notify_all();
-  // The caller is worker 0 and always participates.
-  const auto [begin, end] = ShardRange(n, shards, 0);
+  const int n_helpers = static_cast<int>(helpers.size());
+  if (n_helpers == 0) {
+    fn(0, n, 0);
+    return;
+  }
+  // Wake exactly the assigned workers — each sleeps on its own cv.
+  for (int i = 0; i < n_helpers; ++i) {
+    slots_[helpers[static_cast<size_t>(i)]].cv.notify_one();
+  }
+  // The caller is always shard 0 of its own call.
+  const auto [begin, end] = ShardRange(n, n_helpers + 1, 0);
   fn(begin, end, 0);
   std::unique_lock<std::mutex> lock(mu_);
-  cv_done_.wait(lock, [this] { return pending_ == 0; });
-  task_ = nullptr;
+  cv_done_.wait(lock, [&latch] { return latch.pending == 0; });
+  // Borrowed workers (the last n_borrowed in helpers) rejoin the free set;
+  // reserved ones stay with the lease.
+  for (int i = n_helpers - n_borrowed; i < n_helpers; ++i) {
+    free_workers_.push_back(helpers[static_cast<size_t>(i)]);
+  }
 }
 
 void ThreadPool::WorkerLoop(int worker) {
   uint64_t seen = 0;
+  Slot& slot = slots_[worker];
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
-    cv_work_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+    slot.cv.wait(lock, [&] { return stop_ || slot.epoch != seen; });
     if (stop_) {
       return;
     }
-    seen = epoch_;
-    const RangeFn* fn = task_;
-    const int64_t n = task_n_;
-    const int shards = task_shards_;
-    // worker >= shards: not a participant this epoch. fn may even be null
-    // here if this worker slept through the epoch it was excluded from and
-    // woke after the caller cleared task_ — the guard makes that benign.
-    if (worker >= shards) {
-      continue;
-    }
+    seen = slot.epoch;
+    const RangeFn* fn = slot.fn;
+    const int64_t n = slot.n;
+    const int shards = slot.shards;
+    const int shard = slot.shard;
+    Latch* latch = slot.latch;
     lock.unlock();
-    const auto [begin, end] = ShardRange(n, shards, worker);
+    const auto [begin, end] = ShardRange(n, shards, shard);
     if (begin < end) {
-      (*fn)(begin, end, worker);
+      (*fn)(begin, end, shard);
     }
     lock.lock();
-    if (--pending_ == 0) {
+    slot.fn = nullptr;
+    slot.latch = nullptr;
+    if (--latch->pending == 0) {
       cv_done_.notify_all();
     }
   }

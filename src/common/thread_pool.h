@@ -1,21 +1,35 @@
-// Persistent worker pool with deterministic range partitioning.
+// Persistent worker pool with deterministic range partitioning and elastic
+// worker-subset views (ISSUE 2).
 //
 // The engine's intra-op parallelism contract: ParallelFor splits [0, n) into
-// at most num_threads() CONTIGUOUS ranges with a fixed arithmetic rule, and
-// each range is executed by exactly one thread. Because every kernel built on
-// top of it computes each output element with a code path that depends only on
-// the element's own coordinates (never on the range boundaries), results are
-// bitwise identical for every thread count — including num_threads == 1,
-// which runs the body inline on the caller with no pool machinery at all.
-// tests/kernel_parity_test.cc and tests/model_test.cc assert this property.
+// CONTIGUOUS ranges with a fixed arithmetic rule, and each range is executed
+// by exactly one thread. Because every kernel built on top of it computes
+// each output element with a code path that depends only on the element's own
+// coordinates (never on the range boundaries), results are bitwise identical
+// for every thread count AND for every worker-subset width — including
+// num_threads == 1, which runs the body inline on the caller with no pool
+// machinery at all. tests/kernel_parity_test.cc, tests/model_test.cc and
+// tests/concurrency_test.cc assert this property.
+//
+// Concurrency model (docs/CONCURRENCY.md): each spawned worker has its own
+// task mailbox, so SEVERAL client threads may issue ParallelFor calls at the
+// same time as long as they use disjoint workers. Disjointness is arranged
+// by Lease: a client thread reserves a set of workers for itself (its
+// guaranteed floor share); every ParallelFor call it issues uses those
+// reserved workers plus however many currently-idle workers it can borrow.
+// Borrowed workers return to the shared free set when the call completes, so
+// a lone request elastically expands to the whole machine while N concurrent
+// requests settle at ~num_threads/N workers each.
 #ifndef SRC_COMMON_THREAD_POOL_H_
 #define SRC_COMMON_THREAD_POOL_H_
 
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace prefillonly {
@@ -38,11 +52,38 @@ class ThreadPool {
 
   int num_threads() const { return num_threads_; }
 
+  // Reserves up to `want` spawned workers for the calling thread until the
+  // Lease is destroyed. While bound, every ParallelFor the thread issues on
+  // this pool is guaranteed its reserved workers and may additionally borrow
+  // idle ones; other threads can never be handed the reserved workers. The
+  // lease binds the CONSTRUCTING thread only and must be destroyed on it
+  // (stack object in the executor loop). Fewer than `want` workers — possibly
+  // zero — are reserved when the free set is smaller; the request still runs,
+  // just narrower. Reserving never blocks.
+  class Lease {
+   public:
+    Lease(ThreadPool& pool, int want);
+    ~Lease();
+
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    // Workers this lease holds exclusively (not counting the caller).
+    int reserved() const { return static_cast<int>(workers_.size()); }
+
+   private:
+    friend class ThreadPool;
+    ThreadPool& pool_;
+    std::vector<int> workers_;  // spawned-worker indices, exclusively held
+    Lease* prev_ = nullptr;     // restores the previous binding on unwind
+  };
+
   // Runs fn over a deterministic partition of [0, n). `grain` is the minimum
   // number of iterations worth shipping to a thread: fewer than 2*grain total
   // iterations run inline on the caller. The partition rule (ShardRange) does
-  // not affect results for kernels that are element-owned, so the grain is a
-  // pure performance knob.
+  // not affect results for kernels that are element-owned, so the grain —
+  // like the number of workers that happen to be available — is a pure
+  // performance knob.
   void ParallelFor(int64_t n, int64_t grain, const RangeFn& fn);
 
   // The range worker `shard` of `shards` owns: floor-balanced contiguous
@@ -50,20 +91,38 @@ class ThreadPool {
   static std::pair<int64_t, int64_t> ShardRange(int64_t n, int shards, int shard);
 
  private:
+  // Rendezvous for one ParallelFor call; lives on the issuing thread's stack.
+  struct Latch {
+    int pending = 0;
+  };
+  // Per-spawned-worker task mailbox, guarded by mu_. `latch != nullptr`
+  // means the worker is running (or about to run) a shard; a worker is never
+  // handed a task while busy — the free set / lease bookkeeping guarantees
+  // each worker has at most one issuer at a time. Each worker sleeps on its
+  // own condition variable so an assignment wakes exactly the assigned
+  // workers, not the whole pool (no thundering herd per kernel launch).
+  struct Slot {
+    std::condition_variable cv;
+    const RangeFn* fn = nullptr;
+    int64_t n = 0;
+    int shards = 0;
+    int shard = 0;
+    Latch* latch = nullptr;
+    uint64_t epoch = 0;  // bumped on every assignment; workers wait on it
+  };
+
   void WorkerLoop(int worker);
 
   int num_threads_ = 1;
   std::vector<std::thread> workers_;
 
   std::mutex mu_;
-  std::condition_variable cv_work_;
   std::condition_variable cv_done_;
-  const RangeFn* task_ = nullptr;  // valid while an epoch is in flight
-  int64_t task_n_ = 0;
-  int task_shards_ = 0;
-  uint64_t epoch_ = 0;
-  int pending_ = 0;
+  std::unique_ptr<Slot[]> slots_;  // one per spawned worker
+  std::vector<int> free_workers_;  // spawned workers not held by any lease
   bool stop_ = false;
+
+  static thread_local Lease* tls_lease_;
 };
 
 }  // namespace prefillonly

@@ -11,9 +11,10 @@ namespace prefillonly {
 
 Engine::Engine(EngineOptions options)
     : options_(std::move(options)),
-      activations_(options_.activation_budget_bytes),
+      profile_activations_(options_.activation_budget_bytes),
       epoch_(std::chrono::steady_clock::now()) {
   assert(options_.model.Valid());
+  options_.max_concurrent_requests = std::max(options_.max_concurrent_requests, 1);
   pool_ = std::make_unique<ThreadPool>(options_.num_threads);
   model_ = std::make_unique<LlamaModel>(options_.model, options_.weight_seed);
   model_->SetThreadPool(pool_.get());
@@ -24,6 +25,8 @@ Engine::Engine(EngineOptions options)
                                           cache_memory_);
   offload_dir_ = std::make_unique<OffloadDirectory>(
       options_.cpu_offload_budget_tokens / std::max(options_.block_size, 1));
+  // The listener fires from cache_ operations, which the engine only invokes
+  // with cache_mu_ held — it may touch every cache-tier member.
   cache_->SetEvictionListener([this](uint64_t hash, BlockId block, int64_t depth) {
     if (offload_dir_->capacity_blocks() <= 0) {
       store_->Drop(block);
@@ -75,52 +78,113 @@ Status Engine::Validate(const ScoringRequest& request) const {
   return Status::Ok();
 }
 
-Result<int64_t> Engine::Submit(ScoringRequest request) {
+Result<int64_t> Engine::Enqueue(
+    ScoringRequest request,
+    std::shared_ptr<std::promise<Result<ScoringResponse>>> promise) {
   if (Status s = Validate(request); !s.ok()) {
     return s;
   }
   Pending pending;
   pending.request = std::move(request);
   pending.arrival_s = NowSeconds();
-  pending.chain = BlockHashChain(pending.request.tokens, options_.block_size);
+  pending.chain = std::make_shared<const std::vector<uint64_t>>(
+      BlockHashChain(pending.request.tokens, options_.block_size));
+  pending.promise = std::move(promise);
 
   std::lock_guard<std::mutex> lock(mu_);
+  if (draining_) {
+    return Status::FailedPrecondition("engine is stopping; request rejected");
+  }
   pending.id = next_id_++;
   ++stats_.submitted;
   const int64_t id = pending.id;
-  if (worker_running_) {
-    inbox_.Push(std::move(pending));
-  } else {
-    waiting_.push_back(std::move(pending));
-  }
+  waiting_.push_back(std::move(pending));
+  dispatch_cv_.notify_all();
   return id;
 }
 
-size_t Engine::PickIndex() {
-  assert(!waiting_.empty());
-  std::vector<SchedEntry> entries;
-  entries.reserve(waiting_.size());
-  const bool calibrate = options_.policy == SchedPolicy::kSrjfCalibrated;
-  for (const Pending& p : waiting_) {
-    SchedEntry entry;
-    entry.arrival_time = p.arrival_s;
-    entry.n_input = static_cast<int64_t>(p.request.tokens.size());
-    // Continuous JCT calibration: the hit length is refreshed against the
-    // live cache on every decision. Offloaded blocks count as cached: their
-    // reload is far cheaper than recomputation.
-    const int64_t gpu_match = cache_->MatchTokens(p.chain);
-    const int64_t offload_match =
-        offload_dir_->PeekContinuation(p.chain, gpu_match / options_.block_size) *
-        options_.block_size;
-    const int64_t match = std::min(gpu_match + offload_match, entry.n_input - 1);
-    entry.n_cached_at_arrival = match;  // static policies are approximated
-    entry.n_cached_now = calibrate ? match : entry.n_cached_at_arrival;
-    entries.push_back(entry);
+Result<int64_t> Engine::Submit(ScoringRequest request) {
+  return Enqueue(std::move(request), nullptr);
+}
+
+Result<Engine::ResponseFuture> Engine::SubmitAsync(ScoringRequest request) {
+  auto promise = std::make_shared<std::promise<Result<ScoringResponse>>>();
+  ResponseFuture future = promise->get_future();
+  auto id = Enqueue(std::move(request), std::move(promise));
+  if (!id.ok()) {
+    return id.status();
   }
-  return scheduler_->PickNext(entries, NowSeconds());
+  return future;
+}
+
+std::vector<Engine::Candidate> Engine::SnapshotQueueLocked() const {
+  std::vector<Candidate> candidates;
+  candidates.reserve(waiting_.size());
+  for (const Pending& p : waiting_) {
+    Candidate c;
+    c.id = p.id;
+    c.arrival_s = p.arrival_s;
+    c.n_input = static_cast<int64_t>(p.request.tokens.size());
+    c.chain = p.chain;
+    candidates.push_back(std::move(c));
+  }
+  return candidates;
+}
+
+int64_t Engine::PickCandidate(const std::vector<Candidate>& candidates,
+                              const Scheduler* scheduler) const {
+  assert(!candidates.empty());
+  std::vector<SchedEntry> entries;
+  entries.reserve(candidates.size());
+  const bool calibrate = options_.policy == SchedPolicy::kSrjfCalibrated;
+  {
+    std::lock_guard<std::mutex> cache_lock(cache_mu_);
+    for (const Candidate& c : candidates) {
+      SchedEntry entry;
+      entry.arrival_time = c.arrival_s;
+      entry.n_input = c.n_input;
+      // Continuous JCT calibration: the hit length is refreshed against the
+      // live cache on every decision. Offloaded blocks count as cached:
+      // their reload is far cheaper than recomputation.
+      const int64_t gpu_match = cache_->MatchTokens(*c.chain);
+      const int64_t offload_match =
+          offload_dir_->PeekContinuation(*c.chain, gpu_match / options_.block_size) *
+          options_.block_size;
+      const int64_t match = std::min(gpu_match + offload_match, entry.n_input - 1);
+      entry.n_cached_at_arrival = match;  // static policies are approximated
+      entry.n_cached_now = calibrate ? match : entry.n_cached_at_arrival;
+      entries.push_back(entry);
+    }
+  }
+  return candidates[scheduler->PickNext(entries, NowSeconds())].id;
+}
+
+std::optional<Engine::Pending> Engine::TakeWaitingLocked(int64_t id) {
+  for (auto it = waiting_.begin(); it != waiting_.end(); ++it) {
+    if (it->id == id) {
+      Pending pending = std::move(*it);
+      waiting_.erase(it);
+      return pending;
+    }
+  }
+  return std::nullopt;
 }
 
 Result<ScoringResponse> Engine::Execute(Pending pending) {
+  // Per-request activation arena (ISSUE 2): concurrent requests never share
+  // an allocator, so tracking stays exact per lane and the budget is the
+  // per-request GPU-memory analogue. Every tensor allocated below dies
+  // before the arena does (end of ExecuteOnArena).
+  TrackingAllocator activations(options_.activation_budget_bytes);
+  auto response = ExecuteOnArena(activations, std::move(pending));
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.peak_activation_bytes =
+      std::max(stats_.peak_activation_bytes, activations.peak_bytes());
+  return response;
+}
+
+Result<ScoringResponse> Engine::ExecuteOnArena(TrackingAllocator& activations,
+                                               Pending pending) {
   const auto& tokens = pending.request.tokens;
   const auto n_tokens = static_cast<int64_t>(tokens.size());
   const double start_s = NowSeconds();
@@ -128,53 +192,64 @@ Result<ScoringResponse> Engine::Execute(Pending pending) {
   // Suffix KV cache discarding, decided up front: only the prefix that fits
   // the cache budget is ever granted blocks.
   const int64_t budget_blocks =
-      std::min<int64_t>(static_cast<int64_t>(pending.chain.size()),
+      std::min<int64_t>(static_cast<int64_t>(pending.chain->size()),
                         cache_->capacity_blocks());
-  std::span<const uint64_t> chain(pending.chain);
+  std::span<const uint64_t> chain(*pending.chain);
   chain = chain.subspan(0, static_cast<size_t>(budget_blocks));
 
-  auto acquired = cache_->Acquire(chain, budget_blocks);
-  if (!acquired.ok()) {
-    return acquired.status();
-  }
-  Acquisition acq = acquired.take();
-
-  // Block-aligned prefix reuse; the final token is always recomputed. The
-  // GPU-tier match may continue into the offload tier (§9).
-  const int64_t gpu_matched = acq.matched_blocks;
-  const int64_t offload_matched = offload_dir_->MatchContinuation(chain, gpu_matched);
-  const int64_t max_prefix_blocks = (n_tokens - 1) / options_.block_size;
-  const int64_t prefix_blocks =
-      std::min(gpu_matched + offload_matched, max_prefix_blocks);
-  const int64_t gpu_prefix_blocks = std::min(gpu_matched, prefix_blocks);
-  const int64_t n_cached = prefix_blocks * options_.block_size;
-
+  // --- Cache acquire + prefix assembly, atomic under cache_mu_ ---------
+  Acquisition acq;
+  int64_t prefix_blocks = 0;
+  int64_t gpu_prefix_blocks = 0;
+  int64_t n_cached = 0;
   KvCacheData prefix;
-  if (prefix_blocks > 0) {
-    // GPU-resident blocks first, then offloaded payloads "reloaded" into
-    // the contiguous prefix (the copy is the simulated H2D transfer).
-    prefix.n_tokens = n_cached;
-    prefix.layers.resize(static_cast<size_t>(options_.model.n_layers));
-    for (auto& layer : prefix.layers) {
-      layer.k = Tensor::Uninit(activations_, {n_cached, options_.model.kv_size()},
-                               "kvstore.prefix.k");
-      layer.v = Tensor::Uninit(activations_, {n_cached, options_.model.kv_size()},
-                               "kvstore.prefix.v");
+  {
+    std::lock_guard<std::mutex> cache_lock(cache_mu_);
+    auto acquired = cache_->Acquire(chain, budget_blocks);
+    if (!acquired.ok()) {
+      return acquired.status();
     }
-    if (gpu_prefix_blocks > 0) {
-      const KvCacheData gpu_part = store_->AssemblePrefix(acq.blocks, gpu_prefix_blocks);
-      for (size_t l = 0; l < prefix.layers.size(); ++l) {
-        std::memcpy(prefix.layers[l].k.data(), gpu_part.layers[l].k.data(),
-                    gpu_part.layers[l].k.bytes());
-        std::memcpy(prefix.layers[l].v.data(), gpu_part.layers[l].v.data(),
-                    gpu_part.layers[l].v.bytes());
+    acq = acquired.take();
+
+    // Block-aligned prefix reuse; the final token is always recomputed. The
+    // GPU-tier match may continue into the offload tier (§9).
+    const int64_t gpu_matched = acq.matched_blocks;
+    const int64_t offload_matched = offload_dir_->MatchContinuation(chain, gpu_matched);
+    const int64_t max_prefix_blocks = (n_tokens - 1) / options_.block_size;
+    prefix_blocks = std::min(gpu_matched + offload_matched, max_prefix_blocks);
+    gpu_prefix_blocks = std::min(gpu_matched, prefix_blocks);
+    n_cached = prefix_blocks * options_.block_size;
+
+    if (prefix_blocks > 0) {
+      // GPU-resident blocks first, then offloaded payloads "reloaded" into
+      // the contiguous prefix (the copy is the simulated H2D transfer).
+      // Matched blocks are pinned (refcounted), so the payloads cannot be
+      // evicted while we copy; the copies happen under cache_mu_ so the
+      // offload tier cannot mutate between the match above and the reads.
+      prefix.n_tokens = n_cached;
+      prefix.layers.resize(static_cast<size_t>(options_.model.n_layers));
+      for (auto& layer : prefix.layers) {
+        layer.k = Tensor::Uninit(activations, {n_cached, options_.model.kv_size()},
+                                 "kvstore.prefix.k");
+        layer.v = Tensor::Uninit(activations, {n_cached, options_.model.kv_size()},
+                                 "kvstore.prefix.v");
       }
-    }
-    for (int64_t b = gpu_prefix_blocks; b < prefix_blocks; ++b) {
-      auto payload = offload_payloads_.find(chain[static_cast<size_t>(b)]);
-      assert(payload != offload_payloads_.end());
-      CopyBlockInto(payload->second, prefix, b, options_.block_size);
-      offload_hit_tokens_ += options_.block_size;
+      if (gpu_prefix_blocks > 0) {
+        const KvCacheData gpu_part =
+            store_->AssemblePrefix(acq.blocks, gpu_prefix_blocks);
+        for (size_t l = 0; l < prefix.layers.size(); ++l) {
+          std::memcpy(prefix.layers[l].k.data(), gpu_part.layers[l].k.data(),
+                      gpu_part.layers[l].k.bytes());
+          std::memcpy(prefix.layers[l].v.data(), gpu_part.layers[l].v.data(),
+                      gpu_part.layers[l].v.bytes());
+        }
+      }
+      for (int64_t b = gpu_prefix_blocks; b < prefix_blocks; ++b) {
+        auto payload = offload_payloads_.find(chain[static_cast<size_t>(b)]);
+        assert(payload != offload_payloads_.end());
+        CopyBlockInto(payload->second, prefix, b, options_.block_size);
+        offload_hit_tokens_ += options_.block_size;
+      }
     }
   }
 
@@ -186,28 +261,44 @@ Result<ScoringResponse> Engine::Execute(Pending pending) {
   prefill.retention = KvRetention::kPrefixBudget;
   prefill.prefix_budget_tokens = budget_blocks * options_.block_size;
 
+  // The prefill pass runs without any engine lock: the model is immutable,
+  // the prefix is a private copy, and intra-op workers come from this
+  // thread's elastic ThreadPool partition.
   auto result = model_->Prefill(tokens, prefix.empty() ? nullptr : &prefix, prefill,
-                                activations_);
+                                activations);
   if (!result.ok()) {
+    std::lock_guard<std::mutex> cache_lock(cache_mu_);
     cache_->Release(acq, 0);
     return result.status();
   }
   PrefillResult& pass = result.value();
 
+  // --- Cache release + KV publication, atomic under cache_mu_ ----------
   // Hand the retained fresh prefix blocks to the cache + payload store.
   // Blocks served from the offload tier are PROMOTED: their payload moves
   // back to the GPU tier instead of being recomputed or duplicated.
-  const auto inserted = cache_->Release(acq, budget_blocks);
-  for (const auto& [block_index, block_id] : inserted) {
-    const uint64_t hash = chain[static_cast<size_t>(block_index)];
-    auto payload = offload_payloads_.find(hash);
-    if (block_index < prefix_blocks && payload != offload_payloads_.end()) {
-      store_->PutBlock(block_id, CloneBlock(payload->second, cache_memory_));
-      offload_payloads_.erase(payload);
-      offload_dir_->Erase(hash);
-      ++offload_promotions_;
-    } else {
-      store_->Put(block_id, pass.kv, pass.kv_start, block_index);
+  {
+    std::lock_guard<std::mutex> cache_lock(cache_mu_);
+    const auto inserted = cache_->Release(acq, budget_blocks);
+    for (const auto& [block_index, block_id] : inserted) {
+      const uint64_t hash = chain[static_cast<size_t>(block_index)];
+      if (block_index < prefix_blocks) {
+        auto payload = offload_payloads_.find(hash);
+        if (payload != offload_payloads_.end()) {
+          store_->PutBlock(block_id, CloneBlock(payload->second, cache_memory_));
+          offload_payloads_.erase(payload);
+          offload_dir_->Erase(hash);
+          ++offload_promotions_;
+        } else {
+          // A concurrent request promoted (and possibly re-evicted) this
+          // offload payload between our acquire and release. The rows are
+          // still at hand in the assembled prefix — publish from there;
+          // pass.kv starts at n_cached and cannot serve this block.
+          store_->Put(block_id, prefix, /*source_start=*/0, block_index);
+        }
+      } else {
+        store_->Put(block_id, pass.kv, pass.kv_start, block_index);
+      }
     }
   }
 
@@ -231,27 +322,75 @@ Result<ScoringResponse> Engine::Execute(Pending pending) {
   return response;
 }
 
-std::vector<ScoringResponse> Engine::RunPending() {
+Result<ScoringResponse> Engine::ExecuteAndFinalize(Pending pending) {
+  auto promise = std::move(pending.promise);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++executing_;
+    stats_.peak_in_flight =
+        std::max<int64_t>(stats_.peak_in_flight, executing_);
+  }
+  auto response = Execute(std::move(pending));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --executing_;
+    if (response.ok()) {
+      ++stats_.completed;
+      stats_.total_execute_s += response.value().execute_time_s;
+    } else {
+      ++stats_.failed;
+    }
+  }
+  if (promise != nullptr) {
+    promise->set_value(response);
+  }
+  return response;
+}
+
+Result<std::vector<ScoringResponse>> Engine::RunPending() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (runtime_running_) {
+      // Checked misuse (ISSUE 2): while the concurrent runtime owns the
+      // queue, a second scheduling loop would double-dispatch requests.
+      // Checked once, on entry: results of requests already executed are
+      // never thrown away mid-drain.
+      return Status::FailedPrecondition(
+          "RunPending() while the concurrent runtime is active; "
+          "use SubmitAsync()/StopWorker() instead");
+    }
+    if (profiling_) {
+      return Status::FailedPrecondition(
+          "RunPending() while ProfileJct() is in progress; retry after it returns");
+    }
+  }
   std::vector<ScoringResponse> responses;
   while (true) {
-    Pending pending;
+    std::vector<Candidate> candidates;
+    const Scheduler* scheduler = nullptr;
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (waiting_.empty()) {
         break;
       }
-      const size_t index = PickIndex();
-      pending = std::move(waiting_[index]);
-      waiting_.erase(waiting_.begin() + static_cast<std::ptrdiff_t>(index));
+      candidates = SnapshotQueueLocked();
+      scheduler = scheduler_.get();
     }
-    auto response = Execute(std::move(pending));
-    std::lock_guard<std::mutex> lock(mu_);
+    const int64_t picked = PickCandidate(candidates, scheduler);
+    std::optional<Pending> pending;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      pending = TakeWaitingLocked(picked);
+    }
+    if (!pending.has_value()) {
+      // A StartWorker() racing mid-drain handed this request to the
+      // dispatcher; it completes there, we just stop claiming it.
+      continue;
+    }
+    auto response = ExecuteAndFinalize(std::move(*pending));
     if (response.ok()) {
-      ++stats_.completed;
-      stats_.total_execute_s += response.value().execute_time_s;
       responses.push_back(response.take());
     } else {
-      ++stats_.failed;
       PO_LOG_WARNING << "request failed: " << response.status().ToString();
     }
   }
@@ -265,91 +404,149 @@ Result<ScoringResponse> Engine::ScoreSync(ScoringRequest request) {
   Pending pending;
   pending.request = std::move(request);
   pending.arrival_s = NowSeconds();
-  pending.chain = BlockHashChain(pending.request.tokens, options_.block_size);
+  pending.chain = std::make_shared<const std::vector<uint64_t>>(
+      BlockHashChain(pending.request.tokens, options_.block_size));
   {
     std::lock_guard<std::mutex> lock(mu_);
     pending.id = next_id_++;
     ++stats_.submitted;
   }
-  auto response = Execute(std::move(pending));
-  std::lock_guard<std::mutex> lock(mu_);
-  if (response.ok()) {
-    ++stats_.completed;
-    stats_.total_execute_s += response.value().execute_time_s;
-  } else {
-    ++stats_.failed;
-  }
-  return response;
+  return ExecuteAndFinalize(std::move(pending));
 }
 
-void Engine::StartWorker(ResponseCallback callback) {
+Status Engine::StartWorker(ResponseCallback callback) {
   std::lock_guard<std::mutex> lock(mu_);
-  assert(!worker_running_);
-  worker_running_ = true;
-  worker_ = std::thread([this, callback = std::move(callback)] { WorkerLoop(callback); });
+  if (runtime_running_) {
+    return Status::FailedPrecondition("concurrent runtime is already running");
+  }
+  if (profiling_) {
+    return Status::FailedPrecondition(
+        "ProfileJct() is in progress; start the runtime after it returns");
+  }
+  runtime_running_ = true;
+  draining_ = false;
+  exec_queue_ = std::make_unique<BlockingQueue<Pending>>();
+  executors_.clear();
+  dispatcher_ = std::thread([this] { DispatcherLoop(); });
+  for (int i = 0; i < options_.max_concurrent_requests; ++i) {
+    executors_.emplace_back(
+        [this, callback]() mutable { ExecutorLoop(std::move(callback)); });
+  }
+  return Status::Ok();
+}
+
+bool Engine::worker_running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return runtime_running_;
 }
 
 void Engine::StopWorker() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!worker_running_) {
-      return;
-    }
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!runtime_running_) {
+    return;
   }
-  inbox_.Close();
-  worker_.join();
-  std::lock_guard<std::mutex> lock(mu_);
-  worker_running_ = false;
+  if (draining_) {
+    // Another thread is already stopping; wait for it to finish so the
+    // post-condition (runtime fully joined) holds for every caller.
+    dispatch_cv_.wait(lock, [this] { return !runtime_running_; });
+    return;
+  }
+  draining_ = true;
+  lock.unlock();
+  dispatch_cv_.notify_all();
+  dispatcher_.join();
+  for (std::thread& executor : executors_) {
+    executor.join();
+  }
+  lock.lock();
+  executors_.clear();
+  runtime_running_ = false;
+  draining_ = false;
+  lock.unlock();
+  dispatch_cv_.notify_all();
 }
 
-void Engine::WorkerLoop(ResponseCallback callback) {
+void Engine::DispatcherLoop() {
+  const int max_slots = options_.max_concurrent_requests;
+  // Guaranteed floor share per in-flight request; elastic growth beyond it
+  // comes from ParallelFor borrowing idle workers (ThreadPool::Lease).
+  const int reserve_workers = std::max(1, pool_->num_threads() / max_slots) - 1;
+  std::unique_lock<std::mutex> lock(mu_);
   while (true) {
-    if (waiting_.empty()) {
-      auto item = inbox_.Pop();  // blocks; nullopt on Close
-      if (!item.has_value()) {
+    dispatch_cv_.wait(lock, [&] {
+      return (draining_ && waiting_.empty() && in_flight_ == 0) ||
+             (!waiting_.empty() && in_flight_ < max_slots);
+    });
+    if (waiting_.empty() || in_flight_ >= max_slots) {
+      if (draining_ && waiting_.empty() && in_flight_ == 0) {
         break;
       }
-      waiting_.push_back(std::move(*item));
+      continue;
     }
-    // Drain whatever else arrived so the scheduler sees the whole queue.
-    while (auto more = inbox_.TryPop()) {
-      waiting_.push_back(std::move(*more));
+    // The scheduling decision: snapshot the queue, then consult cache +
+    // scheduler with mu_ RELEASED, so Submit/stats never convoy behind an
+    // in-flight prefix copy holding cache_mu_. n_cached_now is refreshed
+    // against the live cache at the moment an executor slot frees —
+    // continuous JCT calibration (§6.3). Only this thread removes entries
+    // while the runtime runs, so the pick is still in waiting_ on relock
+    // (requests that arrive between snapshot and relock just wait for the
+    // next decision).
+    std::vector<Candidate> candidates = SnapshotQueueLocked();
+    const Scheduler* scheduler = scheduler_.get();
+    lock.unlock();
+    const int64_t picked = PickCandidate(candidates, scheduler);
+    lock.lock();
+    std::optional<Pending> pending = TakeWaitingLocked(picked);
+    if (!pending.has_value()) {
+      continue;
     }
-    const size_t index = PickIndex();
-    Pending pending = std::move(waiting_[index]);
-    waiting_.erase(waiting_.begin() + static_cast<std::ptrdiff_t>(index));
-    auto response = Execute(std::move(pending));
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (response.ok()) {
-        ++stats_.completed;
-        stats_.total_execute_s += response.value().execute_time_s;
-      } else {
-        ++stats_.failed;
-      }
-    }
-    callback(std::move(response));
+    ++in_flight_;
+    pending->reserve_workers = reserve_workers;
+    lock.unlock();
+    exec_queue_->Push(std::move(*pending));
+    lock.lock();
   }
-  // Serve anything left in the waiting list before shutting down.
-  while (!waiting_.empty()) {
-    const size_t index = PickIndex();
-    Pending pending = std::move(waiting_[index]);
-    waiting_.erase(waiting_.begin() + static_cast<std::ptrdiff_t>(index));
-    auto response = Execute(std::move(pending));
+  lock.unlock();
+  exec_queue_->Close();
+}
+
+void Engine::ExecutorLoop(ResponseCallback callback) {
+  while (auto item = exec_queue_->Pop()) {
+    Pending pending = std::move(*item);
+    const int reserve = pending.reserve_workers;
+    Result<ScoringResponse> response = [&] {
+      // The lease is this request's worker partition: `reserve` workers held
+      // exclusively for the whole execution, plus per-kernel borrowing of
+      // whatever is idle. Destroyed (workers returned) before completion is
+      // announced, so a waiting dispatchee can inherit them immediately.
+      ThreadPool::Lease lease(*pool_, reserve);
+      return ExecuteAndFinalize(std::move(pending));
+    }();
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (response.ok()) {
-        ++stats_.completed;
-        stats_.total_execute_s += response.value().execute_time_s;
-      } else {
-        ++stats_.failed;
-      }
+      --in_flight_;
     }
-    callback(std::move(response));
+    dispatch_cv_.notify_all();
+    if (callback) {
+      callback(std::move(response));
+    }
   }
 }
 
 Result<double> Engine::ProfileJct(int64_t max_input_len, int64_t granularity) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (runtime_running_ || profiling_) {
+      // The estimator/scheduler swap below would race with in-flight
+      // scheduling decisions (and profiling wants the machine to itself).
+      // profiling_ stays set until the swap is done; StartWorker and
+      // RunPending refuse to begin while it is.
+      return Status::FailedPrecondition(
+          "ProfileJct() while the concurrent runtime is active; "
+          "profile before StartWorker()");
+    }
+    profiling_ = true;
+  }
   // Time real prefill passes; a zero-filled fake prefix of n_cached tokens
   // reproduces the exact computation shape of a cache hit.
   auto measure = [&](int64_t n_input, int64_t n_cached) -> double {
@@ -359,10 +556,10 @@ Result<double> Engine::ProfileJct(int64_t max_input_len, int64_t granularity) {
       prefix.n_tokens = n_cached;
       prefix.layers.resize(static_cast<size_t>(options_.model.n_layers));
       for (auto& layer : prefix.layers) {
-        layer.k = Tensor::Zeros(activations_, {n_cached, options_.model.kv_size()},
-                                "profile.k");
-        layer.v = Tensor::Zeros(activations_, {n_cached, options_.model.kv_size()},
-                                "profile.v");
+        layer.k = Tensor::Zeros(profile_activations_,
+                                {n_cached, options_.model.kv_size()}, "profile.k");
+        layer.v = Tensor::Zeros(profile_activations_,
+                                {n_cached, options_.model.kv_size()}, "profile.v");
       }
     }
     PrefillOptions prefill;
@@ -370,28 +567,29 @@ Result<double> Engine::ProfileJct(int64_t max_input_len, int64_t granularity) {
     prefill.chunk_size = options_.chunk_size;
     const double t0 = NowSeconds();
     auto result = model_->Prefill(tokens, n_cached > 0 ? &prefix : nullptr, prefill,
-                                  activations_);
+                                  profile_activations_);
     (void)result;
     return NowSeconds() - t0;
   };
   auto profiled = ProfiledJctEstimator::Profile(measure, max_input_len, granularity);
+  std::lock_guard<std::mutex> lock(mu_);
+  profiling_ = false;
   if (!profiled.ok()) {
     return profiled.status();
   }
   const double r2 = profiled.value().r_squared();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    estimator_ = std::make_unique<ProfiledJctEstimator>(profiled.take());
-    scheduler_ = std::make_unique<Scheduler>(options_.policy, options_.lambda,
-                                             estimator_.get());
-  }
+  estimator_ = std::make_unique<ProfiledJctEstimator>(profiled.take());
+  scheduler_ = std::make_unique<Scheduler>(options_.policy, options_.lambda,
+                                           estimator_.get());
   return r2;
 }
 
 EngineStats Engine::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   EngineStats out = stats_;
-  out.peak_activation_bytes = activations_.peak_bytes();
+  out.peak_activation_bytes =
+      std::max(out.peak_activation_bytes, profile_activations_.peak_bytes());
+  std::lock_guard<std::mutex> cache_lock(cache_mu_);
   out.cache_bytes = cache_memory_.current_bytes();
   out.cache = cache_->stats();
   out.offload_bytes = offload_memory_.current_bytes();

@@ -16,17 +16,33 @@
 //
 // Two frontends:
 //   * synchronous: Submit(...) then RunPending() — deterministic, used by
-//     tests and benchmarks;
-//   * asynchronous: StartWorker() + Submit(...) + a response callback —
-//     mirrors the paper's frontend/scheduler process split (§3.1).
+//     tests and benchmarks; rejected with kFailedPrecondition while the
+//     concurrent runtime is active;
+//   * concurrent (ISSUE 2): StartWorker() spawns a dispatcher plus
+//     EngineOptions::max_concurrent_requests executor threads. The SRJF
+//     scheduler picks the next request under the dispatch lock whenever an
+//     executor slot frees, and each in-flight request runs on an elastic
+//     partition of the ThreadPool workers (ThreadPool::Lease). Responses are
+//     delivered through the optional callback and/or the std::future returned
+//     by SubmitAsync. ScoreSync remains valid while the runtime is active —
+//     it executes inline on the calling thread as one more concurrent lane.
+//
+// Determinism contract: a request's logits are bitwise identical whether it
+// ran on 1, 4, or all workers, alone or alongside other requests
+// (tests/concurrency_test.cc). Lock hierarchy (docs/CONCURRENCY.md):
+// mu_ (dispatch/stats) may be taken before cache_mu_ (cache tiers), never
+// the reverse; neither is held across a model prefill.
 #ifndef SRC_CORE_ENGINE_H_
 #define SRC_CORE_ENGINE_H_
 
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -65,8 +81,16 @@ struct EngineOptions {
   // activation walker's predictions) match the serial seed exactly.
   int num_threads = 0;
 
-  // Activation budget in bytes (0 = unlimited). Exceeding it fails the
-  // request with kResourceExhausted — the CPU analogue of GPU OOM.
+  // Cross-request parallelism (ISSUE 2): how many requests the concurrent
+  // runtime (StartWorker) executes simultaneously. 1 reproduces the legacy
+  // single-executor behavior; N > 1 gives each in-flight request a reserved
+  // ~num_threads/N worker share plus elastic borrowing of idle workers.
+  // Logits do not depend on this value.
+  int max_concurrent_requests = 1;
+
+  // Activation budget in bytes (0 = unlimited), applied PER REQUEST (each
+  // in-flight request tracks its own activation arena). Exceeding it fails
+  // the request with kResourceExhausted — the CPU analogue of GPU OOM.
   size_t activation_budget_bytes = 0;
 
   // Prefix-cache budget in tokens; KV beyond it is discarded (suffix KV
@@ -90,6 +114,9 @@ struct EngineStats {
   int64_t completed = 0;
   int64_t failed = 0;
   double total_execute_s = 0.0;
+  // High-water mark of simultaneously executing requests (concurrent runtime
+  // plus inline ScoreSync lanes).
+  int64_t peak_in_flight = 0;
   size_t peak_activation_bytes = 0;
   size_t cache_bytes = 0;
   PrefixCacheStats cache;
@@ -111,26 +138,41 @@ class Engine {
   const EngineOptions& options() const { return options_; }
   const LlamaModel& model() const { return *model_; }
 
+  using ResponseCallback = std::function<void(Result<ScoringResponse>)>;
+  using ResponseFuture = std::future<Result<ScoringResponse>>;
+
   // --- Synchronous frontend -------------------------------------------
-  // Validates and enqueues; returns the request id.
+  // Validates and enqueues; returns the request id. Valid in both modes:
+  // queued requests are drained by RunPending() or, when the runtime is
+  // active, dispatched by the scheduler as executor slots free up.
   Result<int64_t> Submit(ScoringRequest request);
   // Schedules and executes everything queued; returns responses in
-  // completion (i.e. scheduling) order.
-  std::vector<ScoringResponse> RunPending();
-  // Convenience: submit one request and run it to completion.
+  // completion (i.e. scheduling) order. kFailedPrecondition while the
+  // concurrent runtime is active — the dispatcher owns the queue then.
+  Result<std::vector<ScoringResponse>> RunPending();
+  // Convenience: submit one request and run it to completion on the calling
+  // thread. Safe concurrently with the runtime and with other ScoreSync
+  // calls (each lane has its own activation arena).
   Result<ScoringResponse> ScoreSync(ScoringRequest request);
 
-  // --- Asynchronous frontend ------------------------------------------
-  // Responses are delivered on the worker thread. Do not mix with
-  // RunPending().
-  using ResponseCallback = std::function<void(Result<ScoringResponse>)>;
-  void StartWorker(ResponseCallback callback);
+  // --- Concurrent runtime (ISSUE 2) -----------------------------------
+  // Starts the dispatcher and max_concurrent_requests executors. `callback`
+  // (may be empty) is invoked on an executor thread for every completion.
+  // kFailedPrecondition if already running.
+  Status StartWorker(ResponseCallback callback);
+  // Drains the queue and all in-flight requests, then joins the runtime.
+  // Safe to call when not running (no-op) and from multiple threads.
   void StopWorker();
+  bool worker_running() const;
+  // Validates and enqueues like Submit, and additionally returns a future
+  // fulfilled exactly once when the request completes (in either mode).
+  Result<ResponseFuture> SubmitAsync(ScoringRequest request);
 
   // --- JCT profiling (§6.3) -------------------------------------------
   // Times real prefill passes over an (n_input, n_cached) grid and fits the
   // linear JCT model; on success the scheduler uses it instead of the
-  // cache-miss-token proxy.
+  // cache-miss-token proxy. Call before StartWorker: profiling wants the
+  // machine to itself.
   Result<double> ProfileJct(int64_t max_input_len, int64_t granularity);
 
   EngineStats stats() const;
@@ -139,23 +181,63 @@ class Engine {
 
  private:
   struct Pending {
-    int64_t id;
+    int64_t id = 0;
     ScoringRequest request;
-    double arrival_s;
-    std::vector<uint64_t> chain;
+    double arrival_s = 0.0;
+    // Shared so scheduling snapshots can reference the chain without copying
+    // it or holding mu_; immutable after construction.
+    std::shared_ptr<const std::vector<uint64_t>> chain;
+    // Reserved worker count for the executor's ThreadPool::Lease; set by the
+    // dispatcher at admission time.
+    int reserve_workers = 0;
+    // Engaged for SubmitAsync requests; fulfilled exactly once on completion.
+    std::shared_ptr<std::promise<Result<ScoringResponse>>> promise;
+  };
+
+  // Immutable view of one waiting request, taken under mu_; the scheduling
+  // decision itself (cache consultation) then runs WITHOUT mu_, so request
+  // submission never convoys behind an in-flight prefix copy holding
+  // cache_mu_.
+  struct Candidate {
+    int64_t id = 0;
+    double arrival_s = 0.0;
+    int64_t n_input = 0;
+    std::shared_ptr<const std::vector<uint64_t>> chain;
   };
 
   Status Validate(const ScoringRequest& request) const;
+  Result<int64_t> Enqueue(ScoringRequest request,
+                          std::shared_ptr<std::promise<Result<ScoringResponse>>> promise);
+  // Runs one request end to end on the calling thread: cache acquire under
+  // cache_mu_, prefill with a per-request activation arena, cache release /
+  // KV publication under cache_mu_. Never holds mu_.
   Result<ScoringResponse> Execute(Pending pending);
-  size_t PickIndex();  // scheduling decision over waiting_
-  void WorkerLoop(ResponseCallback callback);
+  Result<ScoringResponse> ExecuteOnArena(TrackingAllocator& activations,
+                                         Pending pending);
+  // Execute + stats/in-flight accounting + promise fulfillment.
+  Result<ScoringResponse> ExecuteAndFinalize(Pending pending);
+  // Snapshot of waiting_ for one scheduling decision; requires mu_.
+  std::vector<Candidate> SnapshotQueueLocked() const;
+  // Picks the candidate to run next (refreshing n_cached_now against the
+  // live cache under cache_mu_) and returns its id. Called WITHOUT mu_.
+  int64_t PickCandidate(const std::vector<Candidate>& candidates,
+                        const Scheduler* scheduler) const;
+  // Removes and returns the waiting request with `id`; nullopt if another
+  // drain loop claimed it meanwhile. Requires mu_.
+  std::optional<Pending> TakeWaitingLocked(int64_t id);
+  void DispatcherLoop();
+  void ExecutorLoop(ResponseCallback callback);
 
   EngineOptions options_;
   std::unique_ptr<ThreadPool> pool_;  // intra-op workers, shared by the model
   std::unique_ptr<LlamaModel> model_;
-  TrackingAllocator activations_;
+  TrackingAllocator profile_activations_;  // ProfileJct only; per-request
+                                           // arenas live in Execute
   TrackingAllocator cache_memory_;
   TrackingAllocator offload_memory_;  // the "CPU side" of the offload tier
+
+  // --- Cache tiers, guarded by cache_mu_ ------------------------------
+  mutable std::mutex cache_mu_;
   std::unique_ptr<PrefixCache> cache_;
   std::unique_ptr<KvBlockStore> store_;
   std::unique_ptr<OffloadDirectory> offload_dir_;
@@ -163,18 +245,29 @@ class Engine {
   int64_t offload_hit_tokens_ = 0;
   int64_t offload_demotions_ = 0;
   int64_t offload_promotions_ = 0;
+
   std::unique_ptr<JctEstimator> estimator_;
   std::unique_ptr<Scheduler> scheduler_;
 
   std::chrono::steady_clock::time_point epoch_;
+
+  // --- Queue, stats, runtime lifecycle, guarded by mu_ ----------------
   mutable std::mutex mu_;
+  std::condition_variable dispatch_cv_;
   std::vector<Pending> waiting_;
   int64_t next_id_ = 0;
   EngineStats stats_;
+  int in_flight_ = 0;   // dispatcher-admitted requests holding executor slots
+  int executing_ = 0;   // all lanes currently inside Execute (incl. ScoreSync)
+  bool runtime_running_ = false;
+  bool draining_ = false;
+  // ProfileJct in progress: excludes StartWorker/RunPending so the
+  // estimator/scheduler swap can never race an in-flight pick.
+  bool profiling_ = false;
 
-  BlockingQueue<Pending> inbox_;  // async frontend
-  std::thread worker_;
-  bool worker_running_ = false;
+  std::unique_ptr<BlockingQueue<Pending>> exec_queue_;  // dispatcher -> executors
+  std::thread dispatcher_;
+  std::vector<std::thread> executors_;
 };
 
 }  // namespace prefillonly

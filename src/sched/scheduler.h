@@ -13,6 +13,14 @@
 //
 // The policy only reads entries; refreshing n_cached_now is the engine's
 // job (that refresh IS continuous JCT calibration).
+//
+// Thread contract (ISSUE 2): PickNext and Score are const and touch no
+// mutable state, so the scheduler itself needs no locking. The engine's
+// concurrent runtime serializes decisions through its single dispatcher —
+// one at a time, each over a queue snapshot with entries freshly rebuilt
+// against the live cache — so policy semantics are unchanged whether one
+// executor or many drain the queue (tests/sched_test.cc,
+// EngineSchedulingOrderTest).
 #ifndef SRC_SCHED_SCHEDULER_H_
 #define SRC_SCHED_SCHEDULER_H_
 

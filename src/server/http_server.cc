@@ -111,6 +111,9 @@ Status HttpServer::Start(uint16_t port) {
 }
 
 void HttpServer::Stop() {
+  // Hold stop_mu_ for the whole teardown so a racing second caller blocks
+  // until every server thread is joined, then sees running_ == false.
+  std::lock_guard<std::mutex> stop_lock(stop_mu_);
   if (!running_.exchange(false)) {
     return;
   }
@@ -120,6 +123,31 @@ void HttpServer::Stop() {
   listen_fd_ = -1;
   if (accept_thread_.joinable()) {
     accept_thread_.join();
+  }
+  // The accept thread is gone, so no new connections can appear. Unblock
+  // any connection thread stuck in read() on an idle client, then drain.
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  for (auto& connection : connections_) {
+    ::shutdown(connection->fd, SHUT_RDWR);
+  }
+  for (auto& connection : connections_) {
+    if (connection->thread.joinable()) {
+      connection->thread.join();
+    }
+    ::close(connection->fd);
+  }
+  connections_.clear();
+}
+
+void HttpServer::ReapFinishedLocked() {
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      (*it)->thread.join();
+      ::close((*it)->fd);
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
   }
 }
 
@@ -132,8 +160,21 @@ void HttpServer::AcceptLoop() {
       }
       break;
     }
-    ServeConnection(fd);
-    ::close(fd);
+    // One thread per connection: parsing, handling and writing happen off
+    // the accept path, so concurrent clients overlap inside the engine.
+    auto connection = std::make_unique<Connection>();
+    Connection* raw = connection.get();
+    raw->fd = fd;
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    ReapFinishedLocked();
+    connections_.push_back(std::move(connection));
+    raw->thread = std::thread([this, fd, raw] {
+      ServeConnection(fd);
+      // FIN to the client (close-delimited responses); the fd itself is
+      // closed after join so Stop() can never shutdown() a reused fd.
+      ::shutdown(fd, SHUT_RDWR);
+      raw->done.store(true, std::memory_order_release);
+    });
   }
 }
 
@@ -184,7 +225,10 @@ void HttpServer::ServeConnection(int fd) {
   out += response.body;
   size_t sent = 0;
   while (sent < out.size()) {
-    const ssize_t n = ::write(fd, out.data() + sent, out.size() - sent);
+    // MSG_NOSIGNAL: a client (or Stop()) tearing the socket down must yield
+    // EPIPE here, not a process-killing SIGPIPE.
+    const ssize_t n =
+        ::send(fd, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
     if (n <= 0) {
       break;
     }

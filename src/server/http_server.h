@@ -4,14 +4,21 @@
 // API protocol for the user to send their prefill-only requests" (§3.1).
 // This is that frontend in miniature: a blocking accept loop on its own
 // thread, request-line + header + Content-Length body parsing, and a
-// handler callback per request. Connections are handled one at a time
-// (close-delimited), which matches the single-executor engine behind it.
+// handler callback per request. Each accepted connection is served on its
+// own thread (ISSUE 2) so slow or concurrent clients never serialize behind
+// one in-flight prefill — connection threads enqueue into the engine's
+// concurrent runtime and block on the response future, not on each other.
+// The handler must therefore be thread-safe. Finished connection threads
+// are reaped opportunistically on the accept path and joined on Stop().
 #ifndef SRC_SERVER_HTTP_SERVER_H_
 #define SRC_SERVER_HTTP_SERVER_H_
 
 #include <atomic>
 #include <functional>
+#include <list>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 
@@ -54,14 +61,35 @@ class HttpServer {
   static Result<HttpRequest> ParseRequest(const std::string& raw);
 
  private:
+  // One serving thread per accepted socket; `done` flags the thread as
+  // joinable-without-blocking for the accept loop's reap sweep. The serving
+  // thread shuts the socket down when finished (the client's EOF) but never
+  // closes it — the fd is closed only after the thread is joined (reap or
+  // Stop), so Stop() can safely shutdown() a live fd to unblock a stuck
+  // read without ever racing a close/fd-reuse.
+  struct Connection {
+    std::thread thread;
+    int fd = -1;
+    std::atomic<bool> done{false};
+  };
+
   void AcceptLoop();
   void ServeConnection(int fd);
+  void ReapFinishedLocked();
 
   Handler handler_;
-  int listen_fd_ = -1;
+  // Atomic: Stop() invalidates it from another thread while the accept loop
+  // reads it.
+  std::atomic<int> listen_fd_{-1};
   uint16_t port_ = 0;
   std::atomic<bool> running_{false};
   std::thread accept_thread_;
+
+  std::mutex conn_mu_;
+  std::list<std::unique_ptr<Connection>> connections_;
+  // Serializes Stop(): a second concurrent stopper must not return before
+  // the first has joined the accept and connection threads.
+  std::mutex stop_mu_;
 };
 
 }  // namespace prefillonly

@@ -1,5 +1,7 @@
 #include "src/server/scoring_service.h"
 
+#include <cassert>
+
 namespace prefillonly {
 
 namespace {
@@ -19,6 +21,11 @@ ScoringService::ScoringService(EngineOptions options) {
   tokenizer_ = std::make_unique<HashTokenizer>(
       static_cast<int32_t>(options.model.vocab_size));
   engine_ = std::make_unique<Engine>(std::move(options));
+  // Connection threads enqueue and wait on futures; the dispatcher overlaps
+  // up to max_concurrent_requests of them. ~Engine stops the runtime.
+  Status started = engine_->StartWorker(/*callback=*/nullptr);
+  assert(started.ok());
+  (void)started;
   server_ = std::make_unique<HttpServer>(
       [this](const HttpRequest& request) { return Handle(request); });
 }
@@ -87,7 +94,16 @@ HttpResponse ScoringService::HandleScore(const HttpRequest& request) {
     return ErrorResponse(400, "provide 'allowed_tokens' (ids) or 'allowed' (words)");
   }
 
-  auto response = engine_->ScoreSync(std::move(scoring));
+  // Non-blocking handoff: enqueue into the concurrent runtime and wait on
+  // this request's future. The connection thread blocks, the engine doesn't —
+  // other connections' requests run alongside under the SRJF dispatcher.
+  auto submitted = engine_->SubmitAsync(std::move(scoring));
+  if (!submitted.ok()) {
+    const int status =
+        submitted.status().code() == StatusCode::kResourceExhausted ? 500 : 400;
+    return ErrorResponse(status, submitted.status().ToString());
+  }
+  Result<ScoringResponse> response = submitted.value().get();
   if (!response.ok()) {
     const int status =
         response.status().code() == StatusCode::kResourceExhausted ? 500 : 400;

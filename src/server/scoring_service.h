@@ -12,9 +12,13 @@
 //   GET /v1/stats
 //     -> engine counters (completed, cache hit rate, memory, ...)
 //
-// Requests are executed synchronously on the connection thread; the engine
-// underneath still applies hybrid prefilling, prefix caching and suffix
-// discarding per request.
+// Concurrency (ISSUE 2): the service starts the engine's concurrent runtime
+// at construction. Each HTTP connection runs on its own server thread, and
+// HandleScore enqueues into the engine (SubmitAsync) and blocks on the
+// response future — so up to EngineOptions::max_concurrent_requests prefills
+// overlap, scheduled by the SRJF dispatcher, while /v1/stats stays readable
+// mid-flight. The engine underneath still applies hybrid prefilling, prefix
+// caching and suffix discarding per request.
 #ifndef SRC_SERVER_SCORING_SERVICE_H_
 #define SRC_SERVER_SCORING_SERVICE_H_
 
@@ -29,6 +33,7 @@ namespace prefillonly {
 
 class ScoringService {
  public:
+  // Starts the engine's concurrent runtime (stopped again in ~Engine).
   explicit ScoringService(EngineOptions options);
 
   // Starts serving on 127.0.0.1:`port` (0 = ephemeral).
@@ -38,7 +43,8 @@ class ScoringService {
 
   Engine& engine() { return *engine_; }
 
-  // Request handling, exposed for tests (no socket required).
+  // Request handling, exposed for tests (no socket required). Thread-safe:
+  // connection threads call this concurrently.
   HttpResponse Handle(const HttpRequest& request);
 
  private:

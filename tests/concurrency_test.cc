@@ -1,0 +1,347 @@
+// Concurrent serving runtime tests (ISSUE 2).
+//
+// Proves the two contracts of the multi-request executor:
+//  1. DETERMINISM — a request's logits (hence its constrained probabilities)
+//     are bitwise identical whether it ran on 1, 4, or all workers, alone or
+//     alongside other requests, at in-flight counts {1, 2, 4};
+//  2. ACCOUNTING — under N client threads hammering Submit/SubmitAsync, no
+//     request is lost or double-completed and the stats counters sum.
+// Plus the elastic worker-partition behavior of ThreadPool::Lease and the
+// checked-misuse errors of the runtime lifecycle.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <future>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/thread_pool.h"
+#include "src/core/engine.h"
+#include "src/core/request.h"
+
+namespace prefillonly {
+namespace {
+
+EngineOptions TinyEngineOptions() {
+  EngineOptions options;
+  options.model = ModelConfig::Tiny();
+  options.block_size = 16;
+  options.cache_budget_tokens = 512;
+  options.chunk_size = 32;
+  // A fixed pool width so every machine (including the 1-core CI container)
+  // exercises the same partition arithmetic.
+  options.num_threads = 4;
+  return options;
+}
+
+std::vector<int32_t> Tokens(int64_t n, uint64_t seed, int64_t vocab = 256) {
+  Rng rng(seed);
+  std::vector<int32_t> out(static_cast<size_t>(n));
+  for (auto& t : out) {
+    t = static_cast<int32_t>(rng.NextBounded(static_cast<uint64_t>(vocab)));
+  }
+  return out;
+}
+
+ScoringRequest YesNoRequest(std::vector<int32_t> tokens, int64_t user = 0) {
+  ScoringRequest request;
+  request.user_id = user;
+  request.tokens = std::move(tokens);
+  request.allowed_tokens = {10, 20};
+  return request;
+}
+
+// Bitwise comparison of two probability lists — the determinism contract is
+// exact, not approximate.
+::testing::AssertionResult SameBits(const std::vector<TokenProbability>& a,
+                                    const std::vector<TokenProbability>& b) {
+  if (a.size() != b.size()) {
+    return ::testing::AssertionFailure() << "size " << a.size() << " vs " << b.size();
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].token != b[i].token ||
+        std::memcmp(&a[i].probability, &b[i].probability, sizeof(double)) != 0) {
+      return ::testing::AssertionFailure()
+             << "probability " << i << ": " << a[i].probability << " vs "
+             << b[i].probability;
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// --------------------------------------------------- ThreadPool partitions
+
+TEST(ThreadPoolLeaseTest, ReservationsAreDisjointAndBounded) {
+  ThreadPool pool(4);  // 3 spawned workers
+  ThreadPool::Lease a(pool, 2);
+  EXPECT_EQ(a.reserved(), 2);
+  // Only one spawned worker left; an over-ask is satisfied partially.
+  ThreadPool::Lease b(pool, 2);
+  EXPECT_EQ(b.reserved(), 1);
+  ThreadPool::Lease c(pool, 2);
+  EXPECT_EQ(c.reserved(), 0);
+}
+
+TEST(ThreadPoolLeaseTest, WorkersReturnWhenLeaseDies) {
+  ThreadPool pool(4);
+  {
+    ThreadPool::Lease a(pool, 3);
+    EXPECT_EQ(a.reserved(), 3);
+  }
+  ThreadPool::Lease b(pool, 3);
+  EXPECT_EQ(b.reserved(), 3);
+}
+
+TEST(ThreadPoolLeaseTest, ConcurrentLeasedParallelForsVisitEveryIndexOnce) {
+  // Two client threads, each with its own lease, issue ParallelFor calls at
+  // the same time; every call must cover its range exactly once.
+  ThreadPool pool(8);
+  constexpr int kClients = 2;
+  constexpr int kRounds = 50;
+  constexpr int64_t kN = 4096;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&pool, &failures] {
+      ThreadPool::Lease lease(pool, 3);
+      for (int round = 0; round < kRounds; ++round) {
+        std::vector<std::atomic<int>> visits(kN);
+        pool.ParallelFor(kN, /*grain=*/64, [&](int64_t b, int64_t e, int worker) {
+          if (worker < 0 || worker >= pool.num_threads()) {
+            ++failures;
+          }
+          for (int64_t i = b; i < e; ++i) {
+            visits[static_cast<size_t>(i)].fetch_add(1);
+          }
+        });
+        for (int64_t i = 0; i < kN; ++i) {
+          if (visits[static_cast<size_t>(i)].load() != 1) {
+            ++failures;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : clients) {
+    t.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ThreadPoolLeaseTest, UnleasedCallerBorrowsTheWholePool) {
+  // Legacy behavior: with no lease and an idle pool, a ParallelFor spreads
+  // across all workers.
+  ThreadPool pool(4);
+  std::set<int> seen;
+  std::mutex mu;
+  pool.ParallelFor(400, /*grain=*/1, [&](int64_t, int64_t, int worker) {
+    std::lock_guard<std::mutex> lock(mu);
+    seen.insert(worker);
+  });
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+// ----------------------------------------------- Determinism under load
+
+// Reference probabilities computed serially on a single-thread engine.
+std::vector<std::vector<TokenProbability>> ReferenceProbabilities(
+    const std::vector<ScoringRequest>& requests) {
+  EngineOptions options = TinyEngineOptions();
+  options.num_threads = 1;  // exact legacy serial execution
+  Engine engine(options);
+  std::vector<std::vector<TokenProbability>> out;
+  for (const auto& request : requests) {
+    auto response = engine.ScoreSync(request);
+    EXPECT_TRUE(response.ok()) << response.status().ToString();
+    out.push_back(response.value().probabilities);
+  }
+  return out;
+}
+
+TEST(ConcurrencyTest, BitwiseIdenticalAcrossInFlightCounts) {
+  // 8 distinct requests; expected bits from the serial single-thread engine.
+  std::vector<ScoringRequest> requests;
+  for (int i = 0; i < 8; ++i) {
+    requests.push_back(YesNoRequest(Tokens(40 + 11 * i, 1000 + i), i));
+  }
+  const auto expected = ReferenceProbabilities(requests);
+
+  for (int in_flight : {1, 2, 4}) {
+    EngineOptions options = TinyEngineOptions();
+    options.max_concurrent_requests = in_flight;
+    Engine engine(options);
+    ASSERT_TRUE(engine.StartWorker(nullptr).ok());
+
+    // One client thread per request so submissions and executions overlap.
+    std::vector<Engine::ResponseFuture> futures(requests.size());
+    std::vector<std::thread> clients;
+    for (size_t i = 0; i < requests.size(); ++i) {
+      clients.emplace_back([&engine, &requests, &futures, i] {
+        auto submitted = engine.SubmitAsync(requests[i]);
+        ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+        futures[i] = submitted.take();
+      });
+    }
+    for (auto& t : clients) {
+      t.join();
+    }
+    for (size_t i = 0; i < requests.size(); ++i) {
+      auto response = futures[i].get();
+      ASSERT_TRUE(response.ok()) << response.status().ToString();
+      EXPECT_EQ(response.value().user_id, static_cast<int64_t>(i));
+      EXPECT_TRUE(SameBits(response.value().probabilities, expected[i]))
+          << "request " << i << " at in-flight " << in_flight;
+    }
+    engine.StopWorker();
+    const auto stats = engine.stats();
+    EXPECT_LE(stats.peak_in_flight, in_flight);
+  }
+}
+
+TEST(ConcurrencyTest, ScoreSyncLaneMatchesBitsWhileRuntimeRuns) {
+  // The synchronous bypass lane runs alongside dispatched requests and must
+  // produce the same bits as the serial reference.
+  std::vector<ScoringRequest> requests = {YesNoRequest(Tokens(64, 7), 7)};
+  const auto expected = ReferenceProbabilities(requests);
+
+  EngineOptions options = TinyEngineOptions();
+  options.max_concurrent_requests = 2;
+  Engine engine(options);
+  ASSERT_TRUE(engine.StartWorker(nullptr).ok());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(engine.Submit(YesNoRequest(Tokens(50 + i, 2000 + i), 100 + i)).ok());
+  }
+  auto inline_response = engine.ScoreSync(requests[0]);
+  ASSERT_TRUE(inline_response.ok());
+  EXPECT_TRUE(SameBits(inline_response.value().probabilities, expected[0]));
+  engine.StopWorker();
+  EXPECT_EQ(engine.stats().completed, 5);
+}
+
+// ------------------------------------------------- Accounting under load
+
+TEST(ConcurrencyTest, NoRequestLostOrDoubleCompleted) {
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 6;
+  EngineOptions options = TinyEngineOptions();
+  options.max_concurrent_requests = 4;
+  Engine engine(options);
+
+  std::mutex delivered_mu;
+  std::vector<int64_t> delivered_ids;
+  ASSERT_TRUE(engine
+                  .StartWorker([&](Result<ScoringResponse> response) {
+                    ASSERT_TRUE(response.ok()) << response.status().ToString();
+                    std::lock_guard<std::mutex> lock(delivered_mu);
+                    delivered_ids.push_back(response.value().request_id);
+                  })
+                  .ok());
+
+  std::mutex futures_mu;
+  std::vector<std::pair<int64_t, Engine::ResponseFuture>> futures;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        auto request =
+            YesNoRequest(Tokens(30 + 5 * i + c, 3000 + c * 100 + i), c * 100 + i);
+        auto submitted = engine.SubmitAsync(std::move(request));
+        ASSERT_TRUE(submitted.ok());
+        std::lock_guard<std::mutex> lock(futures_mu);
+        futures.emplace_back(c * 100 + i, submitted.take());
+      }
+    });
+  }
+  for (auto& t : clients) {
+    t.join();
+  }
+
+  // Every future resolves with its own request (user_id round-trips).
+  std::set<int64_t> response_ids;
+  for (auto& [user, future] : futures) {
+    auto response = future.get();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response.value().user_id, user);
+    EXPECT_TRUE(response_ids.insert(response.value().request_id).second)
+        << "request id " << response.value().request_id << " completed twice";
+  }
+  EXPECT_EQ(response_ids.size(), static_cast<size_t>(kClients * kPerClient));
+
+  engine.StopWorker();
+
+  // Callback deliveries: exactly one per request, no duplicates, none lost.
+  std::set<int64_t> delivered_set(delivered_ids.begin(), delivered_ids.end());
+  EXPECT_EQ(delivered_ids.size(), static_cast<size_t>(kClients * kPerClient));
+  EXPECT_EQ(delivered_set, response_ids);
+
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.submitted, kClients * kPerClient);
+  EXPECT_EQ(stats.completed, kClients * kPerClient);
+  EXPECT_EQ(stats.failed, 0);
+  EXPECT_GE(stats.peak_in_flight, 1);
+  EXPECT_LE(stats.peak_in_flight, options.max_concurrent_requests);
+}
+
+TEST(ConcurrencyTest, StopWorkerDrainsBacklog) {
+  EngineOptions options = TinyEngineOptions();
+  options.max_concurrent_requests = 2;
+  Engine engine(options);
+  std::atomic<int> delivered{0};
+  ASSERT_TRUE(engine.StartWorker([&](Result<ScoringResponse>) { ++delivered; }).ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(engine.Submit(YesNoRequest(Tokens(25 + i, 4000 + i), i)).ok());
+  }
+  engine.StopWorker();  // must serve everything queued before returning
+  EXPECT_EQ(delivered.load(), 10);
+  EXPECT_EQ(engine.stats().completed, 10);
+  EXPECT_FALSE(engine.worker_running());
+}
+
+// --------------------------------------------------- Lifecycle misuse
+
+TEST(ConcurrencyTest, RunPendingWhileRuntimeActiveIsCheckedError) {
+  Engine engine(TinyEngineOptions());
+  ASSERT_TRUE(engine.StartWorker(nullptr).ok());
+  auto result = engine.RunPending();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+  engine.StopWorker();
+  // After stopping, the synchronous frontend works again.
+  ASSERT_TRUE(engine.Submit(YesNoRequest(Tokens(20, 5000))).ok());
+  auto drained = engine.RunPending();
+  ASSERT_TRUE(drained.ok());
+  EXPECT_EQ(drained.value().size(), 1u);
+}
+
+TEST(ConcurrencyTest, DoubleStartIsCheckedError) {
+  Engine engine(TinyEngineOptions());
+  ASSERT_TRUE(engine.StartWorker(nullptr).ok());
+  EXPECT_EQ(engine.StartWorker(nullptr).code(), StatusCode::kFailedPrecondition);
+  engine.StopWorker();
+  engine.StopWorker();  // idempotent
+  // The runtime can be restarted after a full stop.
+  ASSERT_TRUE(engine.StartWorker(nullptr).ok());
+  engine.StopWorker();
+}
+
+TEST(ConcurrencyTest, SubmitAsyncResolvesInSyncModeToo) {
+  Engine engine(TinyEngineOptions());
+  auto submitted = engine.SubmitAsync(YesNoRequest(Tokens(33, 6000), 42));
+  ASSERT_TRUE(submitted.ok());
+  auto future = submitted.take();
+  auto responses = engine.RunPending();
+  ASSERT_TRUE(responses.ok());
+  ASSERT_EQ(responses.value().size(), 1u);
+  auto via_future = future.get();
+  ASSERT_TRUE(via_future.ok());
+  EXPECT_EQ(via_future.value().user_id, 42);
+  EXPECT_TRUE(SameBits(via_future.value().probabilities,
+                       responses.value()[0].probabilities));
+}
+
+}  // namespace
+}  // namespace prefillonly

@@ -255,7 +255,7 @@ TEST(EngineTest, RunPendingSchedulesShortestFirst) {
   auto short_id = engine.Submit(YesNoRequest(Tokens(20, 10)));
   ASSERT_TRUE(long_id.ok());
   ASSERT_TRUE(short_id.ok());
-  const auto responses = engine.RunPending();
+  const auto responses = engine.RunPending().value();
   ASSERT_EQ(responses.size(), 2u);
   EXPECT_EQ(responses[0].request_id, short_id.value());
   EXPECT_EQ(responses[1].request_id, long_id.value());
@@ -267,7 +267,7 @@ TEST(EngineTest, FifoPolicyPreservesSubmissionOrder) {
   Engine engine(options);
   auto long_id = engine.Submit(YesNoRequest(Tokens(120, 11)));
   auto short_id = engine.Submit(YesNoRequest(Tokens(20, 12)));
-  const auto responses = engine.RunPending();
+  const auto responses = engine.RunPending().value();
   ASSERT_EQ(responses.size(), 2u);
   EXPECT_EQ(responses[0].request_id, long_id.value());
   EXPECT_EQ(responses[1].request_id, short_id.value());
@@ -291,7 +291,7 @@ TEST(EngineTest, CalibrationPrioritizesCacheHitRequest) {
   sibling.push_back(4);
   auto stranger_id = engine.Submit(YesNoRequest(Tokens(48, 14), 2));
   auto sibling_id = engine.Submit(YesNoRequest(sibling, 1));
-  const auto responses = engine.RunPending();
+  const auto responses = engine.RunPending().value();
   ASSERT_EQ(responses.size(), 2u);
   EXPECT_EQ(responses[0].request_id, sibling_id.value());
   EXPECT_GT(responses[0].n_cached, 0);

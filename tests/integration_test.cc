@@ -157,7 +157,7 @@ TEST(RealFig5Test, CalibratedSrjfGetsBothHits) {
   const auto id_b = engine.Submit(make(prefix_bc, 190, 2)).value();
   const auto id_c = engine.Submit(make(prefix_bc, 180, 2)).value();
   const auto id_d = engine.Submit(make(prefix_ad, 200, 1)).value();
-  const auto responses = engine.RunPending();
+  const auto responses = engine.RunPending().value();
   ASSERT_EQ(responses.size(), 4u);
 
   // Expected order: A (shortest), D (hits A's prefix), C, B (hits C's).

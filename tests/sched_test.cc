@@ -1,8 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
+#include <mutex>
+#include <thread>
 #include <vector>
 
+#include "src/common/rng.h"
+#include "src/core/engine.h"
 #include "src/sched/jct.h"
 #include "src/sched/scheduler.h"
 
@@ -183,6 +188,116 @@ TEST(Fig5Test, StaticSrjfGetsOneHit) {
 
 TEST(Fig5Test, CalibratedSrjfGetsTwoHits) {
   EXPECT_EQ(RunFig5(SchedPolicy::kSrjfCalibrated), 2);
+}
+
+// ------------------------------------- Scheduling order on the REAL engine
+//
+// Engine::PickIndex end to end (ISSUE 2): not the simulator — a backlog is
+// queued into the concurrent runtime and the policy decides completion
+// order. All requests are submitted BEFORE StartWorker and executed by a
+// single executor slot, so the order is deterministic.
+
+std::vector<int32_t> EngineTokens(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int32_t> out(static_cast<size_t>(n));
+  for (auto& t : out) {
+    t = static_cast<int32_t>(rng.NextBounded(256));
+  }
+  return out;
+}
+
+ScoringRequest EngineRequest(std::vector<int32_t> tokens, int64_t user = 0) {
+  ScoringRequest request;
+  request.user_id = user;
+  request.tokens = std::move(tokens);
+  request.allowed_tokens = {10, 20};
+  return request;
+}
+
+EngineOptions OrderTestOptions(SchedPolicy policy, double lambda) {
+  EngineOptions options;
+  options.model = ModelConfig::Tiny();
+  options.block_size = 16;
+  options.cache_budget_tokens = 512;
+  options.policy = policy;
+  options.lambda = lambda;
+  options.max_concurrent_requests = 1;  // serialize so order is observable
+  return options;
+}
+
+// Runs the queued backlog through the runtime; returns completion order ids.
+std::vector<int64_t> DrainAndCollect(Engine& engine) {
+  std::mutex mu;
+  std::vector<int64_t> order;
+  EXPECT_TRUE(engine
+                  .StartWorker([&](Result<ScoringResponse> response) {
+                    ASSERT_TRUE(response.ok()) << response.status().ToString();
+                    std::lock_guard<std::mutex> lock(mu);
+                    order.push_back(response.value().request_id);
+                  })
+                  .ok());
+  engine.StopWorker();  // drains the whole backlog
+  return order;
+}
+
+TEST(EngineSchedulingOrderTest, FifoCompletesInArrivalOrder) {
+  Engine engine(OrderTestOptions(SchedPolicy::kFifo, 0.0));
+  const auto long_id = engine.Submit(EngineRequest(EngineTokens(120, 1))).value();
+  const auto mid_id = engine.Submit(EngineRequest(EngineTokens(60, 2))).value();
+  const auto short_id = engine.Submit(EngineRequest(EngineTokens(20, 3))).value();
+  const auto order = DrainAndCollect(engine);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], long_id);
+  EXPECT_EQ(order[1], mid_id);
+  EXPECT_EQ(order[2], short_id);
+}
+
+TEST(EngineSchedulingOrderTest, CalibratedSrjfRunsCachedShortJobFirst) {
+  Engine engine(OrderTestOptions(SchedPolicy::kSrjfCalibrated, 0.0));
+  // Warm the cache with a 96-token prefix.
+  const auto profile = EngineTokens(96, 10);
+  auto warm = profile;
+  warm.push_back(1);
+  ASSERT_TRUE(engine.ScoreSync(EngineRequest(warm, 1)).ok());
+
+  // Backlog: a long uncached job arrives FIRST, then a sibling of the cached
+  // prefix (97 tokens input but only ~1 block of cache misses). Calibrated
+  // SRJF must complete the cached job ahead of the long one.
+  const auto long_id = engine.Submit(EngineRequest(EngineTokens(120, 11), 2)).value();
+  auto sibling = profile;
+  sibling.push_back(2);
+  sibling.push_back(3);
+  const auto sibling_id = engine.Submit(EngineRequest(sibling, 1)).value();
+  const auto order = DrainAndCollect(engine);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], sibling_id);
+  EXPECT_EQ(order[1], long_id);
+}
+
+TEST(EngineSchedulingOrderTest, LambdaBoundsQueueingOfTheLongJob) {
+  // The same backlog twice: a long job that arrived measurably earlier than
+  // a swarm of short jobs. With lambda = 0 pure SRJF starves the long job to
+  // the back; with a large lambda its accumulated queueing time outweighs
+  // the size difference and it runs first (Algorithm 1's starvation offset).
+  for (const double lambda : {0.0, 1e9}) {
+    Engine engine(OrderTestOptions(SchedPolicy::kSrjfCalibrated, lambda));
+    const auto long_id = engine.Submit(EngineRequest(EngineTokens(120, 20), 1)).value();
+    // Let the long job age so its queueing-time offset is unambiguous.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    std::vector<int64_t> short_ids;
+    for (int i = 0; i < 3; ++i) {
+      short_ids.push_back(
+          engine.Submit(EngineRequest(EngineTokens(20 + i, 30 + i), 2 + i)).value());
+    }
+    const auto order = DrainAndCollect(engine);
+    ASSERT_EQ(order.size(), 4u);
+    if (lambda == 0.0) {
+      EXPECT_EQ(order.back(), long_id) << "pure SRJF must run the long job last";
+    } else {
+      EXPECT_EQ(order.front(), long_id)
+          << "the starvation offset must bound the long job's queueing";
+    }
+  }
 }
 
 }  // namespace

@@ -4,7 +4,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "src/server/http_server.h"
 #include "src/server/json.h"
@@ -228,6 +231,145 @@ TEST(HttpEndToEndTest, StartStopIsIdempotent) {
   ASSERT_TRUE(service.Start(0).ok());
   service.Stop();
   service.Stop();  // no-op
+}
+
+// ------------------------------------------- Concurrent serving (ISSUE 2)
+
+std::string ScoreRequestBody(int seed) {
+  std::string tokens;
+  for (int i = 0; i < 24; ++i) {
+    tokens += (i == 0 ? "" : ",") + std::to_string((seed * 31 + i * 7) % 200 + 1);
+  }
+  return R"({"tokens":[)" + tokens + R"(], "allowed_tokens":[10,20], "user_id": )" +
+         std::to_string(seed) + "}";
+}
+
+std::string PostRequest(const std::string& path, const std::string& body) {
+  return "POST " + path + " HTTP/1.1\r\nHost: localhost\r\n"
+         "Content-Type: application/json\r\nContent-Length: " +
+         std::to_string(body.size()) + "\r\n\r\n" + body;
+}
+
+// Body of a 200 response, or "" on any other status.
+std::string OkBody(const std::string& response) {
+  if (response.find("HTTP/1.1 200 OK") == std::string::npos) {
+    return "";
+  }
+  const size_t json_start = response.find("\r\n\r\n");
+  return json_start == std::string::npos ? "" : response.substr(json_start + 4);
+}
+
+TEST(HttpConcurrencyTest, ParallelSocketsMatchSerialExecution) {
+  constexpr int kClients = 6;
+  // Serial reference: the same requests one at a time on a fresh service.
+  std::vector<double> expected_scores(kClients);
+  {
+    EngineOptions options = SmallEngineOptions();
+    ScoringService serial(options);
+    ASSERT_TRUE(serial.Start(0).ok());
+    for (int c = 0; c < kClients; ++c) {
+      const auto body = OkBody(HttpRoundTrip(
+          serial.port(), PostRequest("/v1/score", ScoreRequestBody(c))));
+      ASSERT_FALSE(body.empty());
+      auto json = Json::Parse(body);
+      ASSERT_TRUE(json.ok());
+      expected_scores[static_cast<size_t>(c)] = json.value().Find("score")->AsDouble();
+    }
+    serial.Stop();
+  }
+
+  // Concurrent run: every socket in flight at once against a 4-lane engine.
+  EngineOptions options = SmallEngineOptions();
+  options.max_concurrent_requests = 4;
+  ScoringService service(options);
+  ASSERT_TRUE(service.Start(0).ok());
+  std::vector<std::string> bodies(kClients);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&service, &bodies, c] {
+      bodies[static_cast<size_t>(c)] = OkBody(HttpRoundTrip(
+          service.port(), PostRequest("/v1/score", ScoreRequestBody(c))));
+    });
+  }
+  for (auto& t : clients) {
+    t.join();
+  }
+  for (int c = 0; c < kClients; ++c) {
+    ASSERT_FALSE(bodies[static_cast<size_t>(c)].empty()) << "client " << c;
+    auto json = Json::Parse(bodies[static_cast<size_t>(c)]);
+    ASSERT_TRUE(json.ok());
+    // Bitwise determinism end to end: concurrent execution must reproduce
+    // the serial scores exactly (same doubles, same serialization).
+    EXPECT_EQ(json.value().Find("score")->AsDouble(),
+              expected_scores[static_cast<size_t>(c)])
+        << "client " << c;
+    EXPECT_EQ(json.value().Find("n_input")->AsInt(), 24);
+  }
+  const auto stats = service.engine().stats();
+  EXPECT_EQ(stats.submitted, kClients);
+  EXPECT_EQ(stats.completed, kClients);
+  service.Stop();
+}
+
+TEST(HttpConcurrencyTest, StopUnblocksIdleConnections) {
+  // A client that connects and sends nothing parks a connection thread in
+  // read(); Stop() must shut the socket down and return instead of hanging
+  // in the join.
+  ScoringService service(SmallEngineOptions());
+  ASSERT_TRUE(service.Start(0).ok());
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(service.port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  // Let the server accept and block reading the (never-sent) request.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  service.Stop();
+  ::close(fd);
+}
+
+TEST(HttpConcurrencyTest, StatsReadableMidFlightWithoutTornCounters) {
+  EngineOptions options = SmallEngineOptions();
+  options.max_concurrent_requests = 2;
+  ScoringService service(options);
+  ASSERT_TRUE(service.Start(0).ok());
+
+  constexpr int kScores = 8;
+  std::vector<std::thread> scorers;
+  for (int c = 0; c < kScores; ++c) {
+    scorers.emplace_back([&service, c] {
+      HttpRoundTrip(service.port(), PostRequest("/v1/score", ScoreRequestBody(c)));
+    });
+  }
+  // Hammer /v1/stats while the scores are in flight; every response must be
+  // a consistent snapshot (never completed+failed > submitted, never torn).
+  std::atomic<bool> done{false};
+  std::thread stats_reader([&service, &done] {
+    while (!done.load()) {
+      const auto body =
+          OkBody(HttpRoundTrip(service.port(), "GET /v1/stats HTTP/1.1\r\n"
+                                               "Host: localhost\r\n\r\n"));
+      ASSERT_FALSE(body.empty());
+      auto json = Json::Parse(body);
+      ASSERT_TRUE(json.ok()) << body;
+      const int64_t submitted = json.value().Find("submitted")->AsInt();
+      const int64_t completed = json.value().Find("completed")->AsInt();
+      const int64_t failed = json.value().Find("failed")->AsInt();
+      EXPECT_GE(submitted, 0);
+      EXPECT_LE(completed + failed, submitted);
+    }
+  });
+  for (auto& t : scorers) {
+    t.join();
+  }
+  done.store(true);
+  stats_reader.join();
+
+  const auto stats = service.engine().stats();
+  EXPECT_EQ(stats.completed + stats.failed, kScores);
+  service.Stop();
 }
 
 }  // namespace
