@@ -1,12 +1,15 @@
 // Kernel microbenchmarks.
 //
 // Two jobs:
-//  1. Always: a hand-rolled GFLOP/s sweep over the hot kernels — the seed
-//     scalar MatMul (with its `a_val == 0` skip), the retained scalar
-//     reference, and the blocked/threaded kernels at 1/2/4/8 threads, plus
-//     the RoPE recompute-vs-table pair — written machine-readably to
-//     BENCH_kernels.json (and echoed as a table). docs/PERFORMANCE.md and
-//     the CI regression check read this file.
+//  1. Always: a hand-rolled GFLOP/s + GB/s sweep over the hot kernels — the
+//     seed scalar MatMul (with its `a_val == 0` skip), the retained scalar
+//     reference, and EVERY available kernel backend (scalar, avx2 where the
+//     host supports it; ISSUE 3) at 1/2/4/8 threads, dense and prepacked
+//     GEMM variants, plus the RoPE recompute-vs-table pair — written
+//     machine-readably to BENCH_kernels.json (and echoed as a table).
+//     docs/PERFORMANCE.md and the CI regression check read this file; a
+//     copy is checked into the repo root so the perf trajectory is
+//     diffable per PR.
 //  2. With google-benchmark available (PO_HAVE_GBENCH) and `--gbench`:
 //     the original regression-tracking microbenchmarks over tensor kernels,
 //     prefix-cache operations, scheduler decisions and end-to-end prefill.
@@ -25,7 +28,9 @@
 #include "src/model/rope_table.h"
 #include "src/sched/scheduler.h"
 #include "src/tensor/ops.h"
+#include "src/tensor/ops_dispatch.h"
 #include "src/tensor/ops_ref.h"
+#include "src/tensor/prepack.h"
 #include "src/tensor/tracking_allocator.h"
 
 #ifdef PO_HAVE_GBENCH
@@ -85,21 +90,41 @@ double TimeSeconds(const Fn& fn, double min_seconds = 0.1, int reps = 3) {
 struct KernelPoint {
   std::string kernel;
   std::string variant;
+  std::string backend;  // executing backend; "shared" = backend-independent
   int threads;
   double gflops;
+  double gbps;  // nominal traffic (inputs read once + outputs written once)
   double seconds;
 };
+
+// Kernel backends available on this host, in fixed sweep order.
+std::vector<const KernelOps*> AvailableBackends() {
+  std::vector<const KernelOps*> backends = {GetKernelOps(KernelBackend::kScalar)};
+  if (Avx2Available()) {
+    backends.push_back(GetKernelOps(KernelBackend::kAvx2));
+  }
+  return backends;
+}
 
 void RunJsonSweep(const char* json_path) {
   std::vector<KernelPoint> points;
   const std::vector<int> thread_counts = {1, 2, 4, 8};
+  const auto backends = AvailableBackends();
 
-  // MatMul at an engine-ish shape (chunk of 256 tokens, hidden 512).
+  // Single-thread MatMul GFLOP/s per (backend, variant) at the headline
+  // shape, for the speedup summary.
+  double st_scalar_blocked = 0.0;
+  double st_best = 0.0;
+  std::string st_best_name;
+
+  // MatMul at an engine-ish shape (chunk of 256 tokens, hidden 512 — the
+  // model's GEMM regime: every projection is [chunk, h] x [h, width]).
   {
     const int64_t m = 256;
     const int64_t k = 512;
     const int64_t n = 512;
     const double flops = 2.0 * m * k * n;
+    const double bytes = 4.0 * (m * k + k * n + m * n);
     Rng rng(1);
     std::vector<float> a(static_cast<size_t>(m * k));
     std::vector<float> b(static_cast<size_t>(k * n));
@@ -110,24 +135,50 @@ void RunJsonSweep(const char* json_path) {
     for (auto& v : b) {
       v = rng.NextUniformFloat(1.0f);
     }
+    TrackingAllocator pack_alloc;
+    const PackedMatrix packed = PackWeights(pack_alloc, b.data(), k, n, "bench.pack");
+
     double s = TimeSeconds([&] { SeedMatMul(a.data(), b.data(), c.data(), m, k, n); });
-    points.push_back({"matmul", "seed_scalar", 1, flops / s * 1e-9, s});
+    points.push_back(
+        {"matmul", "seed_scalar", "scalar", 1, flops / s * 1e-9, bytes / s * 1e-9, s});
     s = TimeSeconds([&] { ref::MatMul(a.data(), b.data(), c.data(), m, k, n); });
-    points.push_back({"matmul", "ref_scalar", 1, flops / s * 1e-9, s});
-    for (int t : thread_counts) {
-      ThreadPool pool(t);
-      s = TimeSeconds([&] { MatMul(a.data(), b.data(), c.data(), m, k, n, &pool); });
-      points.push_back({"matmul", "blocked", t, flops / s * 1e-9, s});
+    points.push_back(
+        {"matmul", "ref_scalar", "scalar", 1, flops / s * 1e-9, bytes / s * 1e-9, s});
+    for (const KernelOps* ops : backends) {
+      for (int t : thread_counts) {
+        ThreadPool pool(t);
+        s = TimeSeconds(
+            [&] { MatMul(a.data(), b.data(), c.data(), m, k, n, &pool, ops); });
+        points.push_back({"matmul", "blocked", ops->name, t, flops / s * 1e-9,
+                          bytes / s * 1e-9, s});
+        if (t == 1 && ops->backend == KernelBackend::kScalar) {
+          st_scalar_blocked = flops / s * 1e-9;
+        }
+        if (t == 1 && flops / s * 1e-9 > st_best) {
+          st_best = flops / s * 1e-9;
+          st_best_name = std::string(ops->name) + "/blocked";
+        }
+        s = TimeSeconds([&] { MatMulPacked(a.data(), packed, c.data(), m, &pool, ops); });
+        points.push_back({"matmul", "packed", ops->name, t, flops / s * 1e-9,
+                          bytes / s * 1e-9, s});
+        if (t == 1 && flops / s * 1e-9 > st_best) {
+          st_best = flops / s * 1e-9;
+          st_best_name = std::string(ops->name) + "/packed";
+        }
+      }
     }
   }
 
-  // RoPE: recompute (seed) vs precomputed table. ~6 arithmetic ops per
-  // rotated pair; the seed path additionally pays pow/cos/sin per element.
+  // RoPE: recompute (seed) vs precomputed table; shared across backends
+  // (not dispatched — both backends rotate identically, by design). ~6
+  // arithmetic ops per rotated pair; the seed path additionally pays
+  // pow/cos/sin per element.
   {
     const int64_t rows = 512;
     const int64_t n_heads = 8;
     const int64_t head_dim = 64;
     const double flops = 6.0 * rows * n_heads * (head_dim / 2);
+    const double bytes = 2.0 * 4.0 * rows * n_heads * head_dim;  // x read+write
     Rng rng(2);
     std::vector<float> x(static_cast<size_t>(rows * n_heads * head_dim));
     for (auto& v : x) {
@@ -139,7 +190,8 @@ void RunJsonSweep(const char* json_path) {
     }
     double s = TimeSeconds(
         [&] { ref::ApplyRope(x.data(), rows, n_heads, head_dim, positions, 10000.0f); });
-    points.push_back({"rope", "seed_recompute", 1, flops / s * 1e-9, s});
+    points.push_back(
+        {"rope", "seed_recompute", "shared", 1, flops / s * 1e-9, bytes / s * 1e-9, s});
     RopeTable table(head_dim, 10000.0f);
     table.EnsureCapacity(rows);
     for (int t : thread_counts) {
@@ -147,7 +199,8 @@ void RunJsonSweep(const char* json_path) {
       s = TimeSeconds(
           [&] { ApplyRopeWithTable(x.data(), rows, n_heads, head_dim, positions, table,
                                    &pool); });
-      points.push_back({"rope", "table", t, flops / s * 1e-9, s});
+      points.push_back(
+          {"rope", "table", "shared", t, flops / s * 1e-9, bytes / s * 1e-9, s});
     }
   }
 
@@ -156,6 +209,7 @@ void RunJsonSweep(const char* json_path) {
     const int64_t m = 2048;
     const int64_t h = 512;
     const double flops = 4.0 * m * h;
+    const double bytes = 4.0 * (2.0 * m * h + h);  // x read, y written, w read
     Rng rng(3);
     std::vector<float> x(static_cast<size_t>(m * h));
     std::vector<float> w(static_cast<size_t>(h), 1.0f);
@@ -164,12 +218,16 @@ void RunJsonSweep(const char* json_path) {
       v = rng.NextUniformFloat(1.0f);
     }
     double s = TimeSeconds([&] { ref::RmsNormRows(x.data(), w.data(), y.data(), m, h); });
-    points.push_back({"rmsnorm", "ref_scalar", 1, flops / s * 1e-9, s});
-    for (int t : thread_counts) {
-      ThreadPool pool(t);
-      s = TimeSeconds(
-          [&] { RmsNormRows(x.data(), w.data(), y.data(), m, h, 1e-5f, &pool); });
-      points.push_back({"rmsnorm", "row_parallel", t, flops / s * 1e-9, s});
+    points.push_back(
+        {"rmsnorm", "ref_scalar", "scalar", 1, flops / s * 1e-9, bytes / s * 1e-9, s});
+    for (const KernelOps* ops : backends) {
+      for (int t : thread_counts) {
+        ThreadPool pool(t);
+        s = TimeSeconds(
+            [&] { RmsNormRows(x.data(), w.data(), y.data(), m, h, 1e-5f, &pool, ops); });
+        points.push_back({"rmsnorm", "row_parallel", ops->name, t, flops / s * 1e-9,
+                          bytes / s * 1e-9, s});
+      }
     }
   }
 
@@ -178,6 +236,7 @@ void RunJsonSweep(const char* json_path) {
     const int64_t m = 1024;
     const int64_t inter = 896;
     const double flops = 6.0 * m * inter;  // exp counted as one
+    const double bytes = 4.0 * (m * 2 * inter + m * inter);
     Rng rng(4);
     std::vector<float> gate_up(static_cast<size_t>(m * 2 * inter));
     std::vector<float> out(static_cast<size_t>(m * inter));
@@ -185,19 +244,32 @@ void RunJsonSweep(const char* json_path) {
       v = rng.NextUniformFloat(1.0f);
     }
     double s = TimeSeconds([&] { ref::SwiGluRows(gate_up.data(), out.data(), m, inter); });
-    points.push_back({"swiglu", "ref_scalar", 1, flops / s * 1e-9, s});
-    for (int t : thread_counts) {
-      ThreadPool pool(t);
-      s = TimeSeconds([&] { SwiGluRows(gate_up.data(), out.data(), m, inter, &pool); });
-      points.push_back({"swiglu", "row_parallel", t, flops / s * 1e-9, s});
+    points.push_back(
+        {"swiglu", "ref_scalar", "scalar", 1, flops / s * 1e-9, bytes / s * 1e-9, s});
+    for (const KernelOps* ops : backends) {
+      for (int t : thread_counts) {
+        ThreadPool pool(t);
+        s = TimeSeconds(
+            [&] { SwiGluRows(gate_up.data(), out.data(), m, inter, &pool, ops); });
+        points.push_back({"swiglu", "row_parallel", ops->name, t, flops / s * 1e-9,
+                          bytes / s * 1e-9, s});
+      }
     }
   }
 
-  std::printf("%-10s %-16s %8s %12s %12s\n", "kernel", "variant", "threads",
-              "GFLOP/s", "sec/call");
+  std::printf("%-10s %-16s %-8s %8s %12s %12s %12s\n", "kernel", "variant",
+              "backend", "threads", "GFLOP/s", "GB/s", "sec/call");
   for (const auto& p : points) {
-    std::printf("%-10s %-16s %8d %12.3f %12.6f\n", p.kernel.c_str(),
-                p.variant.c_str(), p.threads, p.gflops, p.seconds);
+    std::printf("%-10s %-16s %-8s %8d %12.3f %12.3f %12.6f\n", p.kernel.c_str(),
+                p.variant.c_str(), p.backend.c_str(), p.threads, p.gflops, p.gbps,
+                p.seconds);
+  }
+  if (st_scalar_blocked > 0.0 && !st_best_name.empty()) {
+    std::printf(
+        "\nsingle-thread matmul (m=256,k=512,n=512): best %s at %.2f GFLOP/s = "
+        "%.2fx the scalar blocked kernel (%.2f GFLOP/s)\n",
+        st_best_name.c_str(), st_best, st_best / st_scalar_blocked,
+        st_scalar_blocked);
   }
 
   FILE* f = std::fopen(json_path, "w");
@@ -205,14 +277,16 @@ void RunJsonSweep(const char* json_path) {
     std::fprintf(stderr, "cannot write %s\n", json_path);
     return;
   }
-  std::fprintf(f, "{\n  \"kernels\": [\n");
+  std::fprintf(f, "{\n  \"avx2_available\": %s,\n  \"kernels\": [\n",
+               Avx2Available() ? "true" : "false");
   for (size_t i = 0; i < points.size(); ++i) {
     const auto& p = points[i];
     std::fprintf(f,
-                 "    {\"kernel\": \"%s\", \"variant\": \"%s\", \"threads\": %d, "
-                 "\"gflops\": %.4f, \"seconds_per_call\": %.6g}%s\n",
-                 p.kernel.c_str(), p.variant.c_str(), p.threads, p.gflops, p.seconds,
-                 i + 1 < points.size() ? "," : "");
+                 "    {\"kernel\": \"%s\", \"variant\": \"%s\", \"backend\": \"%s\", "
+                 "\"threads\": %d, \"gflops\": %.4f, \"gbps\": %.4f, "
+                 "\"seconds_per_call\": %.6g}%s\n",
+                 p.kernel.c_str(), p.variant.c_str(), p.backend.c_str(), p.threads,
+                 p.gflops, p.gbps, p.seconds, i + 1 < points.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

@@ -16,7 +16,8 @@ Engine::Engine(EngineOptions options)
   assert(options_.model.Valid());
   options_.max_concurrent_requests = std::max(options_.max_concurrent_requests, 1);
   pool_ = std::make_unique<ThreadPool>(options_.num_threads);
-  model_ = std::make_unique<LlamaModel>(options_.model, options_.weight_seed);
+  model_ = std::make_unique<LlamaModel>(options_.model, options_.weight_seed,
+                                        options_.kernel_backend);
   model_->SetThreadPool(pool_.get());
   const int64_t pool_blocks =
       options_.cache_budget_tokens / std::max(options_.block_size, 1);

@@ -81,6 +81,16 @@ struct EngineOptions {
   // activation walker's predictions) match the serial seed exactly.
   int num_threads = 0;
 
+  // Kernel backend for the tensor layer (ISSUE 3), plumbed to the model
+  // like num_threads. kAuto resolves the PREFILLONLY_KERNEL_BACKEND env
+  // var ("auto" / "scalar" / "avx2"), then picks the best backend the host
+  // supports; forcing kAvx2 on a pre-AVX2 host falls back to scalar with a
+  // warning. WITHIN a backend logits keep the full determinism contract
+  // (bitwise identical across thread counts, prefill modes, partition
+  // widths, solo-vs-concurrent); ACROSS backends parity is tolerance-based
+  // (docs/PERFORMANCE.md "Kernel backends").
+  KernelBackend kernel_backend = KernelBackend::kAuto;
+
   // Cross-request parallelism (ISSUE 2): how many requests the concurrent
   // runtime (StartWorker) executes simultaneously. 1 reproduces the legacy
   // single-executor behavior; N > 1 gives each in-flight request a reserved

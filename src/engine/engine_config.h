@@ -13,6 +13,7 @@
 #include "src/gpu/memory_model.h"
 #include "src/gpu/specs.h"
 #include "src/sched/scheduler.h"
+#include "src/tensor/ops_dispatch.h"
 
 namespace prefillonly {
 
@@ -36,6 +37,11 @@ struct EngineConfig {
   // (instance.cc/cluster.cc) ignores this field, because its kernel timing
   // comes from the cost model, not real execution.
   int num_threads = 0;
+  // Kernel backend; parity knob with EngineOptions::kernel_backend for
+  // deployments that translate an EngineConfig into a real Engine. Like
+  // num_threads, the analytic simulation ignores it (its kernel timing
+  // comes from the cost model, not real execution).
+  KernelBackend kernel_backend = KernelBackend::kAuto;
   // Profile-run reserve (§3.1): activation memory is reserved for requests
   // up to this many tokens; what remains becomes the prefix-cache pool.
   // 0 = choose automatically: min(workload max length, engine MIL).

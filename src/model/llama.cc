@@ -36,9 +36,10 @@ void InitUniform(Tensor& t, Rng& rng, float scale) {
     return Oom(tag);                                       \
   }
 
-LlamaModel::LlamaModel(ModelConfig config, uint64_t seed)
+LlamaModel::LlamaModel(ModelConfig config, uint64_t seed, KernelBackend backend)
     : config_(std::move(config)),
       weight_alloc_(std::make_unique<TrackingAllocator>()),
+      kops_(GetKernelOps(backend)),
       rope_table_(config_.head_dim, config_.rope_theta) {
   assert(config_.Valid());
   // Warm the RoPE table for typical request lengths; longer passes grow it
@@ -58,36 +59,58 @@ LlamaModel::LlamaModel(ModelConfig config, uint64_t seed)
     return 1.0f / std::sqrt(static_cast<float>(fan_in));
   };
 
+  // Initializes a weight matrix and — when the backend wants it — repacks
+  // it into its panel-major image right away (the one-time prepack of
+  // ISSUE 3), then releases the dense image: the packed GEMM is the only
+  // reader, and keeping both would double resident weight memory — memory
+  // the engine would rather spend on KV cache. The rng is consumed
+  // identically either way, so weights are seed-deterministic across
+  // backends; the transient dense+packed overlap is one matrix wide.
+  const auto make_weight = [&](std::vector<int64_t> shape, const char* tag,
+                               float scale) {
+    Weight w;
+    w.dense = Tensor::Uninit(wa, std::move(shape), tag);
+    InitUniform(w.dense, rng, scale);
+    if (kops_->packs_weights) {
+      w.packed = PackWeights(wa, w.dense.data(), w.dense.dim(0), w.dense.dim(1),
+                             std::string(tag) + ".packed");
+      w.dense = Tensor();
+    }
+    return w;
+  };
+
   layers_.resize(static_cast<size_t>(config_.n_layers));
   for (auto& layer : layers_) {
     layer.attn_norm = Tensor::Uninit(wa, {h}, "w.attn_norm");
     for (float& v : layer.attn_norm.span()) {
       v = 1.0f + rng.NextUniformFloat(0.02f);
     }
-    layer.wq = Tensor::Uninit(wa, {h, qs}, "w.wq");
-    InitUniform(layer.wq, rng, fan(h));
-    layer.wk = Tensor::Uninit(wa, {h, kv}, "w.wk");
-    InitUniform(layer.wk, rng, fan(h));
-    layer.wv = Tensor::Uninit(wa, {h, kv}, "w.wv");
-    InitUniform(layer.wv, rng, fan(h));
-    layer.wo = Tensor::Uninit(wa, {qs, h}, "w.wo");
-    InitUniform(layer.wo, rng, fan(qs));
+    layer.wq = make_weight({h, qs}, "w.wq", fan(h));
+    layer.wk = make_weight({h, kv}, "w.wk", fan(h));
+    layer.wv = make_weight({h, kv}, "w.wv", fan(h));
+    layer.wo = make_weight({qs, h}, "w.wo", fan(qs));
     layer.mlp_norm = Tensor::Uninit(wa, {h}, "w.mlp_norm");
     for (float& v : layer.mlp_norm.span()) {
       v = 1.0f + rng.NextUniformFloat(0.02f);
     }
-    layer.w_gate_up = Tensor::Uninit(wa, {h, 2 * inter}, "w.gate_up");
-    InitUniform(layer.w_gate_up, rng, fan(h));
-    layer.w_down = Tensor::Uninit(wa, {inter, h}, "w.down");
-    InitUniform(layer.w_down, rng, fan(inter));
+    layer.w_gate_up = make_weight({h, 2 * inter}, "w.gate_up", fan(h));
+    layer.w_down = make_weight({inter, h}, "w.down", fan(inter));
   }
 
   final_norm_ = Tensor::Uninit(wa, {h}, "w.final_norm");
   for (float& v : final_norm_.span()) {
     v = 1.0f + rng.NextUniformFloat(0.02f);
   }
-  lm_head_ = Tensor::Uninit(wa, {h, config_.vocab_size}, "w.lm_head");
-  InitUniform(lm_head_, rng, fan(h));
+  lm_head_ = make_weight({h, config_.vocab_size}, "w.lm_head", fan(h));
+}
+
+void LlamaModel::MatMulW(const float* a, const Weight& w, float* c,
+                         int64_t m) const {
+  if (!w.packed.empty()) {
+    MatMulPacked(a, w.packed, c, m, pool_, kops_);
+  } else {
+    MatMul(a, w.dense.data(), c, m, w.dense.dim(0), w.dense.dim(1), pool_, kops_);
+  }
 }
 
 Status LlamaModel::Validate(std::span<const int32_t> tokens,
@@ -189,16 +212,16 @@ void LlamaModel::Attention(const Tensor& q, int64_t q_rows, int64_t q_pos0,
         const float* k_vec = (j < n_prefix)
                                  ? prefix->k.row(j) + kv_head * head_dim
                                  : k_new.row(j - n_prefix) + kv_head * head_dim;
-        my_scores[j] = Dot(q_vec, k_vec, head_dim) * inv_sqrt_d;
+        my_scores[j] = Dot(q_vec, k_vec, head_dim, kops_) * inv_sqrt_d;
       }
-      SoftmaxRow(my_scores, n_keys);
+      SoftmaxRow(my_scores, n_keys, kops_);
       float* o_vec = out + i * qs + head * head_dim;
       std::memset(o_vec, 0, static_cast<size_t>(head_dim) * sizeof(float));
       for (int64_t j = 0; j < n_keys; ++j) {
         const float* v_vec = (j < n_prefix)
                                  ? prefix->v.row(j) + kv_head * head_dim
                                  : v_new.row(j - n_prefix) + kv_head * head_dim;
-        Axpy(o_vec, v_vec, my_scores[j], head_dim);
+        Axpy(o_vec, v_vec, my_scores[j], head_dim, kops_);
       }
     }
   };
@@ -252,10 +275,10 @@ std::vector<float> LlamaModel::LastLogits(const float* hidden_row,
   (void)act;  // the two row-sized buffers below are negligible
   const int64_t h = config_.hidden_size;
   std::vector<float> normed(static_cast<size_t>(h));
-  RmsNormRows(hidden_row, final_norm_.data(), normed.data(), 1, h, config_.rms_eps);
+  RmsNormRows(hidden_row, final_norm_.data(), normed.data(), 1, h, config_.rms_eps,
+              nullptr, kops_);
   std::vector<float> logits(static_cast<size_t>(config_.vocab_size));
-  MatMul(normed.data(), lm_head_.data(), logits.data(), 1, h, config_.vocab_size,
-         pool_);
+  MatMulW(normed.data(), lm_head_, logits.data(), 1);
   return logits;
 }
 
@@ -325,10 +348,10 @@ Result<PrefillResult> LlamaModel::PrefillStandard(std::span<const int32_t> token
 
     PO_TRY_ALLOC(normed, act, "act.normed", {n_new, h});
     RmsNormRows(hidden.data(), w.attn_norm.data(), normed.data(), n_new, h,
-                config_.rms_eps, pool_);
+                config_.rms_eps, pool_, kops_);
 
     PO_TRY_ALLOC(q, act, "act.q", {n_new, qs});
-    MatMul(normed.data(), w.wq.data(), q.data(), n_new, h, qs, pool_);
+    MatMulW(normed.data(), w.wq, q.data(), n_new);
 
     Tensor k_local;
     Tensor v_local;
@@ -346,8 +369,8 @@ Result<PrefillResult> LlamaModel::PrefillStandard(std::span<const int32_t> token
       k_layer = &pass_kv[l].k;
       v_layer = &pass_kv[l].v;
     }
-    MatMul(normed.data(), w.wk.data(), k_layer->data(), n_new, h, kvw, pool_);
-    MatMul(normed.data(), w.wv.data(), v_layer->data(), n_new, h, kvw, pool_);
+    MatMulW(normed.data(), w.wk, k_layer->data(), n_new);
+    MatMulW(normed.data(), w.wv, v_layer->data(), n_new);
     normed = Tensor();  // free before attention
 
     ApplyRopeWithTable(q.data(), n_new, config_.n_heads, config_.head_dim, positions,
@@ -362,27 +385,26 @@ Result<PrefillResult> LlamaModel::PrefillStandard(std::span<const int32_t> token
     q = Tensor();
 
     PO_TRY_ALLOC(attn_proj, act, "act.attn_proj", {n_new, h});
-    MatMul(attn_out.data(), w.wo.data(), attn_proj.data(), n_new, qs, h, pool_);
+    MatMulW(attn_out.data(), w.wo, attn_proj.data(), n_new);
     attn_out = Tensor();
-    AddInPlace(hidden.data(), attn_proj.data(), n_new * h, pool_);
+    AddInPlace(hidden.data(), attn_proj.data(), n_new * h, pool_, kops_);
     attn_proj = Tensor();
 
     PO_TRY_ALLOC(normed2, act, "act.normed", {n_new, h});
     RmsNormRows(hidden.data(), w.mlp_norm.data(), normed2.data(), n_new, h,
-                config_.rms_eps, pool_);
+                config_.rms_eps, pool_, kops_);
     // The Fig. 3/4 spike: [n_new, 2*intermediate] = 28672 floats/token at
     // Llama-3.1-8B scale, 14x one layer's KV cache.
     PO_TRY_ALLOC(gate_up, act, "mlp.intermediate1", {n_new, 2 * inter});
-    MatMul(normed2.data(), w.w_gate_up.data(), gate_up.data(), n_new, h, 2 * inter,
-           pool_);
+    MatMulW(normed2.data(), w.w_gate_up, gate_up.data(), n_new);
     normed2 = Tensor();
     PO_TRY_ALLOC(mlp_act, act, "mlp.intermediate2", {n_new, inter});
-    SwiGluRows(gate_up.data(), mlp_act.data(), n_new, inter, pool_);
+    SwiGluRows(gate_up.data(), mlp_act.data(), n_new, inter, pool_, kops_);
     gate_up = Tensor();
     PO_TRY_ALLOC(down, act, "mlp.down", {n_new, h});
-    MatMul(mlp_act.data(), w.w_down.data(), down.data(), n_new, inter, h, pool_);
+    MatMulW(mlp_act.data(), w.w_down, down.data(), n_new);
     mlp_act = Tensor();
-    AddInPlace(hidden.data(), down.data(), n_new * h, pool_);
+    AddInPlace(hidden.data(), down.data(), n_new * h, pool_, kops_);
   }
 
   PrefillResult result;
@@ -455,13 +477,13 @@ Result<PrefillResult> LlamaModel::PrefillChunked(std::span<const int32_t> tokens
 
       PO_TRY_ALLOC(normed, act, "act.normed", {cs, h});
       RmsNormRows(hidden_c.data(), w.attn_norm.data(), normed.data(), cs, h,
-                  config_.rms_eps, pool_);
+                  config_.rms_eps, pool_, kops_);
 
       PO_TRY_ALLOC(q, act, "act.q", {cs, qs});
-      MatMul(normed.data(), w.wq.data(), q.data(), cs, h, qs, pool_);
+      MatMulW(normed.data(), w.wq, q.data(), cs);
       // K/V of this chunk go straight into the resident per-layer cache.
-      MatMul(normed.data(), w.wk.data(), pass_kv[l].k.row(r0), cs, h, kvw, pool_);
-      MatMul(normed.data(), w.wv.data(), pass_kv[l].v.row(r0), cs, h, kvw, pool_);
+      MatMulW(normed.data(), w.wk, pass_kv[l].k.row(r0), cs);
+      MatMulW(normed.data(), w.wv, pass_kv[l].v.row(r0), cs);
       normed = Tensor();
 
       ApplyRopeWithTable(q.data(), cs, config_.n_heads, config_.head_dim, positions,
@@ -476,25 +498,24 @@ Result<PrefillResult> LlamaModel::PrefillChunked(std::span<const int32_t> tokens
       q = Tensor();
 
       PO_TRY_ALLOC(attn_proj, act, "act.attn_proj", {cs, h});
-      MatMul(attn_out.data(), w.wo.data(), attn_proj.data(), cs, qs, h, pool_);
+      MatMulW(attn_out.data(), w.wo, attn_proj.data(), cs);
       attn_out = Tensor();
-      AddInPlace(hidden_c.data(), attn_proj.data(), cs * h, pool_);
+      AddInPlace(hidden_c.data(), attn_proj.data(), cs * h, pool_, kops_);
       attn_proj = Tensor();
 
       PO_TRY_ALLOC(normed2, act, "act.normed", {cs, h});
       RmsNormRows(hidden_c.data(), w.mlp_norm.data(), normed2.data(), cs, h,
-                  config_.rms_eps, pool_);
+                  config_.rms_eps, pool_, kops_);
       PO_TRY_ALLOC(gate_up, act, "mlp.intermediate1", {cs, 2 * inter});
-      MatMul(normed2.data(), w.w_gate_up.data(), gate_up.data(), cs, h, 2 * inter,
-             pool_);
+      MatMulW(normed2.data(), w.w_gate_up, gate_up.data(), cs);
       normed2 = Tensor();
       PO_TRY_ALLOC(mlp_act, act, "mlp.intermediate2", {cs, inter});
-      SwiGluRows(gate_up.data(), mlp_act.data(), cs, inter, pool_);
+      SwiGluRows(gate_up.data(), mlp_act.data(), cs, inter, pool_, kops_);
       gate_up = Tensor();
       PO_TRY_ALLOC(down, act, "mlp.down", {cs, h});
-      MatMul(mlp_act.data(), w.w_down.data(), down.data(), cs, inter, h, pool_);
+      MatMulW(mlp_act.data(), w.w_down, down.data(), cs);
       mlp_act = Tensor();
-      AddInPlace(hidden_c.data(), down.data(), cs * h, pool_);
+      AddInPlace(hidden_c.data(), down.data(), cs * h, pool_, kops_);
     }
 
     if (r1 == n_new) {
@@ -635,15 +656,15 @@ Result<PrefillResult> LlamaModel::PrefillHybrid(std::span<const int32_t> tokens,
     const LayerKv* layer_prefix = (prefix != nullptr) ? &prefix->layers[l] : nullptr;
 
     RmsNormRows(hidden.data(), w.attn_norm.data(), normed.data(), n_new, h,
-                config_.rms_eps, pool_);
+                config_.rms_eps, pool_, kops_);
 
     // QKV projections: linear, so chunked; outputs written directly into the
     // preallocated whole-sequence buffers (chunking + preallocation).
     for (int64_t r0 = 0; r0 < n_new; r0 += chunk) {
       const int64_t cs = std::min(chunk, n_new - r0);
-      MatMul(normed.row(r0), w.wq.data(), q_buf.row(r0), cs, h, qs, pool_);
-      MatMul(normed.row(r0), w.wk.data(), k_buf.row(r0), cs, h, kvw, pool_);
-      MatMul(normed.row(r0), w.wv.data(), v_buf.row(r0), cs, h, kvw, pool_);
+      MatMulW(normed.row(r0), w.wq, q_buf.row(r0), cs);
+      MatMulW(normed.row(r0), w.wk, k_buf.row(r0), cs);
+      MatMulW(normed.row(r0), w.wv, v_buf.row(r0), cs);
     }
     ApplyRopeWithTable(q_buf.data(), n_new, config_.n_heads, config_.head_dim,
                        positions, rope_table_, pool_);
@@ -673,16 +694,16 @@ Result<PrefillResult> LlamaModel::PrefillHybrid(std::span<const int32_t> tokens,
     auto o_proj =
         chunked_linear(h, o_target, "act.attn_proj",
                        [&](int64_t r0, int64_t cs, float* out) -> Status {
-                         MatMul(attn_out.row(r0), w.wo.data(), out, cs, qs, h, pool_);
+                         MatMulW(attn_out.row(r0), w.wo, out, cs);
                          return Status::Ok();
                        });
     if (!o_proj.ok()) {
       return o_proj.status();
     }
-    AddInPlace(hidden.data(), o_proj.value()->data(), n_new * h, pool_);
+    AddInPlace(hidden.data(), o_proj.value()->data(), n_new * h, pool_, kops_);
 
     RmsNormRows(hidden.data(), w.mlp_norm.data(), normed.data(), n_new, h,
-                config_.rms_eps, pool_);
+                config_.rms_eps, pool_, kops_);
 
     // MLP virtual layer (gate_up -> SwiGLU -> down), chunk-by-chunk. The
     // [chunk, 2*intermediate] temporaries replace the [n_new, 2*inter]
@@ -698,16 +719,15 @@ Result<PrefillResult> LlamaModel::PrefillHybrid(std::span<const int32_t> tokens,
           // aliasing is safe — this is the relative-position argument of
           // §4.3 (chunk i of the output lands exactly where chunk i of the
           // input lived).
-          MatMul(normed.row(r0), w.w_gate_up.data(), gate_up_c.data(), cs, h, 2 * inter,
-                 pool_);
-          SwiGluRows(gate_up_c.data(), mlp_act_c.data(), cs, inter, pool_);
-          MatMul(mlp_act_c.data(), w.w_down.data(), out, cs, inter, h, pool_);
+          MatMulW(normed.row(r0), w.w_gate_up, gate_up_c.data(), cs);
+          SwiGluRows(gate_up_c.data(), mlp_act_c.data(), cs, inter, pool_, kops_);
+          MatMulW(mlp_act_c.data(), w.w_down, out, cs);
           return Status::Ok();
         });
     if (!mlp_out.ok()) {
       return mlp_out.status();
     }
-    AddInPlace(hidden.data(), mlp_out.value()->data(), n_new * h, pool_);
+    AddInPlace(hidden.data(), mlp_out.value()->data(), n_new * h, pool_, kops_);
   }
 
   PrefillResult result;

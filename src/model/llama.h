@@ -35,6 +35,8 @@
 #include "src/model/config.h"
 #include "src/model/kv.h"
 #include "src/model/rope_table.h"
+#include "src/tensor/ops_dispatch.h"
+#include "src/tensor/prepack.h"
 #include "src/tensor/tensor.h"
 
 namespace prefillonly {
@@ -82,13 +84,24 @@ struct PrefillResult {
 class LlamaModel {
  public:
   // Deterministically random-initialized weights (scaled uniform).
-  LlamaModel(ModelConfig config, uint64_t seed);
+  // `backend` picks the kernel backend for every op of the forward pass
+  // (ISSUE 3): kAuto resolves PREFILLONLY_KERNEL_BACKEND, then the best
+  // available. When the resolved backend packs weights (kAvx2), each weight
+  // matrix is repacked once, here, into the panel-major layout its GEMM
+  // sweeps (src/tensor/prepack.h); the packed image replaces the row-major
+  // one, so weight_bytes() stays ~flat (panel zero-padding only).
+  explicit LlamaModel(ModelConfig config, uint64_t seed,
+                      KernelBackend backend = KernelBackend::kAuto);
 
   LlamaModel(const LlamaModel&) = delete;
   LlamaModel& operator=(const LlamaModel&) = delete;
 
   const ModelConfig& config() const { return config_; }
   size_t weight_bytes() const { return weight_alloc_->current_bytes(); }
+
+  // The resolved kernel backend (never kAuto) and its op table.
+  KernelBackend kernel_backend() const { return kops_->backend; }
+  const KernelOps* kernel_ops() const { return kops_; }
 
   // Intra-op parallelism. The pool (not owned; may be null = serial) is used
   // by every kernel of the forward pass. Work is partitioned so each output
@@ -112,16 +125,29 @@ class LlamaModel {
                                 TrackingAllocator& activations) const;
 
  private:
+  // One weight matrix, in exactly one layout: row-major `dense` for
+  // backends that read it in place, or the panel-major `packed` image for
+  // backends that pack (the dense image is released right after the pack —
+  // keeping both would double resident weight memory).
+  struct Weight {
+    Tensor dense;         // [k, n] row-major; empty when packed is engaged
+    PackedMatrix packed;  // engaged iff kops_->packs_weights
+  };
+
   struct LayerWeights {
     Tensor attn_norm;  // [h]
-    Tensor wq;         // [h, q_size]
-    Tensor wk;         // [h, kv_size]
-    Tensor wv;         // [h, kv_size]
-    Tensor wo;         // [q_size, h]
+    Weight wq;         // [h, q_size]
+    Weight wk;         // [h, kv_size]
+    Weight wv;         // [h, kv_size]
+    Weight wo;         // [q_size, h]
     Tensor mlp_norm;   // [h]
-    Tensor w_gate_up;  // [h, 2*intermediate]  (fused gate/up projection)
-    Tensor w_down;     // [intermediate, h]
+    Weight w_gate_up;  // [h, 2*intermediate]  (fused gate/up projection)
+    Weight w_down;     // [intermediate, h]
   };
+
+  // MatMul against a weight matrix, taking the packed path when the weight
+  // carries a packed image.
+  void MatMulW(const float* a, const Weight& w, float* c, int64_t m) const;
 
   Status Validate(std::span<const int32_t> tokens, const KvCacheData* cached_prefix,
                   const PrefillOptions& options) const;
@@ -164,14 +190,15 @@ class LlamaModel {
 
   ModelConfig config_;
   std::unique_ptr<TrackingAllocator> weight_alloc_;
-  ThreadPool* pool_ = nullptr;  // not owned; null = serial
+  ThreadPool* pool_ = nullptr;         // not owned; null = serial
+  const KernelOps* kops_ = nullptr;    // resolved kernel backend table
   // Precomputed RoPE cos/sin rows, grown lazily to the longest position a
   // pass has seen (mutable: growth is a cache fill, logically const).
   mutable RopeTable rope_table_;
   Tensor embedding_;   // [vocab, h]
   std::vector<LayerWeights> layers_;
   Tensor final_norm_;  // [h]
-  Tensor lm_head_;     // [h, vocab]
+  Weight lm_head_;     // [h, vocab]
 };
 
 }  // namespace prefillonly

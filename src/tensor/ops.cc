@@ -1,172 +1,93 @@
+// Public kernel API: backend-independent partitioning over the serial inner
+// kernels of a KernelOps table (src/tensor/ops_dispatch.h). Threading
+// policy (grains, row-vs-column sharding) lives here ONCE; backends only
+// provide the range kernels, which is what keeps the within-backend
+// determinism contract a property of this file plus the per-element
+// discipline of each backend.
 #include "src/tensor/ops.h"
 
-#include <algorithm>
-#include <cassert>
-#include <cmath>
 #include <cstring>
 
 #include "src/common/thread_pool.h"
 #include "src/tensor/ops_ref.h"
+#include "src/tensor/prepack.h"
 
 namespace prefillonly {
 
 namespace {
 
-// k-panel height: a [kKc, N] panel of b (kKc * N * 4 bytes; 64KB at N=256)
-// is swept once per row of the thread's range and stays in L1/L2 instead of
-// streaming the whole of b per row.
-constexpr int64_t kKc = 64;
-
-// Computes rows [r0, r1) of c. The per-element accumulation order is
-// strictly ascending in k (panels ascending, k ascending inside each panel,
-// and the 4-way unroll issues its adds in k order), and depends only on
-// (k, kKc) — never on r0/r1 or m — which is what makes row-chunked,
-// threaded, and full executions bitwise identical. The unroll exists so the
-// compiler keeps the c row in vector registers across four b rows instead
-// of doing a load/store round trip per k step.
-void MatMulRows(const float* __restrict a, const float* __restrict b,
-                float* __restrict c, int64_t r0, int64_t r1, int64_t k, int64_t n) {
-  for (int64_t i = r0; i < r1; ++i) {
-    std::memset(c + i * n, 0, static_cast<size_t>(n) * sizeof(float));
-  }
-  for (int64_t k0 = 0; k0 < k; k0 += kKc) {
-    const int64_t k1 = std::min(k0 + kKc, k);
-    for (int64_t i = r0; i < r1; ++i) {
-      const float* __restrict a_row = a + i * k;
-      float* __restrict c_row = c + i * n;
-      int64_t kk = k0;
-      for (; kk + 4 <= k1; kk += 4) {
-        const float a0 = a_row[kk];
-        const float a1 = a_row[kk + 1];
-        const float a2 = a_row[kk + 2];
-        const float a3 = a_row[kk + 3];
-        const float* __restrict b0 = b + kk * n;
-        const float* __restrict b1 = b0 + n;
-        const float* __restrict b2 = b1 + n;
-        const float* __restrict b3 = b2 + n;
-        for (int64_t j = 0; j < n; ++j) {
-          float acc = c_row[j];
-          acc += a0 * b0[j];
-          acc += a1 * b1[j];
-          acc += a2 * b2[j];
-          acc += a3 * b3[j];
-          c_row[j] = acc;
-        }
-      }
-      for (; kk < k1; ++kk) {
-        const float a_val = a_row[kk];
-        const float* __restrict b_row = b + kk * n;
-        for (int64_t j = 0; j < n; ++j) {
-          c_row[j] += a_val * b_row[j];
-        }
-      }
-    }
-  }
-}
-
-// Columns [j0, j1) of the single-row product c[1,N] = a[1,K] * b[K,N].
-// Same k-panel order and 4-way unroll as MatMulRows restricted to a column
-// range: each c[j] is element-owned with strictly ascending k-adds, so any
-// column partition is bitwise identical to the full serial call.
-void MatMulRowColRange(const float* __restrict a, const float* __restrict b,
-                       float* __restrict c, int64_t k, int64_t n, int64_t j0,
-                       int64_t j1) {
-  std::memset(c + j0, 0, static_cast<size_t>(j1 - j0) * sizeof(float));
-  for (int64_t k0 = 0; k0 < k; k0 += kKc) {
-    const int64_t k1 = std::min(k0 + kKc, k);
-    int64_t kk = k0;
-    for (; kk + 4 <= k1; kk += 4) {
-      const float a0 = a[kk];
-      const float a1 = a[kk + 1];
-      const float a2 = a[kk + 2];
-      const float a3 = a[kk + 3];
-      const float* __restrict b0 = b + kk * n;
-      const float* __restrict b1 = b0 + n;
-      const float* __restrict b2 = b1 + n;
-      const float* __restrict b3 = b2 + n;
-      for (int64_t j = j0; j < j1; ++j) {
-        float acc = c[j];
-        acc += a0 * b0[j];
-        acc += a1 * b1[j];
-        acc += a2 * b2[j];
-        acc += a3 * b3[j];
-        c[j] = acc;
-      }
-    }
-    for (; kk < k1; ++kk) {
-      const float a_val = a[kk];
-      const float* __restrict b_row = b + kk * n;
-      for (int64_t j = j0; j < j1; ++j) {
-        c[j] += a_val * b_row[j];
-      }
-    }
-  }
+inline const KernelOps* Resolve(const KernelOps* ops) {
+  return ops != nullptr ? ops : DefaultKernelOps();
 }
 
 }  // namespace
 
 void MatMul(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n,
-            ThreadPool* pool) {
+            ThreadPool* pool, const KernelOps* ops) {
+  ops = Resolve(ops);
   if (pool == nullptr) {
-    MatMulRows(a, b, c, 0, m, k, n);
+    ops->matmul_rows(a, b, c, 0, m, k, n);
     return;
   }
   if (m == 1) {
     // Row-parallelism has nothing to split for a single row (the LM-head
     // GEMV — the largest per-request m=1 matrix); shard columns instead.
     pool->ParallelFor(n, /*grain=*/512, [&](int64_t j0, int64_t j1, int /*worker*/) {
-      MatMulRowColRange(a, b, c, k, n, j0, j1);
+      ops->matmul_col_range(a, b, c, k, n, j0, j1);
     });
     return;
   }
   pool->ParallelFor(m, /*grain=*/1, [&](int64_t r0, int64_t r1, int /*worker*/) {
-    MatMulRows(a, b, c, r0, r1, k, n);
+    ops->matmul_rows(a, b, c, r0, r1, k, n);
+  });
+}
+
+void MatMulPacked(const float* a, const PackedMatrix& b, float* c, int64_t m,
+                  ThreadPool* pool, const KernelOps* ops) {
+  ops = Resolve(ops);
+  if (pool == nullptr) {
+    ops->matmul_rows_packed(a, b, c, 0, m);
+    return;
+  }
+  if (m == 1) {
+    // Shard whole panels: a partition can then never split the lane group
+    // of one panel, so bits don't depend on the worker count.
+    pool->ParallelFor(b.n_panels(), /*grain=*/32,
+                      [&](int64_t p0, int64_t p1, int /*worker*/) {
+                        ops->matmul_panels_packed(a, b, c, p0, p1);
+                      });
+    return;
+  }
+  pool->ParallelFor(m, /*grain=*/1, [&](int64_t r0, int64_t r1, int /*worker*/) {
+    ops->matmul_rows_packed(a, b, c, r0, r1);
   });
 }
 
 void RmsNormRows(const float* x, const float* weight, float* y, int64_t m, int64_t h,
-                 float eps, ThreadPool* pool) {
-  const auto body = [&](int64_t r0, int64_t r1, int /*worker*/) {
-    for (int64_t i = r0; i < r1; ++i) {
-      const float* __restrict row = x + i * h;
-      const float* __restrict w = weight;
-      float* __restrict out = y + i * h;
-      float ssq = 0.0f;
-      for (int64_t j = 0; j < h; ++j) {
-        ssq += row[j] * row[j];
-      }
-      const float scale = 1.0f / std::sqrt(ssq / static_cast<float>(h) + eps);
-      for (int64_t j = 0; j < h; ++j) {
-        out[j] = row[j] * scale * w[j];
-      }
-    }
-  };
+                 float eps, ThreadPool* pool, const KernelOps* ops) {
+  ops = Resolve(ops);
   if (pool == nullptr) {
-    body(0, m, 0);
-  } else {
-    pool->ParallelFor(m, /*grain=*/4, body);
+    ops->rmsnorm_rows(x, weight, y, 0, m, h, eps);
+    return;
   }
+  pool->ParallelFor(m, /*grain=*/4, [&](int64_t r0, int64_t r1, int /*worker*/) {
+    ops->rmsnorm_rows(x, weight, y, r0, r1, h, eps);
+  });
 }
 
-void SiluMul(const float* gate, const float* up, float* out, int64_t count) {
-  const float* __restrict g_ = gate;
-  const float* __restrict u_ = up;
-  float* __restrict o_ = out;
-  for (int64_t i = 0; i < count; ++i) {
-    const float g = g_[i];
-    const float silu = g / (1.0f + std::exp(-g));
-    o_[i] = silu * u_[i];
-  }
+void SiluMul(const float* gate, const float* up, float* out, int64_t count,
+             const KernelOps* ops) {
+  Resolve(ops)->silu_mul(gate, up, out, count);
 }
 
 void SwiGluRows(const float* gate_up, float* out, int64_t m, int64_t i,
-                ThreadPool* pool) {
+                ThreadPool* pool, const KernelOps* ops) {
+  ops = Resolve(ops);
   const auto body = [&](int64_t r0, int64_t r1, int /*worker*/) {
     for (int64_t r = r0; r < r1; ++r) {
       const float* gate = gate_up + r * 2 * i;
       const float* up = gate + i;
-      float* out_row = out + r * i;
-      SiluMul(gate, up, out_row, i);
+      ops->silu_mul(gate, up, out + r * i, i);
     }
   };
   if (pool == nullptr) {
@@ -176,36 +97,21 @@ void SwiGluRows(const float* gate_up, float* out, int64_t m, int64_t i,
   }
 }
 
-void SoftmaxRow(float* x, int64_t n) {
-  assert(n > 0);
-  float max_val = x[0];
-  for (int64_t i = 1; i < n; ++i) {
-    max_val = std::max(max_val, x[i]);
-  }
-  float sum = 0.0f;
-  for (int64_t i = 0; i < n; ++i) {
-    x[i] = std::exp(x[i] - max_val);
-    sum += x[i];
-  }
-  const float inv = 1.0f / sum;
-  for (int64_t i = 0; i < n; ++i) {
-    x[i] *= inv;
-  }
+void SoftmaxRow(float* x, int64_t n, const KernelOps* ops) {
+  Resolve(ops)->softmax_row(x, n);
 }
 
-void AddInPlace(float* a, const float* b, int64_t count, ThreadPool* pool) {
-  const auto body = [&](int64_t i0, int64_t i1, int /*worker*/) {
-    float* __restrict a_ = a;
-    const float* __restrict b_ = b;
-    for (int64_t i = i0; i < i1; ++i) {
-      a_[i] += b_[i];
-    }
-  };
+void AddInPlace(float* a, const float* b, int64_t count, ThreadPool* pool,
+                const KernelOps* ops) {
+  ops = Resolve(ops);
   if (pool == nullptr) {
-    body(0, count, 0);
-  } else {
-    pool->ParallelFor(count, /*grain=*/1 << 14, body);
+    ops->add_range(a, b, 0, count);
+    return;
   }
+  pool->ParallelFor(count, /*grain=*/1 << 14,
+                    [&](int64_t i0, int64_t i1, int /*worker*/) {
+                      ops->add_range(a, b, i0, i1);
+                    });
 }
 
 void ApplyRope(float* x, int64_t rows, int64_t n_heads, int64_t head_dim,
@@ -222,22 +128,12 @@ void EmbeddingLookup(const float* table, std::span<const int32_t> tokens, float*
   }
 }
 
-float Dot(const float* a, const float* b, int64_t n) {
-  const float* __restrict a_ = a;
-  const float* __restrict b_ = b;
-  float sum = 0.0f;
-  for (int64_t i = 0; i < n; ++i) {
-    sum += a_[i] * b_[i];
-  }
-  return sum;
+float Dot(const float* a, const float* b, int64_t n, const KernelOps* ops) {
+  return Resolve(ops)->dot(a, b, n);
 }
 
-void Axpy(float* y, const float* x, float scale, int64_t n) {
-  float* __restrict y_ = y;
-  const float* __restrict x_ = x;
-  for (int64_t i = 0; i < n; ++i) {
-    y_[i] += scale * x_[i];
-  }
+void Axpy(float* y, const float* x, float scale, int64_t n, const KernelOps* ops) {
+  Resolve(ops)->axpy(y, x, scale, n);
 }
 
 }  // namespace prefillonly

@@ -7,38 +7,53 @@
 // identical results to running it on the full matrix (§4.2 of the paper),
 // and the equivalence tests in tests/model_test.cc assert exactly that.
 //
-// Determinism contract (ISSUE 1): kernels that accept a ThreadPool partition
-// work so each output element is OWNED by exactly one thread, and the
-// per-element computation (including the k-accumulation order of MatMul)
-// depends only on the element's coordinates — never on the row-chunk or
-// thread-range boundaries. Results are therefore bitwise identical across
-// num_threads ∈ {1, 2, ...}, across row chunk sizes, and equal to the
-// scalar reference kernels in ops_ref.h. tests/kernel_parity_test.cc
-// asserts exact equality.
+// Determinism contract (ISSUE 1, extended by ISSUE 3): kernels that accept
+// a ThreadPool partition work so each output element is OWNED by exactly
+// one thread, and the per-element computation (including the k-accumulation
+// order of MatMul) depends only on the element's coordinates — never on the
+// row-chunk or thread-range boundaries. Results are therefore bitwise
+// identical across num_threads ∈ {1, 2, ...} and across row chunk sizes
+// WITHIN a kernel backend. The `ops` parameter selects the backend table
+// (src/tensor/ops_dispatch.h): nullptr means the process default
+// (PREFILLONLY_KERNEL_BACKEND env, else best available). The kScalar
+// backend is additionally bitwise equal to the scalar reference kernels in
+// ops_ref.h (tests/kernel_parity_test.cc); kAvx2 is tolerance-close to it
+// (tests/dispatch_test.cc).
 #ifndef SRC_TENSOR_OPS_H_
 #define SRC_TENSOR_OPS_H_
 
 #include <cstdint>
 #include <span>
 
+#include "src/tensor/ops_dispatch.h"
+
 namespace prefillonly {
 
 class ThreadPool;
+struct PackedMatrix;
 
-// c[M,N] = a[M,K] * b[K,N]; c is overwritten. Cache-blocked over k so a
-// [Kc, N] panel of b stays hot across the rows of a thread's range, with a
-// register-blocked inner kernel; k-accumulation is strictly ascending per
-// output element, so row-chunked and threaded calls are bitwise identical
-// to one full serial call. Rows are split across `pool` when given.
+// c[M,N] = a[M,K] * b[K,N]; c is overwritten. k-accumulation is strictly
+// ascending per output element, so row-chunked and threaded calls are
+// bitwise identical to one full serial call (within a backend). Rows are
+// split across `pool` when given; the m == 1 GEMV shards columns instead.
 void MatMul(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n,
-            ThreadPool* pool = nullptr);
+            ThreadPool* pool = nullptr, const KernelOps* ops = nullptr);
+
+// MatMul with B in the panel-major prepacked layout (src/tensor/prepack.h):
+// the inner loop does contiguous aligned loads instead of strided
+// `b + kk * n` row hops. The m == 1 GEMV shards whole column panels so the
+// partition can never split a panel.
+void MatMulPacked(const float* a, const PackedMatrix& b, float* c, int64_t m,
+                  ThreadPool* pool = nullptr, const KernelOps* ops = nullptr);
 
 // RMSNorm per row: y = x / sqrt(mean(x^2) + eps) * weight. Row-parallel.
 void RmsNormRows(const float* x, const float* weight, float* y, int64_t m, int64_t h,
-                 float eps = 1e-5f, ThreadPool* pool = nullptr);
+                 float eps = 1e-5f, ThreadPool* pool = nullptr,
+                 const KernelOps* ops = nullptr);
 
 // SwiGLU combine: out = silu(gate) * up, elementwise over count values.
-void SiluMul(const float* gate, const float* up, float* out, int64_t count);
+void SiluMul(const float* gate, const float* up, float* out, int64_t count,
+             const KernelOps* ops = nullptr);
 
 // SwiGLU over a fused gate-up matrix: gate_up is [m, 2*i] with the gate in
 // columns [0, i) and the up-projection in columns [i, 2i); out is [m, i].
@@ -46,19 +61,22 @@ void SiluMul(const float* gate, const float* up, float* out, int64_t count);
 // engines and is what makes the paper's "intermediate 1" tensor 2x the MLP
 // width (28672 floats/token for Llama-3.1-8B, Fig. 4). Row-parallel.
 void SwiGluRows(const float* gate_up, float* out, int64_t m, int64_t i,
-                ThreadPool* pool = nullptr);
+                ThreadPool* pool = nullptr, const KernelOps* ops = nullptr);
 
 // Numerically stable in-place softmax of one row of n values.
-void SoftmaxRow(float* x, int64_t n);
+void SoftmaxRow(float* x, int64_t n, const KernelOps* ops = nullptr);
 
 // a += b over count values; each element is touched by exactly one thread.
-void AddInPlace(float* a, const float* b, int64_t count, ThreadPool* pool = nullptr);
+void AddInPlace(float* a, const float* b, int64_t count, ThreadPool* pool = nullptr,
+                const KernelOps* ops = nullptr);
 
 // Rotary position embedding applied in place to a [rows, n_heads*head_dim]
 // matrix; positions[i] is the absolute position of row i. Pairs are the
 // (x_j, x_{j+d/2}) convention used by Llama. This is the recomputing
 // variant kept for callers without a model; the engine's hot path uses the
 // precomputed table (src/model/rope_table.h), which is bitwise identical.
+// RoPE is NOT backend-dispatched: both backends share one implementation,
+// so rotated inputs are bit-equal across backends.
 void ApplyRope(float* x, int64_t rows, int64_t n_heads, int64_t head_dim,
                std::span<const int32_t> positions, float theta);
 
@@ -67,10 +85,11 @@ void EmbeddingLookup(const float* table, std::span<const int32_t> tokens, float*
                      int64_t h);
 
 // dot product of two length-n vectors.
-float Dot(const float* a, const float* b, int64_t n);
+float Dot(const float* a, const float* b, int64_t n, const KernelOps* ops = nullptr);
 
 // y += scale * x over n values.
-void Axpy(float* y, const float* x, float scale, int64_t n);
+void Axpy(float* y, const float* x, float scale, int64_t n,
+          const KernelOps* ops = nullptr);
 
 }  // namespace prefillonly
 

@@ -1,0 +1,116 @@
+// Runtime kernel-backend dispatch (ISSUE 3).
+//
+// The tensor layer has one public API (src/tensor/ops.h) and several
+// implementations of the serial inner kernels behind it:
+//
+//   * kScalar — the PR 1 cache-blocked scalar loops, bit-identical to the
+//     seed reference (src/tensor/ops_ref.h). Always available.
+//   * kAvx2   — explicit AVX2+FMA intrinsics (src/tensor/ops_avx2.cc,
+//     compiled in its own TU with -mavx2 -mfma), plus packed-weight GEMM
+//     kernels over the panel-major layout of src/tensor/prepack.h.
+//     Available when the TU was built with AVX2 support AND the CPU
+//     reports AVX2+FMA at runtime.
+//
+// A backend is a table of function pointers over SERIAL range kernels; all
+// threading/partitioning stays in ops.cc, shared by every backend. That is
+// what keeps the determinism contract two-tier (docs/PERFORMANCE.md):
+//
+//   * WITHIN a backend, results are bitwise identical across thread counts,
+//     row chunkings, partition widths and prefill modes — every backend's
+//     per-element computation (including the AVX2 kernels' FMA chains)
+//     depends only on the element's coordinates, with k strictly ascending,
+//     never on range boundaries.
+//   * ACROSS backends, parity is tolerance-based: 8-lane FMA accumulation
+//     legitimately reorders (and fuses) float operations, so kAvx2 output
+//     is close to — not bit-equal with — kScalar output.
+//
+// Selection: EngineOptions::kernel_backend / EngineConfig::kernel_backend,
+// or the PREFILLONLY_KERNEL_BACKEND environment variable ("auto", "scalar",
+// "avx2") for the process default; kAuto resolves env first, then picks the
+// best available backend. Forcing kAvx2 on a host without AVX2 falls back
+// to kScalar with a logged warning.
+#ifndef SRC_TENSOR_OPS_DISPATCH_H_
+#define SRC_TENSOR_OPS_DISPATCH_H_
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace prefillonly {
+
+struct PackedMatrix;
+
+enum class KernelBackend {
+  kAuto,    // env override, else best available
+  kScalar,  // PR 1 blocked scalar kernels (reference-exact)
+  kAvx2,    // AVX2+FMA intrinsics + prepacked weights
+};
+
+// Serial inner kernels of one backend. Range arguments ([r0, r1), [j0, j1),
+// [i0, i1), [p0, p1)) come from the partitioning wrappers in ops.cc; every
+// implementation must compute each output element identically for every
+// possible range split (the within-backend determinism contract above).
+struct KernelOps {
+  KernelBackend backend;
+  const char* name;
+  // True when MatMul over this backend wants weights in the panel-major
+  // prepacked layout (LlamaModel packs each weight matrix at load time).
+  bool packs_weights;
+
+  // c rows [r0, r1) of c[M,N] = a[M,K] * b[K,N], b row-major.
+  void (*matmul_rows)(const float* a, const float* b, float* c, int64_t r0,
+                      int64_t r1, int64_t k, int64_t n);
+  // Columns [j0, j1) of the single-row product c[1,N] = a[1,K] * b[K,N].
+  void (*matmul_col_range)(const float* a, const float* b, float* c, int64_t k,
+                           int64_t n, int64_t j0, int64_t j1);
+  // c rows [r0, r1) with b in prepacked panel-major layout.
+  void (*matmul_rows_packed)(const float* a, const PackedMatrix& b, float* c,
+                             int64_t r0, int64_t r1);
+  // Column panels [p0, p1) of the single-row product, b prepacked (the
+  // GEMV path: parallelism shards panels, never splits one).
+  void (*matmul_panels_packed)(const float* a, const PackedMatrix& b, float* c,
+                               int64_t p0, int64_t p1);
+  // RMSNorm of rows [r0, r1): y = x / sqrt(mean(x^2) + eps) * weight.
+  void (*rmsnorm_rows)(const float* x, const float* weight, float* y,
+                       int64_t r0, int64_t r1, int64_t h, float eps);
+  // out = silu(gate) * up elementwise over count values.
+  void (*silu_mul)(const float* gate, const float* up, float* out,
+                   int64_t count);
+  // Numerically stable in-place softmax of one row of n values.
+  void (*softmax_row)(float* x, int64_t n);
+  // a[i] += b[i] for i in [i0, i1).
+  void (*add_range)(float* a, const float* b, int64_t i0, int64_t i1);
+  // Dot product of two length-n vectors.
+  float (*dot)(const float* a, const float* b, int64_t n);
+  // y += scale * x over n values.
+  void (*axpy)(float* y, const float* x, float scale, int64_t n);
+};
+
+// True when the AVX2 backend can run here: the TU was compiled with AVX2
+// support and the CPU reports AVX2 + FMA. Tests use this to skip
+// avx2-forced cases with a clear message on older hosts.
+bool Avx2Available();
+
+// Resolves kAuto (env override, then best available) and downgrades an
+// unavailable explicit choice to kScalar with a logged warning. Never
+// returns kAuto.
+KernelBackend ResolveKernelBackend(KernelBackend requested);
+
+// Table for a (possibly unresolved) backend choice; never null.
+const KernelOps* GetKernelOps(KernelBackend backend);
+
+// Process-default table: GetKernelOps(kAuto), resolved once and cached.
+// Kernel calls that pass ops == nullptr use this.
+const KernelOps* DefaultKernelOps();
+
+// "auto" / "scalar" / "avx2".
+const char* KernelBackendName(KernelBackend backend);
+std::optional<KernelBackend> ParseKernelBackend(std::string_view name);
+
+// Implemented in ops_avx2.cc; null when that TU was built without AVX2
+// support (non-x86 target or compiler lacking -mavx2/-mfma).
+const KernelOps* GetAvx2KernelOps();
+
+}  // namespace prefillonly
+
+#endif  // SRC_TENSOR_OPS_DISPATCH_H_

@@ -1,0 +1,44 @@
+#include "src/tensor/prepack.h"
+
+#include <algorithm>
+
+namespace prefillonly {
+
+PackedMatrix PackWeights(TrackingAllocator& alloc, const float* b, int64_t k,
+                         int64_t n, const std::string& tag) {
+  PackedMatrix packed;
+  packed.k = k;
+  packed.n = n;
+  const int64_t n_panels = packed.n_panels();
+  packed.data = Tensor::Uninit(alloc, {n_panels * k, kPackPanelWidth}, tag);
+  float* out = packed.data.data();
+  for (int64_t p = 0; p < n_panels; ++p) {
+    const int64_t j0 = p * kPackPanelWidth;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      float* row = out + (p * k + kk) * kPackPanelWidth;
+      for (int64_t lane = 0; lane < kPackPanelWidth; ++lane) {
+        const int64_t j = j0 + lane;
+        row[lane] = (j < n) ? b[kk * n + j] : 0.0f;
+      }
+    }
+  }
+  return packed;
+}
+
+void UnpackWeights(const PackedMatrix& packed, float* out) {
+  const int64_t k = packed.k;
+  const int64_t n = packed.n;
+  for (int64_t p = 0; p < packed.n_panels(); ++p) {
+    const float* panel = packed.panel(p);
+    const int64_t j0 = p * kPackPanelWidth;
+    const int64_t width = std::min(kPackPanelWidth, n - j0);
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float* row = panel + kk * kPackPanelWidth;
+      for (int64_t lane = 0; lane < width; ++lane) {
+        out[kk * n + j0 + lane] = row[lane];
+      }
+    }
+  }
+}
+
+}  // namespace prefillonly

@@ -1,0 +1,61 @@
+// Panel-major weight prepacking for the SIMD GEMM (ISSUE 3).
+//
+// The blocked kernels sweep a weight matrix B[K,N] column-panel by
+// column-panel. In row-major storage each k-step of a panel is a strided
+// `b + kk * n` row hop, so the AVX2 inner loop would spend its time in the
+// load unit, not the FMA pipe. PackWeights repacks B once at model load into
+// the exact order the kernel reads it:
+//
+//   panel p (columns [p*16, p*16+16)) is stored contiguously as K rows of
+//   16 floats: packed[(p*K + kk) * 16 + lane] = B[kk][p*16 + lane]
+//
+// Each 16-float row is 64 bytes — exactly one cache line — and the backing
+// Tensor is 64-byte aligned (TrackingAllocator), so every k-step of the
+// AVX2 kernel is two aligned 32-byte loads from consecutive addresses.
+// Columns past N in the last panel are zero-filled: a broadcast-FMA against
+// them accumulates exactly 0.0f, so kernels may compute full panels and
+// store only the first N columns.
+//
+// Packing is pure data movement — UnpackWeights inverts it bit-exactly
+// (tests/dispatch_test.cc asserts the round trip).
+#ifndef SRC_TENSOR_PREPACK_H_
+#define SRC_TENSOR_PREPACK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/tensor/tensor.h"
+
+namespace prefillonly {
+
+// Columns per packed panel. 16 floats = one cache line = two AVX2 lanes.
+inline constexpr int64_t kPackPanelWidth = 16;
+
+// A weight matrix in panel-major layout. Move-only (owns a Tensor).
+struct PackedMatrix {
+  Tensor data;  // [n_panels * k, kPackPanelWidth]
+  int64_t k = 0;
+  int64_t n = 0;
+
+  bool empty() const { return data.empty(); }
+  int64_t n_panels() const {
+    return (n + kPackPanelWidth - 1) / kPackPanelWidth;
+  }
+  // First float of panel p; rows of kPackPanelWidth floats, one per k.
+  const float* panel(int64_t p) const {
+    return data.data() + p * k * kPackPanelWidth;
+  }
+};
+
+// Packs row-major b[k, n] into panel-major layout, zero-filling the padded
+// columns of the last panel. Allocates from `alloc` under `tag`.
+PackedMatrix PackWeights(TrackingAllocator& alloc, const float* b, int64_t k,
+                         int64_t n, const std::string& tag);
+
+// Inverse of PackWeights: writes the row-major [k, n] matrix into `out`.
+// Bit-exact (packing only moves floats).
+void UnpackWeights(const PackedMatrix& packed, float* out);
+
+}  // namespace prefillonly
+
+#endif  // SRC_TENSOR_PREPACK_H_

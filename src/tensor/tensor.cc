@@ -1,5 +1,7 @@
 #include "src/tensor/tensor.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 namespace prefillonly {
@@ -18,8 +20,19 @@ Tensor::Tensor(TrackingAllocator* alloc, float* data, std::vector<int64_t> shape
 
 Tensor Tensor::Uninit(TrackingAllocator& alloc, std::vector<int64_t> shape,
                       const std::string& tag) {
+  const size_t bytes = static_cast<size_t>(Numel(shape)) * sizeof(float);
   Tensor t = TryCreate(alloc, std::move(shape), tag);
-  assert(!t.empty());
+  if (t.empty()) {
+    // Uninit is the infallible path — fail loudly in every build type. The
+    // assert this replaces compiled out under -DNDEBUG, so a Release build
+    // would hand back an empty tensor and the next kernel would write
+    // through nullptr.
+    std::fprintf(stderr,
+                 "Tensor::Uninit: allocation '%s' of %zu bytes failed "
+                 "(allocator: %zu in use, %zu budget)\n",
+                 tag.c_str(), bytes, alloc.current_bytes(), alloc.budget_bytes());
+    std::abort();
+  }
   return t;
 }
 

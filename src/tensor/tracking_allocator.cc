@@ -17,20 +17,25 @@ TrackingAllocator::~TrackingAllocator() {
 }
 
 void* TrackingAllocator::Allocate(size_t bytes, const std::string& tag) {
-  if (budget_bytes_ != 0 && current_bytes_ + bytes > budget_bytes_) {
+  // Zero-byte requests still get one cache line of real memory below;
+  // account for what is actually allocated or peak/current would
+  // undercount by a line per empty tensor.
+  const size_t charged = bytes == 0 ? 64 : bytes;
+  if (budget_bytes_ != 0 && current_bytes_ + charged > budget_bytes_) {
     return nullptr;
   }
   void* ptr = nullptr;
   // 64-byte alignment to keep matmul kernels on cache-line boundaries.
-  if (posix_memalign(&ptr, 64, bytes == 0 ? 64 : bytes) != 0) {
+  if (posix_memalign(&ptr, 64, charged) != 0) {
     return nullptr;
   }
-  sizes_[ptr] = Allocation{bytes, tag};
-  current_bytes_ += bytes;
+  sizes_[ptr] = Allocation{charged, tag};
+  current_bytes_ += charged;
   peak_bytes_ = std::max(peak_bytes_, current_bytes_);
   ++total_allocs_;
   if (record_timeline_) {
-    timeline_.push_back(Event{seq_++, tag, static_cast<int64_t>(bytes), current_bytes_});
+    timeline_.push_back(
+        Event{seq_++, tag, static_cast<int64_t>(charged), current_bytes_});
   }
   return ptr;
 }

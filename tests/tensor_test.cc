@@ -110,6 +110,44 @@ TEST(TensorTest, TryCreateFailsUnderBudget) {
   EXPECT_TRUE(t.empty());
 }
 
+TEST(TensorTest, UninitAbortsLoudlyOverBudget) {
+  // Uninit is the infallible path: budget exhaustion must abort in every
+  // build type (the assert it replaced compiled out under -DNDEBUG and the
+  // next kernel wrote through nullptr), naming the tag and size.
+  EXPECT_DEATH(
+      {
+        TrackingAllocator alloc(64);
+        Tensor t = Tensor::Uninit(alloc, {1024}, "too.big");
+      },
+      "Tensor::Uninit: allocation 'too.big' of 4096 bytes failed");
+}
+
+TEST(TrackingAllocatorTest, ZeroByteAllocationIsAccounted) {
+  // A zero-byte request still consumes one 64-byte cache line; the
+  // accounting must charge what was actually allocated, or peak/current
+  // undercount by a line per empty tensor.
+  TrackingAllocator alloc;
+  void* p = alloc.Allocate(0, "empty");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(alloc.current_bytes(), 64u);
+  EXPECT_EQ(alloc.peak_bytes(), 64u);
+  EXPECT_EQ(alloc.live_allocations(), 1u);
+  alloc.Deallocate(p);
+  EXPECT_EQ(alloc.current_bytes(), 0u);
+  EXPECT_EQ(alloc.peak_bytes(), 64u);
+}
+
+TEST(TrackingAllocatorTest, ZeroByteAllocationRespectsBudget) {
+  TrackingAllocator alloc(100);
+  void* p = alloc.Allocate(0, "empty");  // charged 64 of the 100
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(alloc.Allocate(64, "over"), nullptr);
+  alloc.Deallocate(p);
+  void* q = alloc.Allocate(64, "fits now");
+  EXPECT_NE(q, nullptr);
+  alloc.Deallocate(q);
+}
+
 TEST(TensorTest, RowAccessor) {
   TrackingAllocator alloc;
   Tensor t = Tensor::Zeros(alloc, {3, 4}, "t");
