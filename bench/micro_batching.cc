@@ -1,48 +1,194 @@
-// §6.1 design choice: why PrefillOnly does NOT batch prefill-only requests.
+// Continuous batching microbenchmark (ISSUE 4): the REAL engine's batched
+// prefill path, throughput vs batch size vs prompt length, per kernel
+// backend.
 //
-// Decoding is memory-bound: batching B sequences costs barely more than one
-// (the weight sweep dominates), so continuous batching multiplies decode
-// throughput. Prefill is compute-bound: a batch of B requests costs ~B
-// times one request, so batching only inflates average latency (everyone
-// waits for the batch) without adding throughput.
+// Context: the paper (§6.1) argues GPU prefill is compute-bound, so fusing
+// requests into one long prefill only inflates latency — and PrefillOnly
+// schedules one request at a time. That argument prices FLOPs, not kernel
+// launch efficiency. At SHORT prompt lengths a prefill's GEMMs run at tiny
+// m, where the weight-panel sweep (memory traffic per output row) and
+// per-pass overheads dominate; stacking B compatible prompts into one pass
+// (Prepacking, Zhao et al. 2024) re-amortizes both without changing any
+// request's logits (the ISSUE 4 determinism contract). This bench measures
+// exactly that effect end to end: same backlog, same engine, max_batch_size
+// swept over {1, 2, 4, 8}.
+//
+// Output: a human table plus BENCH_batching.json (reference copy checked
+// into the repo root). Acceptance bar (ISSUE 4): batched throughput at
+// batch size 4 on short prompts >= solo. Latency inflation stays bounded by
+// the LengthBucket admission rule — only same-bucket requests share a
+// batch, so nobody waits on a much longer batchmate.
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
 
-#include "bench/bench_common.h"
-#include "src/gpu/cost_model.h"
+#include "src/common/rng.h"
+#include "src/core/engine.h"
+#include "src/core/request.h"
+#include "src/tensor/ops_dispatch.h"
+
+namespace {
+
+using namespace prefillonly;
+
+EngineOptions BenchOptions(KernelBackend backend, int max_batch) {
+  EngineOptions options;
+  options.model = ModelConfig::Tiny();
+  options.kernel_backend = backend;
+  options.block_size = 16;
+  options.cache_budget_tokens = 1024;
+  options.chunk_size = 32;
+  options.num_threads = 0;  // whole machine
+  options.max_batch_size = max_batch;
+  return options;
+}
+
+std::vector<ScoringRequest> BenchWorkload(int n_requests, int64_t n_tokens) {
+  // Distinct random prompts of ONE length: no prefix-cache hits, and every
+  // request lands in the same LengthBucket, so formation is limited only by
+  // max_batch_size.
+  std::vector<ScoringRequest> requests;
+  Rng rng(7);
+  for (int i = 0; i < n_requests; ++i) {
+    ScoringRequest request;
+    request.user_id = i;
+    request.tokens.resize(static_cast<size_t>(n_tokens));
+    for (auto& t : request.tokens) {
+      t = static_cast<int32_t>(rng.NextBounded(256));
+    }
+    request.allowed_tokens = {10, 20};
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+struct Point {
+  std::string backend;
+  int64_t prompt_len = 0;
+  int max_batch = 0;
+  int requests = 0;
+  double seconds = 0.0;
+  double prefills_per_s = 0.0;
+  double occupancy = 0.0;
+};
+
+// Drains the whole backlog through RunPending (deterministic batch
+// formation: every decision sees the full remaining queue).
+Point RunOnce(KernelBackend backend, const std::vector<ScoringRequest>& workload,
+              int max_batch) {
+  Engine engine(BenchOptions(backend, max_batch));
+  for (const auto& request : workload) {
+    auto id = engine.Submit(request);
+    (void)id;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  auto responses = engine.RunPending();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  if (!responses.ok()) {
+    std::fprintf(stderr, "RunPending failed: %s\n",
+                 responses.status().ToString().c_str());
+    std::exit(1);
+  }
+  const EngineStats stats = engine.stats();
+  Point p;
+  p.backend = KernelBackendName(engine.model().kernel_backend());
+  p.prompt_len = static_cast<int64_t>(workload[0].tokens.size());
+  p.max_batch = max_batch;
+  p.requests = static_cast<int>(responses.value().size());
+  p.seconds = elapsed;
+  p.prefills_per_s = static_cast<double>(p.requests) / elapsed;
+  p.occupancy = stats.batches_dispatched > 0
+                    ? static_cast<double>(stats.batched_requests) /
+                          static_cast<double>(stats.batches_dispatched)
+                    : 0.0;
+  return p;
+}
+
+}  // namespace
 
 int main() {
-  using namespace prefillonly;
-  bench::Header("Micro (6.1) - why not batch prefill-only requests");
+  constexpr int kRequests = 32;
+  constexpr int kReps = 5;
+  const int64_t kPromptLens[] = {8, 16, 64};
+  const int kBatchSizes[] = {1, 2, 4, 8};
 
-  CostModel cost(LlmSpec::Llama33_70B_Fp8(), GpuSpec::H100_80G());
-
-  std::printf("\n[A] decode step (memory-bound): batching is ~free\n");
-  std::printf("  %8s %14s %22s\n", "batch", "step time", "per-sequence cost");
-  const double step1 = cost.DecodeStepTime(1);
-  for (int batch : {1, 8, 64, 256}) {
-    const double step = cost.DecodeStepTime(batch);
-    std::printf("  %8d %12.2fms %20.3fms (%.0f%% of solo)\n", batch, step * 1e3,
-                step / batch * 1e3, step / batch / step1 * 100.0);
+  std::vector<KernelBackend> backends{KernelBackend::kScalar};
+  if (Avx2Available()) {
+    backends.push_back(KernelBackend::kAvx2);
   }
 
-  std::printf("\n[B] prefill of 14,000 tokens (compute-bound): batching is ~linear\n");
-  const double solo = cost.PrefillTime(14000, 0, PassStrategy::kHybrid, 2048);
-  std::printf("  %8s %14s %22s %16s\n", "batch", "batch time", "mean latency in batch",
-              "throughput");
-  for (int batch : {1, 2, 4, 8}) {
-    // A fused batch is one long prefill; every request waits for the whole
-    // batch to finish.
-    const double batch_time =
-        cost.PrefillTime(static_cast<int64_t>(14000) * batch, 0, PassStrategy::kHybrid,
-                         2048);
-    std::printf("  %8d %12.2fs %20.2fs %13.3f req/s\n", batch, batch_time, batch_time,
-                batch / batch_time);
+  std::printf("continuous batching: %d requests per cell, %u hardware threads\n\n",
+              kRequests, std::thread::hardware_concurrency());
+  std::printf("%-8s %10s %10s %10s %12s %16s %10s\n", "backend", "prompt", "batch",
+              "requests", "seconds", "prefills/sec", "occupancy");
+
+  std::vector<Point> points;
+  for (KernelBackend backend : backends) {
+    for (int64_t prompt_len : kPromptLens) {
+      const auto workload = BenchWorkload(kRequests, prompt_len);
+      // Warm-up run: each RunOnce builds a fresh engine, so this only
+      // pre-faults code/malloc pages — enough to keep first-measured-cell
+      // jitter out of the best-of-N below.
+      (void)RunOnce(backend, workload, 1);
+      for (int max_batch : kBatchSizes) {
+        Point best = RunOnce(backend, workload, max_batch);
+        for (int r = 1; r < kReps; ++r) {
+          Point p = RunOnce(backend, workload, max_batch);
+          if (p.seconds < best.seconds) {
+            best = p;
+          }
+        }
+        std::printf("%-8s %10lld %10d %10d %12.4f %16.2f %10.2f\n",
+                    best.backend.c_str(), static_cast<long long>(best.prompt_len),
+                    best.max_batch, best.requests, best.seconds, best.prefills_per_s,
+                    best.occupancy);
+        points.push_back(best);
+      }
+    }
   }
-  std::printf("  serial (PrefillOnly): mean latency (B+1)/2 x %.2fs, same %.3f req/s\n",
-              solo, 1.0 / solo);
-  std::printf(
-      "\n-> batching prefill-only requests raises everyone's latency to the\n"
-      "   batch completion time without improving throughput; PrefillOnly\n"
-      "   schedules one request at a time (paper 6.1).\n");
+
+  // The acceptance bar: batch 4 vs solo on the short prompt, per backend.
+  std::printf("\n");
+  for (KernelBackend backend : backends) {
+    const char* name = KernelBackendName(backend);
+    double solo = 0.0;
+    double batch4 = 0.0;
+    for (const Point& p : points) {
+      if (p.backend == name && p.prompt_len == kPromptLens[0]) {
+        if (p.max_batch == 1) solo = p.prefills_per_s;
+        if (p.max_batch == 4) batch4 = p.prefills_per_s;
+      }
+    }
+    std::printf("%s: batch4/solo throughput at %lld tokens = %.3f "
+                "(ISSUE 4 bar: >= ~1.0)\n",
+                name, static_cast<long long>(kPromptLens[0]),
+                solo > 0 ? batch4 / solo : 0.0);
+  }
+  std::printf("(single-core container numbers; the real scaling curve is pending a "
+              "multi-core host, see ROADMAP.md)\n");
+
+  FILE* f = std::fopen("BENCH_batching.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_batching.json\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"batching\": [\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    std::fprintf(f,
+                 "    {\"backend\": \"%s\", \"prompt_len\": %lld, \"max_batch\": %d, "
+                 "\"requests\": %d, \"seconds\": %.6g, \"prefills_per_s\": %.4f, "
+                 "\"occupancy\": %.4f}%s\n",
+                 p.backend.c_str(), static_cast<long long>(p.prompt_len), p.max_batch,
+                 p.requests, p.seconds, p.prefills_per_s, p.occupancy,
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_batching.json\n");
   return 0;
 }

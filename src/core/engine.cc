@@ -15,6 +15,7 @@ Engine::Engine(EngineOptions options)
       epoch_(std::chrono::steady_clock::now()) {
   assert(options_.model.Valid());
   options_.max_concurrent_requests = std::max(options_.max_concurrent_requests, 1);
+  options_.max_batch_size = std::max(options_.max_batch_size, 1);
   pool_ = std::make_unique<ThreadPool>(options_.num_threads);
   model_ = std::make_unique<LlamaModel>(options_.model, options_.weight_seed,
                                         options_.kernel_backend);
@@ -132,8 +133,39 @@ std::vector<Engine::Candidate> Engine::SnapshotQueueLocked() const {
   return candidates;
 }
 
-int64_t Engine::PickCandidate(const std::vector<Candidate>& candidates,
-                              const Scheduler* scheduler) const {
+namespace {
+
+// Stacked-activation bytes per new (cache-miss) token, used by batch
+// admission to keep a projected batch within the per-lane activation
+// budget. Every mode pays the per-sequence RETAINED KV copy (the engine
+// always dispatches with kPrefixBudget retention, all layers, up to the
+// miss length) on top of its working set: kStandard/kChunked keep every
+// layer's stacked pass KV plus the MLP intermediates resident, kHybrid one
+// layer's KV plus the stacked hidden/Q/attention buffers. Purely an
+// admission heuristic: the lane's TrackingAllocator stays the hard
+// guarantee (an overshooting batch falls back to solo execution).
+size_t BatchedBytesPerMissToken(const ModelConfig& model, PrefillMode mode) {
+  const int64_t h = model.hidden_size;
+  const int64_t qs = model.q_size();
+  const int64_t kvw = model.kv_size();
+  const int64_t retained_kv = 2 * kvw * model.n_layers;
+  const int64_t floats =
+      (mode == PrefillMode::kHybrid)
+          ? 3 * h + 2 * qs + 2 * kvw + retained_kv
+          : 3 * h + 2 * qs + 3 * model.intermediate_size + 2 * retained_kv;
+  return static_cast<size_t>(floats) * sizeof(float);
+}
+
+// Bytes of the assembled contiguous prefix copy per cached token (all
+// layers' K+V), also resident on the lane arena for the whole batch.
+size_t PrefixBytesPerCachedToken(const ModelConfig& model) {
+  return static_cast<size_t>(2 * model.kv_size() * model.n_layers) * sizeof(float);
+}
+
+}  // namespace
+
+std::vector<int64_t> Engine::PickBatchIds(const std::vector<Candidate>& candidates,
+                                          const Scheduler* scheduler) const {
   assert(!candidates.empty());
   std::vector<SchedEntry> entries;
   entries.reserve(candidates.size());
@@ -157,7 +189,30 @@ int64_t Engine::PickCandidate(const std::vector<Candidate>& candidates,
       entries.push_back(entry);
     }
   }
-  return candidates[scheduler->PickNext(entries, NowSeconds())].id;
+  const std::vector<size_t> picked =
+      scheduler->PickBatch(entries, NowSeconds(), options_.max_batch_size);
+  std::vector<int64_t> ids;
+  ids.reserve(picked.size());
+  const size_t per_miss = BatchedBytesPerMissToken(options_.model, options_.mode);
+  const size_t per_cached = PrefixBytesPerCachedToken(options_.model);
+  size_t projected = 0;
+  for (const size_t index : picked) {
+    const SchedEntry& entry = entries[index];
+    projected +=
+        static_cast<size_t>(std::max<int64_t>(entry.n_input - entry.n_cached_now, 1)) *
+            per_miss +
+        static_cast<size_t>(std::max<int64_t>(entry.n_cached_now, 0)) * per_cached;
+    // The seed always dispatches; co-batched members must keep the projected
+    // stacked footprint inside the lane's activation budget. Same-bucket
+    // members are score-ordered, so stopping at the first overflow is the
+    // right truncation.
+    if (!ids.empty() && options_.activation_budget_bytes > 0 &&
+        projected > options_.activation_budget_bytes) {
+      break;
+    }
+    ids.push_back(candidates[index].id);
+  }
+  return ids;
 }
 
 std::optional<Engine::Pending> Engine::TakeWaitingLocked(int64_t id) {
@@ -184,74 +239,120 @@ Result<ScoringResponse> Engine::Execute(Pending pending) {
   return response;
 }
 
+Status Engine::AcquirePrefix(const Pending& pending, TrackingAllocator& activations,
+                             PrefixAcq& out) {
+  const auto n_tokens = static_cast<int64_t>(pending.request.tokens.size());
+
+  // Suffix KV cache discarding, decided up front: only the prefix that fits
+  // the cache budget is ever granted blocks.
+  out.budget_blocks = std::min<int64_t>(static_cast<int64_t>(pending.chain->size()),
+                                        cache_->capacity_blocks());
+  std::span<const uint64_t> chain(*pending.chain);
+  out.chain = chain.subspan(0, static_cast<size_t>(out.budget_blocks));
+
+  // --- Cache acquire + prefix assembly, atomic under cache_mu_ ---------
+  std::lock_guard<std::mutex> cache_lock(cache_mu_);
+  auto acquired = cache_->Acquire(out.chain, out.budget_blocks);
+  if (!acquired.ok()) {
+    return acquired.status();
+  }
+  out.acq = acquired.take();
+
+  // Block-aligned prefix reuse; the final token is always recomputed. The
+  // GPU-tier match may continue into the offload tier (§9).
+  const int64_t gpu_matched = out.acq.matched_blocks;
+  const int64_t offload_matched = offload_dir_->MatchContinuation(out.chain, gpu_matched);
+  const int64_t max_prefix_blocks = (n_tokens - 1) / options_.block_size;
+  out.prefix_blocks = std::min(gpu_matched + offload_matched, max_prefix_blocks);
+  out.gpu_prefix_blocks = std::min(gpu_matched, out.prefix_blocks);
+  out.n_cached = out.prefix_blocks * options_.block_size;
+
+  if (out.prefix_blocks > 0) {
+    // GPU-resident blocks first, then offloaded payloads "reloaded" into
+    // the contiguous prefix (the copy is the simulated H2D transfer).
+    // Matched blocks are pinned (refcounted), so the payloads cannot be
+    // evicted while we copy; the copies happen under cache_mu_ so the
+    // offload tier cannot mutate between the match above and the reads.
+    out.prefix.n_tokens = out.n_cached;
+    out.prefix.layers.resize(static_cast<size_t>(options_.model.n_layers));
+    for (auto& layer : out.prefix.layers) {
+      layer.k = Tensor::TryCreate(activations, {out.n_cached, options_.model.kv_size()},
+                                  "kvstore.prefix.k");
+      layer.v = Tensor::TryCreate(activations, {out.n_cached, options_.model.kv_size()},
+                                  "kvstore.prefix.v");
+      if (layer.k.empty() || layer.v.empty()) {
+        // Roll back: unpin and free the partial copy so the caller can
+        // retry solo (batched path) or fail cleanly with a Status instead
+        // of aborting the process on arena exhaustion.
+        out.prefix = KvCacheData();
+        cache_->Release(out.acq, 0);
+        out.acq = Acquisition();
+        return Status::ResourceExhausted(
+            "activation allocation failed: kvstore.prefix");
+      }
+    }
+    if (out.gpu_prefix_blocks > 0) {
+      const KvCacheData gpu_part =
+          store_->AssemblePrefix(out.acq.blocks, out.gpu_prefix_blocks);
+      for (size_t l = 0; l < out.prefix.layers.size(); ++l) {
+        std::memcpy(out.prefix.layers[l].k.data(), gpu_part.layers[l].k.data(),
+                    gpu_part.layers[l].k.bytes());
+        std::memcpy(out.prefix.layers[l].v.data(), gpu_part.layers[l].v.data(),
+                    gpu_part.layers[l].v.bytes());
+      }
+    }
+    for (int64_t b = out.gpu_prefix_blocks; b < out.prefix_blocks; ++b) {
+      auto payload = offload_payloads_.find(out.chain[static_cast<size_t>(b)]);
+      assert(payload != offload_payloads_.end());
+      CopyBlockInto(payload->second, out.prefix, b, options_.block_size);
+      offload_hit_tokens_ += options_.block_size;
+    }
+  }
+  return Status::Ok();
+}
+
+void Engine::PublishKv(PrefixAcq& pa, const PrefillResult* pass) {
+  // --- Cache release + KV publication, atomic under cache_mu_ ----------
+  // Hand the retained fresh prefix blocks to the cache + payload store.
+  // Blocks served from the offload tier are PROMOTED: their payload moves
+  // back to the GPU tier instead of being recomputed or duplicated.
+  std::lock_guard<std::mutex> cache_lock(cache_mu_);
+  if (pass == nullptr) {
+    cache_->Release(pa.acq, 0);
+    return;
+  }
+  const auto inserted = cache_->Release(pa.acq, pa.budget_blocks);
+  for (const auto& [block_index, block_id] : inserted) {
+    const uint64_t hash = pa.chain[static_cast<size_t>(block_index)];
+    if (block_index < pa.prefix_blocks) {
+      auto payload = offload_payloads_.find(hash);
+      if (payload != offload_payloads_.end()) {
+        store_->PutBlock(block_id, CloneBlock(payload->second, cache_memory_));
+        offload_payloads_.erase(payload);
+        offload_dir_->Erase(hash);
+        ++offload_promotions_;
+      } else {
+        // A concurrent request promoted (and possibly re-evicted) this
+        // offload payload between our acquire and release. The rows are
+        // still at hand in the assembled prefix — publish from there;
+        // pass->kv starts at n_cached and cannot serve this block.
+        store_->Put(block_id, pa.prefix, /*source_start=*/0, block_index);
+      }
+    } else {
+      store_->Put(block_id, pass->kv, pass->kv_start, block_index);
+    }
+  }
+}
+
 Result<ScoringResponse> Engine::ExecuteOnArena(TrackingAllocator& activations,
                                                Pending pending) {
   const auto& tokens = pending.request.tokens;
   const auto n_tokens = static_cast<int64_t>(tokens.size());
   const double start_s = NowSeconds();
 
-  // Suffix KV cache discarding, decided up front: only the prefix that fits
-  // the cache budget is ever granted blocks.
-  const int64_t budget_blocks =
-      std::min<int64_t>(static_cast<int64_t>(pending.chain->size()),
-                        cache_->capacity_blocks());
-  std::span<const uint64_t> chain(*pending.chain);
-  chain = chain.subspan(0, static_cast<size_t>(budget_blocks));
-
-  // --- Cache acquire + prefix assembly, atomic under cache_mu_ ---------
-  Acquisition acq;
-  int64_t prefix_blocks = 0;
-  int64_t gpu_prefix_blocks = 0;
-  int64_t n_cached = 0;
-  KvCacheData prefix;
-  {
-    std::lock_guard<std::mutex> cache_lock(cache_mu_);
-    auto acquired = cache_->Acquire(chain, budget_blocks);
-    if (!acquired.ok()) {
-      return acquired.status();
-    }
-    acq = acquired.take();
-
-    // Block-aligned prefix reuse; the final token is always recomputed. The
-    // GPU-tier match may continue into the offload tier (§9).
-    const int64_t gpu_matched = acq.matched_blocks;
-    const int64_t offload_matched = offload_dir_->MatchContinuation(chain, gpu_matched);
-    const int64_t max_prefix_blocks = (n_tokens - 1) / options_.block_size;
-    prefix_blocks = std::min(gpu_matched + offload_matched, max_prefix_blocks);
-    gpu_prefix_blocks = std::min(gpu_matched, prefix_blocks);
-    n_cached = prefix_blocks * options_.block_size;
-
-    if (prefix_blocks > 0) {
-      // GPU-resident blocks first, then offloaded payloads "reloaded" into
-      // the contiguous prefix (the copy is the simulated H2D transfer).
-      // Matched blocks are pinned (refcounted), so the payloads cannot be
-      // evicted while we copy; the copies happen under cache_mu_ so the
-      // offload tier cannot mutate between the match above and the reads.
-      prefix.n_tokens = n_cached;
-      prefix.layers.resize(static_cast<size_t>(options_.model.n_layers));
-      for (auto& layer : prefix.layers) {
-        layer.k = Tensor::Uninit(activations, {n_cached, options_.model.kv_size()},
-                                 "kvstore.prefix.k");
-        layer.v = Tensor::Uninit(activations, {n_cached, options_.model.kv_size()},
-                                 "kvstore.prefix.v");
-      }
-      if (gpu_prefix_blocks > 0) {
-        const KvCacheData gpu_part =
-            store_->AssemblePrefix(acq.blocks, gpu_prefix_blocks);
-        for (size_t l = 0; l < prefix.layers.size(); ++l) {
-          std::memcpy(prefix.layers[l].k.data(), gpu_part.layers[l].k.data(),
-                      gpu_part.layers[l].k.bytes());
-          std::memcpy(prefix.layers[l].v.data(), gpu_part.layers[l].v.data(),
-                      gpu_part.layers[l].v.bytes());
-        }
-      }
-      for (int64_t b = gpu_prefix_blocks; b < prefix_blocks; ++b) {
-        auto payload = offload_payloads_.find(chain[static_cast<size_t>(b)]);
-        assert(payload != offload_payloads_.end());
-        CopyBlockInto(payload->second, prefix, b, options_.block_size);
-        offload_hit_tokens_ += options_.block_size;
-      }
-    }
+  PrefixAcq pa;
+  if (Status s = AcquirePrefix(pending, activations, pa); !s.ok()) {
+    return s;
   }
 
   PrefillOptions prefill;
@@ -260,48 +361,19 @@ Result<ScoringResponse> Engine::ExecuteOnArena(TrackingAllocator& activations,
   prefill.preallocate_outputs = options_.preallocate_outputs;
   prefill.in_place = options_.in_place;
   prefill.retention = KvRetention::kPrefixBudget;
-  prefill.prefix_budget_tokens = budget_blocks * options_.block_size;
+  prefill.prefix_budget_tokens = pa.budget_blocks * options_.block_size;
 
   // The prefill pass runs without any engine lock: the model is immutable,
   // the prefix is a private copy, and intra-op workers come from this
   // thread's elastic ThreadPool partition.
-  auto result = model_->Prefill(tokens, prefix.empty() ? nullptr : &prefix, prefill,
-                                activations);
+  auto result = model_->Prefill(tokens, pa.prefix.empty() ? nullptr : &pa.prefix,
+                                prefill, activations);
   if (!result.ok()) {
-    std::lock_guard<std::mutex> cache_lock(cache_mu_);
-    cache_->Release(acq, 0);
+    PublishKv(pa, nullptr);
     return result.status();
   }
   PrefillResult& pass = result.value();
-
-  // --- Cache release + KV publication, atomic under cache_mu_ ----------
-  // Hand the retained fresh prefix blocks to the cache + payload store.
-  // Blocks served from the offload tier are PROMOTED: their payload moves
-  // back to the GPU tier instead of being recomputed or duplicated.
-  {
-    std::lock_guard<std::mutex> cache_lock(cache_mu_);
-    const auto inserted = cache_->Release(acq, budget_blocks);
-    for (const auto& [block_index, block_id] : inserted) {
-      const uint64_t hash = chain[static_cast<size_t>(block_index)];
-      if (block_index < prefix_blocks) {
-        auto payload = offload_payloads_.find(hash);
-        if (payload != offload_payloads_.end()) {
-          store_->PutBlock(block_id, CloneBlock(payload->second, cache_memory_));
-          offload_payloads_.erase(payload);
-          offload_dir_->Erase(hash);
-          ++offload_promotions_;
-        } else {
-          // A concurrent request promoted (and possibly re-evicted) this
-          // offload payload between our acquire and release. The rows are
-          // still at hand in the assembled prefix — publish from there;
-          // pass.kv starts at n_cached and cannot serve this block.
-          store_->Put(block_id, prefix, /*source_start=*/0, block_index);
-        }
-      } else {
-        store_->Put(block_id, pass.kv, pass.kv_start, block_index);
-      }
-    }
-  }
+  PublishKv(pa, &pass);
 
   auto probabilities =
       ConstrainedProbabilities(pass.last_logits, pending.request.allowed_tokens);
@@ -315,12 +387,162 @@ Result<ScoringResponse> Engine::ExecuteOnArena(TrackingAllocator& activations,
   response.probabilities = probabilities.take();
   response.score = response.probabilities[0].probability;
   response.n_input = n_tokens;
-  response.n_cached = n_cached;
+  response.n_cached = pa.n_cached;
   response.n_cached_offload =
-      (prefix_blocks - gpu_prefix_blocks) * options_.block_size;
+      (pa.prefix_blocks - pa.gpu_prefix_blocks) * options_.block_size;
   response.queue_time_s = start_s - pending.arrival_s;
   response.execute_time_s = NowSeconds() - start_s;
   return response;
+}
+
+std::vector<Result<ScoringResponse>> Engine::ExecuteBatchOnArena(
+    TrackingAllocator& activations, std::vector<Pending>& pendings) {
+  const size_t n_requests = pendings.size();
+  const double start_s = NowSeconds();
+  std::vector<Result<ScoringResponse>> results(
+      n_requests,
+      Result<ScoringResponse>(Status::Internal("batch member not executed")));
+
+  // Per-request cache acquire: a member whose acquisition fails (the pool
+  // or the lane arena cannot hold one more prefix alongside its
+  // batchmates') is deferred to the solo-retry list below — after the
+  // batch releases its pins and prefix copies, the member gets the same
+  // chance it would have had running alone.
+  std::vector<PrefixAcq> acqs(n_requests);
+  std::vector<size_t> live;
+  std::vector<size_t> solo_retry;
+  live.reserve(n_requests);
+  for (size_t i = 0; i < n_requests; ++i) {
+    if (Status s = AcquirePrefix(pendings[i], activations, acqs[i]); s.ok()) {
+      live.push_back(i);
+    } else {
+      solo_retry.push_back(i);
+    }
+  }
+
+  if (!live.empty()) {
+    PrefillOptions prefill;
+    prefill.mode = options_.mode;
+    prefill.chunk_size = options_.chunk_size;
+    prefill.preallocate_outputs = options_.preallocate_outputs;
+    prefill.in_place = options_.in_place;
+
+    std::vector<PrefillSequence> sequences;
+    sequences.reserve(live.size());
+    for (const size_t i : live) {
+      PrefillSequence seq;
+      seq.tokens = pendings[i].request.tokens;
+      seq.cached_prefix = acqs[i].prefix.empty() ? nullptr : &acqs[i].prefix;
+      seq.retention = KvRetention::kPrefixBudget;
+      seq.prefix_budget_tokens = acqs[i].budget_blocks * options_.block_size;
+      sequences.push_back(seq);
+    }
+
+    // One stacked prefill for the whole batch, lock-free like the solo pass.
+    auto passes = model_->PrefillBatch(sequences, prefill, activations);
+    if (!passes.ok()) {
+      // Batch-level failure — in practice the stacked pass exceeding this
+      // lane's activation budget. Release every pin, free the prefix
+      // copies, and fall back to solo execution so co-batching never fails
+      // a request that fits alone (the determinism contract makes the
+      // results identical either way).
+      for (const size_t i : live) {
+        PublishKv(acqs[i], nullptr);
+        acqs[i].prefix = KvCacheData();  // return the arena bytes before retrying
+      }
+      solo_retry.insert(solo_retry.end(), live.begin(), live.end());
+      std::sort(solo_retry.begin(), solo_retry.end());
+    } else {
+      for (size_t j = 0; j < live.size(); ++j) {
+        const size_t i = live[j];
+        PrefillResult& pass = passes.value()[j];
+        PublishKv(acqs[i], &pass);
+        acqs[i].prefix = KvCacheData();  // dead after publication
+
+        auto probabilities = ConstrainedProbabilities(
+            pass.last_logits, pendings[i].request.allowed_tokens);
+        if (!probabilities.ok()) {
+          results[i] = probabilities.status();
+          continue;
+        }
+        ScoringResponse response;
+        response.request_id = pendings[i].id;
+        response.user_id = pendings[i].request.user_id;
+        response.probabilities = probabilities.take();
+        response.score = response.probabilities[0].probability;
+        response.n_input = static_cast<int64_t>(pendings[i].request.tokens.size());
+        response.n_cached = acqs[i].n_cached;
+        response.n_cached_offload =
+            (acqs[i].prefix_blocks - acqs[i].gpu_prefix_blocks) * options_.block_size;
+        response.batch_size = static_cast<int64_t>(live.size());
+        response.queue_time_s = start_s - pendings[i].arrival_s;
+        response.execute_time_s = NowSeconds() - start_s;
+        results[i] = std::move(response);
+      }
+    }
+  }
+
+  // Solo retries run after the batch has released its pins and arena bytes:
+  // acquisition-failed members and batch-OOM members alike execute here
+  // with the lane to themselves, one at a time.
+  for (const size_t i : solo_retry) {
+    results[i] = ExecuteOnArena(activations, std::move(pendings[i]));
+  }
+  return results;
+}
+
+std::vector<Result<ScoringResponse>> Engine::ExecuteBatchAndFinalize(
+    PrefillBatchPending batch) {
+  const auto batch_size = static_cast<int64_t>(batch.requests.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.batches_dispatched;
+    stats_.batched_requests += batch_size;
+    stats_.peak_batch_size = std::max(stats_.peak_batch_size, batch_size);
+  }
+  if (batch_size == 1) {
+    // Exact legacy behavior: one request, the solo prefill path.
+    std::vector<Result<ScoringResponse>> results;
+    results.push_back(ExecuteAndFinalize(std::move(batch.requests[0])));
+    return results;
+  }
+
+  // Promises move out first: the solo fallback inside ExecuteBatchOnArena
+  // consumes the Pendings, and fulfillment must happen exactly once, here.
+  std::vector<std::shared_ptr<std::promise<Result<ScoringResponse>>>> promises;
+  promises.reserve(batch.requests.size());
+  for (Pending& pending : batch.requests) {
+    promises.push_back(std::move(pending.promise));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++executing_;
+    stats_.peak_in_flight = std::max<int64_t>(stats_.peak_in_flight, executing_);
+  }
+  // One arena for the whole lane: the activation budget bounds the stacked
+  // pass, the per-lane analogue of the per-request budget.
+  TrackingAllocator activations(options_.activation_budget_bytes);
+  auto results = ExecuteBatchOnArena(activations, batch.requests);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --executing_;
+    stats_.peak_activation_bytes =
+        std::max(stats_.peak_activation_bytes, activations.peak_bytes());
+    for (const auto& result : results) {
+      if (result.ok()) {
+        ++stats_.completed;
+        stats_.total_execute_s += result.value().execute_time_s;
+      } else {
+        ++stats_.failed;
+      }
+    }
+  }
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (promises[i] != nullptr) {
+      promises[i]->set_value(results[i]);
+    }
+  }
+  return results;
 }
 
 Result<ScoringResponse> Engine::ExecuteAndFinalize(Pending pending) {
@@ -377,22 +599,29 @@ Result<std::vector<ScoringResponse>> Engine::RunPending() {
       candidates = SnapshotQueueLocked();
       scheduler = scheduler_.get();
     }
-    const int64_t picked = PickCandidate(candidates, scheduler);
-    std::optional<Pending> pending;
+    const std::vector<int64_t> picked = PickBatchIds(candidates, scheduler);
+    PrefillBatchPending batch;
+    batch.requests.reserve(picked.size());
     {
       std::lock_guard<std::mutex> lock(mu_);
-      pending = TakeWaitingLocked(picked);
+      for (const int64_t id : picked) {
+        if (std::optional<Pending> pending = TakeWaitingLocked(id)) {
+          batch.requests.push_back(std::move(*pending));
+        }
+      }
     }
-    if (!pending.has_value()) {
-      // A StartWorker() racing mid-drain handed this request to the
-      // dispatcher; it completes there, we just stop claiming it.
+    if (batch.requests.empty()) {
+      // A StartWorker() racing mid-drain handed these requests to the
+      // dispatcher; they complete there, we just stop claiming them.
       continue;
     }
-    auto response = ExecuteAndFinalize(std::move(*pending));
-    if (response.ok()) {
-      responses.push_back(response.take());
-    } else {
-      PO_LOG_WARNING << "request failed: " << response.status().ToString();
+    auto batch_responses = ExecuteBatchAndFinalize(std::move(batch));
+    for (auto& response : batch_responses) {
+      if (response.ok()) {
+        responses.push_back(response.take());
+      } else {
+        PO_LOG_WARNING << "request failed: " << response.status().ToString();
+      }
     }
   }
   return responses;
@@ -426,7 +655,7 @@ Status Engine::StartWorker(ResponseCallback callback) {
   }
   runtime_running_ = true;
   draining_ = false;
-  exec_queue_ = std::make_unique<BlockingQueue<Pending>>();
+  exec_queue_ = std::make_unique<BlockingQueue<PrefillBatchPending>>();
   executors_.clear();
   dispatcher_ = std::thread([this] { DispatcherLoop(); });
   for (int i = 0; i < options_.max_concurrent_requests; ++i) {
@@ -495,16 +724,26 @@ void Engine::DispatcherLoop() {
     std::vector<Candidate> candidates = SnapshotQueueLocked();
     const Scheduler* scheduler = scheduler_.get();
     lock.unlock();
-    const int64_t picked = PickCandidate(candidates, scheduler);
+    // A batched decision (ISSUE 4): the SRJF winner plus up to
+    // max_batch_size - 1 same-length-bucket riders, all still in waiting_
+    // on relock because only this thread removes entries while the runtime
+    // runs.
+    const std::vector<int64_t> picked = PickBatchIds(candidates, scheduler);
     lock.lock();
-    std::optional<Pending> pending = TakeWaitingLocked(picked);
-    if (!pending.has_value()) {
+    PrefillBatchPending batch;
+    batch.requests.reserve(picked.size());
+    for (const int64_t id : picked) {
+      if (std::optional<Pending> pending = TakeWaitingLocked(id)) {
+        batch.requests.push_back(std::move(*pending));
+      }
+    }
+    if (batch.requests.empty()) {
       continue;
     }
     ++in_flight_;
-    pending->reserve_workers = reserve_workers;
+    batch.reserve_workers = reserve_workers;
     lock.unlock();
-    exec_queue_->Push(std::move(*pending));
+    exec_queue_->Push(std::move(batch));
     lock.lock();
   }
   lock.unlock();
@@ -513,15 +752,16 @@ void Engine::DispatcherLoop() {
 
 void Engine::ExecutorLoop(ResponseCallback callback) {
   while (auto item = exec_queue_->Pop()) {
-    Pending pending = std::move(*item);
-    const int reserve = pending.reserve_workers;
-    Result<ScoringResponse> response = [&] {
-      // The lease is this request's worker partition: `reserve` workers held
-      // exclusively for the whole execution, plus per-kernel borrowing of
-      // whatever is idle. Destroyed (workers returned) before completion is
-      // announced, so a waiting dispatchee can inherit them immediately.
+    PrefillBatchPending batch = std::move(*item);
+    const int reserve = batch.reserve_workers;
+    std::vector<Result<ScoringResponse>> responses = [&] {
+      // The lease is this lane's worker partition: `reserve` workers held
+      // exclusively for the whole execution (one stacked pass for the whole
+      // batch), plus per-kernel borrowing of whatever is idle. Destroyed
+      // (workers returned) before completion is announced, so a waiting
+      // dispatchee can inherit them immediately.
       ThreadPool::Lease lease(*pool_, reserve);
-      return ExecuteAndFinalize(std::move(pending));
+      return ExecuteBatchAndFinalize(std::move(batch));
     }();
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -529,7 +769,9 @@ void Engine::ExecutorLoop(ResponseCallback callback) {
     }
     dispatch_cv_.notify_all();
     if (callback) {
-      callback(std::move(response));
+      for (auto& response : responses) {
+        callback(std::move(response));
+      }
     }
   }
 }

@@ -11,6 +11,13 @@
 //     before every scheduling decision the cache-hit length of each waiting
 //     request is refreshed against the live cache, and a starvation offset
 //     lambda * queueing-time keeps the tail bounded;
+//   * CONTINUOUS BATCHING inside executor lanes (ISSUE 4): each scheduling
+//     decision may hand a lane up to EngineOptions::max_batch_size
+//     compatible requests (same remaining-length bucket, fitting the
+//     activation budget), prefilled as ONE stacked pass with block-diagonal
+//     attention (LlamaModel::PrefillBatch). The SRJF winner always seeds
+//     the batch, so scheduling semantics are unchanged, and each request's
+//     logits are bitwise identical to solo execution;
 //   * constrained sampling (§2.3): probabilities over the caller's allowed
 //     token list, from a single prefill pass.
 //
@@ -43,6 +50,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -98,9 +106,25 @@ struct EngineOptions {
   // Logits do not depend on this value.
   int max_concurrent_requests = 1;
 
-  // Activation budget in bytes (0 = unlimited), applied PER REQUEST (each
-  // in-flight request tracks its own activation arena). Exceeding it fails
-  // the request with kResourceExhausted — the CPU analogue of GPU OOM.
+  // Continuous batching inside one executor lane (ISSUE 4): up to this many
+  // compatible queued requests (same LengthBucket of remaining tokens,
+  // fitting the activation budget) are stacked into ONE batched prefill
+  // when a lane frees. 1 = exact legacy behavior (every request prefills
+  // solo). The batch seed is always the scheduler's PickNext winner, so
+  // SRJF aging semantics are unchanged. Logits do not depend on this value:
+  // a request's bits are identical solo, concurrent, or batched at any
+  // batch composition (tests/batching_test.cc).
+  int max_batch_size = 1;
+
+  // Activation budget in bytes (0 = unlimited), applied PER LANE: each
+  // in-flight execution tracks its own activation arena, and a prefill
+  // batch (max_batch_size > 1) shares its lane's single arena — so size
+  // the budget for the stacked footprint you want to allow, not for one
+  // request. Batch admission projects against this budget and an
+  // overshooting stacked pass falls back to solo execution, so a budget
+  // sized for exactly one request quietly turns batching off. Exceeding
+  // it fails the request with kResourceExhausted — the CPU analogue of
+  // GPU OOM.
   size_t activation_budget_bytes = 0;
 
   // Prefix-cache budget in tokens; KV beyond it is discarded (suffix KV
@@ -124,9 +148,15 @@ struct EngineStats {
   int64_t completed = 0;
   int64_t failed = 0;
   double total_execute_s = 0.0;
-  // High-water mark of simultaneously executing requests (concurrent runtime
-  // plus inline ScoreSync lanes).
+  // High-water mark of simultaneously executing lanes (concurrent runtime
+  // plus inline ScoreSync lanes; a batch occupies one lane).
   int64_t peak_in_flight = 0;
+  // Batch occupancy (ISSUE 4): prefill batches dispatched (size-1 batches
+  // included) and the requests they carried; batched_requests /
+  // batches_dispatched is the mean occupancy /v1/stats reports.
+  int64_t batches_dispatched = 0;
+  int64_t batched_requests = 0;
+  int64_t peak_batch_size = 0;
   size_t peak_activation_bytes = 0;
   size_t cache_bytes = 0;
   PrefixCacheStats cache;
@@ -197,11 +227,17 @@ class Engine {
     // Shared so scheduling snapshots can reference the chain without copying
     // it or holding mu_; immutable after construction.
     std::shared_ptr<const std::vector<uint64_t>> chain;
+    // Engaged for SubmitAsync requests; fulfilled exactly once on completion.
+    std::shared_ptr<std::promise<Result<ScoringResponse>>> promise;
+  };
+
+  // One dispatch decision (ISSUE 4): the requests an executor lane runs as
+  // one stacked prefill. Size 1 takes the exact legacy solo path.
+  struct PrefillBatchPending {
+    std::vector<Pending> requests;
     // Reserved worker count for the executor's ThreadPool::Lease; set by the
     // dispatcher at admission time.
     int reserve_workers = 0;
-    // Engaged for SubmitAsync requests; fulfilled exactly once on completion.
-    std::shared_ptr<std::promise<Result<ScoringResponse>>> promise;
   };
 
   // Immutable view of one waiting request, taken under mu_; the scheduling
@@ -215,9 +251,31 @@ class Engine {
     std::shared_ptr<const std::vector<uint64_t>> chain;
   };
 
+  // Everything one request's prefill needs from the cache tiers, produced
+  // atomically under cache_mu_ by AcquirePrefix and consumed lock-free by
+  // the prefill, then released/published by PublishKv (shared between the
+  // solo and batched execution paths).
+  struct PrefixAcq {
+    Acquisition acq;
+    int64_t budget_blocks = 0;      // suffix-discarding budget, in blocks
+    int64_t prefix_blocks = 0;      // reused prefix length, in blocks
+    int64_t gpu_prefix_blocks = 0;  // subset resident in the primary tier
+    int64_t n_cached = 0;           // prefix_blocks * block_size
+    KvCacheData prefix;             // assembled contiguous prefix copy
+    // Hash chain truncated to budget_blocks; backed by Pending::chain, so
+    // the Pending must outlive this struct.
+    std::span<const uint64_t> chain;
+  };
+
   Status Validate(const ScoringRequest& request) const;
   Result<int64_t> Enqueue(ScoringRequest request,
                           std::shared_ptr<std::promise<Result<ScoringResponse>>> promise);
+  // Cache acquire + prefix assembly, atomic under cache_mu_.
+  Status AcquirePrefix(const Pending& pending, TrackingAllocator& activations,
+                       PrefixAcq& out);
+  // Cache release + KV publication, atomic under cache_mu_. `pass` may be
+  // null: releases the acquisition retaining nothing (the failure path).
+  void PublishKv(PrefixAcq& pa, const PrefillResult* pass);
   // Runs one request end to end on the calling thread: cache acquire under
   // cache_mu_, prefill with a per-request activation arena, cache release /
   // KV publication under cache_mu_. Never holds mu_.
@@ -226,12 +284,27 @@ class Engine {
                                          Pending pending);
   // Execute + stats/in-flight accounting + promise fulfillment.
   Result<ScoringResponse> ExecuteAndFinalize(Pending pending);
+  // Runs one dispatched batch on the calling lane: size 1 delegates to the
+  // exact legacy solo path; size >= 2 stacks the members into one
+  // LlamaModel::PrefillBatch on a shared lane arena (per-request cache
+  // acquire/publish around it). Failures fall back to solo execution on
+  // this lane — per member when its acquisition fails (pool or arena
+  // contention from batchmates), batch-wide when the stacked pass itself
+  // fails (e.g. exceeding the lane's activation budget) — so co-batching
+  // never fails a request that would have succeeded alone. Results are
+  // index-aligned with `batch.requests`; promises are fulfilled here.
+  std::vector<Result<ScoringResponse>> ExecuteBatchAndFinalize(
+      PrefillBatchPending batch);
+  std::vector<Result<ScoringResponse>> ExecuteBatchOnArena(
+      TrackingAllocator& activations, std::vector<Pending>& pendings);
   // Snapshot of waiting_ for one scheduling decision; requires mu_.
   std::vector<Candidate> SnapshotQueueLocked() const;
-  // Picks the candidate to run next (refreshing n_cached_now against the
-  // live cache under cache_mu_) and returns its id. Called WITHOUT mu_.
-  int64_t PickCandidate(const std::vector<Candidate>& candidates,
-                        const Scheduler* scheduler) const;
+  // One scheduling decision (refreshing n_cached_now against the live cache
+  // under cache_mu_): the ids of up to max_batch_size requests to run as one
+  // batch, seed first, capped so the projected stacked activation footprint
+  // fits the per-lane budget. Called WITHOUT mu_.
+  std::vector<int64_t> PickBatchIds(const std::vector<Candidate>& candidates,
+                                    const Scheduler* scheduler) const;
   // Removes and returns the waiting request with `id`; nullopt if another
   // drain loop claimed it meanwhile. Requires mu_.
   std::optional<Pending> TakeWaitingLocked(int64_t id);
@@ -275,7 +348,7 @@ class Engine {
   // estimator/scheduler swap can never race an in-flight pick.
   bool profiling_ = false;
 
-  std::unique_ptr<BlockingQueue<Pending>> exec_queue_;  // dispatcher -> executors
+  std::unique_ptr<BlockingQueue<PrefillBatchPending>> exec_queue_;  // dispatcher -> executors
   std::thread dispatcher_;
   std::vector<std::thread> executors_;
 };

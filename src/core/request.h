@@ -33,8 +33,12 @@ struct ScoringResponse {
   int64_t n_input = 0;
   int64_t n_cached = 0;          // prefix tokens served from any cache tier
   int64_t n_cached_offload = 0;  // subset reloaded from the CPU offload tier
+  // Requests co-executed in the same stacked prefill batch (ISSUE 4),
+  // including this one; 1 = solo execution. Logits never depend on it.
+  int64_t batch_size = 1;
   double queue_time_s = 0.0;     // arrival -> execution start
-  double execute_time_s = 0.0;   // wall time of the prefill pass
+  double execute_time_s = 0.0;   // wall time of the prefill pass (for a
+                                 // batched request: of the whole batch)
 };
 
 }  // namespace prefillonly

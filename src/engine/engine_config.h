@@ -42,6 +42,12 @@ struct EngineConfig {
   // num_threads, the analytic simulation ignores it (its kernel timing
   // comes from the cost model, not real execution).
   KernelBackend kernel_backend = KernelBackend::kAuto;
+  // Intra-lane continuous batching (ISSUE 4); parity knob with
+  // EngineOptions::max_batch_size (1 = every request prefills solo). The
+  // analytic simulation ignores it like num_threads/kernel_backend — its
+  // prefill timing comes from the cost model, which prices tokens, not
+  // batch compositions.
+  int max_batch_size = 1;
   // Profile-run reserve (§3.1): activation memory is reserved for requests
   // up to this many tokens; what remains becomes the prefix-cache pool.
   // 0 = choose automatically: min(workload max length, engine MIL).

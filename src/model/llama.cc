@@ -180,9 +180,9 @@ int64_t LlamaModel::workers() const {
   return pool_ != nullptr ? pool_->num_threads() : 1;
 }
 
-void LlamaModel::Attention(const Tensor& q, int64_t q_rows, int64_t q_pos0,
-                           const LayerKv* prefix, const Tensor& k_new,
-                           const Tensor& v_new, int64_t new_rows, float* out,
+void LlamaModel::Attention(const float* q, int64_t q_rows, int64_t q_pos0,
+                           const LayerKv* prefix, const float* k_new,
+                           const float* v_new, int64_t new_rows, float* out,
                            float* scores, float* extra_scores,
                            int64_t scores_stride) const {
   const int64_t head_dim = config_.head_dim;
@@ -207,11 +207,12 @@ void LlamaModel::Attention(const Tensor& q, int64_t q_rows, int64_t q_pos0,
       const int64_t n_keys = abs_pos + 1;
       assert(n_keys - n_prefix <= new_rows);
       const int64_t kv_head = head / group;
-      const float* q_vec = q.row(i) + head * head_dim;
+      const int64_t kvw = config_.kv_size();
+      const float* q_vec = q + i * qs + head * head_dim;
       for (int64_t j = 0; j < n_keys; ++j) {
         const float* k_vec = (j < n_prefix)
                                  ? prefix->k.row(j) + kv_head * head_dim
-                                 : k_new.row(j - n_prefix) + kv_head * head_dim;
+                                 : k_new + (j - n_prefix) * kvw + kv_head * head_dim;
         my_scores[j] = Dot(q_vec, k_vec, head_dim, kops_) * inv_sqrt_d;
       }
       SoftmaxRow(my_scores, n_keys, kops_);
@@ -220,7 +221,7 @@ void LlamaModel::Attention(const Tensor& q, int64_t q_rows, int64_t q_pos0,
       for (int64_t j = 0; j < n_keys; ++j) {
         const float* v_vec = (j < n_prefix)
                                  ? prefix->v.row(j) + kv_head * head_dim
-                                 : v_new.row(j - n_prefix) + kv_head * head_dim;
+                                 : v_new + (j - n_prefix) * kvw + kv_head * head_dim;
         Axpy(o_vec, v_vec, my_scores[j], head_dim, kops_);
       }
     }
@@ -379,8 +380,8 @@ Result<PrefillResult> LlamaModel::PrefillStandard(std::span<const int32_t> token
                        positions, rope_table_, pool_);
 
     PO_TRY_ALLOC(attn_out, act, "act.attn_out", {n_new, qs});
-    Attention(q, n_new, n_cached, layer_prefix, *k_layer, *v_layer, n_new,
-              attn_out.data(), scores.data(),
+    Attention(q.data(), n_new, n_cached, layer_prefix, k_layer->data(),
+              v_layer->data(), n_new, attn_out.data(), scores.data(),
               extra_scores.empty() ? nullptr : extra_scores.data(), n_total);
     q = Tensor();
 
@@ -492,8 +493,8 @@ Result<PrefillResult> LlamaModel::PrefillChunked(std::span<const int32_t> tokens
                          config_.head_dim, positions, rope_table_, pool_);
 
       PO_TRY_ALLOC(attn_out, act, "act.attn_out", {cs, qs});
-      Attention(q, cs, n_cached + r0, layer_prefix, pass_kv[l].k, pass_kv[l].v, r1,
-                attn_out.data(), scores.data(),
+      Attention(q.data(), cs, n_cached + r0, layer_prefix, pass_kv[l].k.data(),
+                pass_kv[l].v.data(), r1, attn_out.data(), scores.data(),
                 extra_scores.empty() ? nullptr : extra_scores.data(), n_total);
       q = Tensor();
 
@@ -675,8 +676,8 @@ Result<PrefillResult> LlamaModel::PrefillHybrid(std::span<const int32_t> tokens,
     // hybrid prefilling: chunking attention would degrade kernel efficiency
     // (the chunked-prefill baseline's flaw), while linear layers chunk for
     // free.
-    Attention(q_buf, n_new, n_cached, layer_prefix, k_buf, v_buf, n_new,
-              attn_out.data(), scores.data(),
+    Attention(q_buf.data(), n_new, n_cached, layer_prefix, k_buf.data(), v_buf.data(),
+              n_new, attn_out.data(), scores.data(),
               extra_scores.empty() ? nullptr : extra_scores.data(), n_total);
 
     // Retain the prefix slice of this layer's KV before the buffers are
@@ -738,6 +739,548 @@ Result<PrefillResult> LlamaModel::PrefillHybrid(std::span<const int32_t> tokens,
     result.kv = std::move(result_kv);
   }
   return result;
+}
+
+// ------------------------------------------------------------------------
+// Continuous batching (ISSUE 4): stacked-row prefill over several sequences.
+// ------------------------------------------------------------------------
+
+namespace {
+
+// Per-sequence retention under the PrefillSequence fields (the batch
+// analogue of RetainedNewTokens over PrefillOptions).
+int64_t RetainedNewTokens(const PrefillSequence& seq, int64_t n_cached,
+                          int64_t n_new) {
+  switch (seq.retention) {
+    case KvRetention::kNone:
+      return 0;
+    case KvRetention::kAll:
+      return n_new;
+    case KvRetention::kPrefixBudget:
+      return std::clamp<int64_t>(seq.prefix_budget_tokens - n_cached, 0, n_new);
+  }
+  return 0;
+}
+
+// Normalized prefix pointer: null when absent or empty.
+const KvCacheData* SeqPrefix(const PrefillSequence& seq) {
+  return (seq.cached_prefix != nullptr && !seq.cached_prefix->empty())
+             ? seq.cached_prefix
+             : nullptr;
+}
+
+// The stacked-row geometry every batched mode shares: the new tokens of all
+// sequences in layout order, each row's absolute (per-sequence) RoPE
+// position, and the longest sequence (the score-scratch stride).
+struct BatchStack {
+  int64_t m_rows = 0;
+  int64_t max_total = 0;
+  std::vector<int32_t> tokens;
+  std::vector<int32_t> positions;
+};
+
+BatchStack StackNewRows(std::span<const PrefillSequence> sequences) {
+  BatchStack stack;
+  for (const PrefillSequence& seq : sequences) {
+    const KvCacheData* prefix = SeqPrefix(seq);
+    const auto n_total = static_cast<int64_t>(seq.tokens.size());
+    const int64_t n_cached = (prefix != nullptr) ? prefix->n_tokens : 0;
+    stack.max_total = std::max(stack.max_total, n_total);
+    for (int64_t i = n_cached; i < n_total; ++i) {
+      stack.tokens.push_back(seq.tokens[static_cast<size_t>(i)]);
+      stack.positions.push_back(static_cast<int32_t>(i));
+    }
+  }
+  stack.m_rows = static_cast<int64_t>(stack.tokens.size());
+  return stack;
+}
+
+// Copies stacked pass-KV rows [row0, row0 + retained) of every layer into a
+// fresh per-sequence KvCacheData; false on arena exhaustion.
+bool SliceRetainedKv(const std::vector<LayerKv>& pass_kv, int64_t row0,
+                     int64_t retained, int64_t kvw, TrackingAllocator& act,
+                     KvCacheData& out) {
+  out.n_tokens = retained;
+  out.layers.resize(pass_kv.size());
+  for (size_t l = 0; l < pass_kv.size(); ++l) {
+    LayerKv& lkv = out.layers[l];
+    lkv.k = Tensor::TryCreate(act, {retained, kvw}, "kvcache.k");
+    lkv.v = Tensor::TryCreate(act, {retained, kvw}, "kvcache.v");
+    if (lkv.k.empty() || lkv.v.empty()) {
+      return false;
+    }
+    std::memcpy(lkv.k.data(), pass_kv[l].k.row(row0),
+                static_cast<size_t>(retained) * kvw * sizeof(float));
+    std::memcpy(lkv.v.data(), pass_kv[l].v.row(row0),
+                static_cast<size_t>(retained) * kvw * sizeof(float));
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::vector<PrefillResult>> LlamaModel::PrefillBatch(
+    std::span<const PrefillSequence> sequences, const PrefillOptions& options,
+    TrackingAllocator& activations) const {
+  if (sequences.empty()) {
+    return Status::InvalidArgument("empty prefill batch");
+  }
+  if (options.drop_kv_in_pass) {
+    return Status::InvalidArgument(
+        "drop_kv_in_pass is a solo-pass ablation; invalid in a batch");
+  }
+  std::vector<SeqLayout> layouts;
+  layouts.reserve(sequences.size());
+  int64_t row0 = 0;
+  for (const PrefillSequence& seq : sequences) {
+    // Per-sequence validation reuses the solo rules with this sequence's
+    // retention substituted into the shared options.
+    PrefillOptions seq_options = options;
+    seq_options.retention = seq.retention;
+    seq_options.prefix_budget_tokens = seq.prefix_budget_tokens;
+    const KvCacheData* prefix = SeqPrefix(seq);
+    if (Status s = Validate(seq.tokens, prefix, seq_options); !s.ok()) {
+      return s;
+    }
+    SeqLayout layout;
+    layout.n_total = static_cast<int64_t>(seq.tokens.size());
+    layout.n_cached = (prefix != nullptr) ? prefix->n_tokens : 0;
+    layout.n_new = layout.n_total - layout.n_cached;
+    layout.row0 = row0;
+    row0 += layout.n_new;
+    layouts.push_back(layout);
+  }
+  switch (options.mode) {
+    case PrefillMode::kStandard:
+      return PrefillBatchStandard(sequences, layouts, options, activations);
+    case PrefillMode::kChunked:
+      return PrefillBatchChunked(sequences, layouts, options, activations);
+    case PrefillMode::kHybrid:
+      return PrefillBatchHybrid(sequences, layouts, options, activations);
+  }
+  return Status::Internal("unknown prefill mode");
+}
+
+Result<std::vector<PrefillResult>> LlamaModel::PrefillBatchStandard(
+    std::span<const PrefillSequence> sequences, std::span<const SeqLayout> layouts,
+    const PrefillOptions& options, TrackingAllocator& act) const {
+  (void)options;
+  const size_t n_seqs = sequences.size();
+  const int64_t h = config_.hidden_size;
+  const int64_t qs = config_.q_size();
+  const int64_t kvw = config_.kv_size();
+  const int64_t inter = config_.intermediate_size;
+  const int64_t m_rows = layouts.back().row0 + layouts.back().n_new;
+
+  const BatchStack stack = StackNewRows(sequences);
+  assert(stack.m_rows == m_rows);
+  const std::vector<int32_t>& tokens = stack.tokens;
+  const std::vector<int32_t>& positions = stack.positions;
+  const int64_t max_total = stack.max_total;
+  rope_table_.EnsureCapacity(max_total);
+
+  PO_TRY_ALLOC(hidden, act, "act.hidden", {m_rows, h});
+  EmbeddingLookup(embedding_.data(), tokens, hidden.data(), h);
+
+  std::vector<LayerKv> pass_kv(layers_.size());
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    pass_kv[l].k = Tensor::TryCreate(act, {m_rows, kvw}, "kv.k");
+    pass_kv[l].v = Tensor::TryCreate(act, {m_rows, kvw}, "kv.v");
+    if (pass_kv[l].k.empty() || pass_kv[l].v.empty()) {
+      return Oom("kv.all_layers");
+    }
+  }
+
+  PO_TRY_ALLOC(scores, act, "attn.scores", {max_total});
+  std::vector<float> extra_scores(static_cast<size_t>((workers() - 1) * max_total));
+
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const LayerWeights& w = layers_[l];
+
+    PO_TRY_ALLOC(normed, act, "act.normed", {m_rows, h});
+    RmsNormRows(hidden.data(), w.attn_norm.data(), normed.data(), m_rows, h,
+                config_.rms_eps, pool_, kops_);
+
+    PO_TRY_ALLOC(q, act, "act.q", {m_rows, qs});
+    MatMulW(normed.data(), w.wq, q.data(), m_rows);
+    MatMulW(normed.data(), w.wk, pass_kv[l].k.data(), m_rows);
+    MatMulW(normed.data(), w.wv, pass_kv[l].v.data(), m_rows);
+    normed = Tensor();
+
+    ApplyRopeWithTable(q.data(), m_rows, config_.n_heads, config_.head_dim, positions,
+                       rope_table_, pool_);
+    ApplyRopeWithTable(pass_kv[l].k.data(), m_rows, config_.n_kv_heads,
+                       config_.head_dim, positions, rope_table_, pool_);
+
+    // Block-diagonal attention: each sequence's query rows see only its own
+    // prefix + new keys. Per-element computation identical to the solo pass.
+    PO_TRY_ALLOC(attn_out, act, "act.attn_out", {m_rows, qs});
+    for (size_t s = 0; s < n_seqs; ++s) {
+      const SeqLayout& lo = layouts[s];
+      const KvCacheData* prefix = SeqPrefix(sequences[s]);
+      const LayerKv* layer_prefix = (prefix != nullptr) ? &prefix->layers[l] : nullptr;
+      Attention(q.row(lo.row0), lo.n_new, lo.n_cached, layer_prefix,
+                pass_kv[l].k.row(lo.row0), pass_kv[l].v.row(lo.row0), lo.n_new,
+                attn_out.row(lo.row0), scores.data(),
+                extra_scores.empty() ? nullptr : extra_scores.data(), max_total);
+    }
+    q = Tensor();
+
+    PO_TRY_ALLOC(attn_proj, act, "act.attn_proj", {m_rows, h});
+    MatMulW(attn_out.data(), w.wo, attn_proj.data(), m_rows);
+    attn_out = Tensor();
+    AddInPlace(hidden.data(), attn_proj.data(), m_rows * h, pool_, kops_);
+    attn_proj = Tensor();
+
+    PO_TRY_ALLOC(normed2, act, "act.normed", {m_rows, h});
+    RmsNormRows(hidden.data(), w.mlp_norm.data(), normed2.data(), m_rows, h,
+                config_.rms_eps, pool_, kops_);
+    PO_TRY_ALLOC(gate_up, act, "mlp.intermediate1", {m_rows, 2 * inter});
+    MatMulW(normed2.data(), w.w_gate_up, gate_up.data(), m_rows);
+    normed2 = Tensor();
+    PO_TRY_ALLOC(mlp_act, act, "mlp.intermediate2", {m_rows, inter});
+    SwiGluRows(gate_up.data(), mlp_act.data(), m_rows, inter, pool_, kops_);
+    gate_up = Tensor();
+    PO_TRY_ALLOC(down, act, "mlp.down", {m_rows, h});
+    MatMulW(mlp_act.data(), w.w_down, down.data(), m_rows);
+    mlp_act = Tensor();
+    AddInPlace(hidden.data(), down.data(), m_rows * h, pool_, kops_);
+  }
+
+  std::vector<PrefillResult> results(n_seqs);
+  for (size_t s = 0; s < n_seqs; ++s) {
+    const SeqLayout& lo = layouts[s];
+    PrefillResult& result = results[s];
+    result.n_new = lo.n_new;
+    result.kv_start = lo.n_cached;
+    result.last_logits = LastLogits(hidden.row(lo.row0 + lo.n_new - 1), act);
+    const int64_t retained = RetainedNewTokens(sequences[s], lo.n_cached, lo.n_new);
+    if (retained > 0 &&
+        !SliceRetainedKv(pass_kv, lo.row0, retained, kvw, act, result.kv)) {
+      return Oom("kvcache.retained");
+    }
+  }
+  return results;
+}
+
+Result<std::vector<PrefillResult>> LlamaModel::PrefillBatchChunked(
+    std::span<const PrefillSequence> sequences, std::span<const SeqLayout> layouts,
+    const PrefillOptions& options, TrackingAllocator& act) const {
+  const size_t n_seqs = sequences.size();
+  const int64_t h = config_.hidden_size;
+  const int64_t qs = config_.q_size();
+  const int64_t kvw = config_.kv_size();
+  const int64_t inter = config_.intermediate_size;
+  const int64_t m_rows = layouts.back().row0 + layouts.back().n_new;
+  const int64_t chunk = std::min(options.chunk_size, m_rows);
+
+  const BatchStack stack = StackNewRows(sequences);
+  assert(stack.m_rows == m_rows);
+  const std::vector<int32_t>& tokens = stack.tokens;
+  const std::vector<int32_t>& positions = stack.positions;
+  const int64_t max_total = stack.max_total;
+  rope_table_.EnsureCapacity(max_total);
+
+  // Like the solo chunked pass, every layer's (stacked) KV stays resident
+  // between chunks — later chunks attend to it.
+  std::vector<LayerKv> pass_kv(layers_.size());
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    pass_kv[l].k = Tensor::TryCreate(act, {m_rows, kvw}, "kv.k");
+    pass_kv[l].v = Tensor::TryCreate(act, {m_rows, kvw}, "kv.v");
+    if (pass_kv[l].k.empty() || pass_kv[l].v.empty()) {
+      return Oom("kv.all_layers");
+    }
+  }
+
+  PO_TRY_ALLOC(scores, act, "attn.scores", {max_total});
+  std::vector<float> extra_scores(static_cast<size_t>((workers() - 1) * max_total));
+
+  std::vector<PrefillResult> results(n_seqs);
+  // Chunks are global over the stacked rows and may span sequence
+  // boundaries; linear layers don't care (row-independent) and attention is
+  // applied per sequence fragment.
+  for (int64_t r0 = 0; r0 < m_rows; r0 += chunk) {
+    const int64_t r1 = std::min(r0 + chunk, m_rows);
+    const int64_t cs = r1 - r0;
+    const std::span<const int32_t> positions_c(positions);
+    const auto chunk_positions =
+        positions_c.subspan(static_cast<size_t>(r0), static_cast<size_t>(cs));
+
+    PO_TRY_ALLOC(hidden_c, act, "act.hidden", {cs, h});
+    EmbeddingLookup(embedding_.data(),
+                    std::span<const int32_t>(tokens).subspan(
+                        static_cast<size_t>(r0), static_cast<size_t>(cs)),
+                    hidden_c.data(), h);
+
+    for (size_t l = 0; l < layers_.size(); ++l) {
+      const LayerWeights& w = layers_[l];
+
+      PO_TRY_ALLOC(normed, act, "act.normed", {cs, h});
+      RmsNormRows(hidden_c.data(), w.attn_norm.data(), normed.data(), cs, h,
+                  config_.rms_eps, pool_, kops_);
+
+      PO_TRY_ALLOC(q, act, "act.q", {cs, qs});
+      MatMulW(normed.data(), w.wq, q.data(), cs);
+      MatMulW(normed.data(), w.wk, pass_kv[l].k.row(r0), cs);
+      MatMulW(normed.data(), w.wv, pass_kv[l].v.row(r0), cs);
+      normed = Tensor();
+
+      ApplyRopeWithTable(q.data(), cs, config_.n_heads, config_.head_dim,
+                         chunk_positions, rope_table_, pool_);
+      ApplyRopeWithTable(pass_kv[l].k.row(r0), cs, config_.n_kv_heads,
+                         config_.head_dim, chunk_positions, rope_table_, pool_);
+
+      PO_TRY_ALLOC(attn_out, act, "act.attn_out", {cs, qs});
+      for (size_t s = 0; s < n_seqs; ++s) {
+        const SeqLayout& lo = layouts[s];
+        const int64_t f0 = std::max(r0, lo.row0);
+        const int64_t f1 = std::min(r1, lo.row0 + lo.n_new);
+        if (f0 >= f1) {
+          continue;  // sequence not in this chunk
+        }
+        const KvCacheData* prefix = SeqPrefix(sequences[s]);
+        const LayerKv* layer_prefix =
+            (prefix != nullptr) ? &prefix->layers[l] : nullptr;
+        // This fragment's queries attend the sequence's prefix plus its own
+        // keys computed so far (rows [lo.row0, f1) of the stacked KV) —
+        // exactly what the solo chunked pass sees at the same rows.
+        Attention(q.data() + (f0 - r0) * qs, f1 - f0, lo.n_cached + (f0 - lo.row0),
+                  layer_prefix, pass_kv[l].k.row(lo.row0), pass_kv[l].v.row(lo.row0),
+                  f1 - lo.row0, attn_out.data() + (f0 - r0) * qs, scores.data(),
+                  extra_scores.empty() ? nullptr : extra_scores.data(), max_total);
+      }
+      q = Tensor();
+
+      PO_TRY_ALLOC(attn_proj, act, "act.attn_proj", {cs, h});
+      MatMulW(attn_out.data(), w.wo, attn_proj.data(), cs);
+      attn_out = Tensor();
+      AddInPlace(hidden_c.data(), attn_proj.data(), cs * h, pool_, kops_);
+      attn_proj = Tensor();
+
+      PO_TRY_ALLOC(normed2, act, "act.normed", {cs, h});
+      RmsNormRows(hidden_c.data(), w.mlp_norm.data(), normed2.data(), cs, h,
+                  config_.rms_eps, pool_, kops_);
+      PO_TRY_ALLOC(gate_up, act, "mlp.intermediate1", {cs, 2 * inter});
+      MatMulW(normed2.data(), w.w_gate_up, gate_up.data(), cs);
+      normed2 = Tensor();
+      PO_TRY_ALLOC(mlp_act, act, "mlp.intermediate2", {cs, inter});
+      SwiGluRows(gate_up.data(), mlp_act.data(), cs, inter, pool_, kops_);
+      gate_up = Tensor();
+      PO_TRY_ALLOC(down, act, "mlp.down", {cs, h});
+      MatMulW(mlp_act.data(), w.w_down, down.data(), cs);
+      mlp_act = Tensor();
+      AddInPlace(hidden_c.data(), down.data(), cs * h, pool_, kops_);
+    }
+
+    // Sequences whose final row falls in this chunk read their logits now,
+    // before the chunk buffer dies.
+    for (size_t s = 0; s < n_seqs; ++s) {
+      const SeqLayout& lo = layouts[s];
+      const int64_t last = lo.row0 + lo.n_new - 1;
+      if (last >= r0 && last < r1) {
+        results[s].last_logits = LastLogits(hidden_c.row(last - r0), act);
+      }
+    }
+  }
+
+  for (size_t s = 0; s < n_seqs; ++s) {
+    const SeqLayout& lo = layouts[s];
+    PrefillResult& result = results[s];
+    result.n_new = lo.n_new;
+    result.kv_start = lo.n_cached;
+    const int64_t retained = RetainedNewTokens(sequences[s], lo.n_cached, lo.n_new);
+    if (retained > 0 &&
+        !SliceRetainedKv(pass_kv, lo.row0, retained, kvw, act, result.kv)) {
+      return Oom("kvcache.retained");
+    }
+  }
+  return results;
+}
+
+Result<std::vector<PrefillResult>> LlamaModel::PrefillBatchHybrid(
+    std::span<const PrefillSequence> sequences, std::span<const SeqLayout> layouts,
+    const PrefillOptions& options, TrackingAllocator& act) const {
+  const size_t n_seqs = sequences.size();
+  const int64_t h = config_.hidden_size;
+  const int64_t qs = config_.q_size();
+  const int64_t kvw = config_.kv_size();
+  const int64_t inter = config_.intermediate_size;
+  const int64_t m_rows = layouts.back().row0 + layouts.back().n_new;
+  const int64_t chunk = std::min(options.chunk_size, m_rows);
+  const bool prealloc = options.preallocate_outputs;
+  const bool in_place = options.in_place;
+
+  const BatchStack stack = StackNewRows(sequences);
+  assert(stack.m_rows == m_rows);
+  const std::vector<int32_t>& tokens = stack.tokens;
+  const std::vector<int32_t>& positions = stack.positions;
+  const int64_t max_total = stack.max_total;
+  rope_table_.EnsureCapacity(max_total);
+
+  PO_TRY_ALLOC(hidden, act, "act.hidden", {m_rows, h});
+  EmbeddingLookup(embedding_.data(), tokens, hidden.data(), h);
+
+  // Per-sequence retained-prefix KV (suffix discarding), allocated up front
+  // and filled per layer before the stacked buffers are reused.
+  std::vector<int64_t> retained(n_seqs, 0);
+  std::vector<KvCacheData> result_kv(n_seqs);
+  for (size_t s = 0; s < n_seqs; ++s) {
+    const SeqLayout& lo = layouts[s];
+    retained[s] = RetainedNewTokens(sequences[s], lo.n_cached, lo.n_new);
+    if (retained[s] > 0) {
+      result_kv[s].n_tokens = retained[s];
+      result_kv[s].layers.resize(layers_.size());
+      for (auto& lkv : result_kv[s].layers) {
+        lkv.k = Tensor::TryCreate(act, {retained[s], kvw}, "kvcache.k");
+        lkv.v = Tensor::TryCreate(act, {retained[s], kvw}, "kvcache.v");
+        if (lkv.k.empty() || lkv.v.empty()) {
+          return Oom("kvcache.retained");
+        }
+      }
+    }
+  }
+
+  PO_TRY_ALLOC(k_buf, act, "kv.k.current_layer", {m_rows, kvw});
+  PO_TRY_ALLOC(v_buf, act, "kv.v.current_layer", {m_rows, kvw});
+  PO_TRY_ALLOC(q_buf, act, "act.q", {m_rows, qs});
+  PO_TRY_ALLOC(attn_out, act, "act.attn_out", {m_rows, qs});
+  PO_TRY_ALLOC(normed, act, "act.normed", {m_rows, h});
+  PO_TRY_ALLOC(scores, act, "attn.scores", {max_total});
+  std::vector<float> extra_scores(static_cast<size_t>((workers() - 1) * max_total));
+
+  Tensor proj_buf;
+  if (prealloc && !in_place) {
+    proj_buf = Tensor::TryCreate(act, {m_rows, h}, "act.proj");
+    if (proj_buf.empty()) {
+      return Oom("act.proj");
+    }
+  }
+
+  // Same three ablation levels as the solo hybrid pass; chunks are global
+  // over the stacked rows (row-independent linear layers make the chunk
+  // grid a pure performance choice, bitwise-invisible).
+  auto chunked_linear = [&](int64_t width, Tensor* reuse, const char* tag,
+                            auto&& fn) -> Result<Tensor*> {
+    if (prealloc) {
+      Tensor* out = reuse;
+      for (int64_t r0 = 0; r0 < m_rows; r0 += chunk) {
+        const int64_t cs = std::min(chunk, m_rows - r0);
+        if (Status s = fn(r0, cs, out->row(r0)); !s.ok()) {
+          return s;
+        }
+      }
+      return out;
+    }
+    std::vector<Tensor> pieces;
+    for (int64_t r0 = 0; r0 < m_rows; r0 += chunk) {
+      const int64_t cs = std::min(chunk, m_rows - r0);
+      Tensor piece = Tensor::TryCreate(act, {cs, width}, tag);
+      if (piece.empty()) {
+        return Oom(tag);
+      }
+      if (Status s = fn(r0, cs, piece.data()); !s.ok()) {
+        return s;
+      }
+      pieces.push_back(std::move(piece));
+    }
+    *reuse = Tensor();
+    Tensor full = Tensor::TryCreate(act, {m_rows, width}, tag);
+    if (full.empty()) {
+      return Oom(tag);
+    }
+    int64_t r0 = 0;
+    for (Tensor& piece : pieces) {
+      std::memcpy(full.row(r0), piece.data(), piece.bytes());
+      r0 += piece.rows();
+      piece = Tensor();
+    }
+    *reuse = std::move(full);
+    return reuse;
+  };
+
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const LayerWeights& w = layers_[l];
+
+    RmsNormRows(hidden.data(), w.attn_norm.data(), normed.data(), m_rows, h,
+                config_.rms_eps, pool_, kops_);
+
+    for (int64_t r0 = 0; r0 < m_rows; r0 += chunk) {
+      const int64_t cs = std::min(chunk, m_rows - r0);
+      MatMulW(normed.row(r0), w.wq, q_buf.row(r0), cs);
+      MatMulW(normed.row(r0), w.wk, k_buf.row(r0), cs);
+      MatMulW(normed.row(r0), w.wv, v_buf.row(r0), cs);
+    }
+    ApplyRopeWithTable(q_buf.data(), m_rows, config_.n_heads, config_.head_dim,
+                       positions, rope_table_, pool_);
+    ApplyRopeWithTable(k_buf.data(), m_rows, config_.n_kv_heads, config_.head_dim,
+                       positions, rope_table_, pool_);
+
+    // Attention stays UNCHUNKED per sequence (the "hybrid" property) and
+    // block-diagonal across sequences.
+    for (size_t s = 0; s < n_seqs; ++s) {
+      const SeqLayout& lo = layouts[s];
+      const KvCacheData* prefix = SeqPrefix(sequences[s]);
+      const LayerKv* layer_prefix = (prefix != nullptr) ? &prefix->layers[l] : nullptr;
+      Attention(q_buf.row(lo.row0), lo.n_new, lo.n_cached, layer_prefix,
+                k_buf.row(lo.row0), v_buf.row(lo.row0), lo.n_new,
+                attn_out.row(lo.row0), scores.data(),
+                extra_scores.empty() ? nullptr : extra_scores.data(), max_total);
+    }
+
+    for (size_t s = 0; s < n_seqs; ++s) {
+      if (retained[s] > 0) {
+        const SeqLayout& lo = layouts[s];
+        std::memcpy(result_kv[s].layers[l].k.data(), k_buf.row(lo.row0),
+                    static_cast<size_t>(retained[s]) * kvw * sizeof(float));
+        std::memcpy(result_kv[s].layers[l].v.data(), v_buf.row(lo.row0),
+                    static_cast<size_t>(retained[s]) * kvw * sizeof(float));
+      }
+    }
+
+    Tensor* o_target = in_place ? &normed : &proj_buf;
+    auto o_proj =
+        chunked_linear(h, o_target, "act.attn_proj",
+                       [&](int64_t r0, int64_t cs, float* out) -> Status {
+                         MatMulW(attn_out.row(r0), w.wo, out, cs);
+                         return Status::Ok();
+                       });
+    if (!o_proj.ok()) {
+      return o_proj.status();
+    }
+    AddInPlace(hidden.data(), o_proj.value()->data(), m_rows * h, pool_, kops_);
+
+    RmsNormRows(hidden.data(), w.mlp_norm.data(), normed.data(), m_rows, h,
+                config_.rms_eps, pool_, kops_);
+
+    PO_TRY_ALLOC(gate_up_c, act, "mlp.intermediate1.chunk", {chunk, 2 * inter});
+    PO_TRY_ALLOC(mlp_act_c, act, "mlp.intermediate2.chunk", {chunk, inter});
+    Tensor* mlp_target = in_place ? &normed : &proj_buf;
+    auto mlp_out = chunked_linear(
+        h, mlp_target, "mlp.down",
+        [&](int64_t r0, int64_t cs, float* out) -> Status {
+          MatMulW(normed.row(r0), w.w_gate_up, gate_up_c.data(), cs);
+          SwiGluRows(gate_up_c.data(), mlp_act_c.data(), cs, inter, pool_, kops_);
+          MatMulW(mlp_act_c.data(), w.w_down, out, cs);
+          return Status::Ok();
+        });
+    if (!mlp_out.ok()) {
+      return mlp_out.status();
+    }
+    AddInPlace(hidden.data(), mlp_out.value()->data(), m_rows * h, pool_, kops_);
+  }
+
+  std::vector<PrefillResult> results(n_seqs);
+  for (size_t s = 0; s < n_seqs; ++s) {
+    const SeqLayout& lo = layouts[s];
+    PrefillResult& result = results[s];
+    result.n_new = lo.n_new;
+    result.kv_start = lo.n_cached;
+    result.last_logits = LastLogits(hidden.row(lo.row0 + lo.n_new - 1), act);
+    if (retained[s] > 0) {
+      result.kv = std::move(result_kv[s]);
+    }
+  }
+  return results;
 }
 
 #undef PO_TRY_ALLOC

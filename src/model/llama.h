@@ -22,7 +22,10 @@
 //
 // All three strategies produce bitwise identical logits (linear layers are
 // row-independent and the attention summation order is fixed); the test
-// suite asserts exact equality.
+// suite asserts exact equality. The same row-independence is what makes
+// PrefillBatch exact (ISSUE 4): stacking several sequences' rows into one
+// activation matrix with block-diagonal attention reproduces each
+// sequence's solo logits bit for bit, in every mode.
 #ifndef SRC_MODEL_LLAMA_H_
 #define SRC_MODEL_LLAMA_H_
 
@@ -81,6 +84,19 @@ struct PrefillResult {
   int64_t n_new = 0;  // tokens actually computed (input minus cached prefix)
 };
 
+// One sequence of a batched prefill (ISSUE 4). Retention is per sequence
+// (each request brings its own suffix-discarding budget); everything else —
+// mode, chunking, the §4.3 optimizations — comes from the shared
+// PrefillOptions, whose own retention fields are ignored by PrefillBatch.
+struct PrefillSequence {
+  std::span<const int32_t> tokens;
+  // KV of tokens [0, cached_prefix->n_tokens); may be null.
+  const KvCacheData* cached_prefix = nullptr;
+  KvRetention retention = KvRetention::kNone;
+  // Absolute token position up to which KV is retained under kPrefixBudget.
+  int64_t prefix_budget_tokens = 0;
+};
+
 class LlamaModel {
  public:
   // Deterministically random-initialized weights (scaled uniform).
@@ -124,6 +140,29 @@ class LlamaModel {
                                 const PrefillOptions& options,
                                 TrackingAllocator& activations) const;
 
+  // Continuous batching inside one executor lane (ISSUE 4): prefills all
+  // `sequences` in one pass by stacking their new-token rows into a single
+  // activation matrix. Linear layers (and their chunking) run over the
+  // stacked rows — one GEMM of sum(n_new) rows instead of B small ones —
+  // while attention stays block-diagonal: each sequence's query rows attend
+  // only its own prefix + new keys, via per-sequence row-slice calls into
+  // the same dispatched kernels. RoPE positions and KV/logit writeback are
+  // per sequence. Returns one PrefillResult per sequence, in order.
+  //
+  // Determinism contract: because every kernel computes each output row from
+  // that row's inputs alone (fixed ascending-k accumulation, no
+  // cross-sequence reduction), sequence i's logits and retained KV are
+  // BITWISE identical to a solo Prefill(sequences[i]) with the same options,
+  // for every batch composition, thread count, and prefill mode — within a
+  // kernel backend (tests/batching_test.cc).
+  //
+  // drop_kv_in_pass is rejected (a solo-ablation knob); options.retention /
+  // options.prefix_budget_tokens are ignored in favor of the per-sequence
+  // fields.
+  Result<std::vector<PrefillResult>> PrefillBatch(
+      std::span<const PrefillSequence> sequences, const PrefillOptions& options,
+      TrackingAllocator& activations) const;
+
  private:
   // One weight matrix, in exactly one layout: row-major `dense` for
   // backends that read it in place, or the panel-major `packed` image for
@@ -165,9 +204,30 @@ class LlamaModel {
                                       const PrefillOptions& options,
                                       TrackingAllocator& act) const;
 
+  // Where one sequence's new-token rows live inside the stacked batch
+  // matrix: rows [row0, row0 + n_new).
+  struct SeqLayout {
+    int64_t n_total = 0;   // tokens.size()
+    int64_t n_cached = 0;  // cached prefix length
+    int64_t n_new = 0;     // n_total - n_cached
+    int64_t row0 = 0;      // first stacked row
+  };
+
+  Result<std::vector<PrefillResult>> PrefillBatchStandard(
+      std::span<const PrefillSequence> sequences, std::span<const SeqLayout> layouts,
+      const PrefillOptions& options, TrackingAllocator& act) const;
+  Result<std::vector<PrefillResult>> PrefillBatchChunked(
+      std::span<const PrefillSequence> sequences, std::span<const SeqLayout> layouts,
+      const PrefillOptions& options, TrackingAllocator& act) const;
+  Result<std::vector<PrefillResult>> PrefillBatchHybrid(
+      std::span<const PrefillSequence> sequences, std::span<const SeqLayout> layouts,
+      const PrefillOptions& options, TrackingAllocator& act) const;
+
   // Causal attention for query rows at absolute positions
   // [q_pos0, q_pos0 + q_rows) over prefix KV (may be null) plus the first
-  // `new_rows` rows of k_new/v_new (absolute positions n_prefix..).
+  // `new_rows` rows of k_new/v_new (absolute positions n_prefix..). Raw
+  // row pointers (strides implied by the config: q/out q_size, k/v
+  // kv_size) so batched callers can pass row slices of stacked buffers.
   // Parallel over (query row, head) pairs; each pair is computed start to
   // finish by one thread, so results are bitwise independent of the thread
   // count. `scores` is worker 0's scratch row (scores_stride >= q_pos0 +
@@ -177,8 +237,8 @@ class LlamaModel {
   // extra rows out of the tracked budget keeps activation accounting and
   // MIL predictions machine-independent. Writes [q_rows, q_size] into
   // `out`.
-  void Attention(const Tensor& q, int64_t q_rows, int64_t q_pos0, const LayerKv* prefix,
-                 const Tensor& k_new, const Tensor& v_new, int64_t new_rows, float* out,
+  void Attention(const float* q, int64_t q_rows, int64_t q_pos0, const LayerKv* prefix,
+                 const float* k_new, const float* v_new, int64_t new_rows, float* out,
                  float* scores, float* extra_scores, int64_t scores_stride) const;
 
   // Number of score-scratch rows Attention may use (= pool threads).

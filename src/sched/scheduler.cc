@@ -1,8 +1,15 @@
 #include "src/sched/scheduler.h"
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
 
 namespace prefillonly {
+
+int64_t LengthBucket(int64_t n_miss_tokens) {
+  const uint64_t len = static_cast<uint64_t>(std::max<int64_t>(n_miss_tokens, 1));
+  return static_cast<int64_t>(std::bit_width(len)) - 1;
+}
 
 std::string_view SchedPolicyName(SchedPolicy policy) {
   switch (policy) {
@@ -34,6 +41,33 @@ double Scheduler::Score(const SchedEntry& entry, double now) const {
              lambda_ * (now - entry.arrival_time);
   }
   return 0.0;
+}
+
+std::vector<size_t> Scheduler::PickBatch(std::span<const SchedEntry> queue,
+                                         double now, int max_batch) const {
+  assert(!queue.empty());
+  std::vector<size_t> picked;
+  const size_t seed = PickNext(queue, now);
+  picked.push_back(seed);
+  if (max_batch <= 1 || queue.size() <= 1) {
+    return picked;
+  }
+  const auto miss = [](const SchedEntry& e) { return e.n_input - e.n_cached_now; };
+  const int64_t seed_bucket = LengthBucket(miss(queue[seed]));
+  std::vector<std::pair<double, size_t>> rest;
+  for (size_t i = 0; i < queue.size(); ++i) {
+    if (i != seed && LengthBucket(miss(queue[i])) == seed_bucket) {
+      rest.emplace_back(Score(queue[i], now), i);
+    }
+  }
+  // stable_sort on score alone keeps ties FIFO (queues are arrival-ordered).
+  std::stable_sort(rest.begin(), rest.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  const size_t fill = std::min(rest.size(), static_cast<size_t>(max_batch - 1));
+  for (size_t i = 0; i < fill; ++i) {
+    picked.push_back(rest[i].second);
+  }
+  return picked;
 }
 
 size_t Scheduler::PickNext(std::span<const SchedEntry> queue, double now) const {

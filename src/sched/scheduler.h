@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <span>
 #include <string_view>
+#include <vector>
 
 #include "src/sched/jct.h"
 
@@ -46,6 +47,14 @@ struct SchedEntry {
   int64_t n_cached_now = 0;
 };
 
+// Batch-admission bucket (ISSUE 4): the power-of-two bracket of a request's
+// remaining (cache-miss) token count. Requests may share one stacked
+// prefill batch only when their miss lengths fall in the same bucket, so a
+// batch never welds a short request to a much longer one (the short one
+// would inherit the long one's completion time — the latency inflation the
+// paper's §6.1 warns about).
+int64_t LengthBucket(int64_t n_miss_tokens);
+
 class Scheduler {
  public:
   // `estimator` must outlive the scheduler. `lambda` is the starvation
@@ -55,6 +64,16 @@ class Scheduler {
 
   // Index of the entry to run next. Precondition: non-empty queue.
   size_t PickNext(std::span<const SchedEntry> queue, double now) const;
+
+  // Indices of up to `max_batch` entries to run as ONE batched prefill,
+  // best first. The seed is exactly PickNext's winner — batching never
+  // changes which request wins the scheduling decision, so SRJF aging and
+  // the lambda starvation bound are unaffected (a starved long request
+  // becomes the seed and rides in its own batch). The remaining slots are
+  // filled with the best-scored entries from the seed's LengthBucket, ties
+  // FIFO by queue order. Precondition: non-empty queue.
+  std::vector<size_t> PickBatch(std::span<const SchedEntry> queue, double now,
+                                int max_batch) const;
 
   // The score used for selection (lower runs first); exposed for tests and
   // for the Fig. 5 walkthrough benchmark.

@@ -135,6 +135,17 @@ HttpResponse ScoringService::HandleStats() const {
   out.emplace("submitted", Json(stats.submitted));
   out.emplace("completed", Json(stats.completed));
   out.emplace("failed", Json(stats.failed));
+  // Batch occupancy (ISSUE 4): mean requests per dispatched prefill batch;
+  // 1.0 = every request ran solo (max_batch_size == 1 or no co-batchable
+  // queue depth).
+  out.emplace("batches_dispatched", Json(stats.batches_dispatched));
+  out.emplace("batched_requests", Json(stats.batched_requests));
+  out.emplace("batch_occupancy",
+              Json(stats.batches_dispatched > 0
+                       ? static_cast<double>(stats.batched_requests) /
+                             static_cast<double>(stats.batches_dispatched)
+                       : 0.0));
+  out.emplace("peak_batch_size", Json(stats.peak_batch_size));
   out.emplace("cache_hit_rate", Json(stats.cache.HitRate()));
   out.emplace("cache_bytes", Json(static_cast<int64_t>(stats.cache_bytes)));
   out.emplace("offload_bytes", Json(static_cast<int64_t>(stats.offload_bytes)));

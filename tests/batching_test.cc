@@ -1,0 +1,485 @@
+// Batched-vs-solo bitwise parity suite (ISSUE 4).
+//
+// The determinism contract, third extension: WITHIN a kernel backend, a
+// request's logits (and retained KV) are bitwise identical whether it
+// prefilled solo, concurrently, or stacked into a batch of any composition.
+// This file proves it at the model layer (LlamaModel::PrefillBatch against
+// solo Prefill, randomized compositions, per backend x thread count x
+// prefill mode) and at the engine layer (max_batch_size > 1 against the
+// serial single-thread reference), plus the admission/occupancy accounting
+// and the checked-misuse errors of the batch API.
+//
+// The heavier randomized sweep lives in BatchingSweepSlowTest.* — labeled
+// `slow` in ctest (CMakeLists.txt), so `ctest -LE slow` gives a fast
+// tier-1 iteration loop while CI still runs it per backend.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/thread_pool.h"
+#include "src/core/engine.h"
+#include "src/core/request.h"
+#include "src/model/llama.h"
+
+namespace prefillonly {
+namespace {
+
+// ------------------------------------------------------------ shared bits
+
+::testing::AssertionResult SameFloatBits(const std::vector<float>& a,
+                                         const std::vector<float>& b) {
+  if (a.size() != b.size()) {
+    return ::testing::AssertionFailure() << "size " << a.size() << " vs " << b.size();
+  }
+  if (!a.empty() &&
+      std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) != 0) {
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (std::memcmp(&a[i], &b[i], sizeof(float)) != 0) {
+        return ::testing::AssertionFailure()
+               << "first differing element " << i << ": " << a[i] << " vs " << b[i];
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+::testing::AssertionResult SameKvBits(const KvCacheData& a, const KvCacheData& b) {
+  if (a.n_tokens != b.n_tokens || a.layers.size() != b.layers.size()) {
+    return ::testing::AssertionFailure()
+           << "kv shape: " << a.n_tokens << "x" << a.layers.size() << " vs "
+           << b.n_tokens << "x" << b.layers.size();
+  }
+  for (size_t l = 0; l < a.layers.size(); ++l) {
+    if (a.layers[l].k.bytes() != b.layers[l].k.bytes() ||
+        std::memcmp(a.layers[l].k.data(), b.layers[l].k.data(),
+                    a.layers[l].k.bytes()) != 0 ||
+        std::memcmp(a.layers[l].v.data(), b.layers[l].v.data(),
+                    a.layers[l].v.bytes()) != 0) {
+      return ::testing::AssertionFailure() << "kv layer " << l << " differs";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+std::vector<int32_t> RandomTokens(Rng& rng, int64_t n, int64_t vocab = 256) {
+  std::vector<int32_t> out(static_cast<size_t>(n));
+  for (auto& t : out) {
+    t = static_cast<int32_t>(rng.NextBounded(static_cast<uint64_t>(vocab)));
+  }
+  return out;
+}
+
+std::vector<KernelBackend> BackendsUnderTest() {
+  std::vector<KernelBackend> backends{KernelBackend::kScalar};
+  if (Avx2Available()) {
+    backends.push_back(KernelBackend::kAvx2);
+  }
+  return backends;
+}
+
+PrefillOptions ModeOptions(PrefillMode mode) {
+  PrefillOptions options;
+  options.mode = mode;
+  options.chunk_size = 16;  // several chunk boundaries inside small batches
+  return options;
+}
+
+constexpr PrefillMode kAllModes[] = {PrefillMode::kStandard, PrefillMode::kChunked,
+                                     PrefillMode::kHybrid};
+
+// One randomly drawn request: tokens, an optional cached prefix (built the
+// way the engine builds one: the KV of tokens [0, n_cached) produced by a
+// budgeted solo prefill), and a retention budget of its own.
+struct DrawnRequest {
+  std::vector<int32_t> tokens;
+  KvCacheData prefix;  // empty = no cached prefix
+  int64_t prefix_budget_tokens = 0;
+};
+
+DrawnRequest Draw(Rng& rng, const LlamaModel& model, int64_t max_len,
+                  TrackingAllocator& arena, const PrefillOptions& mode_options) {
+  DrawnRequest drawn;
+  const int64_t len = 1 + static_cast<int64_t>(rng.NextBounded(
+                              static_cast<uint64_t>(max_len)));
+  drawn.tokens = RandomTokens(rng, len);
+  drawn.prefix_budget_tokens =
+      static_cast<int64_t>(rng.NextBounded(static_cast<uint64_t>(len + 8)));
+  // Half the requests carry a cached prefix of random length < len.
+  if (len > 1 && rng.NextBounded(2) == 0) {
+    const int64_t n_cached =
+        1 + static_cast<int64_t>(rng.NextBounded(static_cast<uint64_t>(len - 1)));
+    PrefillOptions warm = mode_options;
+    warm.retention = KvRetention::kPrefixBudget;
+    warm.prefix_budget_tokens = n_cached;
+    const std::span<const int32_t> head(drawn.tokens);
+    auto pass = model.Prefill(head.subspan(0, static_cast<size_t>(n_cached + 1)),
+                              nullptr, warm, arena);
+    EXPECT_TRUE(pass.ok()) << pass.status().ToString();
+    drawn.prefix = std::move(pass.value().kv);
+    EXPECT_EQ(drawn.prefix.n_tokens, n_cached);
+  }
+  return drawn;
+}
+
+PrefillSequence SequenceOf(const DrawnRequest& drawn) {
+  PrefillSequence seq;
+  seq.tokens = drawn.tokens;
+  seq.cached_prefix = drawn.prefix.empty() ? nullptr : &drawn.prefix;
+  seq.retention = KvRetention::kPrefixBudget;
+  seq.prefix_budget_tokens = drawn.prefix_budget_tokens;
+  return seq;
+}
+
+// Runs `rounds` random compositions on one (backend, threads, mode) cell and
+// asserts solo == batched, bitwise, for logits and retained KV.
+void RunCompositions(KernelBackend backend, int threads, PrefillMode mode,
+                     uint64_t seed, int rounds, int max_batch, int64_t max_len) {
+  LlamaModel model(ModelConfig::Tiny(), /*seed=*/42, backend);
+  ThreadPool pool(threads);
+  model.SetThreadPool(&pool);
+  TrackingAllocator arena;
+  Rng rng(seed);
+  PrefillOptions options = ModeOptions(mode);
+
+  for (int round = 0; round < rounds; ++round) {
+    const int batch =
+        1 + static_cast<int>(rng.NextBounded(static_cast<uint64_t>(max_batch)));
+    std::vector<DrawnRequest> drawn;
+    drawn.reserve(static_cast<size_t>(batch));
+    for (int i = 0; i < batch; ++i) {
+      drawn.push_back(Draw(rng, model, max_len, arena, options));
+    }
+
+    // Solo reference for every member.
+    std::vector<PrefillResult> solo;
+    for (const DrawnRequest& d : drawn) {
+      PrefillOptions solo_options = options;
+      solo_options.retention = KvRetention::kPrefixBudget;
+      solo_options.prefix_budget_tokens = d.prefix_budget_tokens;
+      auto pass = model.Prefill(d.tokens, d.prefix.empty() ? nullptr : &d.prefix,
+                                solo_options, arena);
+      ASSERT_TRUE(pass.ok()) << pass.status().ToString();
+      solo.push_back(pass.take());
+    }
+
+    std::vector<PrefillSequence> sequences;
+    for (const DrawnRequest& d : drawn) {
+      sequences.push_back(SequenceOf(d));
+    }
+    auto batched = model.PrefillBatch(sequences, options, arena);
+    ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+    ASSERT_EQ(batched.value().size(), drawn.size());
+
+    for (size_t i = 0; i < drawn.size(); ++i) {
+      const PrefillResult& b = batched.value()[i];
+      SCOPED_TRACE("backend=" + std::string(KernelBackendName(backend)) +
+                   " threads=" + std::to_string(threads) +
+                   " mode=" + std::to_string(static_cast<int>(mode)) +
+                   " round=" + std::to_string(round) + " member=" +
+                   std::to_string(i) + "/" + std::to_string(drawn.size()));
+      EXPECT_EQ(b.n_new, solo[i].n_new);
+      EXPECT_EQ(b.kv_start, solo[i].kv_start);
+      EXPECT_TRUE(SameFloatBits(b.last_logits, solo[i].last_logits));
+      EXPECT_TRUE(SameKvBits(b.kv, solo[i].kv));
+    }
+  }
+}
+
+// ------------------------------------------------- model-layer parity
+
+TEST(BatchingParityTest, SingleSequenceBatchMatchesSoloExactly) {
+  for (KernelBackend backend : BackendsUnderTest()) {
+    for (PrefillMode mode : kAllModes) {
+      RunCompositions(backend, /*threads=*/1, mode, /*seed=*/11, /*rounds=*/2,
+                      /*max_batch=*/1, /*max_len=*/40);
+    }
+  }
+}
+
+TEST(BatchingParityTest, RandomCompositionsMatchSoloBitwise) {
+  // The tier-1 slice of the sweep: every backend and mode, thread counts
+  // {1, 2, 8}, batch sizes 1..4, lengths 1..max (so the m == 1 GEMV path,
+  // chunk-boundary-straddling sequences and cached prefixes all occur).
+  for (KernelBackend backend : BackendsUnderTest()) {
+    for (int threads : {1, 2, 8}) {
+      for (PrefillMode mode : kAllModes) {
+        RunCompositions(backend, threads, mode,
+                        /*seed=*/1000 + static_cast<uint64_t>(threads),
+                        /*rounds=*/2, /*max_batch=*/4, /*max_len=*/48);
+      }
+    }
+  }
+}
+
+TEST(BatchingParityTest, HybridAblationLevelsStayExact) {
+  // preallocate/in_place off is the §4.3 ablation path of the hybrid pass;
+  // the batched implementation mirrors it and must stay bit-exact too.
+  for (KernelBackend backend : BackendsUnderTest()) {
+    LlamaModel model(ModelConfig::Tiny(), 42, backend);
+    ThreadPool pool(2);
+    model.SetThreadPool(&pool);
+    TrackingAllocator arena;
+    Rng rng(77);
+    for (const bool prealloc : {true, false}) {
+      PrefillOptions options = ModeOptions(PrefillMode::kHybrid);
+      options.preallocate_outputs = prealloc;
+      options.in_place = prealloc;  // in_place requires preallocation
+      std::vector<DrawnRequest> drawn;
+      for (int i = 0; i < 3; ++i) {
+        drawn.push_back(Draw(rng, model, 40, arena, options));
+      }
+      std::vector<PrefillSequence> sequences;
+      std::vector<PrefillResult> solo;
+      for (const DrawnRequest& d : drawn) {
+        PrefillOptions solo_options = options;
+        solo_options.retention = KvRetention::kPrefixBudget;
+        solo_options.prefix_budget_tokens = d.prefix_budget_tokens;
+        auto pass = model.Prefill(d.tokens, d.prefix.empty() ? nullptr : &d.prefix,
+                                  solo_options, arena);
+        ASSERT_TRUE(pass.ok()) << pass.status().ToString();
+        solo.push_back(pass.take());
+        sequences.push_back(SequenceOf(d));
+      }
+      auto batched = model.PrefillBatch(sequences, options, arena);
+      ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+      for (size_t i = 0; i < drawn.size(); ++i) {
+        EXPECT_TRUE(SameFloatBits(batched.value()[i].last_logits,
+                                  solo[i].last_logits))
+            << "prealloc=" << prealloc << " member " << i;
+        EXPECT_TRUE(SameKvBits(batched.value()[i].kv, solo[i].kv));
+      }
+    }
+  }
+}
+
+TEST(BatchingParityTest, BatchApiChecksMisuse) {
+  LlamaModel model(ModelConfig::Tiny(), 42, KernelBackend::kScalar);
+  TrackingAllocator arena;
+  PrefillOptions options;
+
+  auto empty = model.PrefillBatch({}, options, arena);
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), StatusCode::kInvalidArgument);
+
+  const std::vector<int32_t> tokens{1, 2, 3};
+  std::vector<PrefillSequence> one(1);
+  one[0].tokens = tokens;
+  PrefillOptions drop = options;
+  drop.mode = PrefillMode::kStandard;
+  drop.drop_kv_in_pass = true;
+  auto dropped = model.PrefillBatch(one, drop, arena);
+  ASSERT_FALSE(dropped.ok());
+  EXPECT_EQ(dropped.status().code(), StatusCode::kInvalidArgument);
+
+  const std::vector<int32_t> bad_tokens{1, 999999};
+  std::vector<PrefillSequence> bad(1);
+  bad[0].tokens = bad_tokens;
+  auto invalid = model.PrefillBatch(bad, options, arena);
+  ASSERT_FALSE(invalid.ok());
+  EXPECT_EQ(invalid.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ------------------------------------------------- engine-layer parity
+
+EngineOptions BatchEngineOptions() {
+  EngineOptions options;
+  options.model = ModelConfig::Tiny();
+  options.block_size = 16;
+  options.cache_budget_tokens = 512;
+  options.chunk_size = 32;
+  options.num_threads = 4;
+  return options;
+}
+
+ScoringRequest YesNoRequest(std::vector<int32_t> tokens, int64_t user) {
+  ScoringRequest request;
+  request.user_id = user;
+  request.tokens = std::move(tokens);
+  request.allowed_tokens = {10, 20};
+  return request;
+}
+
+TEST(BatchingEngineTest, RunPendingBatchesMatchSerialReferenceBitwise) {
+  // 8 same-length-bucket requests (lengths 33..47 all land in bucket 5), so
+  // a max_batch_size = 4 drain forms two full batches.
+  std::vector<ScoringRequest> requests;
+  Rng rng(42);
+  for (int i = 0; i < 8; ++i) {
+    requests.push_back(YesNoRequest(RandomTokens(rng, 33 + 2 * i), i));
+  }
+
+  // Serial single-thread solo reference.
+  std::vector<std::vector<TokenProbability>> expected;
+  {
+    EngineOptions options = BatchEngineOptions();
+    options.num_threads = 1;
+    Engine engine(options);
+    for (const auto& request : requests) {
+      auto response = engine.ScoreSync(request);
+      ASSERT_TRUE(response.ok()) << response.status().ToString();
+      expected.push_back(response.value().probabilities);
+    }
+  }
+
+  for (int max_batch : {1, 2, 4}) {
+    EngineOptions options = BatchEngineOptions();
+    options.max_batch_size = max_batch;
+    Engine engine(options);
+    for (const auto& request : requests) {
+      ASSERT_TRUE(engine.Submit(request).ok());
+    }
+    auto responses = engine.RunPending();
+    ASSERT_TRUE(responses.ok()) << responses.status().ToString();
+    ASSERT_EQ(responses.value().size(), requests.size());
+    for (const ScoringResponse& response : responses.value()) {
+      const auto user = static_cast<size_t>(response.user_id);
+      ASSERT_LT(user, expected.size());
+      ASSERT_EQ(response.probabilities.size(), expected[user].size());
+      for (size_t p = 0; p < expected[user].size(); ++p) {
+        EXPECT_EQ(response.probabilities[p].token, expected[user][p].token);
+        EXPECT_EQ(std::memcmp(&response.probabilities[p].probability,
+                              &expected[user][p].probability, sizeof(double)),
+                  0)
+            << "user " << user << " prob " << p << " at max_batch " << max_batch;
+      }
+      EXPECT_LE(response.batch_size, max_batch);
+      EXPECT_GE(response.batch_size, 1);
+    }
+
+    const EngineStats stats = engine.stats();
+    EXPECT_EQ(stats.completed, 8);
+    EXPECT_EQ(stats.batched_requests, 8);
+    EXPECT_LE(stats.peak_batch_size, max_batch);
+    if (max_batch == 1) {
+      EXPECT_EQ(stats.batches_dispatched, 8);  // exact legacy: all solo
+    } else if (max_batch == 4) {
+      // Homogeneous backlog, deep queue: the drain forms full batches.
+      EXPECT_EQ(stats.batches_dispatched, 2);
+      EXPECT_EQ(stats.peak_batch_size, 4);
+    }
+  }
+}
+
+TEST(BatchingEngineTest, PrefixCacheHitsInsideBatchesKeepBits) {
+  // Warm a shared 32-token prefix, then drain sibling requests both solo and
+  // batched: block-aligned cache hits must not change any probability bit,
+  // and the batch path must publish KV the same way the solo path does.
+  Rng rng(9);
+  const std::vector<int32_t> profile = RandomTokens(rng, 32);
+  auto sibling = [&](int32_t tail, int64_t user) {
+    std::vector<int32_t> tokens = profile;
+    tokens.push_back(tail);
+    tokens.push_back(tail + 1);
+    return YesNoRequest(std::move(tokens), user);
+  };
+
+  std::vector<std::vector<TokenProbability>> expected;
+  {
+    EngineOptions options = BatchEngineOptions();
+    options.num_threads = 1;
+    Engine engine(options);
+    for (int i = 0; i < 4; ++i) {
+      auto response = engine.ScoreSync(sibling(static_cast<int32_t>(i), i));
+      ASSERT_TRUE(response.ok());
+      expected.push_back(response.value().probabilities);
+    }
+  }
+
+  EngineOptions options = BatchEngineOptions();
+  options.max_batch_size = 4;
+  Engine engine(options);
+  // Warm pass, then a batched drain of the four siblings.
+  ASSERT_TRUE(engine.ScoreSync(sibling(0, 0)).ok());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(engine.Submit(sibling(static_cast<int32_t>(i), i)).ok());
+  }
+  auto responses = engine.RunPending();
+  ASSERT_TRUE(responses.ok());
+  ASSERT_EQ(responses.value().size(), 4u);
+  for (const ScoringResponse& response : responses.value()) {
+    const auto user = static_cast<size_t>(response.user_id);
+    for (size_t p = 0; p < expected[user].size(); ++p) {
+      EXPECT_EQ(std::memcmp(&response.probabilities[p].probability,
+                            &expected[user][p].probability, sizeof(double)),
+                0)
+          << "user " << user;
+    }
+    // The warmed 32-token prefix is two 16-token blocks; every sibling
+    // should reuse it.
+    EXPECT_EQ(response.n_cached, 32);
+  }
+}
+
+TEST(BatchingEngineTest, PoolContentionFallsBackToSoloNotFailure) {
+  // A block pool of 4 blocks and two 80-token batchmates that each want all
+  // of it: the second member's acquisition fails while the first holds its
+  // pins. Co-batching must never fail a request that succeeds alone — the
+  // contended member retries solo on the same lane after the batch
+  // releases, and both complete with reference bits.
+  Rng rng(31);
+  std::vector<ScoringRequest> requests{YesNoRequest(RandomTokens(rng, 80), 0),
+                                       YesNoRequest(RandomTokens(rng, 80), 1)};
+  std::vector<std::vector<TokenProbability>> expected;
+  {
+    EngineOptions options = BatchEngineOptions();
+    options.num_threads = 1;
+    options.cache_budget_tokens = 64;  // 4 blocks of 16
+    Engine engine(options);
+    for (const auto& request : requests) {
+      auto response = engine.ScoreSync(request);
+      ASSERT_TRUE(response.ok());
+      expected.push_back(response.value().probabilities);
+    }
+  }
+
+  EngineOptions options = BatchEngineOptions();
+  options.cache_budget_tokens = 64;
+  options.max_batch_size = 2;
+  Engine engine(options);
+  for (const auto& request : requests) {
+    ASSERT_TRUE(engine.Submit(request).ok());
+  }
+  auto responses = engine.RunPending();
+  ASSERT_TRUE(responses.ok());
+  ASSERT_EQ(responses.value().size(), 2u);
+  for (const ScoringResponse& response : responses.value()) {
+    const auto user = static_cast<size_t>(response.user_id);
+    for (size_t p = 0; p < expected[user].size(); ++p) {
+      EXPECT_EQ(std::memcmp(&response.probabilities[p].probability,
+                            &expected[user][p].probability, sizeof(double)),
+                0)
+          << "user " << user;
+    }
+  }
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.completed, 2);
+  EXPECT_EQ(stats.failed, 0);
+  // One dispatch decision carried both requests even though they executed
+  // solo-after-contention.
+  EXPECT_EQ(stats.batches_dispatched, 1);
+  EXPECT_EQ(stats.batched_requests, 2);
+}
+
+// ---------------------------------------------- randomized slow sweep
+//
+// The full composition sweep: more rounds, larger batches, all cells. ~a few
+// seconds of Tiny-model prefills; labeled `slow` in ctest so fast local
+// iterations can `ctest -LE slow`.
+
+TEST(BatchingSweepSlowTest, RandomizedCompositionSweep) {
+  for (KernelBackend backend : BackendsUnderTest()) {
+    for (int threads : {1, 2, 8}) {
+      for (PrefillMode mode : kAllModes) {
+        RunCompositions(backend, threads, mode,
+                        /*seed=*/5000 + static_cast<uint64_t>(threads) * 31 +
+                            static_cast<uint64_t>(mode),
+                        /*rounds=*/5, /*max_batch=*/6, /*max_len=*/72);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace prefillonly

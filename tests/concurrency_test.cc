@@ -222,6 +222,82 @@ TEST(ConcurrencyTest, ScoreSyncLaneMatchesBitsWhileRuntimeRuns) {
   EXPECT_EQ(engine.stats().completed, 5);
 }
 
+// ------------------------------------------- Batched + concurrent (ISSUE 4)
+
+TEST(ConcurrencyTest, BatchedRuntimeKeepsBitsAndAccounting) {
+  // In-flight {2, 4} lanes, each running batches of up to {1, 2, 4}: every
+  // request's probabilities must match the serial solo reference bitwise,
+  // and no request may be lost or double-completed. Lengths 33..55 share
+  // one LengthBucket, so a backlog submitted before StartWorker guarantees
+  // real (>= 2) batches whenever max_batch_size > 1.
+  constexpr int kRequests = 12;
+  std::vector<ScoringRequest> requests;
+  for (int i = 0; i < kRequests; ++i) {
+    requests.push_back(YesNoRequest(Tokens(33 + 2 * i, 7000 + i), i));
+  }
+  const auto expected = ReferenceProbabilities(requests);
+
+  for (int in_flight : {2, 4}) {
+    for (int max_batch : {1, 2, 4}) {
+      EngineOptions options = TinyEngineOptions();
+      options.max_concurrent_requests = in_flight;
+      options.max_batch_size = max_batch;
+      Engine engine(options);
+
+      // Backlog first, runtime second: the first dispatch decisions see the
+      // whole queue and can form full batches.
+      std::vector<Engine::ResponseFuture> futures;
+      for (const auto& request : requests) {
+        auto submitted = engine.SubmitAsync(request);
+        ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+        futures.push_back(submitted.take());
+      }
+      std::mutex delivered_mu;
+      std::vector<int64_t> delivered_ids;
+      ASSERT_TRUE(engine
+                      .StartWorker([&](Result<ScoringResponse> response) {
+                        ASSERT_TRUE(response.ok()) << response.status().ToString();
+                        std::lock_guard<std::mutex> lock(delivered_mu);
+                        delivered_ids.push_back(response.value().request_id);
+                      })
+                      .ok());
+
+      std::set<int64_t> response_ids;
+      for (size_t i = 0; i < futures.size(); ++i) {
+        auto response = futures[i].get();
+        ASSERT_TRUE(response.ok()) << response.status().ToString();
+        EXPECT_EQ(response.value().user_id, static_cast<int64_t>(i));
+        EXPECT_TRUE(SameBits(response.value().probabilities, expected[i]))
+            << "request " << i << " at in-flight " << in_flight << " max_batch "
+            << max_batch;
+        EXPECT_GE(response.value().batch_size, 1);
+        EXPECT_LE(response.value().batch_size, max_batch);
+        EXPECT_TRUE(response_ids.insert(response.value().request_id).second)
+            << "request completed twice";
+      }
+      engine.StopWorker();
+
+      std::set<int64_t> delivered_set(delivered_ids.begin(), delivered_ids.end());
+      EXPECT_EQ(delivered_ids.size(), static_cast<size_t>(kRequests));
+      EXPECT_EQ(delivered_set, response_ids);
+
+      const auto stats = engine.stats();
+      EXPECT_EQ(stats.completed, kRequests);
+      EXPECT_EQ(stats.failed, 0);
+      EXPECT_EQ(stats.batched_requests, kRequests);
+      EXPECT_LE(stats.peak_batch_size, max_batch);
+      EXPECT_LE(stats.peak_in_flight, in_flight);
+      if (max_batch == 1) {
+        EXPECT_EQ(stats.batches_dispatched, kRequests);  // exact legacy
+      } else {
+        EXPECT_GE(stats.peak_batch_size, 2)
+            << "deep same-bucket backlog must form a real batch";
+        EXPECT_LT(stats.batches_dispatched, kRequests);
+      }
+    }
+  }
+}
+
 // ------------------------------------------------- Accounting under load
 
 TEST(ConcurrencyTest, NoRequestLostOrDoubleCompleted) {

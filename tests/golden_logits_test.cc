@@ -1,0 +1,167 @@
+// Golden-logits regression test (ISSUE 4).
+//
+// The determinism contract makes the scalar backend's bits a stable
+// artifact: independent of thread count, prefill mode, chunking, partition
+// width, concurrency, and batch composition. This test pins those bits to a
+// checked-in golden file so silent cross-PR numeric drift — a kernel
+// "cleanup" that reorders an accumulation, a weight-init reshuffle — fails
+// tier-1 instead of surviving until someone inspects benchmark output.
+//
+// Scope: the SCALAR backend only. Its inner loops are ISO-C++ float
+// arithmetic (no FMA contraction at -std=c++20, no reassociation), so the
+// bits are reproducible wherever the same libm feeds SwiGLU/softmax's
+// expf. The golden values are tied to this repo's build environment
+// (container gcc + glibc); if a toolchain bump legitimately moves them,
+// regenerate and commit the diff alongside the bump:
+//
+//   cmake -B build -S . && cmake --build build -j --target prefillonly_core
+//   g++ -O3 -DNDEBUG -std=c++20 -I. <generator mirroring this file> \
+//       build/libprefillonly_core.a -lpthread -o gen && ./gen > tests/golden_logits.inc
+//
+// (The generator is the mirror of the constants below: ModelConfig::Tiny,
+// weight seed 42, prompts Rng(777 + p) of lengths {5, 17, 33, 40}, vocab
+// 256, default hybrid PrefillOptions for the model pass; engine with
+// num_threads 1, block_size 16, cache_budget 512, chunk 32, allowed tokens
+// {3, 7, 11, 19}, prompts scored in order. Lengths 33 and 40 share a
+// LengthBucket so the batched variant below really stacks them.)
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/engine.h"
+#include "src/model/llama.h"
+#include "tests/golden_logits.inc"
+
+namespace prefillonly {
+namespace {
+
+// Escape hatch for hosts whose libm legitimately rounds differently from
+// the environment the golden file was generated in (see the header
+// comment): PREFILLONLY_GOLDEN=off skips the suite with a visible notice
+// instead of failing tier-1 on a toolchain difference.
+bool GoldenDisabled() {
+  const char* env = std::getenv("PREFILLONLY_GOLDEN");
+  return env != nullptr && std::string_view(env) == "off";
+}
+
+#define PO_SKIP_IF_GOLDEN_OFF()                                               \
+  if (GoldenDisabled()) {                                                     \
+    GTEST_SKIP() << "PREFILLONLY_GOLDEN=off: golden bits tied to another "    \
+                    "toolchain; regenerate per the header recipe to re-arm."; \
+  }
+
+uint64_t Fnv1a(const void* data, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 1469598103934665603ull;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::vector<int32_t> Prompt(uint64_t seed, int64_t n) {
+  Rng rng(seed);
+  std::vector<int32_t> out(static_cast<size_t>(n));
+  for (auto& t : out) {
+    t = static_cast<int32_t>(rng.NextBounded(256));
+  }
+  return out;
+}
+
+EngineOptions GoldenEngineOptions() {
+  EngineOptions options;
+  options.model = ModelConfig::Tiny();
+  options.kernel_backend = KernelBackend::kScalar;
+  options.num_threads = 1;
+  options.block_size = 16;
+  options.cache_budget_tokens = 512;
+  options.chunk_size = 32;
+  return options;
+}
+
+TEST(GoldenLogitsTest, ModelLogitsMatchGoldenBits) {
+  PO_SKIP_IF_GOLDEN_OFF();
+  LlamaModel model(ModelConfig::Tiny(), /*seed=*/42, KernelBackend::kScalar);
+  TrackingAllocator arena;
+  for (int p = 0; p < golden::kNumPrompts; ++p) {
+    const auto tokens =
+        Prompt(777 + static_cast<uint64_t>(p), golden::kPromptLengths[p]);
+    PrefillOptions options;  // hybrid defaults, exactly like the generator
+    auto pass = model.Prefill(tokens, nullptr, options, arena);
+    ASSERT_TRUE(pass.ok()) << pass.status().ToString();
+    const auto& logits = pass.value().last_logits;
+    ASSERT_EQ(logits.size(), 256u);
+    for (int i = 0; i < 16; ++i) {
+      uint32_t bits;
+      std::memcpy(&bits, &logits[static_cast<size_t>(i)], sizeof(bits));
+      EXPECT_EQ(bits, golden::kLogitsHead[p][i])
+          << "prompt " << p << " logit " << i << " drifted: " << logits[i];
+    }
+    EXPECT_EQ(Fnv1a(logits.data(), logits.size() * sizeof(float)),
+              golden::kLogitsHash[p])
+        << "prompt " << p << ": some logit beyond the spot-checked head drifted";
+  }
+}
+
+TEST(GoldenLogitsTest, EngineProbabilitiesMatchGoldenBits) {
+  PO_SKIP_IF_GOLDEN_OFF();
+  Engine engine(GoldenEngineOptions());
+  for (int p = 0; p < golden::kNumPrompts; ++p) {
+    ScoringRequest request;
+    request.user_id = p;
+    request.tokens = Prompt(777 + static_cast<uint64_t>(p), golden::kPromptLengths[p]);
+    request.allowed_tokens = {3, 7, 11, 19};
+    auto response = engine.ScoreSync(std::move(request));
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    ASSERT_EQ(response.value().probabilities.size(), 4u);
+    for (size_t i = 0; i < 4; ++i) {
+      uint64_t bits;
+      std::memcpy(&bits, &response.value().probabilities[i].probability,
+                  sizeof(bits));
+      EXPECT_EQ(bits, golden::kProbabilityBits[p][i])
+          << "prompt " << p << " probability " << i << " drifted: "
+          << response.value().probabilities[i].probability;
+    }
+  }
+}
+
+TEST(GoldenLogitsTest, BatchedEngineMatchesGoldenBitsToo) {
+  // The same prompts drained as one max_batch_size = 4 backlog: the batched
+  // path must reproduce the same golden bits (the solo/batched contract,
+  // anchored to an absolute reference instead of a relative one).
+  PO_SKIP_IF_GOLDEN_OFF();
+  EngineOptions options = GoldenEngineOptions();
+  options.max_batch_size = 4;
+  Engine engine(options);
+  for (int p = 0; p < golden::kNumPrompts; ++p) {
+    ScoringRequest request;
+    request.user_id = p;
+    request.tokens = Prompt(777 + static_cast<uint64_t>(p), golden::kPromptLengths[p]);
+    request.allowed_tokens = {3, 7, 11, 19};
+    ASSERT_TRUE(engine.Submit(std::move(request)).ok());
+  }
+  auto responses = engine.RunPending();
+  ASSERT_TRUE(responses.ok());
+  ASSERT_EQ(responses.value().size(), static_cast<size_t>(golden::kNumPrompts));
+  for (const ScoringResponse& response : responses.value()) {
+    const auto p = static_cast<size_t>(response.user_id);
+    for (size_t i = 0; i < 4; ++i) {
+      uint64_t bits;
+      std::memcpy(&bits, &response.probabilities[i].probability, sizeof(bits));
+      EXPECT_EQ(bits, golden::kProbabilityBits[p][i])
+          << "prompt " << p << " probability " << i << " (batched path)";
+    }
+  }
+  // The length-33 and length-40 prompts share a bucket: at least one real
+  // (>= 2) batch must have formed, so this anchored the stacked path too.
+  EXPECT_GE(engine.stats().peak_batch_size, 2);
+}
+
+}  // namespace
+}  // namespace prefillonly

@@ -124,6 +124,105 @@ TEST(SchedulerTest, ScoreExposesAlgorithm1) {
   EXPECT_DOUBLE_EQ(sched.Score(e, 14.0), 3000.0 - 500.0 * 4.0);
 }
 
+// ------------------------------------------- Batch admission (ISSUE 4)
+
+TEST(LengthBucketTest, PowerOfTwoBrackets) {
+  EXPECT_EQ(LengthBucket(1), 0);
+  EXPECT_EQ(LengthBucket(2), 1);
+  EXPECT_EQ(LengthBucket(3), 1);
+  EXPECT_EQ(LengthBucket(4), 2);
+  EXPECT_EQ(LengthBucket(31), 4);
+  EXPECT_EQ(LengthBucket(32), 5);
+  EXPECT_EQ(LengthBucket(63), 5);
+  EXPECT_EQ(LengthBucket(64), 6);
+  // Degenerate inputs clamp into the smallest bucket.
+  EXPECT_EQ(LengthBucket(0), 0);
+  EXPECT_EQ(LengthBucket(-5), 0);
+}
+
+TEST(SchedulerBatchTest, SeedIsExactlyThePickNextWinner) {
+  CacheMissProxyEstimator proxy;
+  Scheduler sched(SchedPolicy::kSrjfCalibrated, 0.0, &proxy);
+  std::vector<SchedEntry> queue{
+      Entry(0.0, 500, 0, 0), Entry(0.0, 100, 0, 0), Entry(0.0, 900, 0, 0)};
+  const auto batch = sched.PickBatch(queue, 1.0, 4);
+  ASSERT_FALSE(batch.empty());
+  EXPECT_EQ(batch[0], sched.PickNext(queue, 1.0));
+}
+
+TEST(SchedulerBatchTest, FillsOnlyFromTheSeedsBucketInScoreOrder) {
+  CacheMissProxyEstimator proxy;
+  Scheduler sched(SchedPolicy::kSrjfCalibrated, 0.0, &proxy);
+  // Seed is the 33-token job (bucket 5, = lengths 32..63): the smallest
+  // remaining work in the queue. 40 and 60 share the bucket and join in
+  // score order; 900 and 700 do not.
+  std::vector<SchedEntry> queue{
+      Entry(0.0, 900, 0, 0),  // bucket 9
+      Entry(1.0, 40, 0, 0),   // bucket 5
+      Entry(2.0, 33, 0, 0),   // bucket 5, best score -> seed
+      Entry(3.0, 700, 0, 0),  // bucket 9
+      Entry(4.0, 60, 0, 0)};  // bucket 5
+  const auto batch = sched.PickBatch(queue, 5.0, 4);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0], 2u);  // seed
+  EXPECT_EQ(batch[1], 1u);  // 40 beats 60
+  EXPECT_EQ(batch[2], 4u);
+  // max_batch truncates the riders, never the seed.
+  const auto pair = sched.PickBatch(queue, 5.0, 2);
+  ASSERT_EQ(pair.size(), 2u);
+  EXPECT_EQ(pair[0], 2u);
+  EXPECT_EQ(pair[1], 1u);
+  const auto solo = sched.PickBatch(queue, 5.0, 1);
+  ASSERT_EQ(solo.size(), 1u);
+  EXPECT_EQ(solo[0], 2u);
+}
+
+TEST(SchedulerBatchTest, BucketsJudgeRemainingNotTotalLength) {
+  // A 1000-token request with 990 cached has 10 miss tokens — it batches
+  // with genuinely short requests, not with other 1000-token ones.
+  CacheMissProxyEstimator proxy;
+  Scheduler sched(SchedPolicy::kSrjfCalibrated, 0.0, &proxy);
+  std::vector<SchedEntry> queue{
+      Entry(0.0, 1000, 0, 990),  // 10 miss -> bucket 3
+      Entry(1.0, 12, 0, 0),      // bucket 3
+      Entry(2.0, 1000, 0, 0)};   // bucket 9
+  const auto batch = sched.PickBatch(queue, 3.0, 4);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0], 0u);
+  EXPECT_EQ(batch[1], 1u);
+}
+
+TEST(SchedulerBatchTest, AgedLongJobSeedsItsOwnBatchDespiteShortBacklog) {
+  // The starvation scenario batching must not reintroduce: a long job aged
+  // past the lambda bound seeds the next batch ALONE (the shorts are in
+  // another bucket) — small-batch formation around short jobs cannot keep
+  // deferring it, because the seed choice is pure PickNext.
+  CacheMissProxyEstimator proxy;
+  Scheduler sched(SchedPolicy::kSrjfCalibrated, /*lambda=*/500.0, &proxy);
+  // Shorts that arrived soon after the long job: their scores stay ahead
+  // (everyone ages at the same rate), so they batch together and the long
+  // job waits — the efficient steady state.
+  std::vector<SchedEntry> fresh{
+      Entry(0.0, 10000, 0, 0),
+      Entry(5.0, 100, 0, 0),   // bucket 6
+      Entry(5.0, 101, 0, 0)};  // bucket 6
+  const auto early = sched.PickBatch(fresh, 6.0, 4);
+  ASSERT_EQ(early.size(), 2u);
+  EXPECT_EQ(early[0], 1u);
+  EXPECT_EQ(early[1], 2u);
+  // Shorts arriving 25s later: the long job's accumulated queueing offset
+  // (500 * 25 > 10000 - 100) now dominates, it wins the seed, and — being
+  // alone in its bucket — runs as a batch of one. Repeated small-batch
+  // formation can never keep deferring it.
+  std::vector<SchedEntry> aged{
+      Entry(0.0, 10000, 0, 0),
+      Entry(25.0, 100, 0, 0),
+      Entry(25.0, 101, 0, 0)};
+  const auto batch = sched.PickBatch(aged, 25.0, 4);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0], 0u);
+}
+
 // ------------------------------------------------- Fig. 5 walkthrough
 //
 // Four requests A, B, C, D with length A < C < B < D; A and D share a
@@ -297,6 +396,42 @@ TEST(EngineSchedulingOrderTest, LambdaBoundsQueueingOfTheLongJob) {
       EXPECT_EQ(order.front(), long_id)
           << "the starvation offset must bound the long job's queueing";
     }
+  }
+}
+
+TEST(EngineSchedulingOrderTest, BatchFormationKeepsTheStarvationBound) {
+  // ISSUE 4's admission-ordering requirement on the REAL engine: with
+  // batching on, SRJF must not starve a long request behind repeated
+  // small-batch formation. The same backlog as LambdaBounds... but drained
+  // in batches of up to 2 (the four shorts share a bucket, the long job
+  // does not): with lambda = 0 the shorts batch pairwise ahead of the long
+  // job; with a large lambda the aged long job seeds the FIRST dispatch,
+  // alone, and completes first.
+  for (const double lambda : {0.0, 1e9}) {
+    EngineOptions options = OrderTestOptions(SchedPolicy::kSrjfCalibrated, lambda);
+    options.max_batch_size = 2;
+    Engine engine(options);
+    const auto long_id = engine.Submit(EngineRequest(EngineTokens(120, 40), 1)).value();
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    for (int i = 0; i < 4; ++i) {
+      // Lengths 20..23 share LengthBucket 4.
+      ASSERT_TRUE(engine.Submit(EngineRequest(EngineTokens(20 + i, 50 + i), 2 + i)).ok());
+    }
+    const auto order = DrainAndCollect(engine);
+    ASSERT_EQ(order.size(), 5u);
+    if (lambda == 0.0) {
+      EXPECT_EQ(order.back(), long_id)
+          << "pure SRJF: short batches first, long job last";
+    } else {
+      EXPECT_EQ(order.front(), long_id)
+          << "batch formation must not defer the aged long job";
+    }
+    const auto stats = engine.stats();
+    EXPECT_EQ(stats.completed, 5);
+    EXPECT_EQ(stats.batched_requests, 5);
+    // 4 same-bucket shorts pair into 2 batches; the long job runs alone.
+    EXPECT_EQ(stats.batches_dispatched, 3);
+    EXPECT_EQ(stats.peak_batch_size, 2);
   }
 }
 
