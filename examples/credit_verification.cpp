@@ -1,5 +1,5 @@
 // Credit verification: the paper's long-context application (§2.4), under a
-// hard memory budget.
+// hard memory budget, through the stable embedding facade (ISSUE 5).
 //
 // A bank scores a customer's multi-month credit history — a single long
 // request, no prefix sharing. This is where hybrid prefilling earns its
@@ -10,81 +10,83 @@
 #include <cstdio>
 #include <vector>
 
-#include "src/common/rng.h"
-#include "src/core/engine.h"
-#include "src/model/llama.h"
+#include "prefillonly/client.h"
+
+namespace {
+
+std::vector<int32_t> FakeHistory(int64_t n_tokens) {
+  // Deterministic stand-in tokens (scaled stand-in for a 40k-60k history).
+  std::vector<int32_t> history(static_cast<size_t>(n_tokens));
+  uint64_t state = 7;
+  for (auto& t : history) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    t = static_cast<int32_t>((state >> 33) % 512);
+  }
+  return history;
+}
+
+}  // namespace
 
 int main() {
   using namespace prefillonly;
-  const ModelConfig model_config = ModelConfig::Small();
-  constexpr int64_t kHistoryTokens = 1024;  // scaled stand-in for 40k-60k
+  constexpr int64_t kHistoryTokens = 1024;
+  const std::vector<int32_t> history = FakeHistory(kHistoryTokens);
+  const std::vector<int32_t> kApproveDeny = {3, 4};
 
-  Rng rng(7);
-  std::vector<int32_t> history(kHistoryTokens);
-  for (auto& t : history) {
-    t = static_cast<int32_t>(rng.NextBounded(
-        static_cast<uint64_t>(model_config.vocab_size)));
+  // First, measure the standard pass's activation peak with no budget: that
+  // peak is "the GPU" we will then shrink.
+  uint64_t standard_peak = 0;
+  {
+    ClientOptions options;
+    options.prefill_mode = "standard";
+    options.cache_budget_tokens = 0;
+    Client probe(options);
+    if (ScoreResult r = probe.Score(history, kApproveDeny); !r.ok) {
+      std::printf("probe failed: %s\n", r.error_message.c_str());
+      return 1;
+    }
+    standard_peak = probe.Stats().peak_activation_bytes;
   }
-
-  // First, find the budget between the two execution strategies' peaks.
-  LlamaModel model(model_config, 42);
-  TrackingAllocator probe;
-  PrefillOptions standard;
-  standard.mode = PrefillMode::kStandard;
-  if (auto r = model.Prefill(history, nullptr, standard, probe); !r.ok()) {
-    std::printf("probe failed: %s\n", r.status().ToString().c_str());
-    return 1;
-  }
-  const size_t standard_peak = probe.peak_bytes();
-  const size_t budget = standard_peak / 2;
+  const uint64_t budget = standard_peak / 2;
   std::printf("standard prefill of %ld tokens peaks at %.2f MB\n",
               static_cast<long>(kHistoryTokens),
               static_cast<double>(standard_peak) / 1e6);
   std::printf("imposing a %.2f MB activation budget ('the GPU')\n\n",
               static_cast<double>(budget) / 1e6);
 
-  // Engine A: standard prefill under the budget -> out of memory.
+  // Client A: standard prefill under the budget -> out of memory.
   {
-    EngineOptions options;
-    options.model = model_config;
-    options.mode = PrefillMode::kStandard;
+    ClientOptions options;
+    options.prefill_mode = "standard";
     options.activation_budget_bytes = budget;
     options.cache_budget_tokens = 0;
-    Engine engine(options);
-    ScoringRequest request;
-    request.tokens = history;
-    request.allowed_tokens = {3, 4};  // approve / deny
-    auto response = engine.ScoreSync(std::move(request));
-    std::printf("[standard engine]  %s\n",
-                response.ok() ? "completed (unexpected!)"
-                              : response.status().ToString().c_str());
+    Client standard(options);
+    ScoreResult result = standard.Score(history, kApproveDeny);
+    std::printf("[standard client]  %s\n",
+                result.ok ? "completed (unexpected!)"
+                          : (result.error_code + ": " + result.error_message).c_str());
   }
 
-  // Engine B: hybrid prefilling under the SAME budget -> completes.
+  // Client B: hybrid prefilling under the SAME budget -> completes.
   {
-    EngineOptions options;
-    options.model = model_config;
-    options.mode = PrefillMode::kHybrid;
+    ClientOptions options;
+    options.prefill_mode = "hybrid";
     options.chunk_size = 64;
     options.activation_budget_bytes = budget;
     options.cache_budget_tokens = 0;
-    Engine engine(options);
-    ScoringRequest request;
-    request.tokens = history;
-    request.allowed_tokens = {3, 4};
-    auto response = engine.ScoreSync(std::move(request));
-    if (!response.ok()) {
-      std::printf("[hybrid engine]    failed: %s\n",
-                  response.status().ToString().c_str());
+    Client hybrid(options);
+    ScoreResult result = hybrid.Score(history, kApproveDeny);
+    if (!result.ok) {
+      std::printf("[hybrid client]    failed: %s\n", result.error_message.c_str());
       return 1;
     }
-    std::printf("[hybrid engine]    P(approve) = %.4f in %.1f ms, peak %.2f MB\n",
-                response.value().score, response.value().execute_time_s * 1e3,
-                static_cast<double>(engine.stats().peak_activation_bytes) / 1e6);
+    std::printf("[hybrid client]    P(approve) = %.4f in %.1f ms, peak %.2f MB\n",
+                result.score, result.execute_time_s * 1e3,
+                static_cast<double>(hybrid.Stats().peak_activation_bytes) / 1e6);
   }
 
   std::printf(
-      "\nsame model, same budget: only the hybrid engine can serve the long\n"
+      "\nsame model, same budget: only the hybrid client can serve the long\n"
       "request - the max-input-length expansion of Table 2 in miniature.\n");
   return 0;
 }

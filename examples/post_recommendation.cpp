@@ -1,27 +1,27 @@
 // Post recommendation: the paper's motivating application (§2.3), end to
-// end on the real engine.
+// end through the stable embedding facade (ISSUE 5).
 //
 // Each user has a browsing-history profile; the system scores 10 candidate
 // posts per user by P(Yes) and ranks them. All of a user's requests share
-// the profile prefix, so after the first request the remaining nine hit
-// the prefix cache — with SRJF + continuous JCT calibration the engine
-// drains those cheap cache-hit requests first, which is what keeps
-// throughput up under load (Figs. 5 and 9).
+// the profile prefix, so after the first request the remaining nine hit the
+// prefix cache — with SRJF + continuous JCT calibration the engine drains
+// those cheap cache-hit requests first, which is what keeps throughput up
+// under load (Figs. 5 and 9). The candidates are submitted with ONE
+// SubmitBatch call, so the scheduler co-stacks them into shared prefill
+// batches deliberately (multi-item lifecycle) instead of probabilistically.
 #include <algorithm>
 #include <cstdio>
 #include <vector>
 
-#include "src/common/rng.h"
-#include "src/core/engine.h"
+#include "prefillonly/client.h"
 
 namespace {
 
-using namespace prefillonly;
-
-std::vector<int32_t> RandomTokens(Rng& rng, int64_t count, int64_t vocab) {
+std::vector<int32_t> RandomTokens(uint64_t& state, int64_t count, int64_t vocab) {
   std::vector<int32_t> tokens(static_cast<size_t>(count));
   for (auto& t : tokens) {
-    t = static_cast<int32_t>(rng.NextBounded(static_cast<uint64_t>(vocab)));
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    t = static_cast<int32_t>((state >> 33) % static_cast<uint64_t>(vocab));
   }
   return tokens;
 }
@@ -34,58 +34,76 @@ int main() {
   constexpr int kPosts = 10;
   constexpr int64_t kProfileLen = 256;
   constexpr int64_t kPostLen = 16;
+  constexpr int64_t kVocab = 512;
 
-  EngineOptions options;
-  options.model = ModelConfig::Small();
+  ClientOptions options;
+  options.model = "small";
   options.block_size = 32;
   options.cache_budget_tokens = 2048;
-  Engine engine(options);
+  options.max_batch_size = 4;  // let candidate posts share prefill batches
+  Client client(options);
 
-  const int32_t kYes = 7;
-  const int32_t kNo = 9;
-  Rng rng(2024);
+  const std::vector<int32_t> kYesNo = {7, 9};
+  uint64_t rng = 2024;
 
   std::printf("scoring %d posts for each of %d users (profile %ld tokens)\n\n",
               kPosts, kUsers, static_cast<long>(kProfileLen));
   for (int user = 0; user < kUsers; ++user) {
-    Rng user_rng = rng.Fork();
-    const auto profile = RandomTokens(user_rng, kProfileLen, options.model.vocab_size);
+    const auto profile = RandomTokens(rng, kProfileLen, kVocab);
 
-    // Submit all candidate posts at once; the scheduler orders execution.
-    std::vector<int64_t> ids;
+    // One batch submission per user: all candidates enter the queue
+    // atomically as co-batch group-mates.
+    std::vector<std::vector<int32_t>> candidates;
     for (int post = 0; post < kPosts; ++post) {
-      ScoringRequest request;
-      request.user_id = user;
-      request.tokens = profile;
-      const auto post_tokens =
-          RandomTokens(user_rng, kPostLen, options.model.vocab_size);
-      request.tokens.insert(request.tokens.end(), post_tokens.begin(),
-                            post_tokens.end());
-      request.allowed_tokens = {kYes, kNo};
-      auto id = engine.Submit(std::move(request));
-      if (id.ok()) {
-        ids.push_back(id.value());
-      }
+      std::vector<int32_t> tokens = profile;
+      const auto post_tokens = RandomTokens(rng, kPostLen, kVocab);
+      tokens.insert(tokens.end(), post_tokens.begin(), post_tokens.end());
+      candidates.push_back(std::move(tokens));
     }
-    auto responses = engine.RunPending().take();
+    ScoreOptions score_options;
+    score_options.user_id = user;
+    std::vector<RequestHandle> handles =
+        client.SubmitBatch(std::move(candidates), kYesNo, score_options);
 
     // Rank by P(Yes).
-    std::sort(responses.begin(), responses.end(),
-              [](const auto& a, const auto& b) { return a.score > b.score; });
-    std::printf("user %d - top 3 of %zu posts by P(Yes):\n", user, responses.size());
-    for (size_t i = 0; i < 3 && i < responses.size(); ++i) {
-      std::printf("  #%zu: request %ld  P(Yes)=%.4f  (cached %ld/%ld tokens, %.1f ms)\n",
-                  i + 1, static_cast<long>(responses[i].request_id), responses[i].score,
-                  static_cast<long>(responses[i].n_cached),
-                  static_cast<long>(responses[i].n_input),
-                  responses[i].execute_time_s * 1e3);
+    struct Ranked {
+      long id;
+      ScoreResult result;
+    };
+    std::vector<Ranked> ranked;
+    for (RequestHandle& handle : handles) {
+      Ranked r;
+      r.id = static_cast<long>(handle.id());
+      r.result = handle.Wait();
+      if (r.result.ok) {
+        ranked.push_back(std::move(r));
+      }
+    }
+    std::sort(ranked.begin(), ranked.end(), [](const Ranked& a, const Ranked& b) {
+      return a.result.score > b.result.score;
+    });
+    std::printf("user %d - top 3 of %zu posts by P(Yes):\n", user, ranked.size());
+    for (size_t i = 0; i < 3 && i < ranked.size(); ++i) {
+      std::printf(
+          "  #%zu: request %ld  P(Yes)=%.4f  (cached %ld/%ld tokens, batch %ld, %.1f ms)\n",
+          i + 1, ranked[i].id, ranked[i].result.score,
+          static_cast<long>(ranked[i].result.n_cached),
+          static_cast<long>(ranked[i].result.n_input),
+          static_cast<long>(ranked[i].result.batch_size),
+          ranked[i].result.execute_time_s * 1e3);
     }
   }
 
-  const auto stats = engine.stats();
-  std::printf("\nengine stats: %ld completed, prefix-cache hit rate %.0f%%, "
-              "cache %zu bytes, peak activations %zu bytes\n",
-              static_cast<long>(stats.completed), stats.cache.HitRate() * 100.0,
-              stats.cache_bytes, stats.peak_activation_bytes);
+  const ClientStats stats = client.Stats();
+  std::printf(
+      "\nclient stats: %ld completed, prefix-cache hit rate %.0f%%, cache %llu "
+      "bytes, peak activations %llu bytes, %.2f requests per prefill batch\n",
+      static_cast<long>(stats.completed), stats.cache_hit_rate * 100.0,
+      static_cast<unsigned long long>(stats.cache_bytes),
+      static_cast<unsigned long long>(stats.peak_activation_bytes),
+      stats.batches_dispatched > 0
+          ? static_cast<double>(stats.batched_requests) /
+                static_cast<double>(stats.batches_dispatched)
+          : 0.0);
   return 0;
 }

@@ -1,65 +1,68 @@
-// Quickstart: score a yes/no question with the PrefillOnly engine.
+// Quickstart: score a yes/no question with the PrefillOnly engine, through
+// the stable embedding facade (include/prefillonly/client.h — ISSUE 5).
 //
 // Build & run:
-//   cmake -B build -G Ninja && cmake --build build
-//   ./build/examples/quickstart
+//   cmake -B build && cmake --build build
+//   ./build/example_quickstart
 //
-// The engine loads a small deterministic Llama-style model, prefills the
+// The client loads a small deterministic Llama-style model, prefills the
 // prompt with hybrid prefilling, and returns the constrained probability
 // over the two allowed answer tokens — one forward pass, no decoding.
 #include <cstdio>
+#include <vector>
 
-#include "src/core/engine.h"
+#include "prefillonly/client.h"
 
 int main() {
   using namespace prefillonly;
 
-  // 1. Configure the engine. EngineOptions defaults enable everything the
-  //    paper describes: hybrid prefilling, suffix KV discarding, SRJF
-  //    scheduling with continuous JCT calibration.
-  EngineOptions options;
-  options.model = ModelConfig::Small();  // 4 layers, hidden 128, determinstic weights
+  // 1. Configure the client. Defaults enable everything the paper
+  //    describes: hybrid prefilling, suffix KV discarding, SRJF scheduling
+  //    with continuous JCT calibration.
+  ClientOptions options;
+  options.model = "small";  // 4 layers, hidden 128, deterministic weights
   options.cache_budget_tokens = 2048;
-  Engine engine(options);
-  std::printf("engine up: model '%s', %zu weight bytes, cache budget %ld tokens\n",
-              options.model.name.c_str(), engine.model().weight_bytes(),
-              static_cast<long>(options.cache_budget_tokens));
+  Client client(options);
+  std::printf("client up: model '%s', cache budget %ld tokens\n",
+              options.model.c_str(), static_cast<long>(options.cache_budget_tokens));
 
   // 2. Build a request. In a real deployment the tokens come from your
   //    tokenizer; ids 7 and 9 stand in for "Yes" and "No".
-  ScoringRequest request;
-  request.user_id = 1;
+  std::vector<int32_t> prompt;
   for (int i = 0; i < 400; ++i) {
-    request.tokens.push_back((i * 37 + 11) % options.model.vocab_size);
+    prompt.push_back((i * 37 + 11) % 512);
   }
-  request.allowed_tokens = {7, 9};
 
   // 3. Score it.
-  auto response = engine.ScoreSync(std::move(request));
-  if (!response.ok()) {
-    std::printf("request failed: %s\n", response.status().ToString().c_str());
+  ScoreOptions score_options;
+  score_options.user_id = 1;
+  ScoreResult result = client.Score(prompt, /*allowed=*/{7, 9}, score_options);
+  if (!result.ok) {
+    std::printf("request failed: %s: %s\n", result.error_code.c_str(),
+                result.error_message.c_str());
     return 1;
   }
-  std::printf("P(yes) = %.4f   P(no) = %.4f\n", response.value().probabilities[0].probability,
-              response.value().probabilities[1].probability);
+  std::printf("P(yes) = %.4f   P(no) = %.4f\n", result.probabilities[0].probability,
+              result.probabilities[1].probability);
   std::printf("input %ld tokens, %ld from cache, executed in %.1f ms\n",
-              static_cast<long>(response.value().n_input),
-              static_cast<long>(response.value().n_cached),
-              response.value().execute_time_s * 1e3);
+              static_cast<long>(result.n_input), static_cast<long>(result.n_cached),
+              result.execute_time_s * 1e3);
 
   // 4. Score a follow-up sharing the same prefix: the profile KV is reused.
-  ScoringRequest follow_up;
-  follow_up.user_id = 1;
-  for (int i = 0; i < 400; ++i) {
-    follow_up.tokens.push_back((i * 37 + 11) % options.model.vocab_size);
-  }
-  follow_up.tokens.back() = 123;  // change the tail only
-  follow_up.allowed_tokens = {7, 9};
-  auto second = engine.ScoreSync(std::move(follow_up));
-  if (second.ok()) {
+  std::vector<int32_t> follow_up = prompt;
+  follow_up.back() = 123;  // change the tail only
+  ScoreResult second = client.Score(follow_up, {7, 9}, score_options);
+  if (second.ok) {
     std::printf("follow-up: %ld of %ld tokens served from the prefix cache\n",
-                static_cast<long>(second.value().n_cached),
-                static_cast<long>(second.value().n_input));
+                static_cast<long>(second.n_cached),
+                static_cast<long>(second.n_input));
   }
+
+  // 5. The same client serves the async lifecycle: submit, poll, cancel.
+  RequestHandle handle = client.Submit(prompt, {7, 9});
+  ScoreResult async_result = handle.Wait();
+  std::printf("async request %ld: P(yes) = %.4f (cached %ld tokens)\n",
+              static_cast<long>(handle.id()), async_result.score,
+              static_cast<long>(async_result.n_cached));
   return 0;
 }

@@ -1,14 +1,19 @@
 // The paper's deployment shape (§3.1): an HTTP frontend over the engine.
 //
-// Starts the scoring service on loopback, issues two requests against it
-// through a real socket (the second hits the prefix cache), prints the
-// JSON responses, and shuts down. Run it with no arguments; pass a port
-// via PO_PORT if you want to poke it with curl while it sleeps briefly:
+// Starts the scoring service on loopback, exercises the v1 API through a
+// real socket — a blocking score (the second hits the prefix cache), a
+// multi-item score, and the async lifecycle (submit, poll, cancel) — then
+// shuts down. Run it with no arguments; pass a port via PO_PORT to poke it
+// with curl while it serves (PO_SERVE_SECONDS, default 30):
 //
-//   PO_PORT=8080 ./build/examples/scoring_server &
+//   PO_PORT=8080 ./build/example_scoring_server &
 //   curl -s localhost:8080/v1/score -d \
 //     '{"text":"user profile: likes systems papers. article: cache design. yes or no?",
 //       "allowed":["yes","no"]}'
+//   curl -s localhost:8080/v1/requests -d '{"tokens":[1,2,3],"allowed_tokens":[7,9]}'
+//   curl -s localhost:8080/v1/requests/req-1
+//
+// Full route reference: docs/API.md.
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -22,7 +27,8 @@
 
 namespace {
 
-std::string RoundTrip(uint16_t port, const std::string& body) {
+std::string RoundTrip(uint16_t port, const std::string& method,
+                      const std::string& path, const std::string& body) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -31,7 +37,8 @@ std::string RoundTrip(uint16_t port, const std::string& body) {
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     return "(connect failed)";
   }
-  const std::string request = "POST /v1/score HTTP/1.1\r\nHost: localhost\r\n"
+  const std::string request = method + " " + path +
+                              " HTTP/1.1\r\nHost: localhost\r\n"
                               "Content-Length: " +
                               std::to_string(body.size()) + "\r\n\r\n" + body;
   (void)!::write(fd, request.data(), request.size());
@@ -54,6 +61,7 @@ int main() {
   EngineOptions options;
   options.model = ModelConfig::Small();
   options.block_size = 8;  // text prompts are short; small blocks still share
+  options.max_batch_size = 4;  // multi-item calls co-batch
   ScoringService service(std::move(options));
 
   uint16_t port = 0;
@@ -75,14 +83,41 @@ int main() {
   const std::string q2 = R"({"text":")" + profile +
                          R"(article : celebrity gossip weekly", "allowed":["yes","no"]})";
 
-  std::printf("request 1 -> %s\n", RoundTrip(service.port(), q1).c_str());
-  std::printf("request 2 -> %s\n", RoundTrip(service.port(), q2).c_str());
-  std::printf("\n(request 2's n_cached shows the shared profile prefix being "
-              "reused across HTTP requests.)\n");
+  std::printf("score 1 -> %s\n", RoundTrip(service.port(), "POST", "/v1/score", q1).c_str());
+  std::printf("score 2 -> %s\n", RoundTrip(service.port(), "POST", "/v1/score", q2).c_str());
+  std::printf("(score 2's n_cached shows the shared profile prefix being "
+              "reused across HTTP requests.)\n\n");
+
+  // Multi-item scoring: one call, per-item results in input order, the
+  // items co-scheduled into shared prefill batches.
+  const std::string multi =
+      R"({"items":[)"
+      R"({"text":")" + profile + R"(article : raft consensus", "allowed":["yes","no"]},)"
+      R"({"text":")" + profile + R"(article : sourdough hydration", "allowed":["yes","no"]},)"
+      R"({"text":")" + profile + R"(article : bikepacking bags", "allowed":["yes","no"]}],)"
+      R"("options":{"priority":1}})";
+  std::printf("multi-item -> %s\n\n",
+              RoundTrip(service.port(), "POST", "/v1/score", multi).c_str());
+
+  // Async lifecycle: submit, poll, cancel.
+  const std::string submitted = RoundTrip(
+      service.port(), "POST", "/v1/requests",
+      R"({"text":")" + profile + R"(article : lsm compaction", "allowed":["yes","no"],)"
+      R"( "options":{"request_id":"demo-1"}})");
+  std::printf("submit -> %s\n", submitted.c_str());
+  std::printf("poll   -> %s\n",
+              RoundTrip(service.port(), "GET", "/v1/requests/demo-1", "").c_str());
+  std::printf("cancel -> %s\n",
+              RoundTrip(service.port(), "DELETE", "/v1/requests/demo-1", "").c_str());
 
   if (std::getenv("PO_PORT") != nullptr) {
-    std::printf("\nserving for 30s; try curl now...\n");
-    ::sleep(30);
+    int serve_seconds = 30;
+    if (const char* env = std::getenv("PO_SERVE_SECONDS"); env != nullptr) {
+      serve_seconds = std::atoi(env);
+    }
+    std::printf("\nserving for %ds; try curl now...\n", serve_seconds);
+    std::fflush(stdout);
+    ::sleep(static_cast<unsigned>(serve_seconds));
   }
   service.Stop();
   return 0;

@@ -1,0 +1,123 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the v1 serving API (ISSUE 5 satellite).
+#
+# Boots the built example_scoring_server on a real port and exercises every
+# route family over real sockets with curl: blocking score (single +
+# multi-item), the async lifecycle (submit, poll to done, cancel,
+# idempotent cancel-after-done), the structured error model (400/404/405/
+# 504 + Allow header), and keep-alive. Asserts JSON shapes with python3.
+#
+# Usage: scripts/smoke_api.sh [build-dir]   (default: build)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SERVER="${BUILD_DIR}/example_scoring_server"
+PORT="${SMOKE_PORT:-18472}"
+BASE="http://127.0.0.1:${PORT}"
+
+if [[ ! -x "${SERVER}" ]]; then
+  echo "error: ${SERVER} not built (cmake --build ${BUILD_DIR} --target example_scoring_server)" >&2
+  exit 1
+fi
+
+PO_PORT="${PORT}" PO_SERVE_SECONDS=120 "${SERVER}" >/dev/null 2>&1 &
+SERVER_PID=$!
+trap 'kill "${SERVER_PID}" 2>/dev/null || true' EXIT
+
+# Wait for the port.
+for _ in $(seq 1 100); do
+  if curl -sf "${BASE}/v1/stats" >/dev/null 2>&1; then break; fi
+  sleep 0.1
+done
+
+fail() { echo "SMOKE FAIL: $*" >&2; exit 1; }
+
+# jexpr <json> <python-expr over d> — evaluates an expression on parsed JSON.
+jexpr() {
+  python3 -c 'import json,sys; d=json.loads(sys.argv[1]); print(eval(sys.argv[2]))' "$1" "$2"
+}
+
+echo "== single-item score =="
+BODY='{"tokens":[3,1,4,1,5,9,2,6,5,3,5,9],"allowed_tokens":[10,20],"user_id":7}'
+CODE=$(curl -s -o /tmp/smoke_score.json -w '%{http_code}' -d "${BODY}" "${BASE}/v1/score")
+[[ "${CODE}" == 200 ]] || fail "score expected 200, got ${CODE}"
+RESP=$(cat /tmp/smoke_score.json)
+[[ $(jexpr "${RESP}" '0.0 < d["score"] < 1.0') == True ]] || fail "score out of range: ${RESP}"
+[[ $(jexpr "${RESP}" 'd["n_input"]') == 12 ]] || fail "n_input mismatch: ${RESP}"
+
+echo "== multi-item score: per-item results in input order =="
+BODY='{"items":[{"tokens":[1,2,3,4],"allowed_tokens":[10,20]},{"tokens":[5,6,7,8],"allowed_tokens":[10,20]},{"tokens":[9,10,11,12],"allowed_tokens":[10,20]}]}'
+CODE=$(curl -s -o /tmp/smoke_multi.json -w '%{http_code}' -d "${BODY}" "${BASE}/v1/score")
+[[ "${CODE}" == 200 ]] || fail "multi-item expected 200, got ${CODE}"
+RESP=$(cat /tmp/smoke_multi.json)
+[[ $(jexpr "${RESP}" 'd["n_items"]') == 3 ]] || fail "n_items != 3: ${RESP}"
+[[ $(jexpr "${RESP}" 'len(d["results"])') == 3 ]] || fail "results != 3: ${RESP}"
+[[ $(jexpr "${RESP}" 'all("score" in r for r in d["results"])') == True ]] || fail "missing per-item score: ${RESP}"
+
+echo "== expired deadline: 504 before dispatch =="
+BODY='{"tokens":[1,2,3],"allowed_tokens":[10,20],"options":{"deadline_ms":0}}'
+CODE=$(curl -s -o /tmp/smoke_dl.json -w '%{http_code}' -d "${BODY}" "${BASE}/v1/score")
+[[ "${CODE}" == 504 ]] || fail "deadline_ms=0 expected 504, got ${CODE}"
+RESP=$(cat /tmp/smoke_dl.json)
+[[ $(jexpr "${RESP}" 'd["error"]["code"]') == deadline_exceeded ]] || fail "bad error code: ${RESP}"
+[[ $(jexpr "${RESP}" 'd["error"]["type"]') == timeout_error ]] || fail "bad error type: ${RESP}"
+
+echo "== malformed allowed_tokens: 400, structured error =="
+CODE=$(curl -s -o /tmp/smoke_bad.json -w '%{http_code}' -d '{"tokens":[1,2],"allowed_tokens":["x"]}' "${BASE}/v1/score")
+[[ "${CODE}" == 400 ]] || fail "malformed allowed_tokens expected 400, got ${CODE}"
+[[ $(jexpr "$(cat /tmp/smoke_bad.json)" 'd["error"]["code"]') == invalid_argument ]] || fail "bad 400 shape"
+
+echo "== async lifecycle: submit -> poll to done -> results =="
+BODY='{"tokens":[2,7,1,8,2,8,1,8,2,8],"allowed_tokens":[10,20],"options":{"request_id":"smoke-1"}}'
+CODE=$(curl -s -o /tmp/smoke_sub.json -w '%{http_code}' -d "${BODY}" "${BASE}/v1/requests")
+[[ "${CODE}" == 202 ]] || fail "submit expected 202, got ${CODE}"
+RESP=$(cat /tmp/smoke_sub.json)
+[[ $(jexpr "${RESP}" 'd["id"]') == smoke-1 ]] || fail "bad submit id: ${RESP}"
+[[ $(jexpr "${RESP}" 'd["status"]') == queued ]] || fail "bad submit status: ${RESP}"
+STATUS=""
+for _ in $(seq 1 100); do
+  RESP=$(curl -s "${BASE}/v1/requests/smoke-1")
+  STATUS=$(jexpr "${RESP}" 'd["status"]')
+  [[ "${STATUS}" == done ]] && break
+  sleep 0.05
+done
+[[ "${STATUS}" == done ]] || fail "request never reached done: ${RESP}"
+[[ $(jexpr "${RESP}" '0.0 < d["results"][0]["score"] < 1.0') == True ]] || fail "bad done results: ${RESP}"
+
+echo "== cancel: DELETE resolves, repeat is idempotent =="
+CODE=$(curl -s -o /tmp/smoke_c1.json -w '%{http_code}' -X DELETE "${BASE}/v1/requests/smoke-1")
+[[ "${CODE}" == 200 ]] || fail "cancel-after-done expected 200, got ${CODE}"
+[[ $(jexpr "$(cat /tmp/smoke_c1.json)" 'd["status"]') == done ]] || fail "cancel-after-done must stay done"
+CODE=$(curl -s -o /tmp/smoke_c2.json -w '%{http_code}' -X DELETE "${BASE}/v1/requests/smoke-1")
+[[ "${CODE}" == 200 ]] || fail "second cancel expected 200, got ${CODE}"
+[[ $(jexpr "$(cat /tmp/smoke_c2.json)" 'd["status"]') == done ]] || fail "second cancel must stay done"
+
+BODY='{"tokens":[4,4,4,4,4,4,4,4],"allowed_tokens":[10,20],"options":{"request_id":"smoke-2"}}'
+curl -s -d "${BODY}" "${BASE}/v1/requests" >/dev/null
+CODE=$(curl -s -o /tmp/smoke_c3.json -w '%{http_code}' -X DELETE "${BASE}/v1/requests/smoke-2")
+[[ "${CODE}" == 200 ]] || fail "cancel expected 200, got ${CODE}"
+STATUS=$(jexpr "$(cat /tmp/smoke_c3.json)" 'd["status"]')
+[[ "${STATUS}" == cancelled || "${STATUS}" == running || "${STATUS}" == done ]] \
+  || fail "cancel returned unexpected state ${STATUS}"
+
+echo "== unknown id: 404 =="
+CODE=$(curl -s -o /dev/null -w '%{http_code}' "${BASE}/v1/requests/never-was")
+[[ "${CODE}" == 404 ]] || fail "unknown id expected 404, got ${CODE}"
+
+echo "== wrong method on known path: 405 + Allow =="
+CODE=$(curl -s -o /dev/null -w '%{http_code}' "${BASE}/v1/score")
+[[ "${CODE}" == 405 ]] || fail "GET /v1/score expected 405, got ${CODE}"
+ALLOW=$(curl -s -D - -o /dev/null "${BASE}/v1/score" | tr -d '\r' | awk -F': ' 'tolower($1)=="allow"{print $2}')
+[[ "${ALLOW}" == POST ]] || fail "405 missing Allow: POST (got '${ALLOW}')"
+
+echo "== keep-alive: two polls on one connection =="
+# curl reuses the connection for multiple URLs on one command line.
+OUT=$(curl -sv -H 'Connection: keep-alive' "${BASE}/v1/stats" "${BASE}/v1/stats" 2>&1)
+echo "${OUT}" | grep -q 'Re-using existing connection' || fail "connection was not reused"
+
+echo "== stats expose lifecycle counters =="
+RESP=$(curl -s "${BASE}/v1/stats")
+[[ $(jexpr "${RESP}" 'd["completed"] >= 5') == True ]] || fail "completed counter: ${RESP}"
+[[ $(jexpr "${RESP}" '"cancelled" in d and "deadline_expired" in d') == True ]] || fail "missing lifecycle counters: ${RESP}"
+
+echo "SMOKE OK"

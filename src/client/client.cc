@@ -1,0 +1,246 @@
+// Implementation of the stable client facade (include/prefillonly/client.h):
+// the only translation unit that couples the facade types to the internal
+// engine headers.
+#include "prefillonly/client.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/core/engine.h"
+#include "src/server/api_error.h"
+#include "src/workload/tokenizer.h"
+
+namespace prefillonly {
+
+namespace {
+
+EngineOptions ToEngineOptions(const ClientOptions& options) {
+  EngineOptions engine;
+  if (options.model == "tiny") {
+    engine.model = ModelConfig::Tiny();
+  } else {
+    if (options.model != "small") {
+      PO_LOG_WARNING << "unknown model preset '" << options.model
+                     << "'; using 'small'";
+    }
+    engine.model = ModelConfig::Small();
+  }
+  if (options.prefill_mode == "standard") {
+    engine.mode = PrefillMode::kStandard;
+  } else if (options.prefill_mode == "chunked") {
+    engine.mode = PrefillMode::kChunked;
+  } else {
+    if (options.prefill_mode != "hybrid") {
+      PO_LOG_WARNING << "unknown prefill mode '" << options.prefill_mode
+                     << "'; using 'hybrid'";
+    }
+    engine.mode = PrefillMode::kHybrid;
+  }
+  engine.chunk_size = options.chunk_size;
+  engine.num_threads = options.num_threads;
+  engine.max_concurrent_requests = options.max_concurrent_requests;
+  engine.max_batch_size = options.max_batch_size;
+  engine.activation_budget_bytes = static_cast<size_t>(options.activation_budget_bytes);
+  engine.cache_budget_tokens = options.cache_budget_tokens;
+  engine.cpu_offload_budget_tokens = options.cpu_offload_budget_tokens;
+  engine.block_size = options.block_size;
+  return engine;
+}
+
+ScoreResult ToScoreResult(const Result<ScoringResponse>& result) {
+  ScoreResult out;
+  if (!result.ok()) {
+    out.ok = false;
+    out.error_code = ApiErrorCodeFor(result.status().code());
+    out.error_message = result.status().message();
+    return out;
+  }
+  const ScoringResponse& response = result.value();
+  out.ok = true;
+  out.score = response.score;
+  out.probabilities.reserve(response.probabilities.size());
+  for (const auto& p : response.probabilities) {
+    out.probabilities.push_back({p.token, p.probability});
+  }
+  out.n_input = response.n_input;
+  out.n_cached = response.n_cached;
+  out.n_cached_offload = response.n_cached_offload;
+  out.batch_size = response.batch_size;
+  out.queue_time_s = response.queue_time_s;
+  out.execute_time_s = response.execute_time_s;
+  return out;
+}
+
+ScoringRequest ToScoringRequest(std::vector<int32_t> tokens,
+                                std::vector<int32_t> allowed,
+                                const ScoreOptions& options) {
+  ScoringRequest request;
+  request.tokens = std::move(tokens);
+  request.allowed_tokens = std::move(allowed);
+  request.user_id = options.user_id;
+  request.priority = options.priority;
+  request.deadline_ms = options.deadline_ms < 0 ? ScoringRequest::kNoDeadline
+                                                : options.deadline_ms;
+  return request;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- handles
+
+struct RequestHandle::State {
+  int64_t id = -1;
+  Engine* engine = nullptr;  // null for submission-failure handles
+  Engine::ResponseFuture future;
+  bool resolved = false;
+  ScoreResult result;  // valid once resolved
+};
+
+RequestHandle::RequestHandle() : state_(std::make_unique<State>()) {
+  state_->resolved = true;
+  state_->result.ok = false;
+  state_->result.error_code = "invalid_argument";
+  state_->result.error_message = "empty request handle";
+}
+RequestHandle::~RequestHandle() = default;
+RequestHandle::RequestHandle(RequestHandle&&) noexcept = default;
+RequestHandle& RequestHandle::operator=(RequestHandle&&) noexcept = default;
+
+int64_t RequestHandle::id() const { return state_->id; }
+
+bool RequestHandle::Done() const {
+  if (state_->resolved) {
+    return true;
+  }
+  return state_->future.wait_for(std::chrono::seconds(0)) ==
+         std::future_status::ready;
+}
+
+ScoreResult RequestHandle::Wait() {
+  if (!state_->resolved) {
+    state_->result = ToScoreResult(state_->future.get());
+    state_->resolved = true;
+  }
+  return state_->result;
+}
+
+bool RequestHandle::Cancel() {
+  if (state_->resolved || state_->engine == nullptr || Done()) {
+    return false;
+  }
+  return state_->engine->Cancel(state_->id).ok();
+}
+
+// ----------------------------------------------------------------- client
+
+struct Client::Impl {
+  // The EngineOptions conversion runs once, in a delegating step, so preset
+  // warnings fire once and tokenizer/engine agree on the resolved model.
+  explicit Impl(const ClientOptions& options) : Impl(ToEngineOptions(options)) {}
+
+  explicit Impl(EngineOptions engine_options)
+      : tokenizer(static_cast<int32_t>(engine_options.model.vocab_size)),
+        engine(std::move(engine_options)) {
+    // The async lifecycle needs the concurrent runtime; blocking Score()
+    // calls run inline (ScoreSync) alongside it.
+    Status started = engine.StartWorker(/*callback=*/nullptr);
+    if (!started.ok()) {
+      PO_LOG_WARNING << "failed to start the concurrent runtime: "
+                     << started.ToString();
+    }
+  }
+
+  RequestHandle MakeHandle(Result<Engine::AsyncSubmission> submission) {
+    RequestHandle handle;
+    if (!submission.ok()) {
+      handle.state_->result.error_code = ApiErrorCodeFor(submission.status().code());
+      handle.state_->result.error_message = submission.status().message();
+      return handle;
+    }
+    handle.state_->id = submission.value().id;
+    handle.state_->engine = &engine;
+    handle.state_->future = std::move(submission.value().future);
+    handle.state_->resolved = false;
+    return handle;
+  }
+
+  HashTokenizer tokenizer;
+  Engine engine;
+};
+
+Client::Client(const ClientOptions& options)
+    : impl_(std::make_unique<Impl>(options)) {}
+Client::~Client() = default;
+
+ScoreResult Client::Score(const std::vector<int32_t>& tokens,
+                          const std::vector<int32_t>& allowed,
+                          const ScoreOptions& options) {
+  return ToScoreResult(
+      impl_->engine.ScoreSync(ToScoringRequest(tokens, allowed, options)));
+}
+
+ScoreResult Client::ScoreText(const std::string& text,
+                              const std::vector<std::string>& allowed_words,
+                              const ScoreOptions& options) {
+  std::vector<int32_t> allowed;
+  allowed.reserve(allowed_words.size());
+  for (const std::string& word : allowed_words) {
+    allowed.push_back(impl_->tokenizer.TokenFor(word));
+  }
+  return ToScoreResult(impl_->engine.ScoreSync(
+      ToScoringRequest(impl_->tokenizer.Encode(text), std::move(allowed), options)));
+}
+
+RequestHandle Client::Submit(std::vector<int32_t> tokens,
+                             std::vector<int32_t> allowed,
+                             const ScoreOptions& options) {
+  return impl_->MakeHandle(impl_->engine.SubmitAsyncHandle(
+      ToScoringRequest(std::move(tokens), std::move(allowed), options)));
+}
+
+std::vector<RequestHandle> Client::SubmitBatch(
+    std::vector<std::vector<int32_t>> items, const std::vector<int32_t>& allowed,
+    const ScoreOptions& options) {
+  std::vector<ScoringRequest> requests;
+  requests.reserve(items.size());
+  for (std::vector<int32_t>& tokens : items) {
+    requests.push_back(ToScoringRequest(std::move(tokens), allowed, options));
+  }
+  auto submitted = impl_->engine.SubmitGroupAsync(std::move(requests));
+  std::vector<RequestHandle> handles;
+  if (!submitted.ok()) {
+    // All-or-nothing admission: every handle reports the submission error.
+    for (size_t i = 0; i < items.size(); ++i) {
+      handles.push_back(impl_->MakeHandle(submitted.status()));
+    }
+    return handles;
+  }
+  handles.reserve(submitted.value().size());
+  for (Engine::AsyncSubmission& submission : submitted.value()) {
+    handles.push_back(impl_->MakeHandle(std::move(submission)));
+  }
+  return handles;
+}
+
+int32_t Client::TokenForWord(const std::string& word) const {
+  return impl_->tokenizer.TokenFor(word);
+}
+
+ClientStats Client::Stats() const {
+  const EngineStats stats = impl_->engine.stats();
+  ClientStats out;
+  out.submitted = stats.submitted;
+  out.completed = stats.completed;
+  out.failed = stats.failed;
+  out.cancelled = stats.cancelled;
+  out.cancelled_in_flight = stats.cancelled_in_flight;
+  out.deadline_expired = stats.deadline_expired;
+  out.batches_dispatched = stats.batches_dispatched;
+  out.batched_requests = stats.batched_requests;
+  out.cache_hit_rate = stats.cache.HitRate();
+  out.cache_bytes = stats.cache_bytes;
+  out.peak_activation_bytes = stats.peak_activation_bytes;
+  return out;
+}
+
+}  // namespace prefillonly

@@ -24,6 +24,10 @@ enum class StatusCode {
   kOutOfRange,
   kUnimplemented,
   kInternal,
+  // Request-lifecycle outcomes (ISSUE 5): a caller withdrew the request, or
+  // its deadline lapsed before (or while) it could be served.
+  kCancelled,
+  kDeadlineExceeded,
 };
 
 std::string_view StatusCodeName(StatusCode code);
@@ -59,6 +63,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -80,29 +80,63 @@ Status Engine::Validate(const ScoringRequest& request) const {
   return Status::Ok();
 }
 
-Result<int64_t> Engine::Enqueue(
+Result<Engine::Pending> Engine::MakePending(
     ScoringRequest request,
-    std::shared_ptr<std::promise<Result<ScoringResponse>>> promise) {
+    std::shared_ptr<std::promise<Result<ScoringResponse>>> promise) const {
   if (Status s = Validate(request); !s.ok()) {
     return s;
   }
   Pending pending;
   pending.request = std::move(request);
   pending.arrival_s = NowSeconds();
+  if (pending.request.deadline_ms == 0) {
+    // Reject at the door: a request whose budget is already spent must not
+    // cost a queue slot, let alone a prefill (ISSUE 5).
+    return Status::DeadlineExceeded("deadline expired before submission");
+  }
+  if (pending.request.deadline_ms > 0) {
+    pending.deadline_s =
+        pending.arrival_s + static_cast<double>(pending.request.deadline_ms) / 1e3;
+  }
   pending.chain = std::make_shared<const std::vector<uint64_t>>(
       BlockHashChain(pending.request.tokens, options_.block_size));
   pending.promise = std::move(promise);
+  return pending;
+}
 
-  std::lock_guard<std::mutex> lock(mu_);
-  if (draining_) {
-    return Status::FailedPrecondition("engine is stopping; request rejected");
+Result<std::vector<int64_t>> Engine::AdmitPendings(std::vector<Pending> pendings) {
+  std::vector<int64_t> ids;
+  ids.reserve(pendings.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) {
+      return Status::FailedPrecondition("engine is stopping; request rejected");
+    }
+    for (Pending& pending : pendings) {
+      pending.id = next_id_++;
+      ++stats_.submitted;
+      ids.push_back(pending.id);
+      waiting_.push_back(std::move(pending));
+    }
   }
-  pending.id = next_id_++;
-  ++stats_.submitted;
-  const int64_t id = pending.id;
-  waiting_.push_back(std::move(pending));
   dispatch_cv_.notify_all();
-  return id;
+  return ids;
+}
+
+Result<int64_t> Engine::Enqueue(
+    ScoringRequest request,
+    std::shared_ptr<std::promise<Result<ScoringResponse>>> promise) {
+  auto pending = MakePending(std::move(request), std::move(promise));
+  if (!pending.ok()) {
+    return pending.status();
+  }
+  std::vector<Pending> pendings;
+  pendings.push_back(pending.take());
+  auto ids = AdmitPendings(std::move(pendings));
+  if (!ids.ok()) {
+    return ids.status();
+  }
+  return ids.value()[0];
 }
 
 Result<int64_t> Engine::Submit(ScoringRequest request) {
@@ -110,13 +144,118 @@ Result<int64_t> Engine::Submit(ScoringRequest request) {
 }
 
 Result<Engine::ResponseFuture> Engine::SubmitAsync(ScoringRequest request) {
+  auto submission = SubmitAsyncHandle(std::move(request));
+  if (!submission.ok()) {
+    return submission.status();
+  }
+  return std::move(submission.value().future);
+}
+
+Result<Engine::AsyncSubmission> Engine::SubmitAsyncHandle(ScoringRequest request) {
   auto promise = std::make_shared<std::promise<Result<ScoringResponse>>>();
   ResponseFuture future = promise->get_future();
   auto id = Enqueue(std::move(request), std::move(promise));
   if (!id.ok()) {
     return id.status();
   }
-  return future;
+  AsyncSubmission submission;
+  submission.id = id.value();
+  submission.future = std::move(future);
+  return submission;
+}
+
+Result<std::vector<Engine::AsyncSubmission>> Engine::SubmitGroupAsync(
+    std::vector<ScoringRequest> requests) {
+  if (requests.empty()) {
+    return Status::InvalidArgument("request group is empty");
+  }
+  // All-or-nothing admission: every request is validated (and its chain
+  // hashed) before any of them becomes visible to the scheduler.
+  std::vector<Pending> pendings;
+  std::vector<ResponseFuture> futures;
+  pendings.reserve(requests.size());
+  futures.reserve(requests.size());
+  for (ScoringRequest& request : requests) {
+    auto promise = std::make_shared<std::promise<Result<ScoringResponse>>>();
+    futures.push_back(promise->get_future());
+    auto pending = MakePending(std::move(request), std::move(promise));
+    if (!pending.ok()) {
+      return pending.status();
+    }
+    pendings.push_back(pending.take());
+  }
+  if (pendings.size() >= 2) {
+    int64_t group = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      group = next_group_++;
+    }
+    for (Pending& pending : pendings) {
+      pending.group = group;
+    }
+  }
+  auto ids = AdmitPendings(std::move(pendings));
+  if (!ids.ok()) {
+    return ids.status();
+  }
+  std::vector<AsyncSubmission> submissions(ids.value().size());
+  for (size_t i = 0; i < submissions.size(); ++i) {
+    submissions[i].id = ids.value()[i];
+    submissions[i].future = std::move(futures[i]);
+  }
+  return submissions;
+}
+
+Status Engine::Cancel(int64_t id) {
+  std::shared_ptr<std::promise<Result<ScoringResponse>>> promise;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (std::optional<Pending> pending = TakeWaitingLocked(id)) {
+      // Dequeued before any dispatch decision claimed it: it never executes.
+      ++stats_.cancelled;
+      promise = std::move(pending->promise);
+    } else if (running_ids_.count(id) > 0) {
+      // Mark-and-ignore: the prefill is already burning; its result is
+      // discarded at finalization and the waiter sees kCancelled.
+      cancelled_in_flight_.insert(id);
+      return Status::Ok();
+    } else {
+      return Status::NotFound("request " + std::to_string(id) +
+                              " is not queued or in flight");
+    }
+  }
+  if (promise != nullptr) {
+    promise->set_value(
+        Result<ScoringResponse>(Status::Cancelled("request cancelled while queued")));
+  }
+  return Status::Ok();
+}
+
+Engine::RequestPhase Engine::Phase(int64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Pending& pending : waiting_) {
+    if (pending.id == id) {
+      return RequestPhase::kQueued;
+    }
+  }
+  if (running_ids_.count(id) > 0) {
+    return RequestPhase::kRunning;
+  }
+  return RequestPhase::kUnknown;
+}
+
+std::vector<Engine::Pending> Engine::TakeExpiredLocked(double now) {
+  std::vector<Pending> expired;
+  for (auto it = waiting_.begin(); it != waiting_.end();) {
+    if (it->deadline_s >= 0.0 && now >= it->deadline_s) {
+      expired.push_back(std::move(*it));
+      it = waiting_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  stats_.deadline_expired += static_cast<int64_t>(expired.size());
+  return expired;
 }
 
 std::vector<Engine::Candidate> Engine::SnapshotQueueLocked() const {
@@ -127,6 +266,8 @@ std::vector<Engine::Candidate> Engine::SnapshotQueueLocked() const {
     c.id = p.id;
     c.arrival_s = p.arrival_s;
     c.n_input = static_cast<int64_t>(p.request.tokens.size());
+    c.priority = p.request.priority;
+    c.group = p.group;
     c.chain = p.chain;
     candidates.push_back(std::move(c));
   }
@@ -176,6 +317,8 @@ std::vector<int64_t> Engine::PickBatchIds(const std::vector<Candidate>& candidat
       SchedEntry entry;
       entry.arrival_time = c.arrival_s;
       entry.n_input = c.n_input;
+      entry.priority = c.priority;
+      entry.group = c.group;
       // Continuous JCT calibration: the hit length is refreshed against the
       // live cache on every decision. Offloaded blocks count as cached:
       // their reload is far cheaper than recomputation.
@@ -203,9 +346,10 @@ std::vector<int64_t> Engine::PickBatchIds(const std::vector<Candidate>& candidat
             per_miss +
         static_cast<size_t>(std::max<int64_t>(entry.n_cached_now, 0)) * per_cached;
     // The seed always dispatches; co-batched members must keep the projected
-    // stacked footprint inside the lane's activation budget. Same-bucket
-    // members are score-ordered, so stopping at the first overflow is the
-    // right truncation.
+    // stacked footprint inside the lane's activation budget. Riders are
+    // preference-ordered (group-mates first, then same-bucket by class and
+    // score), so stopping at the first overflow truncates the least
+    // preferred tail.
     if (!ids.empty() && options_.activation_budget_bytes > 0 &&
         projected > options_.activation_budget_bytes) {
       break;
@@ -507,37 +651,54 @@ std::vector<Result<ScoringResponse>> Engine::ExecuteBatchAndFinalize(
     return results;
   }
 
-  // Promises move out first: the solo fallback inside ExecuteBatchOnArena
-  // consumes the Pendings, and fulfillment must happen exactly once, here.
+  // Promises and ids move out first: the solo fallback inside
+  // ExecuteBatchOnArena consumes the Pendings, and fulfillment must happen
+  // exactly once, here.
   std::vector<std::shared_ptr<std::promise<Result<ScoringResponse>>>> promises;
+  std::vector<int64_t> ids;
   promises.reserve(batch.requests.size());
+  ids.reserve(batch.requests.size());
   for (Pending& pending : batch.requests) {
     promises.push_back(std::move(pending.promise));
+    ids.push_back(pending.id);
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++executing_;
+    for (const int64_t id : ids) {
+      running_ids_.insert(id);
+    }
     stats_.peak_in_flight = std::max<int64_t>(stats_.peak_in_flight, executing_);
   }
   // One arena for the whole lane: the activation budget bounds the stacked
   // pass, the per-lane analogue of the per-request budget.
   TrackingAllocator activations(options_.activation_budget_bytes);
   auto results = ExecuteBatchOnArena(activations, batch.requests);
+  std::vector<bool> ignored(results.size(), false);
   {
     std::lock_guard<std::mutex> lock(mu_);
     --executing_;
     stats_.peak_activation_bytes =
         std::max(stats_.peak_activation_bytes, activations.peak_bytes());
-    for (const auto& result : results) {
-      if (result.ok()) {
+    for (size_t i = 0; i < results.size(); ++i) {
+      running_ids_.erase(ids[i]);
+      // Mark-and-ignore (ISSUE 5): per-member, like the solo path.
+      if (cancelled_in_flight_.erase(ids[i]) > 0) {
+        ignored[i] = true;
+        ++stats_.cancelled_in_flight;
+      } else if (results[i].ok()) {
         ++stats_.completed;
-        stats_.total_execute_s += result.value().execute_time_s;
+        stats_.total_execute_s += results[i].value().execute_time_s;
       } else {
         ++stats_.failed;
       }
     }
   }
   for (size_t i = 0; i < results.size(); ++i) {
+    if (ignored[i]) {
+      results[i] = Result<ScoringResponse>(
+          Status::Cancelled("request cancelled while in flight; result discarded"));
+    }
     if (promises[i] != nullptr) {
       promises[i]->set_value(results[i]);
     }
@@ -546,23 +707,36 @@ std::vector<Result<ScoringResponse>> Engine::ExecuteBatchAndFinalize(
 }
 
 Result<ScoringResponse> Engine::ExecuteAndFinalize(Pending pending) {
+  const int64_t id = pending.id;
   auto promise = std::move(pending.promise);
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++executing_;
+    running_ids_.insert(id);
     stats_.peak_in_flight =
         std::max<int64_t>(stats_.peak_in_flight, executing_);
   }
   auto response = Execute(std::move(pending));
+  bool ignore = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     --executing_;
-    if (response.ok()) {
+    running_ids_.erase(id);
+    // Mark-and-ignore (ISSUE 5): a Cancel() that raced the execution wins —
+    // the computed result is discarded, the waiter sees kCancelled.
+    ignore = cancelled_in_flight_.erase(id) > 0;
+    if (ignore) {
+      ++stats_.cancelled_in_flight;
+    } else if (response.ok()) {
       ++stats_.completed;
       stats_.total_execute_s += response.value().execute_time_s;
     } else {
       ++stats_.failed;
     }
+  }
+  if (ignore) {
+    response = Result<ScoringResponse>(
+        Status::Cancelled("request cancelled while in flight; result discarded"));
   }
   if (promise != nullptr) {
     promise->set_value(response);
@@ -590,14 +764,27 @@ Result<std::vector<ScoringResponse>> Engine::RunPending() {
   std::vector<ScoringResponse> responses;
   while (true) {
     std::vector<Candidate> candidates;
+    std::vector<Pending> expired;
     const Scheduler* scheduler = nullptr;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (waiting_.empty()) {
+      // Same pre-dispatch deadline enforcement as the concurrent
+      // dispatcher: lapsed requests never cost a prefill.
+      expired = TakeExpiredLocked(NowSeconds());
+      if (waiting_.empty() && expired.empty()) {
         break;
       }
       candidates = SnapshotQueueLocked();
       scheduler = scheduler_.get();
+    }
+    for (Pending& pending : expired) {
+      if (pending.promise != nullptr) {
+        pending.promise->set_value(Result<ScoringResponse>(
+            Status::DeadlineExceeded("deadline expired while queued")));
+      }
+    }
+    if (candidates.empty()) {
+      continue;
     }
     const std::vector<int64_t> picked = PickBatchIds(candidates, scheduler);
     PrefillBatchPending batch;
@@ -606,13 +793,17 @@ Result<std::vector<ScoringResponse>> Engine::RunPending() {
       std::lock_guard<std::mutex> lock(mu_);
       for (const int64_t id : picked) {
         if (std::optional<Pending> pending = TakeWaitingLocked(id)) {
+          // Same no-blind-window rule as the dispatcher: "running" from the
+          // moment the id leaves the queue.
+          running_ids_.insert(id);
           batch.requests.push_back(std::move(*pending));
         }
       }
     }
     if (batch.requests.empty()) {
       // A StartWorker() racing mid-drain handed these requests to the
-      // dispatcher; they complete there, we just stop claiming them.
+      // dispatcher (they complete there), or a Cancel() withdrew them;
+      // either way we just stop claiming them.
       continue;
     }
     auto batch_responses = ExecuteBatchAndFinalize(std::move(batch));
@@ -628,20 +819,20 @@ Result<std::vector<ScoringResponse>> Engine::RunPending() {
 }
 
 Result<ScoringResponse> Engine::ScoreSync(ScoringRequest request) {
-  if (Status s = Validate(request); !s.ok()) {
-    return s;
+  // Through MakePending like every other frontend, so the lifecycle options
+  // keep their contract here too: an already-expired deadline is rejected
+  // before the prefill (a positive one is trivially met — execution starts
+  // immediately on the calling thread).
+  auto pending = MakePending(std::move(request), nullptr);
+  if (!pending.ok()) {
+    return pending.status();
   }
-  Pending pending;
-  pending.request = std::move(request);
-  pending.arrival_s = NowSeconds();
-  pending.chain = std::make_shared<const std::vector<uint64_t>>(
-      BlockHashChain(pending.request.tokens, options_.block_size));
   {
     std::lock_guard<std::mutex> lock(mu_);
-    pending.id = next_id_++;
+    pending.value().id = next_id_++;
     ++stats_.submitted;
   }
-  return ExecuteAndFinalize(std::move(pending));
+  return ExecuteAndFinalize(pending.take());
 }
 
 Status Engine::StartWorker(ResponseCallback callback) {
@@ -707,6 +898,21 @@ void Engine::DispatcherLoop() {
       return (draining_ && waiting_.empty() && in_flight_ == 0) ||
              (!waiting_.empty() && in_flight_ < max_slots);
     });
+    // Deadline enforcement happens at the scheduling decision (ISSUE 5):
+    // lapsed requests are failed with kDeadlineExceeded here, before any
+    // prefill is spent on them, and never reach an executor.
+    if (std::vector<Pending> expired = TakeExpiredLocked(NowSeconds());
+        !expired.empty()) {
+      lock.unlock();
+      for (Pending& pending : expired) {
+        if (pending.promise != nullptr) {
+          pending.promise->set_value(Result<ScoringResponse>(
+              Status::DeadlineExceeded("deadline expired while queued")));
+        }
+      }
+      lock.lock();
+      continue;
+    }
     if (waiting_.empty() || in_flight_ >= max_slots) {
       if (draining_ && waiting_.empty() && in_flight_ == 0) {
         break;
@@ -717,23 +923,27 @@ void Engine::DispatcherLoop() {
     // scheduler with mu_ RELEASED, so Submit/stats never convoy behind an
     // in-flight prefix copy holding cache_mu_. n_cached_now is refreshed
     // against the live cache at the moment an executor slot frees —
-    // continuous JCT calibration (§6.3). Only this thread removes entries
-    // while the runtime runs, so the pick is still in waiting_ on relock
-    // (requests that arrive between snapshot and relock just wait for the
-    // next decision).
+    // continuous JCT calibration (§6.3). Besides this thread only Cancel()
+    // removes entries while the runtime runs (requests that arrive between
+    // snapshot and relock just wait for the next decision).
     std::vector<Candidate> candidates = SnapshotQueueLocked();
     const Scheduler* scheduler = scheduler_.get();
     lock.unlock();
-    // A batched decision (ISSUE 4): the SRJF winner plus up to
-    // max_batch_size - 1 same-length-bucket riders, all still in waiting_
-    // on relock because only this thread removes entries while the runtime
-    // runs.
+    // A batched decision (ISSUE 4/5): the SRJF winner plus riders — the
+    // seed's co-batch group-mates first, then same-length-bucket entries.
+    // A pick cancelled between snapshot and relock simply drops out of the
+    // batch (TakeWaitingLocked returns nullopt).
     const std::vector<int64_t> picked = PickBatchIds(candidates, scheduler);
     lock.lock();
     PrefillBatchPending batch;
     batch.requests.reserve(picked.size());
     for (const int64_t id : picked) {
       if (std::optional<Pending> pending = TakeWaitingLocked(id)) {
+        // The id becomes "running" the moment it leaves the queue, under
+        // the SAME mu_ hold — a Cancel() landing while the batch rides the
+        // exec_queue_ must find it in running_ids_ (mark-and-ignore), not
+        // fall into a blind window where the cancellation is lost.
+        running_ids_.insert(id);
         batch.requests.push_back(std::move(*pending));
       }
     }

@@ -53,6 +53,7 @@
 #include <span>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/common/queue.h"
@@ -147,6 +148,17 @@ struct EngineStats {
   int64_t submitted = 0;
   int64_t completed = 0;
   int64_t failed = 0;
+  // Request-lifecycle outcomes (ISSUE 5). `cancelled` counts requests
+  // withdrawn while still queued — they never executed (no prefill, no
+  // batch, no completed/failed increment). `cancelled_in_flight` counts
+  // mark-and-ignore cancellations: the prefill had already started, its
+  // result was discarded. `deadline_expired` counts requests failed with
+  // kDeadlineExceeded before dispatch (lapsed while queued); submissions
+  // with an already-expired deadline are rejected before counting as
+  // submitted.
+  int64_t cancelled = 0;
+  int64_t cancelled_in_flight = 0;
+  int64_t deadline_expired = 0;
   double total_execute_s = 0.0;
   // High-water mark of simultaneously executing lanes (concurrent runtime
   // plus inline ScoreSync lanes; a batch occupies one lane).
@@ -208,6 +220,39 @@ class Engine {
   // fulfilled exactly once when the request completes (in either mode).
   Result<ResponseFuture> SubmitAsync(ScoringRequest request);
 
+  // --- Request lifecycle (ISSUE 5) ------------------------------------
+  // The engine id plus the future a lifecycle client polls/cancels with.
+  struct AsyncSubmission {
+    int64_t id = 0;
+    ResponseFuture future;
+  };
+  // SubmitAsync, with the engine id exposed for Cancel()/Phase().
+  Result<AsyncSubmission> SubmitAsyncHandle(ScoringRequest request);
+  // Atomic multi-request admission: validates EVERY request up front (none
+  // is enqueued unless all pass), then enqueues the whole group under one
+  // lock so a scheduling decision sees all members together. Groups of
+  // size >= 2 are tagged as deliberate co-batch candidates: PickBatch seeds
+  // normally, then fills lanes with the seed's group-mates regardless of
+  // their LengthBucket (the caller co-submitted them for one decision), so
+  // multi-item API calls are co-scheduled deliberately instead of
+  // probabilistically. Futures/ids are index-aligned with `requests`.
+  Result<std::vector<AsyncSubmission>> SubmitGroupAsync(
+      std::vector<ScoringRequest> requests);
+  // Cancels a request by engine id.
+  //  * still queued  -> dequeued, never executes; its future/callback gets
+  //    kCancelled and stats().cancelled increments (completed/failed and the
+  //    batch counters never see it);
+  //  * in flight     -> mark-and-ignore: the prefill finishes but its result
+  //    is discarded; the future/callback gets kCancelled and
+  //    stats().cancelled_in_flight increments;
+  //  * unknown (completed or never existed) -> kNotFound.
+  Status Cancel(int64_t id);
+  // Where a request currently is, for lifecycle polling. kUnknown covers
+  // "already finished" as well as "never submitted" — terminal results are
+  // delivered through the future, not queryable here.
+  enum class RequestPhase { kUnknown, kQueued, kRunning };
+  RequestPhase Phase(int64_t id) const;
+
   // --- JCT profiling (§6.3) -------------------------------------------
   // Times real prefill passes over an (n_input, n_cached) grid and fits the
   // linear JCT model; on success the scheduler uses it instead of the
@@ -224,6 +269,10 @@ class Engine {
     int64_t id = 0;
     ScoringRequest request;
     double arrival_s = 0.0;
+    // Absolute engine-clock deadline; < 0 = none (ISSUE 5).
+    double deadline_s = -1.0;
+    // Co-batch group id; 0 = ungrouped (ISSUE 5).
+    int64_t group = 0;
     // Shared so scheduling snapshots can reference the chain without copying
     // it or holding mu_; immutable after construction.
     std::shared_ptr<const std::vector<uint64_t>> chain;
@@ -248,6 +297,8 @@ class Engine {
     int64_t id = 0;
     double arrival_s = 0.0;
     int64_t n_input = 0;
+    int32_t priority = 0;
+    int64_t group = 0;
     std::shared_ptr<const std::vector<uint64_t>> chain;
   };
 
@@ -268,8 +319,20 @@ class Engine {
   };
 
   Status Validate(const ScoringRequest& request) const;
+  // Validation + chain hashing + deadline conversion, everything that can
+  // fail before admission; no locks taken.
+  Result<Pending> MakePending(
+      ScoringRequest request,
+      std::shared_ptr<std::promise<Result<ScoringResponse>>> promise) const;
+  // Admits fully-built Pendings under ONE mu_ acquisition (ids assigned,
+  // submitted counted, dispatcher notified); groups therefore become
+  // visible to the scheduler atomically. Returns the assigned ids.
+  Result<std::vector<int64_t>> AdmitPendings(std::vector<Pending> pendings);
   Result<int64_t> Enqueue(ScoringRequest request,
                           std::shared_ptr<std::promise<Result<ScoringResponse>>> promise);
+  // Removes every waiting request whose deadline has lapsed; requires mu_.
+  // The caller fulfills their promises (kDeadlineExceeded) WITHOUT mu_.
+  std::vector<Pending> TakeExpiredLocked(double now);
   // Cache acquire + prefix assembly, atomic under cache_mu_.
   Status AcquirePrefix(const Pending& pending, TrackingAllocator& activations,
                        PrefixAcq& out);
@@ -339,6 +402,12 @@ class Engine {
   std::condition_variable dispatch_cv_;
   std::vector<Pending> waiting_;
   int64_t next_id_ = 0;
+  int64_t next_group_ = 1;  // 0 is the "ungrouped" sentinel
+  // Lifecycle tracking (ISSUE 5): ids currently inside Execute (for Phase
+  // and in-flight cancellation) and in-flight ids whose results must be
+  // discarded on completion (mark-and-ignore).
+  std::unordered_set<int64_t> running_ids_;
+  std::unordered_set<int64_t> cancelled_in_flight_;
   EngineStats stats_;
   int in_flight_ = 0;   // dispatcher-admitted requests holding executor slots
   int executing_ = 0;   // all lanes currently inside Execute (incl. ScoreSync)

@@ -16,11 +16,28 @@
 namespace prefillonly {
 
 struct ScoringRequest {
+  // Sentinel for deadline_ms: the request never expires.
+  static constexpr int64_t kNoDeadline = -1;
+
   int64_t user_id = 0;
   std::vector<int32_t> tokens;
   // Output restricted to these token ids; probabilities[i] corresponds to
   // allowed_tokens[i].
   std::vector<int32_t> allowed_tokens;
+
+  // --- Request-lifecycle options (ISSUE 5) ----------------------------
+  // Strict scheduling class: among waiting requests the scheduler always
+  // prefers the highest priority, and applies its policy (SRJF score,
+  // starvation aging) only WITHIN a class. Default 0; negative values
+  // deprioritize.
+  int32_t priority = 0;
+  // Time budget in milliseconds, counted from submission, covering queueing
+  // AND execution start. kNoDeadline (< 0) = none. 0 = already expired: the
+  // engine rejects it at submission with kDeadlineExceeded. A positive
+  // deadline that lapses while the request waits fails it with
+  // kDeadlineExceeded at the next scheduling decision, before any prefill
+  // work is spent on it.
+  int64_t deadline_ms = kNoDeadline;
 };
 
 struct ScoringResponse {

@@ -54,18 +54,40 @@ std::vector<size_t> Scheduler::PickBatch(std::span<const SchedEntry> queue,
   }
   const auto miss = [](const SchedEntry& e) { return e.n_input - e.n_cached_now; };
   const int64_t seed_bucket = LengthBucket(miss(queue[seed]));
+  const int64_t seed_group = queue[seed].group;
+  // Two rider tiers (ISSUE 5): the seed's co-batch group-mates ride first,
+  // exempt from the bucket rule — their caller submitted them as one
+  // multi-item decision, so co-scheduling them is the deliberate outcome
+  // the API promises. Everyone else still needs the seed's LengthBucket.
+  std::vector<std::pair<double, size_t>> mates;
   std::vector<std::pair<double, size_t>> rest;
   for (size_t i = 0; i < queue.size(); ++i) {
-    if (i != seed && LengthBucket(miss(queue[i])) == seed_bucket) {
+    if (i == seed) {
+      continue;
+    }
+    if (seed_group != 0 && queue[i].group == seed_group) {
+      mates.emplace_back(Score(queue[i], now), i);
+    } else if (LengthBucket(miss(queue[i])) == seed_bucket) {
       rest.emplace_back(Score(queue[i], now), i);
     }
   }
-  // stable_sort on score alone keeps ties FIFO (queues are arrival-ordered).
-  std::stable_sort(rest.begin(), rest.end(),
-                   [](const auto& a, const auto& b) { return a.first < b.first; });
-  const size_t fill = std::min(rest.size(), static_cast<size_t>(max_batch - 1));
-  for (size_t i = 0; i < fill; ++i) {
-    picked.push_back(rest[i].second);
+  // stable_sort keeps ties FIFO (queues are arrival-ordered); the priority
+  // class dominates the score, mirroring PickNext.
+  const auto by_class_then_score = [&queue](const auto& a, const auto& b) {
+    if (queue[a.second].priority != queue[b.second].priority) {
+      return queue[a.second].priority > queue[b.second].priority;
+    }
+    return a.first < b.first;
+  };
+  std::stable_sort(mates.begin(), mates.end(), by_class_then_score);
+  std::stable_sort(rest.begin(), rest.end(), by_class_then_score);
+  for (const auto* tier : {&mates, &rest}) {
+    for (const auto& [score, index] : *tier) {
+      if (picked.size() >= static_cast<size_t>(max_batch)) {
+        return picked;
+      }
+      picked.push_back(index);
+    }
   }
   return picked;
 }
@@ -75,9 +97,14 @@ size_t Scheduler::PickNext(std::span<const SchedEntry> queue, double now) const 
   size_t best = 0;
   double best_score = Score(queue[0], now);
   for (size_t i = 1; i < queue.size(); ++i) {
+    // The priority class is strict (ISSUE 5): a higher class always wins;
+    // the policy score only decides within a class. Strict comparisons keep
+    // ties FIFO by queue order (queues are arrival-ordered).
+    if (queue[i].priority < queue[best].priority) {
+      continue;
+    }
     const double score = Score(queue[i], now);
-    // Strict < keeps ties FIFO by queue order (queues are arrival-ordered).
-    if (score < best_score) {
+    if (queue[i].priority > queue[best].priority || score < best_score) {
       best_score = score;
       best = i;
     }

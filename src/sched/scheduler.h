@@ -45,6 +45,17 @@ struct SchedEntry {
   // Hit length against the cache as of *now* (refreshed by the engine
   // before each scheduling decision for kSrjfCalibrated).
   int64_t n_cached_now = 0;
+  // Strict scheduling class (ISSUE 5): PickNext always prefers the highest
+  // priority present, and applies the policy's score (including the lambda
+  // starvation offset) only within that class. Default 0.
+  int32_t priority = 0;
+  // Deliberate co-batch group (ISSUE 5): requests submitted together by one
+  // multi-item API call share a non-zero group id. PickBatch fills lanes
+  // with the seed's group-mates FIRST, regardless of their LengthBucket —
+  // the caller co-submitted them for one decision, so welding them is
+  // deliberate, not the probabilistic latency hazard the bucket rule
+  // guards against. 0 = ungrouped.
+  int64_t group = 0;
 };
 
 // Batch-admission bucket (ISSUE 4): the power-of-two bracket of a request's
@@ -70,8 +81,10 @@ class Scheduler {
   // changes which request wins the scheduling decision, so SRJF aging and
   // the lambda starvation bound are unaffected (a starved long request
   // becomes the seed and rides in its own batch). The remaining slots are
-  // filled with the best-scored entries from the seed's LengthBucket, ties
-  // FIFO by queue order. Precondition: non-empty queue.
+  // filled first with the seed's co-batch group-mates (any bucket, ISSUE 5),
+  // then with the best-scored entries from the seed's LengthBucket —
+  // highest priority class first, ties FIFO by queue order.
+  // Precondition: non-empty queue.
   std::vector<size_t> PickBatch(std::span<const SchedEntry> queue, double now,
                                 int max_batch) const;
 

@@ -1,0 +1,89 @@
+#include "src/server/api_error.h"
+
+#include <cctype>
+
+namespace prefillonly {
+
+int HttpStatusFor(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return 200;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kOutOfRange:
+      return 400;
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kFailedPrecondition:
+    case StatusCode::kCancelled:
+      return 409;
+    case StatusCode::kResourceExhausted:
+      return 429;
+    case StatusCode::kUnimplemented:
+      return 501;
+    case StatusCode::kDeadlineExceeded:
+      return 504;
+    case StatusCode::kInternal:
+      return 500;
+  }
+  return 500;
+}
+
+std::string_view ApiErrorTypeFor(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "none";
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kOutOfRange:
+    case StatusCode::kUnimplemented:
+      return "invalid_request_error";
+    case StatusCode::kNotFound:
+      return "not_found_error";
+    case StatusCode::kFailedPrecondition:
+      return "conflict_error";
+    case StatusCode::kCancelled:
+      return "cancelled_error";
+    case StatusCode::kResourceExhausted:
+      return "rate_limit_error";
+    case StatusCode::kDeadlineExceeded:
+      return "timeout_error";
+    case StatusCode::kInternal:
+      return "internal_error";
+  }
+  return "internal_error";
+}
+
+std::string ApiErrorCodeFor(StatusCode code) {
+  std::string name(StatusCodeName(code));
+  for (char& c : name) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return name;
+}
+
+Json ApiErrorJson(StatusCode code, const std::string& message) {
+  Json::Object error;
+  error.emplace("code", Json(ApiErrorCodeFor(code)));
+  error.emplace("type", Json(std::string(ApiErrorTypeFor(code))));
+  error.emplace("message", Json(message));
+  Json::Object wrapper;
+  wrapper.emplace("error", Json(std::move(error)));
+  return Json(std::move(wrapper));
+}
+
+HttpResponse ApiErrorResponse(StatusCode code, const std::string& message) {
+  HttpResponse response;
+  response.status = HttpStatusFor(code);
+  response.body = ApiErrorJson(code, message).Serialize();
+  if (code == StatusCode::kResourceExhausted) {
+    // The engine sheds load transiently (queue admission, activation
+    // budget); a one-second backoff is the honest hint for a CPU prefill.
+    response.headers.emplace("Retry-After", "1");
+  }
+  return response;
+}
+
+HttpResponse ApiErrorResponse(const Status& status) {
+  return ApiErrorResponse(status.code(), status.message());
+}
+
+}  // namespace prefillonly

@@ -1,0 +1,55 @@
+// The v1 API's structured error model (ISSUE 5).
+//
+// Every route reports failures with ONE shape:
+//
+//   { "error": { "code": "deadline_exceeded",
+//                "type": "timeout_error",
+//                "message": "deadline expired while queued" } }
+//
+// and ONE Status -> HTTP mapping, so clients can branch on `code` (stable,
+// mirrors StatusCode) or on the coarser `type` (OpenAI-style class), and a
+// new route can never invent its own ad-hoc error JSON. 429 responses carry
+// a Retry-After header.
+//
+//   StatusCode            HTTP  type
+//   kInvalidArgument      400   invalid_request_error
+//   kOutOfRange           400   invalid_request_error
+//   kNotFound             404   not_found_error
+//   kFailedPrecondition   409   conflict_error
+//   kCancelled            409   cancelled_error
+//   kResourceExhausted    429   rate_limit_error   (+ Retry-After)
+//   kUnimplemented        501   invalid_request_error
+//   kDeadlineExceeded     504   timeout_error
+//   kInternal / other     500   internal_error
+#ifndef SRC_SERVER_API_ERROR_H_
+#define SRC_SERVER_API_ERROR_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/server/http_server.h"
+#include "src/server/json.h"
+
+namespace prefillonly {
+
+// The HTTP status every route uses for this StatusCode (table above).
+int HttpStatusFor(StatusCode code);
+
+// Coarse error class ("invalid_request_error", "timeout_error", ...).
+std::string_view ApiErrorTypeFor(StatusCode code);
+
+// Stable machine code: the lowercase StatusCode name ("invalid_argument").
+std::string ApiErrorCodeFor(StatusCode code);
+
+// The {"error": {...}} value alone, for embedding in per-item results.
+Json ApiErrorJson(StatusCode code, const std::string& message);
+
+// A complete HTTP response carrying the structured error body (plus
+// Retry-After on 429).
+HttpResponse ApiErrorResponse(StatusCode code, const std::string& message);
+HttpResponse ApiErrorResponse(const Status& status);
+
+}  // namespace prefillonly
+
+#endif  // SRC_SERVER_API_ERROR_H_

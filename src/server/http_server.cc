@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cstring>
+#include <optional>
 
 #include "src/common/logging.h"
 
@@ -26,14 +27,24 @@ std::string StatusText(int status) {
   switch (status) {
     case 200:
       return "OK";
+    case 202:
+      return "Accepted";
     case 400:
       return "Bad Request";
     case 404:
       return "Not Found";
     case 405:
       return "Method Not Allowed";
+    case 409:
+      return "Conflict";
+    case 429:
+      return "Too Many Requests";
     case 500:
       return "Internal Server Error";
+    case 501:
+      return "Not Implemented";
+    case 504:
+      return "Gateway Timeout";
     default:
       return "Unknown";
   }
@@ -178,61 +189,130 @@ void HttpServer::AcceptLoop() {
   }
 }
 
+// Strict, non-throwing Content-Length parse. nullopt on anything that is
+// not a plain decimal number within `max` — std::stoul here would THROW on
+// garbage and take the whole process down with std::terminate.
+std::optional<size_t> ParseContentLength(const std::string& value, size_t max) {
+  if (value.empty() || value.size() > 19) {
+    return std::nullopt;
+  }
+  size_t parsed = 0;
+  for (char c : value) {
+    if (c < '0' || c > '9') {
+      return std::nullopt;
+    }
+    parsed = parsed * 10 + static_cast<size_t>(c - '0');
+  }
+  if (parsed > max) {
+    return std::nullopt;
+  }
+  return parsed;
+}
+
 void HttpServer::ServeConnection(int fd) {
+  // Bounds the buffered request body; a declared length beyond it is a 400,
+  // not an allocation.
+  constexpr size_t kMaxBodyBytes = 64u << 20;
   std::string raw;
   char buffer[4096];
-  size_t content_length = 0;
-  size_t header_end = std::string::npos;
-  // Read headers, then the declared body length.
+  // Serve request after request on this socket for as long as the client
+  // asks for keep-alive (ISSUE 5); every response is Content-Length-framed
+  // so the client can find the next response boundary without an EOF.
   while (true) {
-    if (header_end != std::string::npos &&
-        raw.size() >= header_end + 4 + content_length) {
-      break;
-    }
-    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
-    if (n <= 0) {
-      break;
-    }
-    raw.append(buffer, static_cast<size_t>(n));
-    if (header_end == std::string::npos) {
-      header_end = raw.find("\r\n\r\n");
+    // Frame exactly one request: headers, then the declared body length.
+    size_t content_length = 0;
+    size_t header_end = raw.find("\r\n\r\n");
+    bool eof = false;
+    bool framing_error = false;
+    while (true) {
       if (header_end != std::string::npos) {
         auto parsed = ParseRequest(raw.substr(0, header_end + 4));
         if (parsed.ok()) {
           auto it = parsed.value().headers.find("content-length");
           if (it != parsed.value().headers.end()) {
-            content_length = static_cast<size_t>(std::stoul(it->second));
+            if (auto length = ParseContentLength(it->second, kMaxBodyBytes)) {
+              content_length = *length;
+            } else {
+              framing_error = true;
+            }
           }
         }
       }
+      if (framing_error) {
+        break;
+      }
+      if (header_end != std::string::npos &&
+          raw.size() >= header_end + 4 + content_length) {
+        break;
+      }
+      const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+      if (n <= 0) {
+        eof = true;
+        break;
+      }
+      raw.append(buffer, static_cast<size_t>(n));
+      if (header_end == std::string::npos) {
+        header_end = raw.find("\r\n\r\n");
+      }
     }
-  }
-
-  HttpResponse response;
-  auto request = ParseRequest(raw);
-  if (!request.ok()) {
-    response.status = 400;
-    response.body = R"({"error":"malformed request"})";
-  } else {
-    response = handler_(request.value());
-  }
-
-  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
-                    StatusText(response.status) + "\r\n";
-  out += "Content-Type: " + response.content_type + "\r\n";
-  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
-  out += "Connection: close\r\n\r\n";
-  out += response.body;
-  size_t sent = 0;
-  while (sent < out.size()) {
-    // MSG_NOSIGNAL: a client (or Stop()) tearing the socket down must yield
-    // EPIPE here, not a process-killing SIGPIPE.
-    const ssize_t n =
-        ::send(fd, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
-    if (n <= 0) {
-      break;
+    if (eof) {
+      if (raw.empty() || header_end == std::string::npos) {
+        // Clean shutdown between requests (or nothing ever arrived).
+        return;
+      }
+      // Truncated request: fall through and let parsing produce the 400.
     }
-    sent += static_cast<size_t>(n);
+    const size_t frame = header_end == std::string::npos
+                             ? raw.size()
+                             : std::min(raw.size(), header_end + 4 + content_length);
+    const std::string one = raw.substr(0, frame);
+    raw.erase(0, frame);
+
+    HttpResponse response;
+    bool keep_alive = false;
+    auto request = ParseRequest(one);
+    if (framing_error) {
+      // The body boundary is unknowable — answer 400 and drop the
+      // connection (no keep-alive) since resynchronization is impossible.
+      response.status = 400;
+      response.body =
+          R"({"error":{"code":"invalid_argument","type":"invalid_request_error","message":"invalid Content-Length"}})";
+    } else if (!request.ok()) {
+      response.status = 400;
+      response.body =
+          R"({"error":{"code":"invalid_argument","type":"invalid_request_error","message":"malformed request"}})";
+    } else {
+      // Opt-in persistence only: legacy clients read until EOF, so the
+      // close-delimited default must survive.
+      auto it = request.value().headers.find("connection");
+      keep_alive = it != request.value().headers.end() &&
+                   ToLower(it->second) == "keep-alive" && !eof;
+      response = handler_(request.value());
+    }
+
+    std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                      StatusText(response.status) + "\r\n";
+    out += "Content-Type: " + response.content_type + "\r\n";
+    out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+    for (const auto& [key, value] : response.headers) {
+      out += key + ": " + value + "\r\n";
+    }
+    out += keep_alive ? "Connection: keep-alive\r\n\r\n" : "Connection: close\r\n\r\n";
+    out += response.body;
+    size_t sent = 0;
+    while (sent < out.size()) {
+      // MSG_NOSIGNAL: a client (or Stop()) tearing the socket down must yield
+      // EPIPE here, not a process-killing SIGPIPE.
+      const ssize_t n =
+          ::send(fd, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) {
+        return;
+      }
+      sent += static_cast<size_t>(n);
+    }
+    if (!keep_alive) {
+      return;
+    }
   }
 }
 

@@ -10,6 +10,13 @@
 // concurrent runtime and block on the response future, not on each other.
 // The handler must therefore be thread-safe. Finished connection threads
 // are reaped opportunistically on the accept path and joined on Stop().
+//
+// Persistent connections (ISSUE 5): a client that sends
+// `Connection: keep-alive` gets a Content-Length-framed response on the
+// SAME socket and may pipeline its next request there — polling clients
+// (GET /v1/requests/{id}) stop paying a TCP connect per poll. Without that
+// header the connection stays one-shot and close-delimited, exactly as
+// before, so legacy read-until-EOF clients keep working.
 #ifndef SRC_SERVER_HTTP_SERVER_H_
 #define SRC_SERVER_HTTP_SERVER_H_
 
@@ -36,6 +43,9 @@ struct HttpRequest {
 struct HttpResponse {
   int status = 200;
   std::string content_type = "application/json";
+  // Extra response headers (e.g. Allow on 405, Retry-After on 429).
+  // Content-Type, Content-Length and Connection are emitted by the server.
+  std::map<std::string, std::string> headers;
   std::string body;
 };
 

@@ -286,6 +286,15 @@ class Parser {
 
 }  // namespace
 
+std::string_view Json::TypeName() const {
+  if (is_null()) return "null";
+  if (is_bool()) return "boolean";
+  if (is_number()) return "number";
+  if (is_string()) return "string";
+  if (is_array()) return "array";
+  return "object";
+}
+
 const Json* Json::Find(const std::string& key) const {
   if (!is_object()) {
     return nullptr;

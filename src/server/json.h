@@ -53,6 +53,10 @@ class Json {
   // Object field lookup; nullptr when absent or not an object.
   const Json* Find(const std::string& key) const;
 
+  // Human-readable type name ("number", "string", ...) for validation
+  // error messages.
+  std::string_view TypeName() const;
+
   std::string Serialize() const;
   static Result<Json> Parse(std::string_view text);
 

@@ -1,0 +1,181 @@
+#include "src/server/request_table.h"
+
+#include <chrono>
+
+namespace prefillonly {
+
+std::string_view RequestTable::StateName(State state) {
+  switch (state) {
+    case State::kQueued:
+      return "queued";
+    case State::kRunning:
+      return "running";
+    case State::kDone:
+      return "done";
+    case State::kFailed:
+      return "failed";
+    case State::kCancelled:
+      return "cancelled";
+  }
+  return "?";
+}
+
+RequestTable::RequestTable(Engine& engine, size_t completed_capacity)
+    : engine_(engine), completed_capacity_(completed_capacity) {}
+
+Status RequestTable::Reserve(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.count(id) > 0) {
+    return Status::FailedPrecondition("request id '" + id + "' already exists");
+  }
+  entries_.emplace(id, Entry{});
+  return Status::Ok();
+}
+
+void RequestTable::Commit(const std::string& id,
+                          std::vector<Engine::AsyncSubmission> submissions) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    return;
+  }
+  Entry& entry = it->second;
+  entry.items.reserve(submissions.size());
+  for (Engine::AsyncSubmission& submission : submissions) {
+    Item item;
+    item.engine_id = submission.id;
+    item.future = std::move(submission.future);
+    entry.items.push_back(std::move(item));
+  }
+}
+
+void RequestTable::Abandon(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.erase(id);
+}
+
+void RequestTable::RefreshLocked(const std::string& id, Entry& entry) {
+  if (entry.terminal || entry.items.empty()) {
+    // Terminal entries are frozen; an empty one is a reservation whose
+    // Commit hasn't landed yet — it polls as queued, never as (vacuously)
+    // done.
+    return;
+  }
+  bool all_resolved = true;
+  for (Item& item : entry.items) {
+    if (item.result.has_value()) {
+      continue;
+    }
+    if (item.future.wait_for(std::chrono::seconds(0)) == std::future_status::ready) {
+      item.result = item.future.get();
+    } else {
+      all_resolved = false;
+    }
+  }
+  if (!all_resolved) {
+    return;
+  }
+  // Transition to terminal: enter the bounded completed-result ring. The
+  // oldest finished request beyond capacity is forgotten — its id will poll
+  // as 404 from now on.
+  entry.terminal = true;
+  completed_order_.push_back(id);
+  while (completed_order_.size() > completed_capacity_) {
+    entries_.erase(completed_order_.front());
+    completed_order_.pop_front();
+  }
+}
+
+RequestTable::Snapshot RequestTable::SnapshotLocked(const Entry& entry) const {
+  Snapshot snapshot;
+  snapshot.results.reserve(entry.items.size());
+  for (const Item& item : entry.items) {
+    snapshot.results.push_back(item.result);
+  }
+  if (entry.terminal) {
+    snapshot.state = State::kDone;
+    for (const Item& item : entry.items) {
+      if (item.result->ok()) {
+        continue;
+      }
+      if (item.result->status().code() == StatusCode::kCancelled) {
+        snapshot.state = State::kCancelled;
+        break;  // cancellation outranks any other failure
+      }
+      snapshot.state = State::kFailed;
+    }
+    return snapshot;
+  }
+  snapshot.state = State::kQueued;
+  for (const Item& item : entry.items) {
+    if (item.result.has_value()) {
+      // A resolved item among unresolved ones means execution has begun.
+      snapshot.state = State::kRunning;
+      break;
+    }
+    const Engine::RequestPhase phase = engine_.Phase(item.engine_id);
+    if (phase != Engine::RequestPhase::kQueued) {
+      // kRunning, or kUnknown because it finished between the future check
+      // and now — either way it has left the queue.
+      snapshot.state = State::kRunning;
+      break;
+    }
+  }
+  return snapshot;
+}
+
+Result<RequestTable::Snapshot> RequestTable::Poll(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    return Status::NotFound("unknown request id '" + id +
+                            "' (never submitted, or evicted from the "
+                            "completed-result table)");
+  }
+  RefreshLocked(id, it->second);
+  // RefreshLocked may have evicted other ids but never the one it was
+  // handed (it was just appended, and capacity eviction pops from the
+  // front) — unless capacity is 0; re-find to stay correct there.
+  it = entries_.find(id);
+  if (it == entries_.end()) {
+    return Status::NotFound("request id '" + id +
+                            "' evicted from the completed-result table");
+  }
+  return SnapshotLocked(it->second);
+}
+
+Result<RequestTable::Snapshot> RequestTable::Cancel(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    return Status::NotFound("unknown request id '" + id +
+                            "' (never submitted, or evicted from the "
+                            "completed-result table)");
+  }
+  RefreshLocked(id, it->second);
+  it = entries_.find(id);
+  if (it == entries_.end()) {
+    return Status::NotFound("request id '" + id +
+                            "' evicted from the completed-result table");
+  }
+  Entry& entry = it->second;
+  if (!entry.terminal) {
+    for (Item& item : entry.items) {
+      if (!item.result.has_value()) {
+        // Queued items resolve synchronously with kCancelled; in-flight
+        // ones are marked and resolve at their finalize. kNotFound (raced
+        // to completion) is fine — the next refresh harvests the result.
+        (void)engine_.Cancel(item.engine_id);
+      }
+    }
+    RefreshLocked(id, entry);
+    it = entries_.find(id);
+    if (it == entries_.end()) {
+      return Status::NotFound("request id '" + id +
+                              "' evicted from the completed-result table");
+    }
+  }
+  return SnapshotLocked(it->second);
+}
+
+}  // namespace prefillonly

@@ -1,0 +1,99 @@
+// Client-visible request lifecycle state (ISSUE 5).
+//
+// The async routes (POST/GET/DELETE /v1/requests...) need a place where a
+// client-visible request id maps to the engine-side submissions behind it,
+// where polls can observe queued/running/done/failed/cancelled without
+// blocking, and where finished results stay readable for a while after
+// completion. That place is this table:
+//
+//  * one entry per client request, holding the (engine id, future) pair of
+//    every item of the submission (multi-item /v1/score bodies fan out to
+//    several engine requests under one client id);
+//  * Poll() harvests ready futures non-blockingly and classifies the entry:
+//    all items terminal -> done/failed/cancelled (any kCancelled outranks
+//    any other failure, any failure outranks done); otherwise running if
+//    any item has left the queue, else queued;
+//  * completed entries enter a bounded FIFO retention ring — the
+//    completed-result table. Once `completed_capacity` newer requests have
+//    finished, the oldest is evicted and its id polls as 404. Pending
+//    entries are never evicted.
+//
+// Thread-safe; every method may be called from concurrent connection
+// threads.
+#ifndef SRC_SERVER_REQUEST_TABLE_H_
+#define SRC_SERVER_REQUEST_TABLE_H_
+
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/engine.h"
+
+namespace prefillonly {
+
+class RequestTable {
+ public:
+  enum class State { kQueued, kRunning, kDone, kFailed, kCancelled };
+  static std::string_view StateName(State state);
+
+  struct Snapshot {
+    State state = State::kQueued;
+    // Index-aligned with the submission's items; engaged once the item has
+    // resolved (all of them once `state` is terminal).
+    std::vector<std::optional<Result<ScoringResponse>>> results;
+  };
+
+  // `engine` must outlive the table. `completed_capacity` bounds how many
+  // terminal entries are retained for polling.
+  RequestTable(Engine& engine, size_t completed_capacity);
+
+  // Three-step registration, so the duplicate-id check happens BEFORE the
+  // engine admits any work (a duplicate must cost a 409, not a prefill):
+  // Reserve() claims the id (kFailedPrecondition if present — HTTP 409; the
+  // placeholder polls as "queued"), Commit() attaches the submitted engine
+  // requests, Abandon() releases a reservation whose submission failed.
+  Status Reserve(const std::string& id);
+  void Commit(const std::string& id, std::vector<Engine::AsyncSubmission> submissions);
+  void Abandon(const std::string& id);
+
+  // Non-blocking state read; kNotFound for unknown or evicted ids.
+  Result<Snapshot> Poll(const std::string& id);
+
+  // Cancels every unresolved item (Engine::Cancel: dequeue if queued,
+  // mark-and-ignore if in flight) and returns the resulting snapshot.
+  // Idempotent on terminal entries: cancelling a done/failed/cancelled
+  // request just returns its current state. kNotFound for unknown ids.
+  Result<Snapshot> Cancel(const std::string& id);
+
+  size_t completed_capacity() const { return completed_capacity_; }
+
+ private:
+  struct Item {
+    int64_t engine_id = 0;
+    Engine::ResponseFuture future;  // valid until resolved
+    std::optional<Result<ScoringResponse>> result;
+  };
+  struct Entry {
+    std::vector<Item> items;
+    bool terminal = false;
+  };
+
+  // Harvests ready futures; on the transition to terminal, enters the entry
+  // into the bounded retention ring (evicting the oldest). Requires mu_.
+  void RefreshLocked(const std::string& id, Entry& entry);
+  Snapshot SnapshotLocked(const Entry& entry) const;
+
+  Engine& engine_;
+  const size_t completed_capacity_;
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+  std::deque<std::string> completed_order_;
+};
+
+}  // namespace prefillonly
+
+#endif  // SRC_SERVER_REQUEST_TABLE_H_

@@ -1,26 +1,85 @@
 #include "src/server/scoring_service.h"
 
 #include <cassert>
+#include <cmath>
+
+#include "src/server/api_error.h"
 
 namespace prefillonly {
 
 namespace {
 
-HttpResponse ErrorResponse(int status, const std::string& message) {
-  Json::Object object;
-  object.emplace("error", Json(message));
+// 405 is an HTTP-layer condition with no StatusCode of its own; it still
+// wears the shared error shape, plus the Allow header RFC 9110 requires.
+HttpResponse MethodNotAllowed(const std::string& method, const std::string& path,
+                              const std::string& allow) {
+  Json::Object error;
+  error.emplace("code", Json("method_not_allowed"));
+  error.emplace("type", Json("invalid_request_error"));
+  error.emplace("message",
+                Json("method " + method + " not allowed on " + path +
+                     "; allowed: " + allow));
+  Json::Object wrapper;
+  wrapper.emplace("error", Json(std::move(error)));
   HttpResponse response;
-  response.status = status;
-  response.body = Json(std::move(object)).Serialize();
+  response.status = 405;
+  response.headers.emplace("Allow", allow);
+  response.body = Json(std::move(wrapper)).Serialize();
   return response;
+}
+
+// True for a JSON number that is an exact integer within [lo, hi] —
+// rejects 1.5 and "1", and bounds the value so the int cast that follows
+// can never be an out-of-range (undefined) float-to-int conversion.
+bool IsIntegralInRange(const Json& value, double lo, double hi) {
+  if (!value.is_number()) {
+    return false;
+  }
+  const double d = value.AsDouble();
+  return d == std::floor(d) && d >= lo && d <= hi;
+}
+
+// deadline_ms cap: ~31.7 years, exactly representable in a double.
+constexpr double kMaxDeadlineMs = 1e12;
+
+Json ScoringResponseJson(const ScoringResponse& response) {
+  Json::Array probabilities;
+  for (const auto& p : response.probabilities) {
+    Json::Object entry;
+    entry.emplace("token", Json(static_cast<int64_t>(p.token)));
+    entry.emplace("probability", Json(p.probability));
+    probabilities.push_back(Json(std::move(entry)));
+  }
+  Json::Object out;
+  out.emplace("score", Json(response.score));
+  out.emplace("probabilities", Json(std::move(probabilities)));
+  out.emplace("n_input", Json(response.n_input));
+  out.emplace("n_cached", Json(response.n_cached));
+  out.emplace("n_cached_offload", Json(response.n_cached_offload));
+  out.emplace("batch_size", Json(response.batch_size));
+  out.emplace("queue_time_s", Json(response.queue_time_s));
+  out.emplace("execute_time_s", Json(response.execute_time_s));
+  return Json(std::move(out));
+}
+
+// Per-item value inside "results": the scoring object, or the shared error
+// shape for items that failed individually.
+Json ItemResultJson(const Result<ScoringResponse>& result) {
+  if (result.ok()) {
+    return ScoringResponseJson(result.value());
+  }
+  return ApiErrorJson(result.status().code(), result.status().message());
 }
 
 }  // namespace
 
-ScoringService::ScoringService(EngineOptions options) {
+ScoringService::ScoringService(EngineOptions options,
+                               ScoringServiceOptions service_options) {
   tokenizer_ = std::make_unique<HashTokenizer>(
       static_cast<int32_t>(options.model.vocab_size));
   engine_ = std::make_unique<Engine>(std::move(options));
+  requests_ = std::make_unique<RequestTable>(
+      *engine_, service_options.completed_requests_capacity);
   // Connection threads enqueue and wait on futures; the dispatcher overlaps
   // up to max_concurrent_requests of them. ~Engine stops the runtime.
   Status started = engine_->StartWorker(/*callback=*/nullptr);
@@ -33,100 +92,309 @@ ScoringService::ScoringService(EngineOptions options) {
 Status ScoringService::Start(uint16_t port) { return server_->Start(port); }
 
 HttpResponse ScoringService::Handle(const HttpRequest& request) {
-  if (request.path == "/v1/score" && request.method == "POST") {
-    return HandleScore(request);
+  const std::string& path = request.path;
+  if (path == "/v1/score") {
+    if (request.method == "POST") {
+      return HandleScore(request);
+    }
+    return MethodNotAllowed(request.method, path, "POST");
   }
-  if (request.path == "/v1/stats" && request.method == "GET") {
-    return HandleStats();
+  if (path == "/v1/stats") {
+    if (request.method == "GET") {
+      return HandleStats();
+    }
+    return MethodNotAllowed(request.method, path, "GET");
   }
-  return ErrorResponse(404, "unknown route: " + request.method + " " + request.path);
+  if (path == "/v1/requests") {
+    if (request.method == "POST") {
+      return HandleSubmitRequest(request);
+    }
+    return MethodNotAllowed(request.method, path, "POST");
+  }
+  constexpr std::string_view kRequestPrefix = "/v1/requests/";
+  if (path.rfind(kRequestPrefix, 0) == 0) {
+    const std::string id = path.substr(kRequestPrefix.size());
+    if (id.empty() || id.find('/') != std::string::npos) {
+      return ApiErrorResponse(StatusCode::kNotFound, "unknown route: " + path);
+    }
+    if (request.method == "GET") {
+      return HandlePollRequest(id);
+    }
+    if (request.method == "DELETE") {
+      return HandleCancelRequest(id);
+    }
+    return MethodNotAllowed(request.method, path, "GET, DELETE");
+  }
+  return ApiErrorResponse(StatusCode::kNotFound,
+                          "unknown route: " + request.method + " " + path);
 }
 
-HttpResponse ScoringService::HandleScore(const HttpRequest& request) {
-  auto parsed = Json::Parse(request.body);
-  if (!parsed.ok()) {
-    return ErrorResponse(400, parsed.status().message());
+Result<ScoringRequest> ScoringService::ParseItem(const Json& item) const {
+  if (!item.is_object()) {
+    return Status::InvalidArgument(
+        std::string("item must be a JSON object, got ") +
+        std::string(item.TypeName()));
   }
-  const Json& body = parsed.value();
-  if (!body.is_object()) {
-    return ErrorResponse(400, "request body must be a JSON object");
-  }
-
   ScoringRequest scoring;
-  if (const Json* user = body.Find("user_id"); user != nullptr && user->is_number()) {
+  if (const Json* user = item.Find("user_id"); user != nullptr && user->is_number()) {
     scoring.user_id = user->AsInt();
   }
 
   // Token input: raw ids, or text through the tokenizer.
-  if (const Json* tokens = body.Find("tokens"); tokens != nullptr) {
+  if (const Json* tokens = item.Find("tokens"); tokens != nullptr) {
     if (!tokens->is_array()) {
-      return ErrorResponse(400, "'tokens' must be an array of ids");
+      return Status::InvalidArgument("'tokens' must be an array of ids");
     }
     for (const Json& t : tokens->AsArray()) {
       if (!t.is_number()) {
-        return ErrorResponse(400, "'tokens' must contain numbers");
+        return Status::InvalidArgument(
+            std::string("'tokens' must contain numbers, got ") +
+            std::string(t.TypeName()));
       }
       scoring.tokens.push_back(static_cast<int32_t>(t.AsInt()));
     }
-  } else if (const Json* text = body.Find("text"); text != nullptr && text->is_string()) {
+  } else if (const Json* text = item.Find("text"); text != nullptr && text->is_string()) {
     scoring.tokens = tokenizer_->Encode(text->AsString());
   } else {
-    return ErrorResponse(400, "provide 'tokens' (ids) or 'text' (string)");
+    return Status::InvalidArgument("provide 'tokens' (ids) or 'text' (string)");
   }
 
-  // Allowed outputs: ids, or words through the tokenizer.
-  if (const Json* allowed = body.Find("allowed_tokens"); allowed != nullptr) {
+  // Allowed outputs: ids, or words through the tokenizer. Every element is
+  // type-checked — a string in 'allowed_tokens' must 400, not crash (the
+  // pre-ISSUE-5 handler called AsInt() unchecked here).
+  if (const Json* allowed = item.Find("allowed_tokens"); allowed != nullptr) {
     if (!allowed->is_array()) {
-      return ErrorResponse(400, "'allowed_tokens' must be an array of ids");
+      return Status::InvalidArgument("'allowed_tokens' must be an array of ids");
     }
     for (const Json& t : allowed->AsArray()) {
+      if (!t.is_number()) {
+        return Status::InvalidArgument(
+            std::string("'allowed_tokens' must contain numbers, got ") +
+            std::string(t.TypeName()));
+      }
       scoring.allowed_tokens.push_back(static_cast<int32_t>(t.AsInt()));
     }
-  } else if (const Json* allowed_words = body.Find("allowed"); allowed_words != nullptr &&
+  } else if (const Json* allowed_words = item.Find("allowed"); allowed_words != nullptr &&
                                                                allowed_words->is_array()) {
     for (const Json& word : allowed_words->AsArray()) {
       if (!word.is_string()) {
-        return ErrorResponse(400, "'allowed' must contain strings");
+        return Status::InvalidArgument(
+            std::string("'allowed' must contain strings, got ") +
+            std::string(word.TypeName()));
       }
       scoring.allowed_tokens.push_back(tokenizer_->TokenFor(word.AsString()));
     }
   } else {
-    return ErrorResponse(400, "provide 'allowed_tokens' (ids) or 'allowed' (words)");
+    return Status::InvalidArgument(
+        "provide 'allowed_tokens' (ids) or 'allowed' (words)");
+  }
+  return scoring;
+}
+
+Result<ScoringService::ParsedSubmission> ScoringService::ParseSubmission(
+    const Json& body) const {
+  if (!body.is_object()) {
+    return Status::InvalidArgument("request body must be a JSON object");
+  }
+  ParsedSubmission parsed;
+  if (const Json* items = body.Find("items"); items != nullptr) {
+    if (!items->is_array() || items->AsArray().empty()) {
+      return Status::InvalidArgument("'items' must be a non-empty array");
+    }
+    if (body.Find("tokens") != nullptr || body.Find("text") != nullptr) {
+      return Status::InvalidArgument(
+          "provide either 'items' or a top-level single item, not both");
+    }
+    parsed.multi_item = true;
+    for (const Json& item : items->AsArray()) {
+      auto scoring = ParseItem(item);
+      if (!scoring.ok()) {
+        return Status::InvalidArgument(
+            "items[" + std::to_string(parsed.items.size()) +
+            "]: " + scoring.status().message());
+      }
+      parsed.items.push_back(scoring.take());
+    }
+  } else {
+    auto scoring = ParseItem(body);
+    if (!scoring.ok()) {
+      return scoring.status();
+    }
+    parsed.items.push_back(scoring.take());
   }
 
-  // Non-blocking handoff: enqueue into the concurrent runtime and wait on
-  // this request's future. The connection thread blocks, the engine doesn't —
-  // other connections' requests run alongside under the SRJF dispatcher.
-  auto submitted = engine_->SubmitAsync(std::move(scoring));
+  // Request-level options apply to every item of the submission.
+  if (const Json* options = body.Find("options"); options != nullptr) {
+    if (!options->is_object()) {
+      return Status::InvalidArgument("'options' must be a JSON object");
+    }
+    if (const Json* priority = options->Find("priority"); priority != nullptr) {
+      if (!IsIntegralInRange(*priority, -2147483648.0, 2147483647.0)) {
+        return Status::InvalidArgument(
+            "'options.priority' must be a 32-bit integer");
+      }
+      for (ScoringRequest& item : parsed.items) {
+        item.priority = static_cast<int32_t>(priority->AsInt());
+      }
+    }
+    if (const Json* deadline = options->Find("deadline_ms"); deadline != nullptr) {
+      if (!IsIntegralInRange(*deadline, 0.0, kMaxDeadlineMs)) {
+        return Status::InvalidArgument(
+            "'options.deadline_ms' must be an integer in [0, 1e12]");
+      }
+      for (ScoringRequest& item : parsed.items) {
+        item.deadline_ms = deadline->AsInt();
+      }
+    }
+    if (const Json* request_id = options->Find("request_id"); request_id != nullptr) {
+      if (!request_id->is_string() || request_id->AsString().empty() ||
+          request_id->AsString().size() > 128) {
+        return Status::InvalidArgument(
+            "'options.request_id' must be a non-empty string of at most 128 "
+            "characters");
+      }
+      // A '/' would make the id unreachable through /v1/requests/{id}; the
+      // 'req-' prefix is reserved for server-generated ids so a client can
+      // never collide with (or squat on) the generator's sequence.
+      if (request_id->AsString().find('/') != std::string::npos) {
+        return Status::InvalidArgument("'options.request_id' must not contain '/'");
+      }
+      if (request_id->AsString().rfind("req-", 0) == 0) {
+        return Status::InvalidArgument(
+            "'options.request_id' prefix 'req-' is reserved for "
+            "server-generated ids");
+      }
+      parsed.request_id = request_id->AsString();
+    }
+  }
+  return parsed;
+}
+
+HttpResponse ScoringService::HandleScore(const HttpRequest& request) {
+  auto body = Json::Parse(request.body);
+  if (!body.ok()) {
+    return ApiErrorResponse(StatusCode::kInvalidArgument, body.status().message());
+  }
+  auto parsed = ParseSubmission(body.value());
+  if (!parsed.ok()) {
+    return ApiErrorResponse(parsed.status());
+  }
+  const bool multi_item = parsed.value().multi_item;
+
+  // Blocking handoff: the whole submission is admitted atomically as one
+  // co-batch group (multi-item bodies become deliberate PrefillBatch
+  // candidates), then this connection thread waits on every future, in item
+  // order — the engine doesn't block, other connections' requests run
+  // alongside under the SRJF dispatcher.
+  auto submitted = engine_->SubmitGroupAsync(std::move(parsed.value().items));
   if (!submitted.ok()) {
-    const int status =
-        submitted.status().code() == StatusCode::kResourceExhausted ? 500 : 400;
-    return ErrorResponse(status, submitted.status().ToString());
+    return ApiErrorResponse(submitted.status());
   }
-  Result<ScoringResponse> response = submitted.value().get();
-  if (!response.ok()) {
-    const int status =
-        response.status().code() == StatusCode::kResourceExhausted ? 500 : 400;
-    return ErrorResponse(status, response.status().ToString());
+  std::vector<Result<ScoringResponse>> results;
+  results.reserve(submitted.value().size());
+  for (Engine::AsyncSubmission& submission : submitted.value()) {
+    results.push_back(submission.future.get());
   }
 
-  Json::Array probabilities;
-  for (const auto& p : response.value().probabilities) {
-    Json::Object entry;
-    entry.emplace("token", Json(static_cast<int64_t>(p.token)));
-    entry.emplace("probability", Json(p.probability));
-    probabilities.push_back(Json(std::move(entry)));
+  if (!multi_item) {
+    if (!results[0].ok()) {
+      return ApiErrorResponse(results[0].status());
+    }
+    HttpResponse http;
+    http.body = ScoringResponseJson(results[0].value()).Serialize();
+    return http;
+  }
+  // Multi-item: per-item results in input order; item-level failures are
+  // reported in place so one bad item doesn't mask its siblings' scores.
+  Json::Array items;
+  for (const auto& result : results) {
+    items.push_back(ItemResultJson(result));
   }
   Json::Object out;
-  out.emplace("score", Json(response.value().score));
-  out.emplace("probabilities", Json(std::move(probabilities)));
-  out.emplace("n_input", Json(response.value().n_input));
-  out.emplace("n_cached", Json(response.value().n_cached));
-  out.emplace("n_cached_offload", Json(response.value().n_cached_offload));
-  out.emplace("execute_time_s", Json(response.value().execute_time_s));
+  out.emplace("n_items", Json(static_cast<int64_t>(results.size())));
+  out.emplace("results", Json(std::move(items)));
   HttpResponse http;
   http.body = Json(std::move(out)).Serialize();
   return http;
+}
+
+HttpResponse ScoringService::HandleSubmitRequest(const HttpRequest& request) {
+  auto body = Json::Parse(request.body);
+  if (!body.ok()) {
+    return ApiErrorResponse(StatusCode::kInvalidArgument, body.status().message());
+  }
+  auto parsed = ParseSubmission(body.value());
+  if (!parsed.ok()) {
+    return ApiErrorResponse(parsed.status());
+  }
+  std::string id = parsed.value().request_id;
+  if (id.empty()) {
+    id = "req-" + std::to_string(next_request_seq_.fetch_add(1));
+  }
+  const auto n_items = static_cast<int64_t>(parsed.value().items.size());
+
+  // Claim the id BEFORE engine admission: a duplicate (e.g. an idempotent
+  // client retry) costs a 409 and nothing else — no queue slot, no prefill.
+  if (Status reserved = requests_->Reserve(id); !reserved.ok()) {
+    return ApiErrorResponse(reserved);
+  }
+  auto submitted = engine_->SubmitGroupAsync(std::move(parsed.value().items));
+  if (!submitted.ok()) {
+    // Includes the pre-dispatch rejections: an already-expired deadline
+    // maps to 504 here, before any queue slot or prefill was spent.
+    requests_->Abandon(id);
+    return ApiErrorResponse(submitted.status());
+  }
+  requests_->Commit(id, std::move(submitted.value()));
+  Json::Object out;
+  out.emplace("id", Json(id));
+  out.emplace("status", Json("queued"));
+  out.emplace("n_items", Json(n_items));
+  HttpResponse http;
+  http.status = 202;
+  http.body = Json(std::move(out)).Serialize();
+  return http;
+}
+
+namespace {
+
+HttpResponse LifecycleResponse(const std::string& id,
+                               const RequestTable::Snapshot& snapshot) {
+  Json::Object out;
+  out.emplace("id", Json(id));
+  out.emplace("status", Json(std::string(RequestTable::StateName(snapshot.state))));
+  const bool terminal = snapshot.state == RequestTable::State::kDone ||
+                        snapshot.state == RequestTable::State::kFailed ||
+                        snapshot.state == RequestTable::State::kCancelled;
+  if (terminal) {
+    Json::Array results;
+    for (const auto& result : snapshot.results) {
+      assert(result.has_value());
+      results.push_back(ItemResultJson(*result));
+    }
+    out.emplace("results", Json(std::move(results)));
+  }
+  HttpResponse http;
+  http.body = Json(std::move(out)).Serialize();
+  return http;
+}
+
+}  // namespace
+
+HttpResponse ScoringService::HandlePollRequest(const std::string& id) {
+  auto snapshot = requests_->Poll(id);
+  if (!snapshot.ok()) {
+    return ApiErrorResponse(snapshot.status());
+  }
+  return LifecycleResponse(id, snapshot.value());
+}
+
+HttpResponse ScoringService::HandleCancelRequest(const std::string& id) {
+  auto snapshot = requests_->Cancel(id);
+  if (!snapshot.ok()) {
+    return ApiErrorResponse(snapshot.status());
+  }
+  return LifecycleResponse(id, snapshot.value());
 }
 
 HttpResponse ScoringService::HandleStats() const {
@@ -135,6 +403,10 @@ HttpResponse ScoringService::HandleStats() const {
   out.emplace("submitted", Json(stats.submitted));
   out.emplace("completed", Json(stats.completed));
   out.emplace("failed", Json(stats.failed));
+  // Request-lifecycle counters (ISSUE 5).
+  out.emplace("cancelled", Json(stats.cancelled));
+  out.emplace("cancelled_in_flight", Json(stats.cancelled_in_flight));
+  out.emplace("deadline_expired", Json(stats.deadline_expired));
   // Batch occupancy (ISSUE 4): mean requests per dispatched prefill batch;
   // 1.0 = every request ran solo (max_batch_size == 1 or no co-batchable
   // queue depth).

@@ -1,40 +1,72 @@
-// The scoring HTTP API: binds the PrefillOnly engine to the HTTP server.
+// The v1 scoring API: binds the PrefillOnly engine to the HTTP server.
 //
 // Routes (JSON in, JSON out; modeled on the paper's OpenAI-compatible
-// frontend, specialized to prefill-only scoring):
+// frontend, specialized to prefill-only scoring — full reference in
+// docs/API.md):
 //
-//   POST /v1/score
-//     { "text": "...", "allowed": ["yes", "no"], "user_id": 7 }      or
-//     { "tokens": [1,2,3], "allowed_tokens": [10, 20], "user_id": 7 }
-//     -> { "score": 0.71, "probabilities": [...], "n_input": 400,
-//          "n_cached": 384, "n_cached_offload": 0 }
+//   POST /v1/score            blocking scoring call
+//     single item:  { "text"|"tokens": ..., "allowed"|"allowed_tokens": ...,
+//                     "user_id": 7, "options": {...} }
+//     multi-item:   { "items": [ <item>, ... ], "options": {...} }
+//     -> single:    { "score": ..., "probabilities": [...], ... }
+//     -> multi:     { "results": [ <result-or-error>, ... ], "n_items": N }
+//     Items of one call are submitted as ONE co-batch group: the scheduler
+//     deliberately stacks them into the same PrefillBatch when a lane frees
+//     (ISSUE 5) instead of hoping they meet probabilistically.
 //
-//   GET /v1/stats
-//     -> engine counters (completed, cache hit rate, memory, ...)
+//   POST   /v1/requests       async submission; same body as /v1/score
+//     -> 202 { "id": "req-3", "status": "queued", "n_items": N }
+//   GET    /v1/requests/{id}  non-blocking poll
+//     -> { "id", "status": queued|running|done|failed|cancelled,
+//          "results": [...] once terminal }
+//   DELETE /v1/requests/{id}  cancel (idempotent once terminal)
+//     -> { "id", "status" }
+//
+//   GET /v1/stats             engine counters
+//
+// `options` (both submission routes): "priority" (int, strict scheduling
+// class), "deadline_ms" (int >= 0; 0 = already expired, rejected with 504
+// before dispatch), "request_id" (string, client-chosen async id).
+//
+// Errors: every route shares the structured shape and Status->HTTP table of
+// src/server/api_error.h. Known paths answer wrong methods with 405 plus an
+// Allow header. Completed async results are retained in a bounded table
+// (RequestTable) and poll as 404 after eviction.
 //
 // Concurrency (ISSUE 2): the service starts the engine's concurrent runtime
-// at construction. Each HTTP connection runs on its own server thread, and
-// HandleScore enqueues into the engine (SubmitAsync) and blocks on the
-// response future — so up to EngineOptions::max_concurrent_requests prefills
-// overlap, scheduled by the SRJF dispatcher, while /v1/stats stays readable
-// mid-flight. The engine underneath still applies hybrid prefilling, prefix
-// caching and suffix discarding per request.
+// at construction. Each HTTP connection runs on its own server thread
+// (keep-alive aware, ISSUE 5), and scoring handlers enqueue into the engine
+// (SubmitGroupAsync) and block on the response futures — so up to
+// EngineOptions::max_concurrent_requests prefills overlap, scheduled by the
+// SRJF dispatcher, while /v1/stats and lifecycle polls stay readable
+// mid-flight.
 #ifndef SRC_SERVER_SCORING_SERVICE_H_
 #define SRC_SERVER_SCORING_SERVICE_H_
 
+#include <atomic>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "src/core/engine.h"
 #include "src/server/http_server.h"
 #include "src/server/json.h"
+#include "src/server/request_table.h"
 #include "src/workload/tokenizer.h"
 
 namespace prefillonly {
 
+struct ScoringServiceOptions {
+  // Completed async requests retained for polling before FIFO eviction
+  // (the bounded completed-result table of ISSUE 5).
+  size_t completed_requests_capacity = 256;
+};
+
 class ScoringService {
  public:
   // Starts the engine's concurrent runtime (stopped again in ~Engine).
-  explicit ScoringService(EngineOptions options);
+  explicit ScoringService(EngineOptions options,
+                          ScoringServiceOptions service_options = {});
 
   // Starts serving on 127.0.0.1:`port` (0 = ephemeral).
   Status Start(uint16_t port);
@@ -48,11 +80,27 @@ class ScoringService {
   HttpResponse Handle(const HttpRequest& request);
 
  private:
+  // One parsed submission body: the items (>= 1) plus request-level options
+  // already applied to every item.
+  struct ParsedSubmission {
+    std::vector<ScoringRequest> items;
+    bool multi_item = false;
+    std::string request_id;  // client-chosen async id; empty = generate
+  };
+
+  Result<ScoringRequest> ParseItem(const Json& item) const;
+  Result<ParsedSubmission> ParseSubmission(const Json& body) const;
+
   HttpResponse HandleScore(const HttpRequest& request);
+  HttpResponse HandleSubmitRequest(const HttpRequest& request);
+  HttpResponse HandlePollRequest(const std::string& id);
+  HttpResponse HandleCancelRequest(const std::string& id);
   HttpResponse HandleStats() const;
 
   std::unique_ptr<Engine> engine_;
   std::unique_ptr<HashTokenizer> tokenizer_;
+  std::unique_ptr<RequestTable> requests_;
+  std::atomic<int64_t> next_request_seq_{1};
   std::unique_ptr<HttpServer> server_;
 };
 

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
 #include <vector>
 
+#include "src/core/engine.h"
 #include "src/engine/cluster.h"
 #include "src/engine/engine_config.h"
 #include "src/gpu/memory_model.h"
@@ -255,6 +258,163 @@ TEST(ClusterTest, PipelineOverlapsRequests) {
     }
   }
   EXPECT_LT(result.makespan_s, serial_sum * 0.75);
+}
+
+// -------------------------- Request lifecycle on the real engine (ISSUE 5)
+//
+// These tests run WITHOUT the concurrent runtime: submissions stay queued
+// until RunPending() drains them, so cancel-while-queued and pre-dispatch
+// deadline expiry are exercised deterministically, and the engine counters
+// prove exactly what executed.
+
+EngineOptions LifecycleOptions() {
+  EngineOptions options;
+  options.model = ModelConfig::Tiny();
+  options.block_size = 16;
+  return options;
+}
+
+ScoringRequest LifecycleRequest(int seed, int n_tokens = 32) {
+  ScoringRequest request;
+  for (int i = 0; i < n_tokens; ++i) {
+    request.tokens.push_back((seed * 31 + i * 7) % 100 + 1);
+  }
+  request.allowed_tokens = {3, 4};
+  return request;
+}
+
+TEST(EngineLifecycleTest, CancelledQueuedRequestNeverExecutes) {
+  Engine engine(LifecycleOptions());
+  auto submission = engine.SubmitAsyncHandle(LifecycleRequest(1));
+  ASSERT_TRUE(submission.ok());
+  EXPECT_EQ(engine.Phase(submission.value().id), Engine::RequestPhase::kQueued);
+
+  ASSERT_TRUE(engine.Cancel(submission.value().id).ok());
+  auto result = submission.value().future.get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(engine.Phase(submission.value().id), Engine::RequestPhase::kUnknown);
+
+  // Draining the queue runs nothing: the counters prove the cancelled
+  // request never reached a prefill.
+  auto drained = engine.RunPending();
+  ASSERT_TRUE(drained.ok());
+  EXPECT_TRUE(drained.value().empty());
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.submitted, 1);
+  EXPECT_EQ(stats.cancelled, 1);
+  EXPECT_EQ(stats.completed, 0);
+  EXPECT_EQ(stats.failed, 0);
+  EXPECT_EQ(stats.batches_dispatched, 0);
+}
+
+TEST(EngineLifecycleTest, CancelUnknownOrFinishedIsNotFound) {
+  Engine engine(LifecycleOptions());
+  EXPECT_EQ(engine.Cancel(12345).code(), StatusCode::kNotFound);
+
+  auto submission = engine.SubmitAsyncHandle(LifecycleRequest(2));
+  ASSERT_TRUE(submission.ok());
+  ASSERT_TRUE(engine.RunPending().ok());
+  ASSERT_TRUE(submission.value().future.get().ok());
+  // Cancel-after-done: the engine reports kNotFound (terminal results live
+  // in the caller's future); the API layer turns this into idempotence.
+  EXPECT_EQ(engine.Cancel(submission.value().id).code(), StatusCode::kNotFound);
+}
+
+TEST(EngineLifecycleTest, ExpiredDeadlineRejectedAtSubmission) {
+  Engine engine(LifecycleOptions());
+  ScoringRequest request = LifecycleRequest(3);
+  request.deadline_ms = 0;
+  auto submitted = engine.SubmitAsync(std::move(request));
+  ASSERT_FALSE(submitted.ok());
+  EXPECT_EQ(submitted.status().code(), StatusCode::kDeadlineExceeded);
+  // Rejected at the door: it never counted as submitted, let alone ran.
+  EXPECT_EQ(engine.stats().submitted, 0);
+}
+
+TEST(EngineLifecycleTest, ScoreSyncHonorsExpiredDeadline) {
+  // The blocking frontend goes through the same admission as async paths:
+  // an already-expired deadline never reaches a prefill here either.
+  Engine engine(LifecycleOptions());
+  ScoringRequest request = LifecycleRequest(40);
+  request.deadline_ms = 0;
+  auto response = engine.ScoreSync(std::move(request));
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(engine.stats().submitted, 0);
+}
+
+TEST(EngineLifecycleTest, LapsedDeadlineFailsBeforeDispatch) {
+  Engine engine(LifecycleOptions());
+  ScoringRequest request = LifecycleRequest(4);
+  request.deadline_ms = 1;
+  auto submission = engine.SubmitAsyncHandle(std::move(request));
+  ASSERT_TRUE(submission.ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  // The next scheduling decision purges it instead of prefilling it.
+  auto drained = engine.RunPending();
+  ASSERT_TRUE(drained.ok());
+  EXPECT_TRUE(drained.value().empty());
+  auto result = submission.value().future.get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.deadline_expired, 1);
+  EXPECT_EQ(stats.completed, 0);
+  EXPECT_EQ(stats.batches_dispatched, 0);
+}
+
+TEST(EngineLifecycleTest, GroupSubmissionCoBatchesAcrossBuckets) {
+  EngineOptions options = LifecycleOptions();
+  options.max_batch_size = 4;
+  Engine engine(options);
+  // Three lengths in three different LengthBuckets: probabilistic batching
+  // would run them solo; the group co-schedules them deliberately.
+  std::vector<ScoringRequest> group;
+  group.push_back(LifecycleRequest(10, 16));
+  group.push_back(LifecycleRequest(11, 40));
+  group.push_back(LifecycleRequest(12, 150));
+  auto submitted = engine.SubmitGroupAsync(std::move(group));
+  ASSERT_TRUE(submitted.ok());
+  ASSERT_EQ(submitted.value().size(), 3u);
+  ASSERT_TRUE(engine.RunPending().ok());
+  for (auto& submission : submitted.value()) {
+    auto result = submission.future.get();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result.value().batch_size, 3);
+  }
+  EXPECT_EQ(engine.stats().peak_batch_size, 3);
+  EXPECT_EQ(engine.stats().batches_dispatched, 1);
+}
+
+TEST(EngineLifecycleTest, GroupAdmissionIsAllOrNothing) {
+  Engine engine(LifecycleOptions());
+  std::vector<ScoringRequest> group;
+  group.push_back(LifecycleRequest(20));
+  group.push_back(LifecycleRequest(21));
+  group.back().allowed_tokens.clear();  // invalid member
+  auto submitted = engine.SubmitGroupAsync(std::move(group));
+  ASSERT_FALSE(submitted.ok());
+  EXPECT_EQ(submitted.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.stats().submitted, 0);  // the valid member was not admitted
+}
+
+TEST(EngineLifecycleTest, HigherPriorityClassRunsFirst) {
+  Engine engine(LifecycleOptions());
+  ScoringRequest low = LifecycleRequest(30);
+  ScoringRequest high = LifecycleRequest(31);
+  high.priority = 2;
+  auto low_id = engine.Submit(std::move(low));
+  auto high_id = engine.Submit(std::move(high));
+  ASSERT_TRUE(low_id.ok());
+  ASSERT_TRUE(high_id.ok());
+  // Equal lengths tie FIFO under SRJF — only the class flips the order.
+  auto responses = engine.RunPending();
+  ASSERT_TRUE(responses.ok());
+  ASSERT_EQ(responses.value().size(), 2u);
+  EXPECT_EQ(responses.value()[0].request_id, high_id.value());
+  EXPECT_EQ(responses.value()[1].request_id, low_id.value());
 }
 
 }  // namespace

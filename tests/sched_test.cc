@@ -223,6 +223,65 @@ TEST(SchedulerBatchTest, AgedLongJobSeedsItsOwnBatchDespiteShortBacklog) {
   EXPECT_EQ(batch[0], 0u);
 }
 
+// --------------------------------- Priority classes + co-batch groups (ISSUE 5)
+
+TEST(SchedulerTest, PriorityClassOverridesPolicyScore) {
+  CacheMissProxyEstimator proxy;
+  Scheduler sched(SchedPolicy::kSrjfCalibrated, 0.0, &proxy);
+  // SRJF alone would run the 100-token job; the 900-token job's higher
+  // class is strict and wins regardless.
+  std::vector<SchedEntry> queue{Entry(0.0, 100, 0, 0), Entry(0.0, 900, 0, 0)};
+  queue[1].priority = 1;
+  EXPECT_EQ(sched.PickNext(queue, 1.0), 1u);
+  // Within one class the policy decides again.
+  queue[0].priority = 1;
+  EXPECT_EQ(sched.PickNext(queue, 1.0), 0u);
+  // Negative classes deprioritize below the default.
+  std::vector<SchedEntry> demoted{Entry(0.0, 100, 0, 0), Entry(0.0, 900, 0, 0)};
+  demoted[0].priority = -1;
+  EXPECT_EQ(sched.PickNext(demoted, 1.0), 1u);
+}
+
+TEST(SchedulerBatchTest, GroupMatesRideRegardlessOfBucketAndBeforeStrangers) {
+  CacheMissProxyEstimator proxy;
+  Scheduler sched(SchedPolicy::kSrjfCalibrated, 0.0, &proxy);
+  // Seed: 33 tokens, group 7. Its group-mate has 900 miss tokens — a
+  // different bucket, normally unweldable — but the caller co-submitted
+  // them, so the mate rides, and it outranks the same-bucket stranger when
+  // slots are scarce.
+  std::vector<SchedEntry> queue{
+      Entry(0.0, 33, 0, 0),    // seed, group 7
+      Entry(1.0, 900, 0, 0),   // group 7, bucket 9
+      Entry(2.0, 40, 0, 0)};   // ungrouped, seed's bucket
+  queue[0].group = 7;
+  queue[1].group = 7;
+  const auto pair = sched.PickBatch(queue, 3.0, 2);
+  ASSERT_EQ(pair.size(), 2u);
+  EXPECT_EQ(pair[0], 0u);
+  EXPECT_EQ(pair[1], 1u);  // the mate, despite bucket 9
+  const auto full = sched.PickBatch(queue, 3.0, 4);
+  ASSERT_EQ(full.size(), 3u);
+  EXPECT_EQ(full[1], 1u);  // mates first...
+  EXPECT_EQ(full[2], 2u);  // ...then same-bucket strangers
+}
+
+TEST(SchedulerBatchTest, UngroupedSeedStillFillsFromItsBucket) {
+  CacheMissProxyEstimator proxy;
+  Scheduler sched(SchedPolicy::kSrjfCalibrated, 0.0, &proxy);
+  // A stranger's group membership neither blocks nor boosts it when the
+  // seed is ungrouped: the bucket rule governs as before.
+  std::vector<SchedEntry> queue{
+      Entry(0.0, 33, 0, 0),    // seed, ungrouped
+      Entry(1.0, 40, 0, 0),    // same bucket, grouped among others
+      Entry(2.0, 900, 0, 0)};  // other bucket, same group as [1]
+  queue[1].group = 9;
+  queue[2].group = 9;
+  const auto batch = sched.PickBatch(queue, 3.0, 4);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0], 0u);
+  EXPECT_EQ(batch[1], 1u);
+}
+
 // ------------------------------------------------- Fig. 5 walkthrough
 //
 // Four requests A, B, C, D with length A < C < B < D; A and D share a

@@ -5,8 +5,10 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "src/server/http_server.h"
@@ -369,6 +371,397 @@ TEST(HttpConcurrencyTest, StatsReadableMidFlightWithoutTornCounters) {
 
   const auto stats = service.engine().stats();
   EXPECT_EQ(stats.completed + stats.failed, kScores);
+  service.Stop();
+}
+
+// ------------------------------------ Request-lifecycle API (ISSUE 5)
+
+HttpRequest Req(const std::string& method, const std::string& path,
+                const std::string& body = "") {
+  HttpRequest request;
+  request.method = method;
+  request.path = path;
+  request.body = body;
+  return request;
+}
+
+std::string TokensBody(int n_tokens, int seed, const std::string& extra = "") {
+  std::string tokens;
+  for (int i = 0; i < n_tokens; ++i) {
+    tokens += (i == 0 ? "" : ",") + std::to_string((seed * 31 + i * 7) % 200 + 1);
+  }
+  return R"({"tokens":[)" + tokens + R"(], "allowed_tokens":[10,20])" + extra + "}";
+}
+
+// Polls GET /v1/requests/{id} until `status` (or a generous timeout — TSan
+// slows prefills by an order of magnitude); returns the last response body.
+std::string PollUntil(ScoringService& service, const std::string& id,
+                      const std::string& status) {
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (true) {
+    const auto response = service.Handle(Req("GET", "/v1/requests/" + id));
+    if (response.status != 200) {
+      return response.body;
+    }
+    auto body = Json::Parse(response.body);
+    if (body.ok() && body.value().Find("status")->AsString() == status) {
+      return response.body;
+    }
+    if (std::chrono::steady_clock::now() > deadline) {
+      return response.body;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+TEST(ApiErrorModelTest, EveryRouteSharesTheStructuredShape) {
+  ScoringService service(SmallEngineOptions());
+  for (const auto& [request, expected_status, expected_code] :
+       std::vector<std::tuple<HttpRequest, int, std::string>>{
+           {Post("/v1/score", "not json"), 400, "invalid_argument"},
+           {Post("/v1/score", "{}"), 400, "invalid_argument"},
+           {Req("GET", "/v2/nonsense"), 404, "not_found"},
+           {Req("GET", "/v1/requests/nope"), 404, "not_found"},
+           {Req("DELETE", "/v1/requests/nope"), 404, "not_found"},
+       }) {
+    const auto response = service.Handle(request);
+    EXPECT_EQ(response.status, expected_status) << request.path;
+    auto body = Json::Parse(response.body);
+    ASSERT_TRUE(body.ok()) << response.body;
+    const Json* error = body.value().Find("error");
+    ASSERT_NE(error, nullptr) << response.body;
+    EXPECT_EQ(error->Find("code")->AsString(), expected_code);
+    ASSERT_NE(error->Find("type"), nullptr);
+    EXPECT_FALSE(error->Find("message")->AsString().empty());
+  }
+}
+
+TEST(ApiErrorModelTest, MalformedAllowedTokensGets400NotACrash) {
+  // Regression (ISSUE 5 satellite): the pre-redesign handler called AsInt()
+  // on 'allowed_tokens' elements without checking is_number() — a string in
+  // the list threw bad_variant_access through the connection thread.
+  ScoringService service(SmallEngineOptions());
+  EXPECT_EQ(
+      service.Handle(Post("/v1/score", R"({"tokens":[1,2],"allowed_tokens":["x"]})"))
+          .status,
+      400);
+  EXPECT_EQ(
+      service.Handle(Post("/v1/score", R"({"tokens":[1,2],"allowed_tokens":[null]})"))
+          .status,
+      400);
+  EXPECT_EQ(
+      service
+          .Handle(Post("/v1/score", R"({"tokens":[1,2],"allowed_tokens":[10,{}]})"))
+          .status,
+      400);
+  // The sibling 'tokens' loop keeps its check too.
+  EXPECT_EQ(
+      service.Handle(Post("/v1/score", R"({"tokens":[1,"2"],"allowed_tokens":[10]})"))
+          .status,
+      400);
+}
+
+TEST(ApiErrorModelTest, ExpiredDeadlineGets504BeforeDispatch) {
+  ScoringService service(SmallEngineOptions());
+  const auto response = service.Handle(
+      Post("/v1/score", TokensBody(8, 1, R"(, "options":{"deadline_ms":0})")));
+  EXPECT_EQ(response.status, 504);
+  auto body = Json::Parse(response.body);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(body.value().Find("error")->Find("code")->AsString(),
+            "deadline_exceeded");
+  EXPECT_EQ(body.value().Find("error")->Find("type")->AsString(), "timeout_error");
+  // Rejected before admission: nothing was submitted, nothing ran.
+  const auto stats = service.engine().stats();
+  EXPECT_EQ(stats.submitted, 0);
+  EXPECT_EQ(stats.completed, 0);
+}
+
+TEST(ApiErrorModelTest, KnownPathWrongMethodGets405WithAllow) {
+  ScoringService service(SmallEngineOptions());
+  const auto score = service.Handle(Req("GET", "/v1/score"));
+  EXPECT_EQ(score.status, 405);
+  EXPECT_EQ(score.headers.at("Allow"), "POST");
+  const auto stats = service.Handle(Req("POST", "/v1/stats", "{}"));
+  EXPECT_EQ(stats.status, 405);
+  EXPECT_EQ(stats.headers.at("Allow"), "GET");
+  const auto lifecycle = service.Handle(Req("PUT", "/v1/requests/abc", "{}"));
+  EXPECT_EQ(lifecycle.status, 405);
+  EXPECT_EQ(lifecycle.headers.at("Allow"), "GET, DELETE");
+}
+
+TEST(MultiItemScoreTest, ResultsMatchSoloScoresInInputOrder) {
+  ScoringService service(SmallEngineOptions());
+  // Solo reference scores (bitwise: caching never changes logits).
+  std::vector<double> expected;
+  for (int seed = 0; seed < 3; ++seed) {
+    const auto response = service.Handle(Post("/v1/score", TokensBody(24, seed)));
+    ASSERT_EQ(response.status, 200) << response.body;
+    expected.push_back(Json::Parse(response.body).value().Find("score")->AsDouble());
+  }
+  std::string items;
+  for (int seed = 0; seed < 3; ++seed) {
+    items += (seed == 0 ? "" : ",") + TokensBody(24, seed);
+  }
+  const auto response =
+      service.Handle(Post("/v1/score", R"({"items":[)" + items + "]}"));
+  ASSERT_EQ(response.status, 200) << response.body;
+  auto body = Json::Parse(response.body);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(body.value().Find("n_items")->AsInt(), 3);
+  const Json::Array& results = body.value().Find("results")->AsArray();
+  ASSERT_EQ(results.size(), 3u);
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].Find("score")->AsDouble(), expected[i]) << "item " << i;
+  }
+}
+
+TEST(MultiItemScoreTest, ItemParseErrorsNameTheItem) {
+  ScoringService service(SmallEngineOptions());
+  const auto response = service.Handle(Post(
+      "/v1/score",
+      R"({"items":[)" + TokensBody(8, 1) + R"(, {"tokens":"oops"}]})"));
+  EXPECT_EQ(response.status, 400);
+  EXPECT_NE(response.body.find("items[1]"), std::string::npos) << response.body;
+  // All-or-nothing: the valid sibling was never admitted.
+  EXPECT_EQ(service.engine().stats().submitted, 0);
+}
+
+TEST(LifecycleRoutesTest, SubmitPollCompletesWithResults) {
+  ScoringService service(SmallEngineOptions());
+  const auto submitted = service.Handle(Req(
+      "POST", "/v1/requests",
+      TokensBody(16, 5, R"(, "options":{"request_id":"my-req"})")));
+  ASSERT_EQ(submitted.status, 202) << submitted.body;
+  auto body = Json::Parse(submitted.body);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(body.value().Find("id")->AsString(), "my-req");
+  EXPECT_EQ(body.value().Find("status")->AsString(), "queued");
+
+  const std::string done = PollUntil(service, "my-req", "done");
+  auto done_body = Json::Parse(done);
+  ASSERT_TRUE(done_body.ok()) << done;
+  ASSERT_EQ(done_body.value().Find("status")->AsString(), "done");
+  const Json::Array& results = done_body.value().Find("results")->AsArray();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_GT(results[0].Find("score")->AsDouble(), 0.0);
+  EXPECT_EQ(results[0].Find("n_input")->AsInt(), 16);
+}
+
+TEST(LifecycleRoutesTest, DuplicateClientRequestIdGets409) {
+  ScoringService service(SmallEngineOptions());
+  const std::string body =
+      TokensBody(8, 6, R"(, "options":{"request_id":"dup"})");
+  ASSERT_EQ(service.Handle(Req("POST", "/v1/requests", body)).status, 202);
+  const int64_t after_first = service.engine().stats().submitted;
+  const auto second = service.Handle(Req("POST", "/v1/requests", body));
+  EXPECT_EQ(second.status, 409);
+  EXPECT_NE(second.body.find("failed_precondition"), std::string::npos);
+  // The duplicate (e.g. an idempotent client retry) must cost NOTHING:
+  // the id check happens before engine admission, so no prefill is burned.
+  EXPECT_EQ(service.engine().stats().submitted, after_first);
+}
+
+TEST(LifecycleRoutesTest, OptionsOutOfIntegerRangeGet400) {
+  ScoringService service(SmallEngineOptions());
+  // Values whose float-to-int cast would be out of range (UB) must 400 at
+  // validation instead of reaching the cast.
+  EXPECT_EQ(service
+                .Handle(Req("POST", "/v1/requests",
+                            TokensBody(8, 12, R"(, "options":{"deadline_ms":1e19})")))
+                .status,
+            400);
+  EXPECT_EQ(service
+                .Handle(Req("POST", "/v1/requests",
+                            TokensBody(8, 12, R"(, "options":{"priority":3e9})")))
+                .status,
+            400);
+  EXPECT_EQ(service.engine().stats().submitted, 0);
+}
+
+TEST(LifecycleRoutesTest, RejectsUnroutableOrReservedRequestIds) {
+  ScoringService service(SmallEngineOptions());
+  // '/' would make the id unreachable through /v1/requests/{id}; 'req-' is
+  // the server generator's reserved prefix.
+  for (const std::string bad : {"a/b", "req-1", ""}) {
+    const auto response = service.Handle(Req(
+        "POST", "/v1/requests",
+        TokensBody(8, 10, R"(, "options":{"request_id":")" + bad + R"("})")));
+    EXPECT_EQ(response.status, 400) << bad << ": " << response.body;
+  }
+  EXPECT_EQ(service.engine().stats().submitted, 0);
+}
+
+TEST(LifecycleRoutesTest, CancelWhileQueuedNeverExecutes) {
+  ScoringService service(SmallEngineOptions());  // 1 executor lane
+  // Occupy the single lane with a long request, deterministically: submit,
+  // then wait until it reports running.
+  const auto blocker = service.Handle(Req(
+      "POST", "/v1/requests",
+      TokensBody(512, 7, R"(, "options":{"request_id":"blocker"})")));
+  ASSERT_EQ(blocker.status, 202) << blocker.body;
+  ASSERT_NE(PollUntil(service, "blocker", "running").find("running"),
+            std::string::npos);
+
+  // The target sits queued behind the blocker; cancelling it must dequeue
+  // it before it ever reaches a prefill.
+  ASSERT_EQ(service
+                .Handle(Req("POST", "/v1/requests",
+                            TokensBody(16, 8, R"(, "options":{"request_id":"target"})")))
+                .status,
+            202);
+  const auto cancelled = service.Handle(Req("DELETE", "/v1/requests/target"));
+  ASSERT_EQ(cancelled.status, 200) << cancelled.body;
+  EXPECT_EQ(Json::Parse(cancelled.body).value().Find("status")->AsString(),
+            "cancelled");
+  // A later poll agrees (cancellation is sticky).
+  EXPECT_NE(PollUntil(service, "target", "cancelled").find("cancelled"),
+            std::string::npos);
+
+  // Let the blocker finish, then read the counters: exactly one request
+  // completed (the blocker), the target counted as a queued cancellation.
+  PollUntil(service, "blocker", "done");
+  const auto stats = service.engine().stats();
+  EXPECT_EQ(stats.completed, 1);
+  EXPECT_EQ(stats.cancelled, 1);
+  EXPECT_EQ(stats.failed, 0);
+}
+
+TEST(LifecycleRoutesTest, CancelAfterDoneIsIdempotent) {
+  ScoringService service(SmallEngineOptions());
+  ASSERT_EQ(service
+                .Handle(Req("POST", "/v1/requests",
+                            TokensBody(8, 9, R"(, "options":{"request_id":"fin"})")))
+                .status,
+            202);
+  PollUntil(service, "fin", "done");
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const auto response = service.Handle(Req("DELETE", "/v1/requests/fin"));
+    ASSERT_EQ(response.status, 200) << response.body;
+    auto body = Json::Parse(response.body);
+    ASSERT_TRUE(body.ok());
+    // Cancelling a finished request does not rewrite history: it stays
+    // done, results intact, on every repeat.
+    EXPECT_EQ(body.value().Find("status")->AsString(), "done");
+    EXPECT_EQ(body.value().Find("results")->AsArray().size(), 1u);
+  }
+}
+
+TEST(LifecycleRoutesTest, CompletedResultTableEvictsOldest) {
+  ScoringServiceOptions service_options;
+  service_options.completed_requests_capacity = 2;
+  ScoringService service(SmallEngineOptions(), service_options);
+  for (const char* id : {"a", "b", "c"}) {
+    ASSERT_EQ(service
+                  .Handle(Req("POST", "/v1/requests",
+                              TokensBody(8, id[0],
+                                         R"(, "options":{"request_id":")" +
+                                             std::string(id) + R"("})")))
+                  .status,
+              202);
+    ASSERT_NE(PollUntil(service, id, "done").find("done"), std::string::npos);
+  }
+  // Capacity 2: the third completion evicted the first.
+  EXPECT_EQ(service.Handle(Req("GET", "/v1/requests/a")).status, 404);
+  EXPECT_EQ(service.Handle(Req("GET", "/v1/requests/b")).status, 200);
+  EXPECT_EQ(service.Handle(Req("GET", "/v1/requests/c")).status, 200);
+}
+
+// ------------------------------------------- Keep-alive (ISSUE 5 satellite)
+
+// Reads exactly one Content-Length-framed response from `fd`.
+std::string ReadFramedResponse(int fd) {
+  std::string raw;
+  char buffer[2048];
+  size_t header_end = std::string::npos;
+  size_t content_length = 0;
+  while (true) {
+    if (header_end == std::string::npos) {
+      header_end = raw.find("\r\n\r\n");
+      if (header_end != std::string::npos) {
+        const size_t pos = raw.find("Content-Length: ");
+        if (pos != std::string::npos && pos < header_end) {
+          content_length = std::stoul(raw.substr(pos + 16));
+        }
+      }
+    }
+    if (header_end != std::string::npos &&
+        raw.size() >= header_end + 4 + content_length) {
+      return raw.substr(0, header_end + 4 + content_length);
+    }
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n <= 0) {
+      return raw;
+    }
+    raw.append(buffer, static_cast<size_t>(n));
+  }
+}
+
+TEST(KeepAliveTest, PollingReusesOneConnection) {
+  ScoringService service(SmallEngineOptions());
+  ASSERT_TRUE(service.Start(0).ok());
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(service.port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+
+  // Three requests on ONE socket: submit, then two polls.
+  const std::string submit_body =
+      TokensBody(8, 11, R"(, "options":{"request_id":"ka"})");
+  const std::string submit =
+      "POST /v1/requests HTTP/1.1\r\nHost: localhost\r\n"
+      "Connection: keep-alive\r\nContent-Length: " +
+      std::to_string(submit_body.size()) + "\r\n\r\n" + submit_body;
+  ASSERT_EQ(::write(fd, submit.data(), submit.size()),
+            static_cast<ssize_t>(submit.size()));
+  const std::string first = ReadFramedResponse(fd);
+  EXPECT_NE(first.find("HTTP/1.1 202"), std::string::npos) << first;
+  EXPECT_NE(first.find("Connection: keep-alive"), std::string::npos) << first;
+
+  const std::string poll =
+      "GET /v1/requests/ka HTTP/1.1\r\nHost: localhost\r\n"
+      "Connection: keep-alive\r\nContent-Length: 0\r\n\r\n";
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_EQ(::write(fd, poll.data(), poll.size()),
+              static_cast<ssize_t>(poll.size()));
+    const std::string response = ReadFramedResponse(fd);
+    EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos) << response;
+    EXPECT_NE(response.find("\"id\":\"ka\""), std::string::npos) << response;
+  }
+  ::close(fd);
+  service.Stop();
+}
+
+TEST(KeepAliveTest, GarbageContentLengthGets400NotACrash) {
+  // Regression: std::stoul on a non-numeric Content-Length threw through
+  // the connection thread and std::terminate'd the whole server.
+  ScoringService service(SmallEngineOptions());
+  ASSERT_TRUE(service.Start(0).ok());
+  for (const std::string bad : {"abc", "99999999999999999999", "-1", "12x"}) {
+    const std::string response = HttpRoundTrip(
+        service.port(), "POST /v1/score HTTP/1.1\r\nHost: localhost\r\n"
+                        "Content-Length: " + bad + "\r\n\r\n{}");
+    EXPECT_NE(response.find("HTTP/1.1 400"), std::string::npos)
+        << "Content-Length: " << bad << " -> " << response;
+  }
+  // The server survived and still serves real requests.
+  const std::string ok = HttpRoundTrip(
+      service.port(), PostRequest("/v1/score", ScoreRequestBody(3)));
+  EXPECT_NE(ok.find("HTTP/1.1 200 OK"), std::string::npos);
+  service.Stop();
+}
+
+TEST(KeepAliveTest, WithoutTheHeaderConnectionsStayOneShot) {
+  // Legacy close-delimited behavior is load-bearing: clients read to EOF.
+  ScoringService service(SmallEngineOptions());
+  ASSERT_TRUE(service.Start(0).ok());
+  const std::string response = HttpRoundTrip(
+      service.port(), PostRequest("/v1/score", ScoreRequestBody(1)));
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("Connection: close"), std::string::npos);
   service.Stop();
 }
 
