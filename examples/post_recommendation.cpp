@@ -41,6 +41,7 @@ int main() {
   options.block_size = 32;
   options.cache_budget_tokens = 2048;
   options.max_batch_size = 4;  // let candidate posts share prefill batches
+  options.retry.max_retries = 2;  // ride out transient overload sheds
   Client client(options);
 
   const std::vector<int32_t> kYesNo = {7, 9};

@@ -22,6 +22,11 @@ int main() {
   ClientOptions options;
   options.model = "small";  // 4 layers, hidden 128, deterministic weights
   options.cache_budget_tokens = 2048;
+  // Transient failures (overload sheds, exhausted budgets — the 429 class)
+  // retry transparently: up to 3 attempts, exponential backoff with
+  // deterministic jitter, floored at the server's Retry-After hint.
+  options.retry.max_retries = 3;
+  options.retry.initial_backoff_ms = 25;
   Client client(options);
   std::printf("client up: model '%s', cache budget %ld tokens\n",
               options.model.c_str(), static_cast<long>(options.cache_budget_tokens));

@@ -38,6 +38,29 @@
 
 namespace prefillonly {
 
+// Automatic retry for transient failures (ISSUE 6), applied by the blocking
+// Score/ScoreText calls. A "resource_exhausted" result — the in-process
+// analogue of HTTP 429, produced by overload shedding or an exhausted
+// allocation budget — is retried up to max_retries times with exponential
+// backoff plus deterministic jitter. The backoff never drops below
+// retry_after_floor_ms once the engine has shed the request, mirroring the
+// Retry-After hint the HTTP layer sends with its 429s: a shed engine asked
+// again immediately will only shed again. Permanent failures
+// (invalid_argument, cancelled, deadline_exceeded, ...) never retry.
+struct RetryPolicy {
+  int max_retries = 0;  // 0 = fail fast (no retries)
+  int64_t initial_backoff_ms = 25;
+  double multiplier = 2.0;
+  int64_t max_backoff_ms = 2000;
+  // Floor applied when the failure was an overload shed ("engine
+  // overloaded" — the 429 + Retry-After path); matches the server's
+  // Retry-After of 1 second.
+  int64_t retry_after_floor_ms = 1000;
+  // Seed of the deterministic jitter stream; each attempt adds
+  // [0, backoff/2] ms derived from it. Same seed = same delays.
+  uint64_t jitter_seed = 1;
+};
+
 // Engine configuration, restricted to stable knobs with string-named
 // presets; defaults reproduce EngineOptions defaults.
 struct ClientOptions {
@@ -60,6 +83,8 @@ struct ClientOptions {
   int64_t cache_budget_tokens = 4096;
   int64_t cpu_offload_budget_tokens = 0;
   int block_size = 32;
+  // Transient-failure retry for blocking calls (defaults: disabled).
+  RetryPolicy retry;
 };
 
 // Per-request options; defaults mean "no deadline, default class".
@@ -108,6 +133,9 @@ struct ClientStats {
   int64_t cancelled = 0;           // cancelled while queued; never executed
   int64_t cancelled_in_flight = 0; // result discarded after execution began
   int64_t deadline_expired = 0;    // failed pre-dispatch by a lapsed deadline
+  int64_t deadline_expired_in_flight = 0;  // aborted between prefill chunks
+  int64_t shed = 0;                // rejected by overload shedding (429 path)
+  int64_t client_retries = 0;      // transparent RetryPolicy re-submissions
   int64_t batches_dispatched = 0;
   int64_t batched_requests = 0;
   double cache_hit_rate = 0.0;

@@ -5,7 +5,8 @@
 # route family over real sockets with curl: blocking score (single +
 # multi-item), the async lifecycle (submit, poll to done, cancel,
 # idempotent cancel-after-done), the structured error model (400/404/405/
-# 504 + Allow header), and keep-alive. Asserts JSON shapes with python3.
+# 504 + Allow header), health (ISSUE 6), and keep-alive. Asserts JSON
+# shapes with python3.
 #
 # Usage: scripts/smoke_api.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -115,9 +116,19 @@ echo "== keep-alive: two polls on one connection =="
 OUT=$(curl -sv -H 'Connection: keep-alive' "${BASE}/v1/stats" "${BASE}/v1/stats" 2>&1)
 echo "${OUT}" | grep -q 'Re-using existing connection' || fail "connection was not reused"
 
+echo "== health: 200 ok, wrong method 405 =="
+CODE=$(curl -s -o /tmp/smoke_health.json -w '%{http_code}' "${BASE}/v1/health")
+[[ "${CODE}" == 200 ]] || fail "health expected 200, got ${CODE}"
+[[ $(jexpr "$(cat /tmp/smoke_health.json)" 'd["status"]') == ok ]] \
+  || fail "health status not ok: $(cat /tmp/smoke_health.json)"
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST "${BASE}/v1/health")
+[[ "${CODE}" == 405 ]] || fail "POST /v1/health expected 405, got ${CODE}"
+
 echo "== stats expose lifecycle counters =="
 RESP=$(curl -s "${BASE}/v1/stats")
 [[ $(jexpr "${RESP}" 'd["completed"] >= 5') == True ]] || fail "completed counter: ${RESP}"
 [[ $(jexpr "${RESP}" '"cancelled" in d and "deadline_expired" in d') == True ]] || fail "missing lifecycle counters: ${RESP}"
+[[ $(jexpr "${RESP}" '"shed" in d and "watchdog_stalls" in d and "alloc_retries" in d and "faults_injected" in d') == True ]] \
+  || fail "missing robustness counters: ${RESP}"
 
 echo "SMOKE OK"

@@ -3,9 +3,14 @@
 // engine headers.
 #include "prefillonly/client.h"
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/common/rng.h"
 #include "src/core/engine.h"
 #include "src/server/api_error.h"
 #include "src/workload/tokenizer.h"
@@ -84,6 +89,39 @@ ScoringRequest ToScoringRequest(std::vector<int32_t> tokens,
   return request;
 }
 
+// Transient = worth retrying: the engine may well succeed on the next
+// attempt (load dropped, blocks freed). Everything else is permanent for
+// this exact request.
+bool IsTransient(const ScoreResult& result) {
+  return !result.ok && result.error_code == "resource_exhausted";
+}
+
+// An overload shed (the 429 + Retry-After path) as opposed to a per-request
+// budget failure; sheds honor the Retry-After floor.
+bool IsOverloadShed(const ScoreResult& result) {
+  return result.error_message.find("engine overloaded") != std::string::npos;
+}
+
+// Backoff for retry attempt `attempt` (1-based): exponential with
+// deterministic jitter in [0, base/2].
+int64_t BackoffMs(const RetryPolicy& policy, int attempt, bool shed,
+                  uint64_t& jitter_state) {
+  double base = static_cast<double>(policy.initial_backoff_ms);
+  for (int i = 1; i < attempt; ++i) {
+    base *= policy.multiplier;
+  }
+  base = std::min(base, static_cast<double>(policy.max_backoff_ms));
+  int64_t backoff = static_cast<int64_t>(base);
+  if (backoff > 0) {
+    backoff += static_cast<int64_t>(SplitMix64(jitter_state) %
+                                    static_cast<uint64_t>(backoff / 2 + 1));
+  }
+  if (shed) {
+    backoff = std::max(backoff, policy.retry_after_floor_ms);
+  }
+  return backoff;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------- handles
@@ -136,7 +174,9 @@ bool RequestHandle::Cancel() {
 struct Client::Impl {
   // The EngineOptions conversion runs once, in a delegating step, so preset
   // warnings fire once and tokenizer/engine agree on the resolved model.
-  explicit Impl(const ClientOptions& options) : Impl(ToEngineOptions(options)) {}
+  explicit Impl(const ClientOptions& options) : Impl(ToEngineOptions(options)) {
+    retry = options.retry;
+  }
 
   explicit Impl(EngineOptions engine_options)
       : tokenizer(static_cast<int32_t>(engine_options.model.vocab_size)),
@@ -164,8 +204,30 @@ struct Client::Impl {
     return handle;
   }
 
+  // Blocking call with the transient-failure RetryPolicy applied: each
+  // attempt re-submits a fresh copy of the request; sleeps between attempts
+  // are exponential with deterministic jitter (and floored at the
+  // Retry-After hint after an overload shed).
+  ScoreResult ScoreWithRetry(const ScoringRequest& request) {
+    uint64_t jitter_state = retry.jitter_seed;
+    ScoreResult result = ToScoreResult(engine.ScoreSync(request));
+    for (int attempt = 1; attempt <= retry.max_retries && IsTransient(result);
+         ++attempt) {
+      const int64_t backoff =
+          BackoffMs(retry, attempt, IsOverloadShed(result), jitter_state);
+      if (backoff > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+      }
+      client_retries.fetch_add(1, std::memory_order_relaxed);
+      result = ToScoreResult(engine.ScoreSync(request));
+    }
+    return result;
+  }
+
   HashTokenizer tokenizer;
   Engine engine;
+  RetryPolicy retry;
+  std::atomic<int64_t> client_retries{0};
 };
 
 Client::Client(const ClientOptions& options)
@@ -175,8 +237,7 @@ Client::~Client() = default;
 ScoreResult Client::Score(const std::vector<int32_t>& tokens,
                           const std::vector<int32_t>& allowed,
                           const ScoreOptions& options) {
-  return ToScoreResult(
-      impl_->engine.ScoreSync(ToScoringRequest(tokens, allowed, options)));
+  return impl_->ScoreWithRetry(ToScoringRequest(tokens, allowed, options));
 }
 
 ScoreResult Client::ScoreText(const std::string& text,
@@ -187,8 +248,8 @@ ScoreResult Client::ScoreText(const std::string& text,
   for (const std::string& word : allowed_words) {
     allowed.push_back(impl_->tokenizer.TokenFor(word));
   }
-  return ToScoreResult(impl_->engine.ScoreSync(
-      ToScoringRequest(impl_->tokenizer.Encode(text), std::move(allowed), options)));
+  return impl_->ScoreWithRetry(
+      ToScoringRequest(impl_->tokenizer.Encode(text), std::move(allowed), options));
 }
 
 RequestHandle Client::Submit(std::vector<int32_t> tokens,
@@ -235,6 +296,9 @@ ClientStats Client::Stats() const {
   out.cancelled = stats.cancelled;
   out.cancelled_in_flight = stats.cancelled_in_flight;
   out.deadline_expired = stats.deadline_expired;
+  out.deadline_expired_in_flight = stats.deadline_expired_in_flight;
+  out.shed = stats.shed;
+  out.client_retries = impl_->client_retries.load(std::memory_order_relaxed);
   out.batches_dispatched = stats.batches_dispatched;
   out.batched_requests = stats.batched_requests;
   out.cache_hit_rate = stats.cache.HitRate();

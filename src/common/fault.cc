@@ -1,0 +1,257 @@
+#include "src/common/fault.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "src/common/hash.h"
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+
+namespace prefillonly {
+
+namespace {
+
+// Parses "key=value" clauses out of "a=b;c=d". Whitespace around clauses and
+// around '=' is tolerated so schedules can be written readably in tests.
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\n");
+  if (b == std::string::npos) {
+    return "";
+  }
+  size_t e = s.find_last_not_of(" \t\n");
+  return s.substr(b, e - b + 1);
+}
+
+bool ParseU64(const std::string& s, uint64_t* out) {
+  if (s.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) {
+    return false;
+  }
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector() {
+  const char* env = std::getenv("PREFILLONLY_FAULT_SCHEDULE");
+  if (env != nullptr && env[0] != '\0') {
+    Status status = LoadSchedule(env);
+    if (!status.ok()) {
+      PO_LOG_WARNING << "PREFILLONLY_FAULT_SCHEDULE ignored: " << status.message();
+    }
+  }
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+Status FaultInjector::LoadSchedule(const std::string& spec) {
+  std::map<std::string, Trigger> sites;
+  uint64_t seed = 0x5eed5eed5eedULL;
+  int stall_ms = 0;
+
+  // The whole spec parses or nothing installs: a malformed schedule leaves
+  // the injector DISABLED (not running a stale or partial one) so a typo'd
+  // chaos test cannot silently become a no-fault test.
+  Status parsed = [&]() -> Status {
+  std::stringstream stream(spec);
+  std::string clause;
+  while (std::getline(stream, clause, ';')) {
+    clause = Trim(clause);
+    if (clause.empty()) {
+      continue;
+    }
+    const size_t eq = clause.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("fault schedule clause missing '=': " + clause);
+    }
+    const std::string key = Trim(clause.substr(0, eq));
+    const std::string value = Trim(clause.substr(eq + 1));
+    if (key == "seed") {
+      if (!ParseU64(value, &seed)) {
+        return Status::InvalidArgument("fault schedule: bad seed: " + value);
+      }
+      continue;
+    }
+    if (key == "stall_ms") {
+      uint64_t ms = 0;
+      if (!ParseU64(value, &ms) || ms > 600000) {
+        return Status::InvalidArgument("fault schedule: bad stall_ms: " + value);
+      }
+      stall_ms = static_cast<int>(ms);
+      continue;
+    }
+    if (value.empty()) {
+      return Status::InvalidArgument("fault schedule: empty trigger for " + key);
+    }
+    Trigger trigger;
+    const char tag = value[0];
+    const std::string body = value.substr(1);
+    switch (tag) {
+      case 'p': {
+        double p = 0.0;
+        if (!ParseDouble(body, &p) || p < 0.0 || p > 1.0) {
+          return Status::InvalidArgument("fault schedule: bad probability for " +
+                                         key + ": " + value);
+        }
+        trigger.kind = TriggerKind::kProbability;
+        trigger.probability = p;
+        break;
+      }
+      case 'n': {
+        uint64_t n = 0;
+        if (!ParseU64(body, &n) || n == 0) {
+          return Status::InvalidArgument("fault schedule: bad period for " + key +
+                                         ": " + value);
+        }
+        trigger.kind = TriggerKind::kEveryNth;
+        trigger.n = n;
+        break;
+      }
+      case 'x': {
+        uint64_t n = 0;
+        if (!ParseU64(body, &n)) {
+          return Status::InvalidArgument("fault schedule: bad count for " + key +
+                                         ": " + value);
+        }
+        trigger.kind = TriggerKind::kFirstN;
+        trigger.n = n;
+        break;
+      }
+      case '@': {
+        std::stringstream list(body);
+        std::string item;
+        while (std::getline(list, item, ',')) {
+          uint64_t index = 0;
+          if (!ParseU64(Trim(item), &index) || index == 0) {
+            return Status::InvalidArgument("fault schedule: bad hit index for " +
+                                           key + ": " + value);
+          }
+          trigger.indices.push_back(index);
+        }
+        if (trigger.indices.empty()) {
+          return Status::InvalidArgument("fault schedule: empty index list for " +
+                                         key);
+        }
+        std::sort(trigger.indices.begin(), trigger.indices.end());
+        trigger.kind = TriggerKind::kIndices;
+        break;
+      }
+      default:
+        return Status::InvalidArgument("fault schedule: unknown trigger for " +
+                                       key + ": " + value);
+    }
+    sites[key] = trigger;
+  }
+  return Status::Ok();
+  }();
+  if (!parsed.ok()) {
+    Clear();
+    return parsed;
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_ = std::move(sites);
+  stall_ms_ = stall_ms;
+  // Each probabilistic site gets an independent stream derived from the
+  // schedule seed and the site name, so adding a site to a schedule does not
+  // perturb the fault sequence of the others.
+  for (auto& [name, trigger] : sites_) {
+    uint64_t sm = seed ^ Fnv1a64(name.data(), name.size());
+    trigger.rng_state = SplitMix64(sm);
+  }
+  total_fires_.store(0, std::memory_order_relaxed);
+  enabled_.store(!sites_.empty(), std::memory_order_release);
+  return Status::Ok();
+}
+
+void FaultInjector::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_.store(false, std::memory_order_release);
+  sites_.clear();
+  stall_ms_ = 0;
+  total_fires_.store(0, std::memory_order_relaxed);
+}
+
+bool FaultInjector::Fire(const char* site) {
+  if (!enabled_.load(std::memory_order_relaxed)) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) {
+    return false;
+  }
+  Trigger& trigger = it->second;
+  const uint64_t hit = static_cast<uint64_t>(++trigger.stats.hits);
+  bool fire = false;
+  switch (trigger.kind) {
+    case TriggerKind::kProbability: {
+      const uint64_t z = SplitMix64(trigger.rng_state);
+      fire = static_cast<double>(z >> 11) * 0x1.0p-53 < trigger.probability;
+      break;
+    }
+    case TriggerKind::kEveryNth:
+      fire = hit % trigger.n == 0;
+      break;
+    case TriggerKind::kFirstN:
+      fire = hit <= trigger.n;
+      break;
+    case TriggerKind::kIndices:
+      fire = std::binary_search(trigger.indices.begin(), trigger.indices.end(), hit);
+      break;
+  }
+  if (fire) {
+    ++trigger.stats.fires;
+    total_fires_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return fire;
+}
+
+int FaultInjector::stall_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stall_ms_;
+}
+
+std::map<std::string, FaultSiteStats> FaultInjector::SiteStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, FaultSiteStats> out;
+  for (const auto& [name, trigger] : sites_) {
+    out[name] = trigger.stats;
+  }
+  return out;
+}
+
+FaultScope::FaultScope(const std::string& spec) {
+  Status status = FaultInjector::Global().LoadSchedule(spec);
+  if (!status.ok()) {
+    PO_LOG_ERROR << "FaultScope: " << status.message();
+    std::abort();
+  }
+}
+
+FaultScope::~FaultScope() { FaultInjector::Global().Clear(); }
+
+}  // namespace prefillonly

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstring>
 
+#include "src/common/fault.h"
 #include "src/common/hash.h"
 #include "src/common/logging.h"
 
@@ -16,6 +17,21 @@ Engine::Engine(EngineOptions options)
   assert(options_.model.Valid());
   options_.max_concurrent_requests = std::max(options_.max_concurrent_requests, 1);
   options_.max_batch_size = std::max(options_.max_batch_size, 1);
+  options_.alloc_retry_max = std::max(options_.alloc_retry_max, 0);
+  options_.alloc_retry_backoff_ms = std::max<int64_t>(options_.alloc_retry_backoff_ms, 1);
+  if (options_.shed_high_watermark > 0 && options_.shed_low_watermark <= 0) {
+    options_.shed_low_watermark = options_.shed_high_watermark / 2;
+  }
+  options_.shed_low_watermark =
+      std::min(options_.shed_low_watermark, options_.shed_high_watermark);
+  if (!options_.fault_schedule.empty()) {
+    // Process-global by design: a fault schedule models the process's
+    // environment (a failing disk, a flaky NIC), not one engine instance.
+    if (Status s = FaultInjector::Global().LoadSchedule(options_.fault_schedule);
+        !s.ok()) {
+      PO_LOG_WARNING << "fault_schedule ignored: " << s.message();
+    }
+  }
   pool_ = std::make_unique<ThreadPool>(options_.num_threads);
   model_ = std::make_unique<LlamaModel>(options_.model, options_.weight_seed,
                                         options_.kernel_backend);
@@ -34,9 +50,14 @@ Engine::Engine(EngineOptions options)
       store_->Drop(block);
       return;
     }
-    // Demote instead of discard (§9): copy the payload to the CPU tier.
+    // Demote instead of discard (§9): copy the payload to the CPU tier. An
+    // injected write error loses the demotion — the block degrades to a
+    // plain discard and a later request recomputes it.
     KvBlock payload = store_->Take(block);
     if (payload.empty()) {
+      return;
+    }
+    if (FaultInjector::Global().Fire(fault::kOffloadWrite)) {
       return;
     }
     offload_payloads_[hash] = CloneBlock(payload, offload_memory_);
@@ -101,7 +122,57 @@ Result<Engine::Pending> Engine::MakePending(
   pending.chain = std::make_shared<const std::vector<uint64_t>>(
       BlockHashChain(pending.request.tokens, options_.block_size));
   pending.promise = std::move(promise);
+  if (pending.promise != nullptr) {
+    pending.fulfilled = std::make_shared<std::atomic<bool>>(false);
+  }
   return pending;
+}
+
+void Engine::Fulfill(
+    const std::shared_ptr<std::promise<Result<ScoringResponse>>>& promise,
+    const std::shared_ptr<std::atomic<bool>>& fulfilled,
+    Result<ScoringResponse> result) {
+  if (promise == nullptr) {
+    return;
+  }
+  if (fulfilled != nullptr && fulfilled->exchange(true)) {
+    return;  // the watchdog (or the finalizer) already delivered
+  }
+  promise->set_value(std::move(result));
+}
+
+Status Engine::AbortStatus(const Pending& pending) {
+  if (pending.deadline_s >= 0.0 && NowSeconds() >= pending.deadline_s) {
+    return Status::DeadlineExceeded(
+        "deadline expired mid-prefill; remaining chunks skipped");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (cancelled_in_flight_.count(pending.id) > 0) {
+    return Status::Cancelled("request cancelled mid-prefill; remaining chunks skipped");
+  }
+  ++stats_.abort_checks;
+  return Status::Ok();
+}
+
+void Engine::MarkRunningLocked(const Pending& pending) {
+  auto [it, inserted] = running_.try_emplace(pending.id);
+  if (inserted) {
+    it->second.started_s = NowSeconds();
+    it->second.promise = pending.promise;
+    it->second.fulfilled = pending.fulfilled;
+  }
+}
+
+void Engine::UpdateShedLocked() {
+  if (options_.shed_high_watermark <= 0) {
+    return;
+  }
+  const auto depth = static_cast<int64_t>(waiting_.size());
+  if (!shedding_ && depth >= options_.shed_high_watermark) {
+    shedding_ = true;
+  } else if (shedding_ && depth <= options_.shed_low_watermark) {
+    shedding_ = false;
+  }
 }
 
 Result<std::vector<int64_t>> Engine::AdmitPendings(std::vector<Pending> pendings) {
@@ -112,12 +183,24 @@ Result<std::vector<int64_t>> Engine::AdmitPendings(std::vector<Pending> pendings
     if (draining_) {
       return Status::FailedPrecondition("engine is stopping; request rejected");
     }
+    // Overload shedding (ISSUE 6): while above the high watermark, reject
+    // instead of admitting — the 429 + Retry-After path. All-or-nothing for
+    // groups, like every other admission failure; shed requests never count
+    // as submitted, so the terminal-accounting balance is unaffected.
+    UpdateShedLocked();
+    if (shedding_) {
+      stats_.shed += static_cast<int64_t>(pendings.size());
+      return Status::ResourceExhausted(
+          "engine overloaded: " + std::to_string(waiting_.size()) +
+          " requests queued; retry later");
+    }
     for (Pending& pending : pendings) {
       pending.id = next_id_++;
       ++stats_.submitted;
       ids.push_back(pending.id);
       waiting_.push_back(std::move(pending));
     }
+    UpdateShedLocked();
   }
   dispatch_cv_.notify_all();
   return ids;
@@ -208,13 +291,16 @@ Result<std::vector<Engine::AsyncSubmission>> Engine::SubmitGroupAsync(
 
 Status Engine::Cancel(int64_t id) {
   std::shared_ptr<std::promise<Result<ScoringResponse>>> promise;
+  std::shared_ptr<std::atomic<bool>> fulfilled;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (std::optional<Pending> pending = TakeWaitingLocked(id)) {
       // Dequeued before any dispatch decision claimed it: it never executes.
       ++stats_.cancelled;
+      UpdateShedLocked();
       promise = std::move(pending->promise);
-    } else if (running_ids_.count(id) > 0) {
+      fulfilled = std::move(pending->fulfilled);
+    } else if (running_.count(id) > 0) {
       // Mark-and-ignore: the prefill is already burning; its result is
       // discarded at finalization and the waiter sees kCancelled.
       cancelled_in_flight_.insert(id);
@@ -224,10 +310,8 @@ Status Engine::Cancel(int64_t id) {
                               " is not queued or in flight");
     }
   }
-  if (promise != nullptr) {
-    promise->set_value(
-        Result<ScoringResponse>(Status::Cancelled("request cancelled while queued")));
-  }
+  Fulfill(promise, fulfilled,
+          Result<ScoringResponse>(Status::Cancelled("request cancelled while queued")));
   return Status::Ok();
 }
 
@@ -238,7 +322,7 @@ Engine::RequestPhase Engine::Phase(int64_t id) const {
       return RequestPhase::kQueued;
     }
   }
-  if (running_ids_.count(id) > 0) {
+  if (running_.count(id) > 0) {
     return RequestPhase::kRunning;
   }
   return RequestPhase::kUnknown;
@@ -376,6 +460,7 @@ Result<ScoringResponse> Engine::Execute(Pending pending) {
   // per-request GPU-memory analogue. Every tensor allocated below dies
   // before the arena does (end of ExecuteOnArena).
   TrackingAllocator activations(options_.activation_budget_bytes);
+  activations.SetFaultSite(fault::kAllocActivation);
   auto response = ExecuteOnArena(activations, std::move(pending));
   std::lock_guard<std::mutex> lock(mu_);
   stats_.peak_activation_bytes =
@@ -494,9 +579,34 @@ Result<ScoringResponse> Engine::ExecuteOnArena(TrackingAllocator& activations,
   const auto n_tokens = static_cast<int64_t>(tokens.size());
   const double start_s = NowSeconds();
 
+  // First rung of the degradation ladder (ISSUE 6): transient acquisition
+  // failures — the block pool momentarily pinned by batchmates, an injected
+  // allocation fault — retry with exponential backoff before the request
+  // fails, unless the backoff would land past the deadline.
   PrefixAcq pa;
-  if (Status s = AcquirePrefix(pending, activations, pa); !s.ok()) {
-    return s;
+  Status acquired = AcquirePrefix(pending, activations, pa);
+  for (int attempt = 1; acquired.code() == StatusCode::kResourceExhausted &&
+                        attempt <= options_.alloc_retry_max;
+       ++attempt) {
+    const int64_t backoff_ms = options_.alloc_retry_backoff_ms << (attempt - 1);
+    if (pending.deadline_s >= 0.0 &&
+        NowSeconds() + static_cast<double>(backoff_ms) / 1e3 >= pending.deadline_s) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.alloc_retries;
+    }
+    pa = PrefixAcq();
+    acquired = AcquirePrefix(pending, activations, pa);
+    if (acquired.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.alloc_retry_successes;
+    }
+  }
+  if (!acquired.ok()) {
+    return acquired;
   }
 
   PrefillOptions prefill;
@@ -506,6 +616,10 @@ Result<ScoringResponse> Engine::ExecuteOnArena(TrackingAllocator& activations,
   prefill.in_place = options_.in_place;
   prefill.retention = KvRetention::kPrefixBudget;
   prefill.prefix_budget_tokens = pa.budget_blocks * options_.block_size;
+  // Cooperative in-flight abort (ISSUE 6): the model polls this between
+  // chunks; an expired or cancelled request stops at the next boundary
+  // instead of burning its remaining compute.
+  prefill.abort_check = [this, &pending] { return AbortStatus(pending); };
 
   // The prefill pass runs without any engine lock: the model is immutable,
   // the prefix is a private copy, and intra-op workers come from this
@@ -557,6 +671,13 @@ std::vector<Result<ScoringResponse>> Engine::ExecuteBatchOnArena(
   std::vector<size_t> solo_retry;
   live.reserve(n_requests);
   for (size_t i = 0; i < n_requests; ++i) {
+    // Member-boundary abort poll (ISSUE 6): a batchmate whose deadline
+    // lapsed (or that was cancelled) while the batch rode the exec queue is
+    // dropped here, before its acquisition pins any blocks.
+    if (Status abort = AbortStatus(pendings[i]); !abort.ok()) {
+      results[i] = abort;
+      continue;
+    }
     if (Status s = AcquirePrefix(pendings[i], activations, acqs[i]); s.ok()) {
       live.push_back(i);
     } else {
@@ -628,8 +749,14 @@ std::vector<Result<ScoringResponse>> Engine::ExecuteBatchOnArena(
 
   // Solo retries run after the batch has released its pins and arena bytes:
   // acquisition-failed members and batch-OOM members alike execute here
-  // with the lane to themselves, one at a time.
+  // with the lane to themselves, one at a time — each behind its own
+  // member-boundary abort poll, so a deadline that lapsed during the
+  // stacked pass skips the retry entirely.
   for (const size_t i : solo_retry) {
+    if (Status abort = AbortStatus(pendings[i]); !abort.ok()) {
+      results[i] = abort;
+      continue;
+    }
     results[i] = ExecuteOnArena(activations, std::move(pendings[i]));
   }
   return results;
@@ -651,28 +778,33 @@ std::vector<Result<ScoringResponse>> Engine::ExecuteBatchAndFinalize(
     return results;
   }
 
-  // Promises and ids move out first: the solo fallback inside
-  // ExecuteBatchOnArena consumes the Pendings, and fulfillment must happen
-  // exactly once, here.
+  // Promise handles are copied out first: the solo fallback inside
+  // ExecuteBatchOnArena consumes the Pendings (ExecuteOnArena never
+  // fulfills), and delivery must happen exactly once, here — or in the
+  // watchdog, whichever wins the `fulfilled` exchange.
   std::vector<std::shared_ptr<std::promise<Result<ScoringResponse>>>> promises;
+  std::vector<std::shared_ptr<std::atomic<bool>>> fulfilled;
   std::vector<int64_t> ids;
   promises.reserve(batch.requests.size());
+  fulfilled.reserve(batch.requests.size());
   ids.reserve(batch.requests.size());
   for (Pending& pending : batch.requests) {
-    promises.push_back(std::move(pending.promise));
+    promises.push_back(pending.promise);
+    fulfilled.push_back(pending.fulfilled);
     ids.push_back(pending.id);
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++executing_;
-    for (const int64_t id : ids) {
-      running_ids_.insert(id);
+    for (const Pending& pending : batch.requests) {
+      MarkRunningLocked(pending);
     }
     stats_.peak_in_flight = std::max<int64_t>(stats_.peak_in_flight, executing_);
   }
   // One arena for the whole lane: the activation budget bounds the stacked
   // pass, the per-lane analogue of the per-request budget.
   TrackingAllocator activations(options_.activation_budget_bytes);
+  activations.SetFaultSite(fault::kAllocActivation);
   auto results = ExecuteBatchOnArena(activations, batch.requests);
   std::vector<bool> ignored(results.size(), false);
   {
@@ -681,7 +813,7 @@ std::vector<Result<ScoringResponse>> Engine::ExecuteBatchAndFinalize(
     stats_.peak_activation_bytes =
         std::max(stats_.peak_activation_bytes, activations.peak_bytes());
     for (size_t i = 0; i < results.size(); ++i) {
-      running_ids_.erase(ids[i]);
+      running_.erase(ids[i]);
       // Mark-and-ignore (ISSUE 5): per-member, like the solo path.
       if (cancelled_in_flight_.erase(ids[i]) > 0) {
         ignored[i] = true;
@@ -689,6 +821,11 @@ std::vector<Result<ScoringResponse>> Engine::ExecuteBatchAndFinalize(
       } else if (results[i].ok()) {
         ++stats_.completed;
         stats_.total_execute_s += results[i].value().execute_time_s;
+      } else if (results[i].status().code() == StatusCode::kDeadlineExceeded) {
+        // Cooperative abort between chunks/members (ISSUE 6): its own
+        // terminal bucket, disjoint from failed and from the pre-dispatch
+        // deadline_expired.
+        ++stats_.deadline_expired_in_flight;
       } else {
         ++stats_.failed;
       }
@@ -699,20 +836,19 @@ std::vector<Result<ScoringResponse>> Engine::ExecuteBatchAndFinalize(
       results[i] = Result<ScoringResponse>(
           Status::Cancelled("request cancelled while in flight; result discarded"));
     }
-    if (promises[i] != nullptr) {
-      promises[i]->set_value(results[i]);
-    }
+    Fulfill(promises[i], fulfilled[i], results[i]);
   }
   return results;
 }
 
 Result<ScoringResponse> Engine::ExecuteAndFinalize(Pending pending) {
   const int64_t id = pending.id;
-  auto promise = std::move(pending.promise);
+  auto promise = pending.promise;  // registry keeps its own handle
+  auto fulfilled = pending.fulfilled;
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++executing_;
-    running_ids_.insert(id);
+    MarkRunningLocked(pending);
     stats_.peak_in_flight =
         std::max<int64_t>(stats_.peak_in_flight, executing_);
   }
@@ -721,15 +857,20 @@ Result<ScoringResponse> Engine::ExecuteAndFinalize(Pending pending) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     --executing_;
-    running_ids_.erase(id);
+    running_.erase(id);
     // Mark-and-ignore (ISSUE 5): a Cancel() that raced the execution wins —
-    // the computed result is discarded, the waiter sees kCancelled.
+    // the computed result is discarded, the waiter sees kCancelled. With
+    // cooperative abort the prefill may ALSO have stopped early with
+    // kCancelled; either way the id is still marked, so this stays the
+    // single counting point.
     ignore = cancelled_in_flight_.erase(id) > 0;
     if (ignore) {
       ++stats_.cancelled_in_flight;
     } else if (response.ok()) {
       ++stats_.completed;
       stats_.total_execute_s += response.value().execute_time_s;
+    } else if (response.status().code() == StatusCode::kDeadlineExceeded) {
+      ++stats_.deadline_expired_in_flight;
     } else {
       ++stats_.failed;
     }
@@ -738,9 +879,7 @@ Result<ScoringResponse> Engine::ExecuteAndFinalize(Pending pending) {
     response = Result<ScoringResponse>(
         Status::Cancelled("request cancelled while in flight; result discarded"));
   }
-  if (promise != nullptr) {
-    promise->set_value(response);
-  }
+  Fulfill(promise, fulfilled, response);
   return response;
 }
 
@@ -771,6 +910,7 @@ Result<std::vector<ScoringResponse>> Engine::RunPending() {
       // Same pre-dispatch deadline enforcement as the concurrent
       // dispatcher: lapsed requests never cost a prefill.
       expired = TakeExpiredLocked(NowSeconds());
+      UpdateShedLocked();
       if (waiting_.empty() && expired.empty()) {
         break;
       }
@@ -778,10 +918,9 @@ Result<std::vector<ScoringResponse>> Engine::RunPending() {
       scheduler = scheduler_.get();
     }
     for (Pending& pending : expired) {
-      if (pending.promise != nullptr) {
-        pending.promise->set_value(Result<ScoringResponse>(
-            Status::DeadlineExceeded("deadline expired while queued")));
-      }
+      Fulfill(pending.promise, pending.fulfilled,
+              Result<ScoringResponse>(
+                  Status::DeadlineExceeded("deadline expired while queued")));
     }
     if (candidates.empty()) {
       continue;
@@ -795,10 +934,11 @@ Result<std::vector<ScoringResponse>> Engine::RunPending() {
         if (std::optional<Pending> pending = TakeWaitingLocked(id)) {
           // Same no-blind-window rule as the dispatcher: "running" from the
           // moment the id leaves the queue.
-          running_ids_.insert(id);
+          MarkRunningLocked(*pending);
           batch.requests.push_back(std::move(*pending));
         }
       }
+      UpdateShedLocked();
     }
     if (batch.requests.empty()) {
       // A StartWorker() racing mid-drain handed these requests to the
@@ -853,6 +993,10 @@ Status Engine::StartWorker(ResponseCallback callback) {
     executors_.emplace_back(
         [this, callback]() mutable { ExecutorLoop(std::move(callback)); });
   }
+  if (options_.watchdog_timeout_ms > 0) {
+    watchdog_stop_ = false;
+    watchdog_ = std::thread([this] { WatchdogLoop(); });
+  }
   return Status::Ok();
 }
 
@@ -880,6 +1024,15 @@ void Engine::StopWorker() {
     executor.join();
   }
   lock.lock();
+  // The watchdog goes last: with dispatcher and executors joined nothing is
+  // in flight anymore, so it can't have work left to deliver.
+  watchdog_stop_ = true;
+  lock.unlock();
+  watchdog_cv_.notify_all();
+  if (watchdog_.joinable()) {
+    watchdog_.join();
+  }
+  lock.lock();
   executors_.clear();
   runtime_running_ = false;
   draining_ = false;
@@ -903,12 +1056,12 @@ void Engine::DispatcherLoop() {
     // prefill is spent on them, and never reach an executor.
     if (std::vector<Pending> expired = TakeExpiredLocked(NowSeconds());
         !expired.empty()) {
+      UpdateShedLocked();
       lock.unlock();
       for (Pending& pending : expired) {
-        if (pending.promise != nullptr) {
-          pending.promise->set_value(Result<ScoringResponse>(
-              Status::DeadlineExceeded("deadline expired while queued")));
-        }
+        Fulfill(pending.promise, pending.fulfilled,
+                Result<ScoringResponse>(
+                    Status::DeadlineExceeded("deadline expired while queued")));
       }
       lock.lock();
       continue;
@@ -941,12 +1094,15 @@ void Engine::DispatcherLoop() {
       if (std::optional<Pending> pending = TakeWaitingLocked(id)) {
         // The id becomes "running" the moment it leaves the queue, under
         // the SAME mu_ hold — a Cancel() landing while the batch rides the
-        // exec_queue_ must find it in running_ids_ (mark-and-ignore), not
-        // fall into a blind window where the cancellation is lost.
-        running_ids_.insert(id);
+        // exec_queue_ must find it in the running registry
+        // (mark-and-ignore), not fall into a blind window where the
+        // cancellation is lost. The watchdog clock also starts here: time
+        // spent riding the exec queue counts toward a stall.
+        MarkRunningLocked(*pending);
         batch.requests.push_back(std::move(*pending));
       }
     }
+    UpdateShedLocked();
     if (batch.requests.empty()) {
       continue;
     }
@@ -964,6 +1120,12 @@ void Engine::ExecutorLoop(ResponseCallback callback) {
   while (auto item = exec_queue_->Pop()) {
     PrefillBatchPending batch = std::move(*item);
     const int reserve = batch.reserve_workers;
+    // Injected lane stall (exec.stall): the dispatched work sits wedged on
+    // this executor for stall_ms — what the watchdog exists to detect.
+    if (FaultInjector::Global().Fire(fault::kExecStall)) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(FaultInjector::Global().stall_ms()));
+    }
     std::vector<Result<ScoringResponse>> responses = [&] {
       // The lease is this lane's worker partition: `reserve` workers held
       // exclusively for the whole execution (one stacked pass for the whole
@@ -984,6 +1146,58 @@ void Engine::ExecutorLoop(ResponseCallback callback) {
       }
     }
   }
+}
+
+void Engine::WatchdogLoop() {
+  const double timeout_s = static_cast<double>(options_.watchdog_timeout_ms) / 1e3;
+  const auto poll = std::chrono::milliseconds(
+      std::max<int64_t>(options_.watchdog_timeout_ms / 4, 1));
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!watchdog_stop_) {
+    watchdog_cv_.wait_for(lock, poll);
+    if (watchdog_stop_) {
+      break;
+    }
+    const double now = NowSeconds();
+    std::vector<std::pair<RunningEntry, int64_t>> stuck;
+    for (auto& [id, entry] : running_) {
+      if (entry.watchdog_fired || entry.promise == nullptr ||
+          now - entry.started_s < timeout_s) {
+        continue;
+      }
+      // Fail the waiter, not the work: the lane keeps running (there is no
+      // safe way to preempt it) and its eventual result counts in the
+      // terminal stats as usual — only the delivery is taken over here, so
+      // the client gets a structured error instead of a hang.
+      entry.watchdog_fired = true;
+      ++stats_.watchdog_stalls;
+      watchdog_ever_fired_ = true;
+      stuck.emplace_back(entry, id);
+    }
+    if (stuck.empty()) {
+      continue;
+    }
+    lock.unlock();
+    for (auto& [entry, id] : stuck) {
+      Fulfill(entry.promise, entry.fulfilled,
+              Result<ScoringResponse>(Status::Internal(
+                  "watchdog: request " + std::to_string(id) +
+                  " stuck in an executor for over " +
+                  std::to_string(options_.watchdog_timeout_ms) + " ms")));
+    }
+    lock.lock();
+  }
+}
+
+Engine::HealthStatus Engine::Health() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shedding_) {
+    return HealthStatus::kOverloaded;
+  }
+  if (watchdog_ever_fired_) {
+    return HealthStatus::kDegraded;
+  }
+  return HealthStatus::kOk;
 }
 
 Result<double> Engine::ProfileJct(int64_t max_input_len, int64_t granularity) {
@@ -1042,6 +1256,7 @@ EngineStats Engine::stats() const {
   EngineStats out = stats_;
   out.peak_activation_bytes =
       std::max(out.peak_activation_bytes, profile_activations_.peak_bytes());
+  out.faults_injected = FaultInjector::Global().total_fires();
   std::lock_guard<std::mutex> cache_lock(cache_mu_);
   out.cache_bytes = cache_memory_.current_bytes();
   out.cache = cache_->stats();

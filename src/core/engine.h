@@ -42,6 +42,7 @@
 #ifndef SRC_CORE_ENGINE_H_
 #define SRC_CORE_ENGINE_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -51,6 +52,7 @@
 #include <mutex>
 #include <optional>
 #include <span>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
@@ -142,6 +144,39 @@ struct EngineOptions {
   SchedPolicy policy = SchedPolicy::kSrjfCalibrated;
   // Starvation offset in estimator units per second (§6.3).
   double lambda = 500.0;
+
+  // --- Robustness (ISSUE 6; docs/ROBUSTNESS.md) ------------------------
+  // Bounded retry of TRANSIENT prefix/KV acquisition failures: when the
+  // cache acquire fails with kResourceExhausted (block pool pinned by
+  // batchmates, injected allocation failure), the request retries up to
+  // this many times with exponential backoff (alloc_retry_backoff_ms << n)
+  // before the failure is surfaced. A retry that would land past the
+  // request deadline is not attempted. 0 disables (legacy behavior).
+  int alloc_retry_max = 0;
+  int64_t alloc_retry_backoff_ms = 1;
+
+  // Watermark overload shedding with hysteresis: once the waiting queue
+  // reaches shed_high_watermark, NEW submissions are rejected with
+  // kResourceExhausted — the HTTP 429 + Retry-After path — until the queue
+  // drains back to shed_low_watermark. Shed requests are never admitted
+  // (they do not count as submitted; stats().shed counts them). 0 disables;
+  // a high watermark with low <= 0 defaults low to high/2.
+  int64_t shed_high_watermark = 0;
+  int64_t shed_low_watermark = 0;
+
+  // Executor watchdog: a dispatched request still unfinished this many ms
+  // after leaving the queue has its promise failed with kInternal so async
+  // clients are not left hanging behind a wedged lane. Delivery-level only:
+  // the lane itself keeps running and terminal accounting is untouched, so
+  // the balance invariant holds with or without stalls. 0 disables.
+  int64_t watchdog_timeout_ms = 0;
+
+  // Fault-injection schedule (src/common/fault.h grammar), installed into
+  // the PROCESS-GLOBAL injector at engine construction. Empty leaves the
+  // injector untouched (also settable via PREFILLONLY_FAULT_SCHEDULE); the
+  // default build therefore runs bit-identical to a build without the
+  // fault layer.
+  std::string fault_schedule;
 };
 
 struct EngineStats {
@@ -159,6 +194,22 @@ struct EngineStats {
   int64_t cancelled = 0;
   int64_t cancelled_in_flight = 0;
   int64_t deadline_expired = 0;
+  // Cooperative in-flight abort (ISSUE 6): requests whose deadline lapsed
+  // BETWEEN prefill chunks — the pass stopped at the next boundary and the
+  // remaining chunks were never executed. Disjoint from deadline_expired
+  // (lapsed while still queued) and from failed.
+  int64_t deadline_expired_in_flight = 0;
+  // Chunk/member boundary polls that let an in-flight prefill continue; the
+  // chaos tests compare this across runs to prove aborted requests actually
+  // skipped work.
+  int64_t abort_checks = 0;
+  // Degradation ladder counters (docs/ROBUSTNESS.md).
+  int64_t alloc_retries = 0;          // backoff retries of failed acquisitions
+  int64_t alloc_retry_successes = 0;  // acquisitions that succeeded on retry
+  int64_t shed = 0;                   // submissions rejected by overload shedding
+  int64_t watchdog_stalls = 0;        // promises failed by the executor watchdog
+  // Process-global fault-injector fires (0 unless a schedule is installed).
+  int64_t faults_injected = 0;
   double total_execute_s = 0.0;
   // High-water mark of simultaneously executing lanes (concurrent runtime
   // plus inline ScoreSync lanes; a batch occupies one lane).
@@ -260,6 +311,12 @@ class Engine {
   // machine to itself.
   Result<double> ProfileJct(int64_t max_input_len, int64_t granularity);
 
+  // Coarse serving health (ISSUE 6), the /v1/health answer: kOverloaded
+  // while shedding is active; kDegraded (sticky) once the watchdog has had
+  // to fail a stuck request; kOk otherwise. Semantics in docs/ROBUSTNESS.md.
+  enum class HealthStatus { kOk, kDegraded, kOverloaded };
+  HealthStatus Health() const;
+
   EngineStats stats() const;
   // Seconds since engine construction (the queueing-time clock).
   double NowSeconds() const;
@@ -278,6 +335,9 @@ class Engine {
     std::shared_ptr<const std::vector<uint64_t>> chain;
     // Engaged for SubmitAsync requests; fulfilled exactly once on completion.
     std::shared_ptr<std::promise<Result<ScoringResponse>>> promise;
+    // Guards that exactly-once: the finalizer and the watchdog race for the
+    // exchange, the loser's set_value is dropped (ISSUE 6).
+    std::shared_ptr<std::atomic<bool>> fulfilled;
   };
 
   // One dispatch decision (ISSUE 4): the requests an executor lane runs as
@@ -374,6 +434,25 @@ class Engine {
   void DispatcherLoop();
   void ExecutorLoop(ResponseCallback callback);
 
+  // --- Robustness plumbing (ISSUE 6) -----------------------------------
+  // Fulfills a promise exactly once; the watchdog may have beaten us to it.
+  static void Fulfill(
+      const std::shared_ptr<std::promise<Result<ScoringResponse>>>& promise,
+      const std::shared_ptr<std::atomic<bool>>& fulfilled,
+      Result<ScoringResponse> result);
+  // Cooperative abort poll for one in-flight request: kDeadlineExceeded once
+  // its deadline lapses, kCancelled once Cancel() marked it. Called between
+  // prefill chunks (PrefillOptions::abort_check) and between batch members;
+  // takes mu_ briefly, never cache_mu_.
+  Status AbortStatus(const Pending& pending);
+  // Registers `pending` in the running registry (Phase/Cancel/watchdog
+  // visibility); keeps the earliest registration on re-entry. Requires mu_.
+  void MarkRunningLocked(const Pending& pending);
+  // Watermark hysteresis: flips shedding_ on/off from the current queue
+  // depth. Called wherever waiting_ changes size. Requires mu_.
+  void UpdateShedLocked();
+  void WatchdogLoop();
+
   EngineOptions options_;
   std::unique_ptr<ThreadPool> pool_;  // intra-op workers, shared by the model
   std::unique_ptr<LlamaModel> model_;
@@ -403,12 +482,26 @@ class Engine {
   std::vector<Pending> waiting_;
   int64_t next_id_ = 0;
   int64_t next_group_ = 1;  // 0 is the "ungrouped" sentinel
-  // Lifecycle tracking (ISSUE 5): ids currently inside Execute (for Phase
-  // and in-flight cancellation) and in-flight ids whose results must be
-  // discarded on completion (mark-and-ignore).
-  std::unordered_set<int64_t> running_ids_;
+  // Lifecycle tracking (ISSUE 5/6): requests currently between dequeue and
+  // finalization (for Phase, in-flight cancellation and the watchdog), and
+  // in-flight ids whose results must be discarded on completion
+  // (mark-and-ignore).
+  struct RunningEntry {
+    double started_s = 0.0;       // when the id left the queue
+    bool watchdog_fired = false;  // the watchdog fails each id at most once
+    std::shared_ptr<std::promise<Result<ScoringResponse>>> promise;
+    std::shared_ptr<std::atomic<bool>> fulfilled;
+  };
+  std::unordered_map<int64_t, RunningEntry> running_;
   std::unordered_set<int64_t> cancelled_in_flight_;
   EngineStats stats_;
+  // Overload shedding state (hysteresis) and sticky watchdog history, both
+  // under mu_ (ISSUE 6).
+  bool shedding_ = false;
+  bool watchdog_ever_fired_ = false;
+  bool watchdog_stop_ = false;
+  std::condition_variable watchdog_cv_;
+  std::thread watchdog_;
   int in_flight_ = 0;   // dispatcher-admitted requests holding executor slots
   int executing_ = 0;   // all lanes currently inside Execute (incl. ScoreSync)
   bool runtime_running_ = false;

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/common/fault.h"
+
 namespace prefillonly {
 
 BlockAllocator::BlockAllocator(int64_t n_blocks) {
@@ -17,6 +19,9 @@ BlockAllocator::BlockAllocator(int64_t n_blocks) {
 Result<BlockId> BlockAllocator::Allocate() {
   if (free_list_.empty()) {
     return Status::ResourceExhausted("KV block pool exhausted");
+  }
+  if (FaultInjector::Global().Fire(fault::kAllocKvBlock)) {
+    return Status::ResourceExhausted("KV block allocation failed (injected)");
   }
   const BlockId id = free_list_.back();
   free_list_.pop_back();

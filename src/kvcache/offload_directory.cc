@@ -1,5 +1,7 @@
 #include "src/kvcache/offload_directory.h"
 
+#include "src/common/fault.h"
+
 namespace prefillonly {
 
 uint64_t OffloadDirectory::Insert(uint64_t hash, int64_t depth) {
@@ -39,6 +41,11 @@ uint64_t OffloadDirectory::Insert(uint64_t hash, int64_t depth) {
 
 int64_t OffloadDirectory::MatchContinuation(std::span<const uint64_t> chain,
                                             int64_t start_index) {
+  // An injected read error makes the offload tier unreadable for this
+  // lookup; the caller treats it as a miss and recomputes the blocks.
+  if (FaultInjector::Global().Fire(fault::kOffloadRead)) {
+    return 0;
+  }
   const uint64_t stamp = NextStamp();
   int64_t matched = 0;
   for (size_t i = static_cast<size_t>(start_index); i < chain.size(); ++i) {

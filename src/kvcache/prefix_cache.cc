@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/common/fault.h"
 #include "src/common/logging.h"
 
 namespace prefillonly {
@@ -65,9 +66,15 @@ Result<Acquisition> PrefixCache::Acquire(std::span<const uint64_t> chain,
   Acquisition acq;
   acq.chain.assign(chain.begin(), chain.end());
 
-  // Pin the cached prefix so eviction (below) cannot take it.
+  // Pin the cached prefix so eviction (below) cannot take it. A forced miss
+  // (fault injection) skips the pin loop entirely: the request recomputes
+  // every block, as if the cache held nothing for this chain.
+  const bool force_miss = FaultInjector::Global().Fire(fault::kCacheForceMiss);
   const uint64_t stamp = NextStamp();
   for (uint64_t hash : chain) {
+    if (force_miss) {
+      break;
+    }
     auto it = entries_.find(hash);
     if (it == entries_.end()) {
       break;
@@ -89,7 +96,21 @@ Result<Acquisition> PrefixCache::Acquire(std::span<const uint64_t> chain,
   }
   for (int64_t i = 0; i < fresh_needed; ++i) {
     auto block = allocator_.Allocate();
-    assert(block.ok());
+    if (!block.ok()) {
+      // EvictUntilFree guarantees free blocks exist, so this only happens
+      // under fault injection — but the rollback must still be exact: drop
+      // the fresh blocks already taken, then the pins on the matched prefix,
+      // leaving the cache exactly as before the call.
+      while (static_cast<int64_t>(acq.blocks.size()) > acq.matched_blocks) {
+        allocator_.DecRef(acq.blocks.back());
+        acq.blocks.pop_back();
+      }
+      for (int64_t m = 0; m < acq.matched_blocks; ++m) {
+        allocator_.DecRef(acq.blocks[static_cast<size_t>(m)]);
+      }
+      ++stats_.failed_acquires;
+      return block.status();
+    }
     acq.blocks.push_back(block.value());
   }
   acq.active = true;

@@ -18,6 +18,15 @@ Status Oom(const char* tag) {
   return Status::ResourceExhausted(std::string("activation allocation failed: ") + tag);
 }
 
+// Cooperative abort poll (PrefillOptions::abort_check), called at chunk and
+// layer boundaries. Ok when no check is installed.
+Status CheckAbort(const PrefillOptions& options) {
+  if (!options.abort_check) {
+    return Status::Ok();
+  }
+  return options.abort_check();
+}
+
 // Fills a tensor with deterministic uniform values in [-scale, scale).
 void InitUniform(Tensor& t, Rng& rng, float scale) {
   for (float& v : t.span()) {
@@ -344,6 +353,9 @@ Result<PrefillResult> LlamaModel::PrefillStandard(std::span<const int32_t> token
   std::vector<float> extra_scores(static_cast<size_t>((workers() - 1) * n_total));
 
   for (size_t l = 0; l < layers_.size(); ++l) {
+    if (Status abort = CheckAbort(options); !abort.ok()) {
+      return abort;
+    }
     const LayerWeights& w = layers_[l];
     const LayerKv* layer_prefix = (prefix != nullptr) ? &prefix->layers[l] : nullptr;
 
@@ -458,6 +470,9 @@ Result<PrefillResult> LlamaModel::PrefillChunked(std::span<const int32_t> tokens
 
   std::vector<float> last_logits;
   for (int64_t r0 = 0; r0 < n_new; r0 += chunk) {
+    if (Status abort = CheckAbort(options); !abort.ok()) {
+      return abort;
+    }
     const int64_t r1 = std::min(r0 + chunk, n_new);
     const int64_t cs = r1 - r0;
 
@@ -617,6 +632,9 @@ Result<PrefillResult> LlamaModel::PrefillHybrid(std::span<const int32_t> tokens,
     if (prealloc) {
       Tensor* out = reuse;
       for (int64_t r0 = 0; r0 < n_new; r0 += chunk) {
+        if (Status abort = CheckAbort(options); !abort.ok()) {
+          return abort;
+        }
         const int64_t cs = std::min(chunk, n_new - r0);
         if (Status s = fn(r0, cs, out->row(r0)); !s.ok()) {
           return s;
@@ -627,6 +645,9 @@ Result<PrefillResult> LlamaModel::PrefillHybrid(std::span<const int32_t> tokens,
     // Ablation path: per-chunk tensors then concatenate.
     std::vector<Tensor> pieces;
     for (int64_t r0 = 0; r0 < n_new; r0 += chunk) {
+      if (Status abort = CheckAbort(options); !abort.ok()) {
+        return abort;
+      }
       const int64_t cs = std::min(chunk, n_new - r0);
       Tensor piece = Tensor::TryCreate(act, {cs, width}, tag);
       if (piece.empty()) {
@@ -662,6 +683,9 @@ Result<PrefillResult> LlamaModel::PrefillHybrid(std::span<const int32_t> tokens,
     // QKV projections: linear, so chunked; outputs written directly into the
     // preallocated whole-sequence buffers (chunking + preallocation).
     for (int64_t r0 = 0; r0 < n_new; r0 += chunk) {
+      if (Status abort = CheckAbort(options); !abort.ok()) {
+        return abort;
+      }
       const int64_t cs = std::min(chunk, n_new - r0);
       MatMulW(normed.row(r0), w.wq, q_buf.row(r0), cs);
       MatMulW(normed.row(r0), w.wk, k_buf.row(r0), cs);

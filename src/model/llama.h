@@ -30,6 +30,7 @@
 #define SRC_MODEL_LLAMA_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
@@ -72,6 +73,15 @@ struct PrefillOptions {
   KvRetention retention = KvRetention::kNone;
   // Absolute token position up to which KV is retained under kPrefixBudget.
   int64_t prefix_budget_tokens = 0;
+
+  // Cooperative in-flight abort: when set, the pass calls this at work
+  // boundaries — between chunks (kChunked, and every chunked linear of
+  // kHybrid) and between layers (kStandard) — and a non-OK status aborts the
+  // prefill immediately, returning that status with the remaining work
+  // skipped. The check must be cheap and must not touch model state. Unset
+  // (the default) adds no work to the pass, and the checks never alter the
+  // computation itself, so logits stay bit-identical either way.
+  std::function<Status()> abort_check;
 };
 
 struct PrefillResult {

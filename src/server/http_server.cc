@@ -7,9 +7,11 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
 #include <cstring>
 #include <optional>
 
+#include "src/common/fault.h"
 #include "src/common/logging.h"
 
 namespace prefillonly {
@@ -48,6 +50,55 @@ std::string StatusText(int status) {
     default:
       return "Unknown";
   }
+}
+
+// EINTR-safe read: a signal interrupting the syscall is NOT end-of-stream
+// (the pre-ISSUE-6 loop treated any n <= 0 as EOF and silently dropped the
+// connection mid-request). The socket.recv fault site simulates exactly
+// that interrupted attempt.
+ssize_t RecvSome(int fd, char* buffer, size_t size) {
+  while (true) {
+    if (FaultInjector::Global().Fire(fault::kSocketRecv)) {
+      continue;  // as if read() returned -1/EINTR
+    }
+    const ssize_t n = ::read(fd, buffer, size);
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    return n;
+  }
+}
+
+// Writes the whole buffer: retries interrupted attempts, continues after
+// short writes. False once the peer is gone (EPIPE/reset) or on any hard
+// error. Fault sites: socket.send simulates an EINTR'd attempt;
+// socket.short_write clamps one attempt to a single byte so the
+// continuation path runs with real data (the response stays intact).
+bool SendAll(int fd, const char* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    if (FaultInjector::Global().Fire(fault::kSocketSend)) {
+      continue;  // as if send() returned -1/EINTR
+    }
+    size_t len = size - sent;
+    if (len > 1 && FaultInjector::Global().Fire(fault::kSocketShortWrite)) {
+      len = 1;
+    }
+    // MSG_NOSIGNAL: a client (or Stop()) tearing the socket down must yield
+    // EPIPE here, not a process-killing SIGPIPE.
+    const ssize_t n = ::send(fd, data + sent, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    if (n == 0) {
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
 }
 
 }  // namespace
@@ -245,7 +296,7 @@ void HttpServer::ServeConnection(int fd) {
           raw.size() >= header_end + 4 + content_length) {
         break;
       }
-      const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+      const ssize_t n = RecvSome(fd, buffer, sizeof(buffer));
       if (n <= 0) {
         eof = true;
         break;
@@ -299,16 +350,8 @@ void HttpServer::ServeConnection(int fd) {
     }
     out += keep_alive ? "Connection: keep-alive\r\n\r\n" : "Connection: close\r\n\r\n";
     out += response.body;
-    size_t sent = 0;
-    while (sent < out.size()) {
-      // MSG_NOSIGNAL: a client (or Stop()) tearing the socket down must yield
-      // EPIPE here, not a process-killing SIGPIPE.
-      const ssize_t n =
-          ::send(fd, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
-      if (n <= 0) {
-        return;
-      }
-      sent += static_cast<size_t>(n);
+    if (!SendAll(fd, out.data(), out.size())) {
+      return;
     }
     if (!keep_alive) {
       return;

@@ -33,13 +33,15 @@ Status RequestTable::Reserve(const std::string& id) {
 }
 
 void RequestTable::Commit(const std::string& id,
-                          std::vector<Engine::AsyncSubmission> submissions) {
+                          std::vector<Engine::AsyncSubmission> submissions,
+                          int32_t priority) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(id);
   if (it == entries_.end()) {
     return;
   }
   Entry& entry = it->second;
+  entry.priority = priority;
   entry.items.reserve(submissions.size());
   for (Engine::AsyncSubmission& submission : submissions) {
     Item item;
@@ -51,7 +53,14 @@ void RequestTable::Commit(const std::string& id,
 
 void RequestTable::Abandon(const std::string& id) {
   std::lock_guard<std::mutex> lock(mu_);
-  entries_.erase(id);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    return;
+  }
+  if (it->second.terminal) {
+    completed_by_priority_.erase({it->second.priority, it->second.completed_seq, id});
+  }
+  entries_.erase(it);
 }
 
 void RequestTable::RefreshLocked(const std::string& id, Entry& entry) {
@@ -75,14 +84,18 @@ void RequestTable::RefreshLocked(const std::string& id, Entry& entry) {
   if (!all_resolved) {
     return;
   }
-  // Transition to terminal: enter the bounded completed-result ring. The
-  // oldest finished request beyond capacity is forgotten — its id will poll
-  // as 404 from now on.
+  // Transition to terminal: enter the bounded completed-result table.
+  // Beyond capacity, the lowest-priority terminal entry is forgotten first
+  // (oldest first within a priority class) — its id polls as 404 from now
+  // on. Note the freshly terminal entry itself is the victim when every
+  // retained entry outranks it.
   entry.terminal = true;
-  completed_order_.push_back(id);
-  while (completed_order_.size() > completed_capacity_) {
-    entries_.erase(completed_order_.front());
-    completed_order_.pop_front();
+  entry.completed_seq = ++completed_seq_;
+  completed_by_priority_.insert({entry.priority, entry.completed_seq, id});
+  while (completed_by_priority_.size() > completed_capacity_) {
+    auto victim = completed_by_priority_.begin();
+    entries_.erase(std::get<2>(*victim));
+    completed_by_priority_.erase(victim);
   }
 }
 
@@ -133,9 +146,9 @@ Result<RequestTable::Snapshot> RequestTable::Poll(const std::string& id) {
                             "completed-result table)");
   }
   RefreshLocked(id, it->second);
-  // RefreshLocked may have evicted other ids but never the one it was
-  // handed (it was just appended, and capacity eviction pops from the
-  // front) — unless capacity is 0; re-find to stay correct there.
+  // RefreshLocked may have evicted ids — including the one it was handed,
+  // when that entry is outranked by everything retained (or capacity is 0);
+  // re-find to stay correct.
   it = entries_.find(id);
   if (it == entries_.end()) {
     return Status::NotFound("request id '" + id +

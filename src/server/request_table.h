@@ -13,22 +13,26 @@
 //    all items terminal -> done/failed/cancelled (any kCancelled outranks
 //    any other failure, any failure outranks done); otherwise running if
 //    any item has left the queue, else queued;
-//  * completed entries enter a bounded FIFO retention ring — the
-//    completed-result table. Once `completed_capacity` newer requests have
-//    finished, the oldest is evicted and its id polls as 404. Pending
-//    entries are never evicted.
+//  * completed entries enter a bounded retention table with PRIORITY-AWARE
+//    eviction (ISSUE 6): when more than `completed_capacity` terminal
+//    entries are retained, the lowest-priority one is evicted first, oldest
+//    first within a priority class — so a burst of low-priority traffic
+//    cannot flush a high-priority client's result before it polls. Evicted
+//    ids poll as 404. Pending entries are never evicted.
 //
 // Thread-safe; every method may be called from concurrent connection
 // threads.
 #ifndef SRC_SERVER_REQUEST_TABLE_H_
 #define SRC_SERVER_REQUEST_TABLE_H_
 
-#include <deque>
+#include <cstdint>
 #include <map>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <string_view>
+#include <tuple>
 #include <vector>
 
 #include "src/core/engine.h"
@@ -56,8 +60,11 @@ class RequestTable {
   // Reserve() claims the id (kFailedPrecondition if present — HTTP 409; the
   // placeholder polls as "queued"), Commit() attaches the submitted engine
   // requests, Abandon() releases a reservation whose submission failed.
+  // `priority` is the submission's scheduling class (higher = more
+  // important); it decides eviction order once the entry is terminal.
   Status Reserve(const std::string& id);
-  void Commit(const std::string& id, std::vector<Engine::AsyncSubmission> submissions);
+  void Commit(const std::string& id, std::vector<Engine::AsyncSubmission> submissions,
+              int32_t priority = 0);
   void Abandon(const std::string& id);
 
   // Non-blocking state read; kNotFound for unknown or evicted ids.
@@ -80,10 +87,13 @@ class RequestTable {
   struct Entry {
     std::vector<Item> items;
     bool terminal = false;
+    int32_t priority = 0;
+    uint64_t completed_seq = 0;  // assigned on the transition to terminal
   };
 
   // Harvests ready futures; on the transition to terminal, enters the entry
-  // into the bounded retention ring (evicting the oldest). Requires mu_.
+  // into the bounded retention table (evicting lowest-priority/oldest
+  // first). Requires mu_.
   void RefreshLocked(const std::string& id, Entry& entry);
   Snapshot SnapshotLocked(const Entry& entry) const;
 
@@ -91,7 +101,11 @@ class RequestTable {
   const size_t completed_capacity_;
   mutable std::mutex mu_;
   std::map<std::string, Entry> entries_;
-  std::deque<std::string> completed_order_;
+  // Terminal entries ordered by eviction preference: (priority, completion
+  // seq, id) ascending, so *begin() is always the lowest-priority, oldest
+  // victim.
+  std::set<std::tuple<int32_t, uint64_t, std::string>> completed_by_priority_;
+  uint64_t completed_seq_ = 0;
 };
 
 }  // namespace prefillonly

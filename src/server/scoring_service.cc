@@ -105,6 +105,12 @@ HttpResponse ScoringService::Handle(const HttpRequest& request) {
     }
     return MethodNotAllowed(request.method, path, "GET");
   }
+  if (path == "/v1/health") {
+    if (request.method == "GET") {
+      return HandleHealth();
+    }
+    return MethodNotAllowed(request.method, path, "GET");
+  }
   if (path == "/v1/requests") {
     if (request.method == "POST") {
       return HandleSubmitRequest(request);
@@ -332,6 +338,9 @@ HttpResponse ScoringService::HandleSubmitRequest(const HttpRequest& request) {
     id = "req-" + std::to_string(next_request_seq_.fetch_add(1));
   }
   const auto n_items = static_cast<int64_t>(parsed.value().items.size());
+  // Captured before SubmitGroupAsync consumes the items: the priority
+  // decides how long the finished result survives in the retention table.
+  const int32_t priority = parsed.value().items.front().priority;
 
   // Claim the id BEFORE engine admission: a duplicate (e.g. an idempotent
   // client retry) costs a 409 and nothing else — no queue slot, no prefill.
@@ -345,7 +354,7 @@ HttpResponse ScoringService::HandleSubmitRequest(const HttpRequest& request) {
     requests_->Abandon(id);
     return ApiErrorResponse(submitted.status());
   }
-  requests_->Commit(id, std::move(submitted.value()));
+  requests_->Commit(id, std::move(submitted.value()), priority);
   Json::Object out;
   out.emplace("id", Json(id));
   out.emplace("status", Json("queued"));
@@ -407,6 +416,15 @@ HttpResponse ScoringService::HandleStats() const {
   out.emplace("cancelled", Json(stats.cancelled));
   out.emplace("cancelled_in_flight", Json(stats.cancelled_in_flight));
   out.emplace("deadline_expired", Json(stats.deadline_expired));
+  // Robustness counters (ISSUE 6): mid-prefill aborts, degradation ladder
+  // activity, and fault-injection visibility.
+  out.emplace("deadline_expired_in_flight", Json(stats.deadline_expired_in_flight));
+  out.emplace("abort_checks", Json(stats.abort_checks));
+  out.emplace("alloc_retries", Json(stats.alloc_retries));
+  out.emplace("alloc_retry_successes", Json(stats.alloc_retry_successes));
+  out.emplace("shed", Json(stats.shed));
+  out.emplace("watchdog_stalls", Json(stats.watchdog_stalls));
+  out.emplace("faults_injected", Json(stats.faults_injected));
   // Batch occupancy (ISSUE 4): mean requests per dispatched prefill batch;
   // 1.0 = every request ran solo (max_batch_size == 1 or no co-batchable
   // queue depth).
@@ -424,6 +442,31 @@ HttpResponse ScoringService::HandleStats() const {
   out.emplace("peak_activation_bytes",
               Json(static_cast<int64_t>(stats.peak_activation_bytes)));
   HttpResponse http;
+  http.body = Json(std::move(out)).Serialize();
+  return http;
+}
+
+HttpResponse ScoringService::HandleHealth() const {
+  const Engine::HealthStatus health = engine_->Health();
+  Json::Object out;
+  HttpResponse http;
+  switch (health) {
+    case Engine::HealthStatus::kOk:
+      out.emplace("status", Json("ok"));
+      break;
+    case Engine::HealthStatus::kDegraded:
+      // Still serving (200) — but a watchdog has fired at least once, so an
+      // operator should look before trusting latency SLOs.
+      out.emplace("status", Json("degraded"));
+      break;
+    case Engine::HealthStatus::kOverloaded:
+      // Load shedding is active: new submissions are being rejected with
+      // 429, so the health probe itself answers 503 for LB draining.
+      out.emplace("status", Json("overloaded"));
+      http.status = 503;
+      http.headers.emplace("Retry-After", "1");
+      break;
+  }
   http.body = Json(std::move(out)).Serialize();
   return http;
 }

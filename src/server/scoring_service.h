@@ -22,7 +22,13 @@
 //   DELETE /v1/requests/{id}  cancel (idempotent once terminal)
 //     -> { "id", "status" }
 //
-//   GET /v1/stats             engine counters
+//   GET /v1/stats             engine counters (incl. robustness counters:
+//                             aborts, retries, sheds, watchdog, faults)
+//   GET /v1/health            liveness/degradation probe (ISSUE 6)
+//     -> 200 { "status": "ok" | "degraded" }   degraded = a watchdog has
+//        ever fired (delivery guarantee was exercised)
+//     -> 503 { "status": "overloaded" }        load shedding is active;
+//        clients should back off (Retry-After honored by the facade)
 //
 // `options` (both submission routes): "priority" (int, strict scheduling
 // class), "deadline_ms" (int >= 0; 0 = already expired, rejected with 504
@@ -96,6 +102,7 @@ class ScoringService {
   HttpResponse HandlePollRequest(const std::string& id);
   HttpResponse HandleCancelRequest(const std::string& id);
   HttpResponse HandleStats() const;
+  HttpResponse HandleHealth() const;
 
   std::unique_ptr<Engine> engine_;
   std::unique_ptr<HashTokenizer> tokenizer_;

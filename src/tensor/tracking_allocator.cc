@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "src/common/fault.h"
 #include "src/common/logging.h"
 
 namespace prefillonly {
@@ -22,6 +23,9 @@ void* TrackingAllocator::Allocate(size_t bytes, const std::string& tag) {
   // undercount by a line per empty tensor.
   const size_t charged = bytes == 0 ? 64 : bytes;
   if (budget_bytes_ != 0 && current_bytes_ + charged > budget_bytes_) {
+    return nullptr;
+  }
+  if (fault_site_ != nullptr && FaultInjector::Global().Fire(fault_site_)) {
     return nullptr;
   }
   void* ptr = nullptr;

@@ -42,6 +42,12 @@ class TrackingAllocator {
   void* Allocate(size_t bytes, const std::string& tag);
   void Deallocate(void* ptr);
 
+  // Names this allocator as a fault-injection site (src/common/fault.h):
+  // when the site fires, Allocate fails as if the budget were exceeded.
+  // Empty (the default) opts out entirely; the process-wide Default()
+  // allocator is never instrumented.
+  void SetFaultSite(const char* site) { fault_site_ = site; }
+
   size_t current_bytes() const { return current_bytes_; }
   size_t peak_bytes() const { return peak_bytes_; }
   size_t budget_bytes() const { return budget_bytes_; }
@@ -65,6 +71,7 @@ class TrackingAllocator {
     std::string tag;
   };
 
+  const char* fault_site_ = nullptr;
   size_t budget_bytes_ = 0;  // 0 = unlimited
   size_t current_bytes_ = 0;
   size_t peak_bytes_ = 0;

@@ -667,6 +667,62 @@ TEST(LifecycleRoutesTest, CompletedResultTableEvictsOldest) {
   EXPECT_EQ(service.Handle(Req("GET", "/v1/requests/c")).status, 200);
 }
 
+TEST(LifecycleRoutesTest, CompletedResultEvictionIsPriorityAware) {
+  // Capacity 2, and the OLDEST completion carries the HIGHEST priority: a
+  // FIFO ring would evict it; priority-aware eviction (ISSUE 6) must evict
+  // the oldest LOW-priority entry instead, so a burst of low-priority
+  // traffic cannot flush a high-priority client's result before it polls.
+  ScoringServiceOptions service_options;
+  service_options.completed_requests_capacity = 2;
+  ScoringService service(SmallEngineOptions(), service_options);
+  const std::pair<const char*, int> requests[] = {
+      {"high", 5}, {"low1", 0}, {"low2", 0}};
+  for (const auto& [id, priority] : requests) {
+    ASSERT_EQ(service
+                  .Handle(Req("POST", "/v1/requests",
+                              TokensBody(8, id[0],
+                                         R"(, "options":{"request_id":")" +
+                                             std::string(id) +
+                                             R"(","priority":)" +
+                                             std::to_string(priority) + "}")))
+                  .status,
+              202);
+    ASSERT_NE(PollUntil(service, id, "done").find("done"), std::string::npos);
+  }
+  EXPECT_EQ(service.Handle(Req("GET", "/v1/requests/high")).status, 200);
+  EXPECT_EQ(service.Handle(Req("GET", "/v1/requests/low1")).status, 404);
+  EXPECT_EQ(service.Handle(Req("GET", "/v1/requests/low2")).status, 200);
+}
+
+// ---------------------------------------------- Health probe (ISSUE 6)
+
+TEST(HealthRouteTest, HealthyServiceAnswersOk) {
+  ScoringService service(SmallEngineOptions());
+  const auto response = service.Handle(Req("GET", "/v1/health"));
+  ASSERT_EQ(response.status, 200) << response.body;
+  auto body = Json::Parse(response.body);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(body.value().Find("status")->AsString(), "ok");
+  // Wrong method follows the shared 405 + Allow convention.
+  const auto post = service.Handle(Req("POST", "/v1/health"));
+  EXPECT_EQ(post.status, 405);
+  EXPECT_EQ(post.headers.at("Allow"), "GET");
+}
+
+TEST(HealthRouteTest, StatsExposeRobustnessCounters) {
+  ScoringService service(SmallEngineOptions());
+  const auto response = service.Handle(Req("GET", "/v1/stats"));
+  ASSERT_EQ(response.status, 200);
+  auto body = Json::Parse(response.body);
+  ASSERT_TRUE(body.ok());
+  for (const char* key :
+       {"deadline_expired_in_flight", "abort_checks", "alloc_retries",
+        "alloc_retry_successes", "shed", "watchdog_stalls", "faults_injected"}) {
+    ASSERT_NE(body.value().Find(key), nullptr) << key;
+    EXPECT_EQ(body.value().Find(key)->AsInt(), 0) << key;
+  }
+}
+
 // ------------------------------------------- Keep-alive (ISSUE 5 satellite)
 
 // Reads exactly one Content-Length-framed response from `fd`.
