@@ -62,9 +62,10 @@ Engine::Engine(EngineOptions options)
     }
     offload_payloads_[hash] = CloneBlock(payload, offload_memory_);
     ++offload_demotions_;
-    const uint64_t displaced = offload_dir_->Insert(hash, depth);
-    if (displaced != 0) {
-      offload_payloads_.erase(displaced);
+    // Insert reports the displaced hash as an optional: 0 is a valid chain
+    // hash, so "nothing evicted" must not be encoded in-band.
+    if (const auto displaced = offload_dir_->Insert(hash, depth)) {
+      offload_payloads_.erase(*displaced);
     }
   });
   estimator_ = std::make_unique<CacheMissProxyEstimator>();
@@ -480,8 +481,16 @@ Status Engine::AcquirePrefix(const Pending& pending, TrackingAllocator& activati
   out.chain = chain.subspan(0, static_cast<size_t>(out.budget_blocks));
 
   // --- Cache acquire + prefix assembly, atomic under cache_mu_ ---------
+  // Token-accurate hit-rate accounting: the request presents every token up
+  // to the cache budget, including a trailing partial block that can never
+  // hit — counting whole chain blocks instead would deflate the denominator
+  // and let HitRate() exceed 1.0.
+  const int64_t lookup_tokens =
+      out.budget_blocks < static_cast<int64_t>(pending.chain->size())
+          ? out.budget_blocks * options_.block_size
+          : n_tokens;
   std::lock_guard<std::mutex> cache_lock(cache_mu_);
-  auto acquired = cache_->Acquire(out.chain, out.budget_blocks);
+  auto acquired = cache_->Acquire(out.chain, out.budget_blocks, lookup_tokens);
   if (!acquired.ok()) {
     return acquired.status();
   }
@@ -1264,6 +1273,9 @@ EngineStats Engine::stats() const {
   out.offload_hit_tokens = offload_hit_tokens_;
   out.offload_demotions = offload_demotions_;
   out.offload_promotions = offload_promotions_;
+  out.offload_evictions = offload_dir_->evictions();
+  out.offload_read_hits = offload_dir_->read_hits();
+  out.offload_read_misses = offload_dir_->read_misses();
   return out;
 }
 

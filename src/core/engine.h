@@ -226,8 +226,11 @@ struct EngineStats {
   // Offload tier (zeros unless cpu_offload_budget_tokens > 0).
   size_t offload_bytes = 0;
   int64_t offload_hit_tokens = 0;
-  int64_t offload_demotions = 0;
-  int64_t offload_promotions = 0;
+  int64_t offload_demotions = 0;   // GPU-tier evictions written to the tier
+  int64_t offload_promotions = 0;  // reloads published back to the GPU tier
+  int64_t offload_evictions = 0;   // directory LRU displacements (payload lost)
+  int64_t offload_read_hits = 0;   // continuation lookups that found blocks
+  int64_t offload_read_misses = 0;
 };
 
 class Engine {

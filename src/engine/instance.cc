@@ -160,7 +160,14 @@ void EngineInstance::StartOnServer(Waiting waiting) {
     cacheable_blocks = chain_len;
   }
 
-  auto acquisition = cache_->Acquire(chain, need_blocks);
+  // Token-accurate lookup accounting: when the chain was truncated to the
+  // retention budget only the truncated span is presented; otherwise the
+  // whole request (trailing partial block included) counts as looked up.
+  const int64_t lookup_tokens =
+      static_cast<int64_t>(chain.size()) < chain_len
+          ? static_cast<int64_t>(chain.size()) * config_.block_size
+          : request.n_tokens;
+  auto acquisition = cache_->Acquire(chain, need_blocks, lookup_tokens);
   if (!acquisition.ok()) {
     // Even with every cache entry evicted the request KV does not fit.
     PO_LOG_DEBUG << name_ << ": reject request " << request.id << " ("

@@ -4,37 +4,54 @@
 
 namespace prefillonly {
 
-uint64_t OffloadDirectory::Insert(uint64_t hash, int64_t depth) {
+void OffloadDirectory::Touch(std::unordered_map<uint64_t, Entry>::iterator it,
+                             uint64_t stamp) {
+  if (it->second.lru_pos != lru_.end()) {
+    lru_.erase(it->second.lru_pos);
+  }
+  it->second.last_use = stamp;
+  // Keep the list sorted by stamp (oldest at the front), deepest first on
+  // ties so the shareable shallow blocks outlive deep suffix blocks — the
+  // same policy the old per-insert victim scan implemented in O(n). The
+  // simulator may drive stamps out of order via SetClock; with monotone
+  // stamps this walk is O(1).
+  auto pos = lru_.end();
+  while (pos != lru_.begin()) {
+    auto prev = std::prev(pos);
+    const Entry& other = entries_.at(*prev);
+    if (other.last_use > stamp ||
+        (other.last_use == stamp && other.depth < it->second.depth)) {
+      pos = prev;
+    } else {
+      break;
+    }
+  }
+  it->second.lru_pos = lru_.insert(pos, it->first);
+}
+
+std::optional<uint64_t> OffloadDirectory::Insert(uint64_t hash, int64_t depth) {
   if (capacity_blocks_ <= 0) {
-    return 0;
+    return std::nullopt;
   }
   const uint64_t stamp = NextStamp();
-  auto [it, inserted] = entries_.try_emplace(hash, Entry{depth, stamp});
+  auto [it, inserted] = entries_.try_emplace(hash, Entry{depth, stamp, lru_.end()});
+  Touch(it, stamp);
   if (!inserted) {
-    it->second.last_use = stamp;
-    return 0;
+    return std::nullopt;
   }
   ++insertions_;
   if (static_cast<int64_t>(entries_.size()) <= capacity_blocks_) {
-    return 0;
+    return std::nullopt;
   }
-  // LRU victim, deepest first on ties (same policy as the GPU tier).
-  auto victim = entries_.end();
-  for (auto e = entries_.begin(); e != entries_.end(); ++e) {
-    if (e->first == hash) {
-      continue;  // never evict what we just inserted
-    }
-    if (victim == entries_.end() || e->second.last_use < victim->second.last_use ||
-        (e->second.last_use == victim->second.last_use &&
-         e->second.depth > victim->second.depth)) {
-      victim = e;
-    }
+  // LRU victim in O(1): the front of the stamp-sorted list — skipping the
+  // entry just inserted, which is never evicted by its own insert.
+  auto victim_pos = lru_.begin();
+  if (*victim_pos == hash) {
+    ++victim_pos;
   }
-  if (victim == entries_.end()) {
-    return 0;
-  }
-  const uint64_t evicted = victim->first;
-  entries_.erase(victim);
+  const uint64_t evicted = *victim_pos;
+  lru_.erase(victim_pos);
+  entries_.erase(evicted);
   ++evictions_;
   return evicted;
 }
@@ -44,6 +61,7 @@ int64_t OffloadDirectory::MatchContinuation(std::span<const uint64_t> chain,
   // An injected read error makes the offload tier unreadable for this
   // lookup; the caller treats it as a miss and recomputes the blocks.
   if (FaultInjector::Global().Fire(fault::kOffloadRead)) {
+    ++read_misses_;
     return 0;
   }
   const uint64_t stamp = NextStamp();
@@ -53,9 +71,10 @@ int64_t OffloadDirectory::MatchContinuation(std::span<const uint64_t> chain,
     if (it == entries_.end()) {
       break;
     }
-    it->second.last_use = stamp;
+    Touch(it, stamp);
     ++matched;
   }
+  ++(matched > 0 ? read_hits_ : read_misses_);
   return matched;
 }
 
@@ -69,6 +88,15 @@ int64_t OffloadDirectory::PeekContinuation(std::span<const uint64_t> chain,
     ++matched;
   }
   return matched;
+}
+
+void OffloadDirectory::Erase(uint64_t hash) {
+  auto it = entries_.find(hash);
+  if (it == entries_.end()) {
+    return;
+  }
+  lru_.erase(it->second.lru_pos);
+  entries_.erase(it);
 }
 
 }  // namespace prefillonly

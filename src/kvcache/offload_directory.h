@@ -11,6 +11,8 @@
 #define SRC_KVCACHE_OFFLOAD_DIRECTORY_H_
 
 #include <cstdint>
+#include <list>
+#include <optional>
 #include <span>
 #include <unordered_map>
 
@@ -25,12 +27,19 @@ class OffloadDirectory {
   int64_t size() const { return static_cast<int64_t>(entries_.size()); }
   int64_t insertions() const { return insertions_; }
   int64_t evictions() const { return evictions_; }
+  // Read-side traffic: MatchContinuation calls that found at least one
+  // block vs. those that found none (including injected read faults).
+  int64_t read_hits() const { return read_hits_; }
+  int64_t read_misses() const { return read_misses_; }
 
   bool Contains(uint64_t hash) const { return entries_.contains(hash); }
 
   // Records `hash` in the tier, evicting the LRU entry if full. Returns the
-  // evicted hash (or 0). A zero-capacity directory drops everything.
-  uint64_t Insert(uint64_t hash, int64_t depth);
+  // evicted hash so the payload layer can drop its bytes — nullopt when
+  // nothing was displaced. (0 is a valid chain hash, so "no eviction" must
+  // be distinguishable from "hash 0 evicted".) A zero-capacity directory
+  // drops everything.
+  std::optional<uint64_t> Insert(uint64_t hash, int64_t depth);
 
   // Number of consecutive chain entries present starting at `start_index`
   // (the continuation of a first-tier prefix match). Touches LRU state.
@@ -39,21 +48,29 @@ class OffloadDirectory {
   // Same, without touching LRU stamps (for speculative scheduler probes).
   int64_t PeekContinuation(std::span<const uint64_t> chain, int64_t start_index) const;
 
-  void Erase(uint64_t hash) { entries_.erase(hash); }
+  void Erase(uint64_t hash);
   void SetClock(uint64_t now) { clock_ = now; }
 
  private:
   struct Entry {
     int64_t depth;
     uint64_t last_use;
+    std::list<uint64_t>::iterator lru_pos;
   };
 
   uint64_t NextStamp() { return (clock_ != 0) ? clock_ : ++auto_stamp_; }
+  // Repositions `it` in the stamp-sorted LRU list (oldest at the front).
+  void Touch(std::unordered_map<uint64_t, Entry>::iterator it, uint64_t stamp);
 
   int64_t capacity_blocks_;
   std::unordered_map<uint64_t, Entry> entries_;
+  // Hashes sorted by last_use ascending: front is the eviction victim.
+  // Replaces the old O(n) victim scan per insert.
+  std::list<uint64_t> lru_;
   int64_t insertions_ = 0;
   int64_t evictions_ = 0;
+  int64_t read_hits_ = 0;
+  int64_t read_misses_ = 0;
   uint64_t clock_ = 0;
   uint64_t auto_stamp_ = 0;
 };

@@ -80,7 +80,7 @@ LlamaModel::LlamaModel(ModelConfig config, uint64_t seed, KernelBackend backend)
     Weight w;
     w.dense = Tensor::Uninit(wa, std::move(shape), tag);
     InitUniform(w.dense, rng, scale);
-    if (kops_->packs_weights) {
+    if (kops_->gemm_layout == GemmLayout::kPacked) {
       w.packed = PackWeights(wa, w.dense.data(), w.dense.dim(0), w.dense.dim(1),
                              std::string(tag) + ".packed");
       w.dense = Tensor();

@@ -180,7 +180,7 @@ class LlamaModel {
   // keeping both would double resident weight memory).
   struct Weight {
     Tensor dense;         // [k, n] row-major; empty when packed is engaged
-    PackedMatrix packed;  // engaged iff kops_->packs_weights
+    PackedMatrix packed;  // engaged iff kops_->gemm_layout == kPacked
   };
 
   struct LayerWeights {

@@ -436,9 +436,23 @@ HttpResponse ScoringService::HandleStats() const {
                              static_cast<double>(stats.batches_dispatched)
                        : 0.0));
   out.emplace("peak_batch_size", Json(stats.peak_batch_size));
+  // Two-tier prefix cache (ISSUE 7): token-accurate GPU-tier hit/miss plus
+  // the offload tier's demote/reload/evict traffic.
   out.emplace("cache_hit_rate", Json(stats.cache.HitRate()));
+  out.emplace("cache_lookups", Json(stats.cache.lookups));
+  out.emplace("cache_hit_tokens", Json(stats.cache.hit_tokens));
+  out.emplace("cache_lookup_tokens", Json(stats.cache.lookup_tokens));
+  out.emplace("cache_insertions", Json(stats.cache.insertions));
+  out.emplace("cache_evictions", Json(stats.cache.evictions));
+  out.emplace("cache_failed_acquires", Json(stats.cache.failed_acquires));
   out.emplace("cache_bytes", Json(static_cast<int64_t>(stats.cache_bytes)));
   out.emplace("offload_bytes", Json(static_cast<int64_t>(stats.offload_bytes)));
+  out.emplace("offload_hit_tokens", Json(stats.offload_hit_tokens));
+  out.emplace("offload_demotions", Json(stats.offload_demotions));
+  out.emplace("offload_promotions", Json(stats.offload_promotions));
+  out.emplace("offload_evictions", Json(stats.offload_evictions));
+  out.emplace("offload_read_hits", Json(stats.offload_read_hits));
+  out.emplace("offload_read_misses", Json(stats.offload_read_misses));
   out.emplace("peak_activation_bytes",
               Json(static_cast<int64_t>(stats.peak_activation_bytes)));
   HttpResponse http;

@@ -458,7 +458,7 @@ void Avx2Axpy(float* y, const float* x, float scale, int64_t n) {
 constexpr KernelOps kAvx2Ops = {
     /*backend=*/KernelBackend::kAvx2,
     /*name=*/"avx2",
-    /*packs_weights=*/true,
+    /*gemm_layout=*/GemmLayout::kPacked,
     /*matmul_rows=*/Avx2MatMulRows,
     /*matmul_col_range=*/Avx2MatMulColRange,
     /*matmul_rows_packed=*/Avx2MatMulRowsPacked,

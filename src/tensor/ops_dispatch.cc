@@ -111,9 +111,10 @@ void ScalarMatMulColRange(const float* __restrict a, const float* __restrict b,
 }
 
 // Packed-layout scalar GEMM: one panel at a time, k strictly ascending per
-// element. The scalar backend never asks for packing (packs_weights =
-// false) — these exist so MatMulPacked is total over every backend (the
-// benchmarks compare packed-vs-dense per backend).
+// element. The scalar backend's layout policy is kDense (the panel-major
+// layout defeats its cache blocking: 3.8 vs 23 GFLOP/s, BENCH_kernels.json)
+// — these exist so MatMulPacked is total over every backend (the benchmarks
+// compare packed-vs-dense per backend).
 void ScalarMatMulRowsPacked(const float* __restrict a, const PackedMatrix& bp,
                             float* __restrict c, int64_t r0, int64_t r1) {
   const int64_t k = bp.k;
@@ -237,7 +238,7 @@ void ScalarAxpy(float* y, const float* x, float scale, int64_t n) {
 constexpr KernelOps kScalarOps = {
     /*backend=*/KernelBackend::kScalar,
     /*name=*/"scalar",
-    /*packs_weights=*/false,
+    /*gemm_layout=*/GemmLayout::kDense,
     /*matmul_rows=*/ScalarMatMulRows,
     /*matmul_col_range=*/ScalarMatMulColRange,
     /*matmul_rows_packed=*/ScalarMatMulRowsPacked,

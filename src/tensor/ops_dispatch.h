@@ -46,6 +46,18 @@ enum class KernelBackend {
   kAvx2,    // AVX2+FMA intrinsics + prepacked weights
 };
 
+// Which weight layout a backend's GEMM wants. This is a PER-BACKEND policy,
+// not a global switch: the panel-major prepack is what lets the AVX2
+// kernels stream weights at unit stride (66 vs 51 GFLOP/s in
+// BENCH_kernels.json), but the same layout defeats the scalar backend's
+// cache blocking (3.8 vs 23 GFLOP/s — 6x slower). LlamaModel keeps each
+// weight matrix in exactly the layout its backend's policy names, so the
+// slow combination is unreachable by construction.
+enum class GemmLayout {
+  kDense,   // row-major, read in place (scalar's blocked loops)
+  kPacked,  // panel-major prepack of src/tensor/prepack.h (AVX2 kernels)
+};
+
 // Serial inner kernels of one backend. Range arguments ([r0, r1), [j0, j1),
 // [i0, i1), [p0, p1)) come from the partitioning wrappers in ops.cc; every
 // implementation must compute each output element identically for every
@@ -53,9 +65,10 @@ enum class KernelBackend {
 struct KernelOps {
   KernelBackend backend;
   const char* name;
-  // True when MatMul over this backend wants weights in the panel-major
-  // prepacked layout (LlamaModel packs each weight matrix at load time).
-  bool packs_weights;
+  // Dense-vs-packed weight layout for MatMul over this backend (see
+  // GemmLayout above; LlamaModel packs each weight matrix at load time iff
+  // the policy says kPacked).
+  GemmLayout gemm_layout;
 
   // c rows [r0, r1) of c[M,N] = a[M,K] * b[K,N], b row-major.
   void (*matmul_rows)(const float* a, const float* b, float* c, int64_t r0,

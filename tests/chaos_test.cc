@@ -483,6 +483,74 @@ TEST(ChaosScheduleTest, InjectionDisabledIsBitIdenticalAndHealthy) {
   EXPECT_EQ(armed.stats().faults_injected, 0);
 }
 
+// ------------------- offload evict→reload round trip (ISSUE 7 satellite)
+
+TEST(ChaosOffloadTest, EvictReloadRoundTripSurvivesFaultSchedules) {
+  // The two-tier cycle — radix-tree eviction demotes to the offload
+  // directory, the next match reloads — driven through seeded schedules
+  // that drop offload writes, fail offload reads, and force cache misses
+  // at the new tree boundaries. These sites may only degrade (recompute),
+  // never fail a request or change a bit of output.
+  EngineOptions options = TinyChaosOptions();
+  options.cache_budget_tokens = 64;         // one profile: B's arrival demotes A
+  options.cpu_offload_budget_tokens = 256;
+
+  const auto user_a = Tokens(64, 61);
+  const auto user_b = Tokens(64, 62);
+
+  // Fault-free reference. The round trip itself must complete: A demoted
+  // when B lands, then served from the CPU tier with the reload counted.
+  std::vector<TokenProbability> golden_a, golden_b;
+  {
+    FaultInjector::Global().Clear();
+    Engine engine(options);
+    auto first_a = engine.ScoreSync(YesNoRequest(user_a, 1));
+    ASSERT_TRUE(first_a.ok());
+    golden_a = first_a.value().probabilities;
+    auto first_b = engine.ScoreSync(YesNoRequest(user_b, 2));  // demotes A
+    ASSERT_TRUE(first_b.ok());
+    golden_b = first_b.value().probabilities;
+    auto again_a = engine.ScoreSync(YesNoRequest(user_a, 1));
+    ASSERT_TRUE(again_a.ok());
+    EXPECT_GT(again_a.value().n_cached_offload, 0);
+    EXPECT_TRUE(SameBits(golden_a, again_a.value().probabilities));
+    const auto stats = engine.stats();
+    EXPECT_GT(stats.offload_demotions, 0);
+    EXPECT_GT(stats.offload_read_hits, 0);  // the reload, via the new counter
+  }
+
+  // The same traffic under fault schedules covering every trigger type at
+  // the offload boundary.
+  for (const char* schedule :
+       {"seed=11;offload.write=p0.5;offload.read=p0.5;cache.force_miss=p0.3",
+        "seed=12;offload.read=x1;cache.force_miss=n2",
+        "seed=13;offload.write=x1;offload.read=p0.25"}) {
+    SCOPED_TRACE(schedule);
+    FaultScope scope(schedule);
+    Engine engine(options);
+    auto a1 = engine.ScoreSync(YesNoRequest(user_a, 1));
+    auto b = engine.ScoreSync(YesNoRequest(user_b, 2));
+    auto a2 = engine.ScoreSync(YesNoRequest(user_a, 1));
+    ASSERT_TRUE(a1.ok()) << a1.status().ToString();
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    ASSERT_TRUE(a2.ok()) << a2.status().ToString();
+    EXPECT_TRUE(SameBits(golden_a, a1.value().probabilities));
+    EXPECT_TRUE(SameBits(golden_b, b.value().probabilities));
+    EXPECT_TRUE(SameBits(golden_a, a2.value().probabilities));
+
+    const auto stats = engine.stats();
+    // A dropped write or failed read surfaces as a read miss and a
+    // recompute — never as a stale hit, a failed request, or a counter
+    // that books tokens it did not serve.
+    EXPECT_GT(stats.faults_injected, 0);
+    EXPECT_GE(stats.offload_read_misses, 0);
+    EXPECT_GE(stats.offload_hit_tokens, 0);
+    if (stats.offload_hit_tokens > 0) {
+      EXPECT_GT(stats.offload_read_hits, 0);
+    }
+  }
+}
+
 // ----------------------------- facade retry policy (ISSUE 6 satellite)
 
 TEST(ChaosClientTest, RetryPolicyAbsorbsTransientFault) {

@@ -135,6 +135,82 @@ TEST(EngineTest, CacheHitDoesNotChangeScores) {
   EXPECT_DOUBLE_EQ(warm_score.value().score, cold_score.value().score);
 }
 
+// Two TokenProbability vectors are bitwise identical (memcmp over the
+// doubles, not EXPECT_DOUBLE_EQ): the cached path must reproduce the cold
+// path exactly, bit for bit.
+bool SameProbabilityBits(const std::vector<TokenProbability>& a,
+                         const std::vector<TokenProbability>& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].token != b[i].token ||
+        std::memcmp(&a[i].probability, &b[i].probability, sizeof(double)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(KvSharingTest, DivergingRequestsShareBlockAlignedPrefixBitwise) {
+  // The ISSUE 7 acceptance scenario: A = P|X and B = P|Y share only the
+  // block-aligned prefix P and then genuinely diverge (neither is a prefix
+  // of the other). The radix tree must split A's cached run at the
+  // divergence point and serve B the shared physical blocks — visible as
+  // n_cached == |P| — while B's probabilities stay bitwise identical to a
+  // solo cold run.
+  const auto shared_prefix = Tokens(48, 11);  // 3 whole blocks at size 16
+  auto request_a = shared_prefix;
+  for (int32_t t : {31, 32, 33, 34, 35, 36, 37, 38}) {
+    request_a.push_back(t);
+  }
+  auto request_b = shared_prefix;
+  for (int32_t t : {131, 132, 133, 134, 135, 136, 137, 138}) {
+    request_b.push_back(t);
+  }
+
+  EngineOptions options = TinyEngineOptions();
+  Engine shared(options);
+  auto first = shared.ScoreSync(YesNoRequest(request_a));
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first.value().n_cached, 0);
+
+  auto second = shared.ScoreSync(YesNoRequest(request_b));
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  // B reuses exactly the block-aligned shared prefix, not a token more.
+  EXPECT_EQ(second.value().n_cached, 48);
+
+  Engine solo(options);
+  auto cold = solo.ScoreSync(YesNoRequest(request_b));
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(cold.value().n_cached, 0);
+  EXPECT_TRUE(SameProbabilityBits(second.value().probabilities,
+                                  cold.value().probabilities));
+  EXPECT_EQ(std::memcmp(&second.value().score, &cold.value().score,
+                        sizeof(double)), 0);
+}
+
+TEST(KvSharingTest, ThreeWaySharingReusesDeepestSplitPoint) {
+  // A third request diverging deeper than the first split still matches the
+  // longest cached block-aligned prefix it shares with *any* prior request.
+  const auto base = Tokens(80, 12);  // 5 whole blocks
+  auto request_a = base;
+  request_a.push_back(1);
+  auto shallow = std::vector<int32_t>(base.begin(), base.begin() + 48);
+  shallow.resize(64, 7);  // diverges after block 3
+  auto deep = base;
+  deep[78] = (base[78] + 1) % 256;  // diverges in block 5: shares 4 blocks with A
+
+  Engine engine(TinyEngineOptions());
+  ASSERT_TRUE(engine.ScoreSync(YesNoRequest(request_a)).ok());
+  auto mid = engine.ScoreSync(YesNoRequest(shallow));
+  ASSERT_TRUE(mid.ok());
+  EXPECT_EQ(mid.value().n_cached, 48);  // split at block 3
+  auto late = engine.ScoreSync(YesNoRequest(deep));
+  ASSERT_TRUE(late.ok());
+  EXPECT_EQ(late.value().n_cached, 64);  // matches through the split, 4 blocks
+}
+
 TEST(EngineTest, SuffixDiscardingCapsCacheUse) {
   EngineOptions options = TinyEngineOptions();
   options.cache_budget_tokens = 32;  // 2 blocks only

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <optional>
 #include <set>
 #include <vector>
 
@@ -385,13 +387,239 @@ TEST(PrefixCachePropertyTest, RandomWorkloadAgainstReferenceModel) {
   EXPECT_EQ(cache.cached_blocks(), 0);
 }
 
+// ------------------------------------------------------- PrefixTreeTest
+//
+// Radix-tree specifics (ISSUE 7): split-on-common-prefix, block-id sharing
+// between requests that agree on any block-aligned prefix, leaf-only
+// eviction (no orphaned descendants), token-accurate hit accounting, and a
+// randomized interleaving sweep over the refcount/listener invariants.
+
+// Chains derived from real token sequences, so two sequences that agree on
+// a token prefix produce chains that agree exactly up to the divergence
+// block — the case the tree must split on.
+std::vector<uint64_t> TokenChain(uint64_t seed, int64_t n_tokens, int block_size,
+                                 int64_t diverge_at = -1, int32_t delta = 0) {
+  Rng rng(seed);
+  std::vector<int32_t> tokens(static_cast<size_t>(n_tokens));
+  for (auto& t : tokens) {
+    t = static_cast<int32_t>(rng.NextBounded(1000));
+  }
+  if (diverge_at >= 0 && diverge_at < n_tokens) {
+    tokens[static_cast<size_t>(diverge_at)] += delta;
+  }
+  return BlockHashChain(tokens, block_size);
+}
+
+TEST(PrefixTreeTest, SplitOnCommonPrefixSharesBlockIds) {
+  PrefixCache cache(/*block_size=*/16, /*capacity=*/16);
+  // a and b agree on blocks 0..1 and diverge inside block 2.
+  const auto a = TokenChain(1, 4 * 16, 16);
+  const auto b = TokenChain(1, 4 * 16, 16, /*diverge_at=*/2 * 16 + 3, /*delta=*/7);
+  ASSERT_EQ(a.size(), 4u);
+  ASSERT_TRUE(std::equal(a.begin(), a.begin() + 2, b.begin()));
+  ASSERT_NE(a[2], b[2]);
+
+  auto acq_a = cache.Acquire(a, 4);
+  ASSERT_TRUE(acq_a.ok());
+  const std::vector<BlockId> a_blocks = acq_a.value().blocks;
+  cache.Release(acq_a.value(), 4);
+  EXPECT_EQ(cache.num_nodes(), 1);  // one run-compressed node
+
+  auto acq_b = cache.Acquire(b, 4);
+  ASSERT_TRUE(acq_b.ok());
+  // Block-aligned sharing, NOT identical-full-prefix sharing: b reuses a's
+  // physical blocks for the common prefix even though the chains differ.
+  EXPECT_EQ(acq_b.value().matched_blocks, 2);
+  EXPECT_EQ(acq_b.value().blocks[0], a_blocks[0]);
+  EXPECT_EQ(acq_b.value().blocks[1], a_blocks[1]);
+  cache.Release(acq_b.value(), 4);
+
+  // The insert split a's node at the divergence point: prefix node plus the
+  // two diverging suffix runs.
+  EXPECT_EQ(cache.num_nodes(), 3);
+  EXPECT_EQ(cache.cached_blocks(), 6);
+  EXPECT_EQ(cache.MatchTokens(a), 4 * 16);
+  EXPECT_EQ(cache.MatchTokens(b), 4 * 16);
+}
+
+TEST(PrefixTreeTest, SecondSplitNestsUnderFirst) {
+  PrefixCache cache(16, 32);
+  const auto a = TokenChain(2, 6 * 16, 16);
+  const auto b = TokenChain(2, 6 * 16, 16, 4 * 16, 5);  // shares 4 blocks
+  const auto c = TokenChain(2, 6 * 16, 16, 2 * 16, 9);  // shares 2 blocks
+
+  for (const auto& chain : {a, b, c}) {
+    auto acq = cache.Acquire(chain, 6);
+    ASSERT_TRUE(acq.ok());
+    cache.Release(acq.value(), 6);
+  }
+  // root -> [0,1] -> {[2..3] -> {[4..5]_a, [4..5]_b}, [2..5]_c}
+  EXPECT_EQ(cache.num_nodes(), 5);
+  EXPECT_EQ(cache.cached_blocks(), 6 + 2 + 4);
+  for (const auto& chain : {a, b, c}) {
+    EXPECT_EQ(cache.MatchTokens(chain), 6 * 16);
+  }
+}
+
+TEST(PrefixTreeTest, OrphanFreeEvictionKeepsBlocksReachable) {
+  // The flat-map pathology this tree exists to fix: when a shared prefix
+  // carries an OLDER stamp than its suffix blocks (two in-flight requests,
+  // the shorter one released first), global block-LRU evicts the prefix and
+  // strands the suffix — cached but unreachable. Leaf-only eviction makes
+  // that impossible: a node with children is never a victim.
+  PrefixCache cache(16, 6);
+  const auto full = TokenChain(3, 4 * 16, 16);
+  const std::vector<uint64_t> prefix(full.begin(), full.begin() + 2);
+
+  cache.SetClock(1);
+  auto long_acq = cache.Acquire(full, 4);     // in flight, nothing cached yet
+  auto short_acq = cache.Acquire(prefix, 2);  // concurrent, matches nothing
+  ASSERT_TRUE(long_acq.ok());
+  ASSERT_TRUE(short_acq.ok());
+  cache.Release(short_acq.value(), 2);  // prefix blocks cached at t=1
+  cache.SetClock(2);
+  cache.Release(long_acq.value(), 4);  // dedups the prefix, suffix cached at t=2
+
+  // Cached: 2 prefix blocks stamped t=1, 2 suffix blocks stamped t=2.
+  ASSERT_EQ(cache.cached_blocks(), 4);
+  ASSERT_EQ(cache.free_blocks(), 2);
+
+  // A 4-block request must evict 2 of them. The t=1 prefix blocks are the
+  // LRU victims under a flat per-block policy — evicting them would strand
+  // the t=2 suffix blocks as cached-but-unreachable garbage.
+  cache.SetClock(3);
+  const auto other = TokenChain(4, 4 * 16, 16);
+  auto acq = cache.Acquire(other, 4);
+  ASSERT_TRUE(acq.ok());
+  cache.Release(acq.value(), 4);
+
+  // The tree trimmed the suffix leaf instead (a node with children is never
+  // a victim): the surviving prefix is still reachable, nothing is orphaned.
+  EXPECT_EQ(cache.stats().evictions, 2);
+  EXPECT_EQ(cache.MatchTokens(prefix), 2 * 16);
+  EXPECT_EQ(cache.MatchTokens(full), 2 * 16);  // suffix evicted, prefix intact
+  EXPECT_EQ(cache.MatchTokens(other), 4 * 16);
+  EXPECT_EQ(cache.cached_blocks(), 6);  // 2 prefix + 4 other, no orphans
+}
+
+TEST(PrefixTreeTest, TokenAccurateHitAccounting) {
+  // A 70-token request at block 16 presents 70 tokens but only 4 whole
+  // blocks can ever hit; the old whole-block accounting credited 64 lookup
+  // tokens and could push HitRate past 1.0 from the other direction.
+  PrefixCache cache(16, 10);
+  const auto chain = Chain(300, 4);
+  auto first = cache.Acquire(chain, 5, /*lookup_tokens=*/70);
+  ASSERT_TRUE(first.ok());
+  cache.Release(first.value(), 4);
+  EXPECT_EQ(cache.stats().lookup_tokens, 70);
+  EXPECT_EQ(cache.stats().hit_tokens, 0);
+
+  auto second = cache.Acquire(chain, 5, /*lookup_tokens=*/70);
+  ASSERT_TRUE(second.ok());
+  cache.Release(second.value(), 4);
+  EXPECT_EQ(cache.stats().lookup_tokens, 140);
+  EXPECT_EQ(cache.stats().hit_tokens, 64);  // 4 whole blocks, not 70
+  EXPECT_LE(cache.stats().HitRate(), 1.0);
+
+  // Hit tokens are clamped to what was presented even when the cached
+  // prefix is longer than the lookup.
+  auto clamped = cache.Acquire(chain, 4, /*lookup_tokens=*/50);
+  ASSERT_TRUE(clamped.ok());
+  cache.Release(clamped.value(), 4);
+  EXPECT_EQ(cache.stats().hit_tokens, 64 + 50);
+  EXPECT_LE(cache.stats().HitRate(), 1.0);
+}
+
+TEST(PrefixTreeTest, RandomizedInterleavingsKeepInvariants) {
+  // Randomized acquire/release/evict interleavings over a family of chains
+  // with genuine shared prefixes and mid-chain divergences (so splits,
+  // partial matches, pinned-leaf trims and node removals all occur), with
+  // every structural invariant checked after every step.
+  Rng rng(777);
+  constexpr int64_t kCapacity = 32;
+  constexpr int kBlock = 8;
+  PrefixCache cache(kBlock, kCapacity);
+
+  int64_t listener_evictions = 0;
+  std::vector<Acquisition> in_flight;
+  cache.SetEvictionListener([&](uint64_t, BlockId block, int64_t) {
+    ++listener_evictions;
+    // An evicted block can never be one an in-flight request still pins.
+    for (const auto& acq : in_flight) {
+      for (int64_t m = 0; m < acq.matched_blocks; ++m) {
+        EXPECT_NE(acq.blocks[static_cast<size_t>(m)], block);
+      }
+    }
+  });
+
+  std::vector<std::vector<uint64_t>> chains;
+  for (uint64_t family = 0; family < 4; ++family) {
+    for (int64_t diverge : {-1, 2 * kBlock, 4 * kBlock + 1}) {
+      for (int64_t blocks : {3, 6}) {
+        chains.push_back(TokenChain(family, blocks * kBlock, kBlock, diverge,
+                                    static_cast<int32_t>(diverge + 3)));
+      }
+    }
+  }
+
+  for (int step = 0; step < 3000; ++step) {
+    const bool do_acquire = in_flight.size() < 3 && rng.NextDouble() < 0.6;
+    if (do_acquire) {
+      const auto& chain = chains[rng.NextBounded(chains.size())];
+      const int64_t extra = static_cast<int64_t>(rng.NextBounded(2));
+      const int64_t lookup =
+          static_cast<int64_t>(chain.size()) * kBlock + extra * (kBlock / 2);
+      auto acq = cache.Acquire(chain, static_cast<int64_t>(chain.size()) + extra,
+                               lookup);
+      if (acq.ok()) {
+        EXPECT_EQ(cache.MatchTokens(chain), acq.value().matched_blocks * kBlock);
+        in_flight.push_back(std::move(acq.value()));
+      }
+    } else if (!in_flight.empty()) {
+      const size_t idx = rng.NextBounded(in_flight.size());
+      Acquisition acq = std::move(in_flight[idx]);
+      in_flight.erase(in_flight.begin() + static_cast<std::ptrdiff_t>(idx));
+      const auto chain_len = static_cast<int64_t>(acq.chain.size());
+      const int64_t keep = static_cast<int64_t>(
+          rng.NextBounded(static_cast<uint64_t>(chain_len) + 1));
+      const std::vector<uint64_t> chain_copy = acq.chain;
+      cache.Release(acq, keep);
+      EXPECT_GE(cache.MatchTokens(chain_copy), keep * kBlock);
+    }
+    if (step % 97 == 0) {
+      cache.Clear();  // eviction storm: only pinned paths may survive
+    }
+
+    // --- invariants, every step ---------------------------------------
+    int64_t held_fresh = 0;
+    for (const auto& acq : in_flight) {
+      held_fresh += static_cast<int64_t>(acq.blocks.size()) - acq.matched_blocks;
+      // Pinned prefixes stay visible under arbitrary pressure.
+      EXPECT_GE(cache.MatchTokens(acq.chain), acq.matched_blocks * kBlock);
+    }
+    // Exact pool accounting: tree-owned + request-owned + free = capacity.
+    EXPECT_EQ(cache.cached_blocks() + held_fresh + cache.free_blocks(), kCapacity);
+    EXPECT_EQ(listener_evictions, cache.stats().evictions);
+    EXPECT_LE(cache.stats().HitRate(), 1.0);
+  }
+
+  for (auto& acq : in_flight) {
+    cache.Release(acq, 0);
+  }
+  in_flight.clear();
+  cache.Clear();
+  EXPECT_EQ(cache.cached_blocks(), 0);
+  EXPECT_EQ(cache.num_nodes(), 0);
+  EXPECT_EQ(cache.free_blocks(), kCapacity);
+}
+
 // ------------------------------------------------------ OffloadDirectory
 
 TEST(OffloadDirectoryTest, InsertAndMatchContinuation) {
   OffloadDirectory dir(4);
   const auto chain = Chain(200, 4);
   for (size_t i = 0; i < chain.size(); ++i) {
-    EXPECT_EQ(dir.Insert(chain[i], static_cast<int64_t>(i)), 0u);
+    EXPECT_EQ(dir.Insert(chain[i], static_cast<int64_t>(i)), std::nullopt);
   }
   EXPECT_EQ(dir.size(), 4);
   EXPECT_EQ(dir.MatchContinuation(chain, 0), 4);
@@ -406,8 +634,8 @@ TEST(OffloadDirectoryTest, LruEvictionOnOverflow) {
   dir.SetClock(2);
   dir.Insert(200, 0);
   dir.SetClock(3);
-  const uint64_t evicted = dir.Insert(300, 0);
-  EXPECT_EQ(evicted, 100u);  // oldest entry displaced
+  const std::optional<uint64_t> evicted = dir.Insert(300, 0);
+  EXPECT_EQ(evicted, std::optional<uint64_t>(100u));  // oldest entry displaced
   EXPECT_FALSE(dir.Contains(100));
   EXPECT_TRUE(dir.Contains(200));
   EXPECT_TRUE(dir.Contains(300));
@@ -416,7 +644,7 @@ TEST(OffloadDirectoryTest, LruEvictionOnOverflow) {
 
 TEST(OffloadDirectoryTest, ZeroCapacityDropsEverything) {
   OffloadDirectory dir(0);
-  EXPECT_EQ(dir.Insert(1, 0), 0u);
+  EXPECT_EQ(dir.Insert(1, 0), std::nullopt);
   EXPECT_FALSE(dir.Contains(1));
   EXPECT_EQ(dir.size(), 0);
 }
@@ -430,8 +658,8 @@ TEST(OffloadDirectoryTest, ReinsertRefreshesLru) {
   dir.SetClock(3);
   dir.Insert(100, 0);  // refresh
   dir.SetClock(4);
-  const uint64_t evicted = dir.Insert(300, 0);
-  EXPECT_EQ(evicted, 200u);
+  const std::optional<uint64_t> evicted = dir.Insert(300, 0);
+  EXPECT_EQ(evicted, std::optional<uint64_t>(200u));
 }
 
 TEST(OffloadDirectoryTest, MatchTouchesLru) {
@@ -446,7 +674,7 @@ TEST(OffloadDirectoryTest, MatchTouchesLru) {
   dir.MatchContinuation(a, 0);  // a becomes most recent
   dir.SetClock(4);
   const auto c = Chain(302, 1);
-  EXPECT_EQ(dir.Insert(c[0], 0), b[0]);
+  EXPECT_EQ(dir.Insert(c[0], 0), std::optional<uint64_t>(b[0]));
 }
 
 }  // namespace
