@@ -4,7 +4,10 @@
 // real socket — a blocking score (the second hits the prefix cache), a
 // multi-item score, and the async lifecycle (submit, poll, cancel) — then
 // shuts down. Run it with no arguments; pass a port via PO_PORT to poke it
-// with curl while it serves (PO_SERVE_SECONDS, default 30):
+// with curl while it serves (PO_SERVE_SECONDS, default 30), and a replica
+// count via PO_REPLICAS (default 1) to serve from a fault-tolerant
+// multi-replica set — then /v1/replicas and the drain/rejoin admin routes
+// become interesting:
 //
 //   PO_PORT=8080 ./build/example_scoring_server &
 //   curl -s localhost:8080/v1/score -d \
@@ -12,6 +15,8 @@
 //       "allowed":["yes","no"]}'
 //   curl -s localhost:8080/v1/requests -d '{"tokens":[1,2,3],"allowed_tokens":[7,9]}'
 //   curl -s localhost:8080/v1/requests/req-1
+//   curl -s localhost:8080/v1/replicas
+//   curl -s -X POST localhost:8080/v1/replicas/0/drain
 //
 // Full route reference: docs/API.md.
 #include <arpa/inet.h>
@@ -62,7 +67,17 @@ int main() {
   options.model = ModelConfig::Small();
   options.block_size = 8;  // text prompts are short; small blocks still share
   options.max_batch_size = 4;  // multi-item calls co-batch
-  ScoringService service(std::move(options));
+  ScoringServiceOptions service_options;
+  if (const char* env = std::getenv("PO_REPLICAS"); env != nullptr) {
+    if (const int n = std::atoi(env); n >= 1) {
+      service_options.cluster.n_replicas = n;
+    }
+  }
+  ScoringService service(std::move(options), service_options);
+  if (service_options.cluster.n_replicas > 1) {
+    std::printf("serving from %d replicas (prefix-affinity routed)\n",
+                service_options.cluster.n_replicas);
+  }
 
   uint16_t port = 0;
   if (const char* env = std::getenv("PO_PORT"); env != nullptr) {

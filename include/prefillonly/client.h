@@ -38,14 +38,20 @@
 
 namespace prefillonly {
 
-// Automatic retry for transient failures (ISSUE 6), applied by the blocking
-// Score/ScoreText calls. A "resource_exhausted" result — the in-process
-// analogue of HTTP 429, produced by overload shedding or an exhausted
-// allocation budget — is retried up to max_retries times with exponential
-// backoff plus deterministic jitter. The backoff never drops below
-// retry_after_floor_ms once the engine has shed the request, mirroring the
-// Retry-After hint the HTTP layer sends with its 429s: a shed engine asked
-// again immediately will only shed again. Permanent failures
+// Automatic retry for transient failures (ISSUE 6; extended for the cluster
+// in ISSUE 8), applied by the blocking Score/ScoreText calls. Two result
+// codes are considered transient and retried up to max_retries times with
+// exponential backoff plus deterministic jitter:
+//   * "resource_exhausted" — the in-process analogue of HTTP 429, produced
+//     by overload shedding or an exhausted allocation budget;
+//   * "unavailable" — the in-process analogue of HTTP 503, produced when no
+//     replica would take the request (breakers open, draining, failed
+//     hand-offs) — the cluster typically recovers on the breaker-probe
+//     timescale, so asking again is exactly right.
+// The backoff never drops below retry_after_floor_ms once the engine has
+// shed the request or the cluster reported unavailable, mirroring the
+// Retry-After hint the HTTP layer sends with its 429s and 503s: asked again
+// immediately, a shed engine only sheds again. Permanent failures
 // (invalid_argument, cancelled, deadline_exceeded, ...) never retry.
 struct RetryPolicy {
   int max_retries = 0;  // 0 = fail fast (no retries)
@@ -53,8 +59,9 @@ struct RetryPolicy {
   double multiplier = 2.0;
   int64_t max_backoff_ms = 2000;
   // Floor applied when the failure was an overload shed ("engine
-  // overloaded" — the 429 + Retry-After path); matches the server's
-  // Retry-After of 1 second.
+  // overloaded" — the 429 + Retry-After path) or a cluster "unavailable"
+  // (the 503 + Retry-After path); matches the server's Retry-After of 1
+  // second.
   int64_t retry_after_floor_ms = 1000;
   // Seed of the deterministic jitter stream; each attempt adds
   // [0, backoff/2] ms derived from it. Same seed = same delays.
@@ -83,6 +90,11 @@ struct ClientOptions {
   int64_t cache_budget_tokens = 4096;
   int64_t cpu_offload_budget_tokens = 0;
   int block_size = 32;
+  // Engine replicas behind the facade (ISSUE 8). Every replica is built
+  // from this same configuration (identical deterministic weights), and
+  // requests route by prefix affinity with health-gated failover — so
+  // results are bitwise identical for any n_replicas >= 1.
+  int n_replicas = 1;
   // Transient-failure retry for blocking calls (defaults: disabled).
   RetryPolicy retry;
 };
@@ -157,8 +169,9 @@ class RequestHandle {
   RequestHandle(const RequestHandle&) = delete;
   RequestHandle& operator=(const RequestHandle&) = delete;
 
-  // Engine-assigned request id; -1 if the submission itself failed (then
-  // Wait() returns the submission error immediately).
+  // Cluster-assigned request id (stable across replica failover); -1 if the
+  // submission itself failed (then Wait() returns the submission error
+  // immediately).
   int64_t id() const;
   // True once a result (success, failure, or cancellation) is available;
   // never blocks.

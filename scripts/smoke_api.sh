@@ -5,8 +5,11 @@
 # route family over real sockets with curl: blocking score (single +
 # multi-item), the async lifecycle (submit, poll to done, cancel,
 # idempotent cancel-after-done), the structured error model (400/404/405/
-# 504 + Allow header), health (ISSUE 6), and keep-alive. Asserts JSON
-# shapes with python3.
+# 504 + Allow header), health (ISSUE 6), and keep-alive. Then boots a
+# second server with PO_REPLICAS=2 and exercises the cluster admin surface
+# (ISSUE 8): /v1/replicas, drain -> degraded, drain-all -> 503 +
+# Retry-After on both /v1/health and /v1/score, rejoin -> ok, and the
+# aggregated /v1/stats shape. Asserts JSON shapes with python3.
 #
 # Usage: scripts/smoke_api.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -130,5 +133,70 @@ RESP=$(curl -s "${BASE}/v1/stats")
 [[ $(jexpr "${RESP}" '"cancelled" in d and "deadline_expired" in d') == True ]] || fail "missing lifecycle counters: ${RESP}"
 [[ $(jexpr "${RESP}" '"shed" in d and "watchdog_stalls" in d and "alloc_retries" in d and "faults_injected" in d') == True ]] \
   || fail "missing robustness counters: ${RESP}"
+
+# ---------------------------------------------------------------------------
+# Multi-replica cluster surface (ISSUE 8): a fresh server, two replicas.
+# ---------------------------------------------------------------------------
+kill "${SERVER_PID}" 2>/dev/null || true
+wait "${SERVER_PID}" 2>/dev/null || true
+
+CPORT=$((PORT + 1))
+CBASE="http://127.0.0.1:${CPORT}"
+PO_PORT="${CPORT}" PO_SERVE_SECONDS=120 PO_REPLICAS=2 "${SERVER}" >/dev/null 2>&1 &
+SERVER_PID=$!
+
+for _ in $(seq 1 100); do
+  if curl -sf "${CBASE}/v1/stats" >/dev/null 2>&1; then break; fi
+  sleep 0.1
+done
+
+echo "== cluster: /v1/replicas lists both replicas closed + admitting =="
+RESP=$(curl -s "${CBASE}/v1/replicas")
+[[ $(jexpr "${RESP}" 'd["n_replicas"]') == 2 ]] || fail "n_replicas != 2: ${RESP}"
+[[ $(jexpr "${RESP}" 'all(r["breaker"] == "closed" and r["admitting"] for r in d["replicas"])') == True ]] \
+  || fail "replicas not healthy at boot: ${RESP}"
+
+echo "== cluster: drain one replica -> health degraded, still serving =="
+CODE=$(curl -s -o /tmp/smoke_drain.json -w '%{http_code}' -X POST "${CBASE}/v1/replicas/0/drain")
+[[ "${CODE}" == 200 ]] || fail "drain expected 200, got ${CODE}"
+[[ $(jexpr "$(cat /tmp/smoke_drain.json)" 'd["replica"]["draining"]') == True ]] || fail "drain did not stick"
+RESP=$(curl -s "${CBASE}/v1/health")
+[[ $(jexpr "${RESP}" 'd["status"]') == degraded ]] || fail "health not degraded: ${RESP}"
+[[ $(jexpr "${RESP}" 'd["admitting"]') == 1 ]] || fail "admitting != 1: ${RESP}"
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -d '{"tokens":[1,2,3,4],"allowed_tokens":[10,20]}' "${CBASE}/v1/score")
+[[ "${CODE}" == 200 ]] || fail "degraded cluster must still score, got ${CODE}"
+
+echo "== cluster: drain ALL -> 503 + Retry-After on health AND score =="
+curl -s -X POST "${CBASE}/v1/replicas/1/drain" >/dev/null
+CODE=$(curl -s -o /tmp/smoke_h503.json -w '%{http_code}' "${CBASE}/v1/health")
+[[ "${CODE}" == 503 ]] || fail "all-drained health expected 503, got ${CODE}"
+[[ $(jexpr "$(cat /tmp/smoke_h503.json)" 'd["status"]') == overloaded ]] || fail "bad 503 health body"
+[[ $(jexpr "$(cat /tmp/smoke_h503.json)" 'd["admitting"]') == 0 ]] || fail "admitting != 0 when all drained"
+RETRY=$(curl -s -D - -o /dev/null "${CBASE}/v1/health" | tr -d '\r' | awk -F': ' 'tolower($1)=="retry-after"{print $2}')
+[[ "${RETRY}" == 1 ]] || fail "health 503 missing Retry-After: 1 (got '${RETRY}')"
+CODE=$(curl -s -o /tmp/smoke_s503.json -w '%{http_code}' -d '{"tokens":[1,2,3,4],"allowed_tokens":[10,20]}' "${CBASE}/v1/score")
+[[ "${CODE}" == 503 ]] || fail "all-drained score expected 503, got ${CODE}"
+[[ $(jexpr "$(cat /tmp/smoke_s503.json)" 'd["error"]["code"]') == unavailable ]] || fail "bad 503 error code: $(cat /tmp/smoke_s503.json)"
+RETRY=$(curl -s -D - -o /dev/null -d '{"tokens":[1,2],"allowed_tokens":[10,20]}' "${CBASE}/v1/score" | tr -d '\r' | awk -F': ' 'tolower($1)=="retry-after"{print $2}')
+[[ "${RETRY}" == 1 ]] || fail "score 503 missing Retry-After: 1 (got '${RETRY}')"
+
+echo "== cluster: rejoin -> ok and scoring resumes =="
+curl -s -X POST "${CBASE}/v1/replicas/0/rejoin" >/dev/null
+curl -s -X POST "${CBASE}/v1/replicas/1/rejoin" >/dev/null
+RESP=$(curl -s "${CBASE}/v1/health")
+[[ $(jexpr "${RESP}" 'd["status"]') == ok ]] || fail "health not ok after rejoin: ${RESP}"
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -d '{"tokens":[1,2,3,4],"allowed_tokens":[10,20]}' "${CBASE}/v1/score")
+[[ "${CODE}" == 200 ]] || fail "score after rejoin expected 200, got ${CODE}"
+
+echo "== cluster: stats aggregate with per-replica breakdowns =="
+RESP=$(curl -s "${CBASE}/v1/stats")
+[[ $(jexpr "${RESP}" 'd["n_replicas"]') == 2 ]] || fail "stats n_replicas != 2: ${RESP}"
+[[ $(jexpr "${RESP}" '"routed_affinity" in d["cluster"] and "failovers" in d["cluster"] and "unavailable_rejections" in d["cluster"]') == True ]] \
+  || fail "missing cluster counters: ${RESP}"
+[[ $(jexpr "${RESP}" 'len(d["replicas"]) == 2') == True ]] || fail "missing per-replica breakdown: ${RESP}"
+[[ $(jexpr "${RESP}" 'sum(r["submitted"] for r in d["replicas"]) == d["submitted"]') == True ]] \
+  || fail "per-replica submitted does not sum to the total: ${RESP}"
+[[ $(jexpr "${RESP}" 'd["cluster"]["unavailable_rejections"] >= 1') == True ]] \
+  || fail "all-drained rejections not counted: ${RESP}"
 
 echo "SMOKE OK"

@@ -9,6 +9,7 @@
 #include <thread>
 #include <utility>
 
+#include "src/cluster/replica_set.h"
 #include "src/common/logging.h"
 #include "src/common/rng.h"
 #include "src/core/engine.h"
@@ -19,8 +20,10 @@ namespace prefillonly {
 
 namespace {
 
-EngineOptions ToEngineOptions(const ClientOptions& options) {
-  EngineOptions engine;
+ReplicaSetOptions ToReplicaSetOptions(const ClientOptions& options) {
+  ReplicaSetOptions cluster;
+  cluster.n_replicas = std::max(1, options.n_replicas);
+  EngineOptions& engine = cluster.engine;
   if (options.model == "tiny") {
     engine.model = ModelConfig::Tiny();
   } else {
@@ -49,7 +52,7 @@ EngineOptions ToEngineOptions(const ClientOptions& options) {
   engine.cache_budget_tokens = options.cache_budget_tokens;
   engine.cpu_offload_budget_tokens = options.cpu_offload_budget_tokens;
   engine.block_size = options.block_size;
-  return engine;
+  return cluster;
 }
 
 ScoreResult ToScoreResult(const Result<ScoringResponse>& result) {
@@ -90,16 +93,19 @@ ScoringRequest ToScoringRequest(std::vector<int32_t> tokens,
 }
 
 // Transient = worth retrying: the engine may well succeed on the next
-// attempt (load dropped, blocks freed). Everything else is permanent for
-// this exact request.
+// attempt (load dropped, blocks freed, a breaker's half-open probe
+// reclosed it). Everything else is permanent for this exact request.
 bool IsTransient(const ScoreResult& result) {
-  return !result.ok && result.error_code == "resource_exhausted";
+  return !result.ok && (result.error_code == "resource_exhausted" ||
+                        result.error_code == "unavailable");
 }
 
-// An overload shed (the 429 + Retry-After path) as opposed to a per-request
-// budget failure; sheds honor the Retry-After floor.
-bool IsOverloadShed(const ScoreResult& result) {
-  return result.error_message.find("engine overloaded") != std::string::npos;
+// Failures the server pairs with a Retry-After hint: an overload shed (the
+// 429 path, as opposed to a per-request budget failure) or a cluster
+// unavailable (the 503 path). Both honor the Retry-After floor.
+bool HonorsRetryAfterFloor(const ScoreResult& result) {
+  return result.error_code == "unavailable" ||
+         result.error_message.find("engine overloaded") != std::string::npos;
 }
 
 // Backoff for retry attempt `attempt` (1-based): exponential with
@@ -127,8 +133,8 @@ int64_t BackoffMs(const RetryPolicy& policy, int attempt, bool shed,
 // ---------------------------------------------------------------- handles
 
 struct RequestHandle::State {
-  int64_t id = -1;
-  Engine* engine = nullptr;  // null for submission-failure handles
+  int64_t id = -1;  // cluster id, stable across failover
+  ReplicaSet* set = nullptr;  // null for submission-failure handles
   Engine::ResponseFuture future;
   bool resolved = false;
   ScoreResult result;  // valid once resolved
@@ -163,34 +169,28 @@ ScoreResult RequestHandle::Wait() {
 }
 
 bool RequestHandle::Cancel() {
-  if (state_->resolved || state_->engine == nullptr || Done()) {
+  if (state_->resolved || state_->set == nullptr || Done()) {
     return false;
   }
-  return state_->engine->Cancel(state_->id).ok();
+  return state_->set->Cancel(state_->id).ok();
 }
 
 // ----------------------------------------------------------------- client
 
 struct Client::Impl {
-  // The EngineOptions conversion runs once, in a delegating step, so preset
-  // warnings fire once and tokenizer/engine agree on the resolved model.
-  explicit Impl(const ClientOptions& options) : Impl(ToEngineOptions(options)) {
+  // The ReplicaSetOptions conversion runs once, in a delegating step, so
+  // preset warnings fire once and tokenizer/replicas agree on the resolved
+  // model. The ReplicaSet starts every replica's concurrent runtime itself.
+  explicit Impl(const ClientOptions& options)
+      : Impl(ToReplicaSetOptions(options)) {
     retry = options.retry;
   }
 
-  explicit Impl(EngineOptions engine_options)
-      : tokenizer(static_cast<int32_t>(engine_options.model.vocab_size)),
-        engine(std::move(engine_options)) {
-    // The async lifecycle needs the concurrent runtime; blocking Score()
-    // calls run inline (ScoreSync) alongside it.
-    Status started = engine.StartWorker(/*callback=*/nullptr);
-    if (!started.ok()) {
-      PO_LOG_WARNING << "failed to start the concurrent runtime: "
-                     << started.ToString();
-    }
-  }
+  explicit Impl(ReplicaSetOptions cluster_options)
+      : tokenizer(static_cast<int32_t>(cluster_options.engine.model.vocab_size)),
+        set(std::move(cluster_options)) {}
 
-  RequestHandle MakeHandle(Result<Engine::AsyncSubmission> submission) {
+  RequestHandle MakeHandle(Result<ReplicaSet::Submission> submission) {
     RequestHandle handle;
     if (!submission.ok()) {
       handle.state_->result.error_code = ApiErrorCodeFor(submission.status().code());
@@ -198,7 +198,7 @@ struct Client::Impl {
       return handle;
     }
     handle.state_->id = submission.value().id;
-    handle.state_->engine = &engine;
+    handle.state_->set = &set;
     handle.state_->future = std::move(submission.value().future);
     handle.state_->resolved = false;
     return handle;
@@ -207,25 +207,25 @@ struct Client::Impl {
   // Blocking call with the transient-failure RetryPolicy applied: each
   // attempt re-submits a fresh copy of the request; sleeps between attempts
   // are exponential with deterministic jitter (and floored at the
-  // Retry-After hint after an overload shed).
+  // Retry-After hint after an overload shed or a cluster unavailable).
   ScoreResult ScoreWithRetry(const ScoringRequest& request) {
     uint64_t jitter_state = retry.jitter_seed;
-    ScoreResult result = ToScoreResult(engine.ScoreSync(request));
+    ScoreResult result = ToScoreResult(set.Score(request));
     for (int attempt = 1; attempt <= retry.max_retries && IsTransient(result);
          ++attempt) {
       const int64_t backoff =
-          BackoffMs(retry, attempt, IsOverloadShed(result), jitter_state);
+          BackoffMs(retry, attempt, HonorsRetryAfterFloor(result), jitter_state);
       if (backoff > 0) {
         std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
       }
       client_retries.fetch_add(1, std::memory_order_relaxed);
-      result = ToScoreResult(engine.ScoreSync(request));
+      result = ToScoreResult(set.Score(request));
     }
     return result;
   }
 
   HashTokenizer tokenizer;
-  Engine engine;
+  ReplicaSet set;
   RetryPolicy retry;
   std::atomic<int64_t> client_retries{0};
 };
@@ -255,7 +255,7 @@ ScoreResult Client::ScoreText(const std::string& text,
 RequestHandle Client::Submit(std::vector<int32_t> tokens,
                              std::vector<int32_t> allowed,
                              const ScoreOptions& options) {
-  return impl_->MakeHandle(impl_->engine.SubmitAsyncHandle(
+  return impl_->MakeHandle(impl_->set.Submit(
       ToScoringRequest(std::move(tokens), std::move(allowed), options)));
 }
 
@@ -267,7 +267,7 @@ std::vector<RequestHandle> Client::SubmitBatch(
   for (std::vector<int32_t>& tokens : items) {
     requests.push_back(ToScoringRequest(std::move(tokens), allowed, options));
   }
-  auto submitted = impl_->engine.SubmitGroupAsync(std::move(requests));
+  auto submitted = impl_->set.SubmitGroup(std::move(requests));
   std::vector<RequestHandle> handles;
   if (!submitted.ok()) {
     // All-or-nothing admission: every handle reports the submission error.
@@ -277,7 +277,7 @@ std::vector<RequestHandle> Client::SubmitBatch(
     return handles;
   }
   handles.reserve(submitted.value().size());
-  for (Engine::AsyncSubmission& submission : submitted.value()) {
+  for (ReplicaSet::Submission& submission : submitted.value()) {
     handles.push_back(impl_->MakeHandle(std::move(submission)));
   }
   return handles;
@@ -288,7 +288,7 @@ int32_t Client::TokenForWord(const std::string& word) const {
 }
 
 ClientStats Client::Stats() const {
-  const EngineStats stats = impl_->engine.stats();
+  const EngineStats stats = impl_->set.Stats().totals;
   ClientStats out;
   out.submitted = stats.submitted;
   out.completed = stats.completed;

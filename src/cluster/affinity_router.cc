@@ -1,0 +1,70 @@
+#include "src/cluster/affinity_router.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/hash.h"
+#include "src/common/rng.h"
+
+namespace prefillonly {
+
+uint64_t AffinityKey(std::span<const int32_t> tokens, int block_size) {
+  const size_t prefix = std::min(tokens.size(), static_cast<size_t>(block_size));
+  // Same mixing as BlockHashChain's first element, so for prompts of at
+  // least one block the affinity key IS chain[0].
+  return HashTokenBlock(kFnvOffset, tokens.subspan(0, prefix));
+}
+
+AffinityRouter::AffinityRouter(int n_replicas, int vnodes_per_replica)
+    : n_replicas_(n_replicas) {
+  assert(n_replicas >= 1);
+  assert(vnodes_per_replica >= 1);
+  ring_.reserve(static_cast<size_t>(n_replicas) * vnodes_per_replica);
+  for (int replica = 0; replica < n_replicas; ++replica) {
+    // One SplitMix64 stream per replica: point positions depend only on the
+    // replica index, so growing the set from N to N+1 replicas leaves every
+    // existing point where it was (classic consistent-hashing stability).
+    uint64_t stream = 0x5eed0000ULL + static_cast<uint64_t>(replica);
+    for (int v = 0; v < vnodes_per_replica; ++v) {
+      ring_.push_back({SplitMix64(stream), replica});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(), [](const Point& a, const Point& b) {
+    if (a.hash != b.hash) {
+      return a.hash < b.hash;
+    }
+    return a.replica < b.replica;  // deterministic tie-break, however unlikely
+  });
+}
+
+int AffinityRouter::Primary(uint64_t key) const {
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), key,
+      [](const Point& p, uint64_t k) { return p.hash < k; });
+  if (it == ring_.end()) {
+    it = ring_.begin();  // wrap around the circle
+  }
+  return it->replica;
+}
+
+std::vector<int> AffinityRouter::PreferenceOrder(uint64_t key) const {
+  std::vector<int> order;
+  order.reserve(static_cast<size_t>(n_replicas_));
+  std::vector<bool> seen(static_cast<size_t>(n_replicas_), false);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), key,
+      [](const Point& p, uint64_t k) { return p.hash < k; });
+  for (size_t step = 0; step < ring_.size() && order.size() < seen.size(); ++step) {
+    if (it == ring_.end()) {
+      it = ring_.begin();
+    }
+    if (!seen[static_cast<size_t>(it->replica)]) {
+      seen[static_cast<size_t>(it->replica)] = true;
+      order.push_back(it->replica);
+    }
+    ++it;
+  }
+  return order;
+}
+
+}  // namespace prefillonly

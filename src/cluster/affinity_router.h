@@ -1,0 +1,69 @@
+// Prefix-affinity routing across engine replicas (paper §7.1 "Routing";
+// ISSUE 8).
+//
+// Non-parallelized engines run one instance per device, so the front router
+// decides which replica's PrefixCache a request's profile prefix warms. The
+// paper's deployment keys stickiness on the user; here the key is the FIRST
+// CACHE BLOCK's tokens — the exact unit the radix PrefixCache shares on — so
+// any two requests that could share cached KV land on the same replica
+// without the router knowing anything about users.
+//
+// The map is a consistent-hash ring with virtual nodes: each replica owns
+// `vnodes` pseudo-random points on a 64-bit circle, and a key routes to the
+// first replica point at or after it. Two properties matter for serving:
+//   * determinism — the ring depends only on (n_replicas, vnodes), never on
+//     traffic, so every router instance in every process agrees;
+//   * minimal disruption — removing a replica from consideration (tripped
+//     breaker, draining) only moves the keys that replica owned; everyone
+//     else's cache affinity is untouched. That is what makes the breaker's
+//     failover cheap: N-1 replicas keep their hit rates.
+//
+// PreferenceOrder() exposes the full ring walk (each replica once, in the
+// order their points are encountered), which doubles as the deterministic
+// failover order: the ReplicaSet tries candidates in this order, skipping
+// ineligible ones, so a key's backup replica is as stable as its primary.
+#ifndef SRC_CLUSTER_AFFINITY_ROUTER_H_
+#define SRC_CLUSTER_AFFINITY_ROUTER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace prefillonly {
+
+// Affinity key for a prompt: the chain hash of its first cache block, the
+// same value PrefixCache keys that block under (so the router and the cache
+// agree about what "shareable" means). Prompts shorter than one block hash
+// whatever tokens they have — they can never share blocks anyway, so all
+// that matters is that the key is deterministic and well spread.
+uint64_t AffinityKey(std::span<const int32_t> tokens, int block_size);
+
+class AffinityRouter {
+ public:
+  // n_replicas >= 1; vnodes_per_replica >= 1 (more vnodes = smoother load
+  // split between replicas, at O(n * vnodes) ring memory).
+  AffinityRouter(int n_replicas, int vnodes_per_replica = 64);
+
+  // The replica that owns `key`.
+  int Primary(uint64_t key) const;
+
+  // Every replica exactly once, in ring-walk order starting at `key`'s
+  // successor point. Element 0 is Primary(key); the rest is the failover
+  // order.
+  std::vector<int> PreferenceOrder(uint64_t key) const;
+
+  int n_replicas() const { return n_replicas_; }
+
+ private:
+  struct Point {
+    uint64_t hash;
+    int replica;
+  };
+
+  int n_replicas_;
+  std::vector<Point> ring_;  // sorted by hash
+};
+
+}  // namespace prefillonly
+
+#endif  // SRC_CLUSTER_AFFINITY_ROUTER_H_

@@ -40,6 +40,9 @@
 //   socket.send        HttpServer send() fails mid-response (connection lost)
 //   socket.short_write HttpServer send() accepts only a few bytes per call
 //   exec.stall         an executor lane sleeps stall_ms before prefilling
+//   replica.submit     ReplicaSet hand-off to a replica fails (transport lost)
+//   replica.health     a replica's health probe fails (monitor strike)
+//   replica.stall      the router sleeps stall_ms before handing a request off
 #ifndef SRC_COMMON_FAULT_H_
 #define SRC_COMMON_FAULT_H_
 
@@ -64,6 +67,9 @@ inline constexpr char kSocketRecv[] = "socket.recv";
 inline constexpr char kSocketSend[] = "socket.send";
 inline constexpr char kSocketShortWrite[] = "socket.short_write";
 inline constexpr char kExecStall[] = "exec.stall";
+inline constexpr char kReplicaSubmit[] = "replica.submit";
+inline constexpr char kReplicaHealth[] = "replica.health";
+inline constexpr char kReplicaStall[] = "replica.stall";
 }  // namespace fault
 
 struct FaultSiteStats {

@@ -28,6 +28,12 @@ enum class StatusCode {
   // its deadline lapsed before (or while) it could be served.
   kCancelled,
   kDeadlineExceeded,
+  // Cluster serving (ISSUE 8): no replica can take the request right now
+  // (every candidate tripped, draining, or unreachable). Transient by
+  // definition — the honest client reaction is to back off and retry, so
+  // the HTTP mapping is 503 + Retry-After and the facade RetryPolicy
+  // treats it like overload shedding.
+  kUnavailable,
 };
 
 std::string_view StatusCodeName(StatusCode code);
@@ -69,6 +75,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

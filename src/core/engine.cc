@@ -132,14 +132,23 @@ Result<Engine::Pending> Engine::MakePending(
 void Engine::Fulfill(
     const std::shared_ptr<std::promise<Result<ScoringResponse>>>& promise,
     const std::shared_ptr<std::atomic<bool>>& fulfilled,
+    const std::shared_ptr<const GroupCallback>& on_done, size_t on_done_index,
     Result<ScoringResponse> result) {
-  if (promise == nullptr) {
+  const bool has_hook = on_done != nullptr && *on_done != nullptr;
+  if (promise == nullptr && !has_hook) {
     return;
   }
   if (fulfilled != nullptr && fulfilled->exchange(true)) {
     return;  // the watchdog (or the finalizer) already delivered
   }
-  promise->set_value(std::move(result));
+  // Hook before promise: a waiter woken by the future must observe whatever
+  // bookkeeping the hook's owner (e.g. a ReplicaSet) did for this item.
+  if (has_hook) {
+    (*on_done)(on_done_index, result);
+  }
+  if (promise != nullptr) {
+    promise->set_value(std::move(result));
+  }
 }
 
 Status Engine::AbortStatus(const Pending& pending) {
@@ -161,6 +170,8 @@ void Engine::MarkRunningLocked(const Pending& pending) {
     it->second.started_s = NowSeconds();
     it->second.promise = pending.promise;
     it->second.fulfilled = pending.fulfilled;
+    it->second.on_done = pending.on_done;
+    it->second.on_done_index = pending.on_done_index;
   }
 }
 
@@ -249,12 +260,17 @@ Result<Engine::AsyncSubmission> Engine::SubmitAsyncHandle(ScoringRequest request
 }
 
 Result<std::vector<Engine::AsyncSubmission>> Engine::SubmitGroupAsync(
-    std::vector<ScoringRequest> requests) {
+    std::vector<ScoringRequest> requests, GroupCallback on_done) {
   if (requests.empty()) {
     return Status::InvalidArgument("request group is empty");
   }
   // All-or-nothing admission: every request is validated (and its chain
-  // hashed) before any of them becomes visible to the scheduler.
+  // hashed) before any of them becomes visible to the scheduler. The
+  // completion hook never fires for a rejected group — nothing was admitted.
+  std::shared_ptr<const GroupCallback> hook;
+  if (on_done != nullptr) {
+    hook = std::make_shared<const GroupCallback>(std::move(on_done));
+  }
   std::vector<Pending> pendings;
   std::vector<ResponseFuture> futures;
   pendings.reserve(requests.size());
@@ -266,6 +282,8 @@ Result<std::vector<Engine::AsyncSubmission>> Engine::SubmitGroupAsync(
     if (!pending.ok()) {
       return pending.status();
     }
+    pending.value().on_done = hook;
+    pending.value().on_done_index = pendings.size();
     pendings.push_back(pending.take());
   }
   if (pendings.size() >= 2) {
@@ -291,16 +309,13 @@ Result<std::vector<Engine::AsyncSubmission>> Engine::SubmitGroupAsync(
 }
 
 Status Engine::Cancel(int64_t id) {
-  std::shared_ptr<std::promise<Result<ScoringResponse>>> promise;
-  std::shared_ptr<std::atomic<bool>> fulfilled;
+  std::optional<Pending> taken;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (std::optional<Pending> pending = TakeWaitingLocked(id)) {
+    if ((taken = TakeWaitingLocked(id))) {
       // Dequeued before any dispatch decision claimed it: it never executes.
       ++stats_.cancelled;
       UpdateShedLocked();
-      promise = std::move(pending->promise);
-      fulfilled = std::move(pending->fulfilled);
     } else if (running_.count(id) > 0) {
       // Mark-and-ignore: the prefill is already burning; its result is
       // discarded at finalization and the waiter sees kCancelled.
@@ -311,8 +326,34 @@ Status Engine::Cancel(int64_t id) {
                               " is not queued or in flight");
     }
   }
-  Fulfill(promise, fulfilled,
+  Fulfill(*taken,
           Result<ScoringResponse>(Status::Cancelled("request cancelled while queued")));
+  return Status::Ok();
+}
+
+Status Engine::CancelIfQueued(int64_t id) {
+  std::optional<Pending> taken;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if ((taken = TakeWaitingLocked(id))) {
+      // Still waiting: dequeue it. From here on nothing in this engine can
+      // execute it, which is what makes a re-submit elsewhere at-most-once.
+      ++stats_.cancelled;
+      UpdateShedLocked();
+    } else if (running_.count(id) > 0) {
+      // Already left the queue — a dispatch decision owns it. Unlike
+      // Cancel(), do NOT mark-and-ignore: the caller wants to re-route the
+      // request, and a mark here plus a re-submit there would be a second
+      // execution path for the same work.
+      return Status::FailedPrecondition(
+          "request " + std::to_string(id) + " already dispatched; not re-routable");
+    } else {
+      return Status::NotFound("request " + std::to_string(id) +
+                              " is not queued or in flight");
+    }
+  }
+  Fulfill(*taken, Result<ScoringResponse>(Status::Cancelled(
+                      "request cancelled while queued (replica failover)")));
   return Status::Ok();
 }
 
@@ -793,13 +834,19 @@ std::vector<Result<ScoringResponse>> Engine::ExecuteBatchAndFinalize(
   // watchdog, whichever wins the `fulfilled` exchange.
   std::vector<std::shared_ptr<std::promise<Result<ScoringResponse>>>> promises;
   std::vector<std::shared_ptr<std::atomic<bool>>> fulfilled;
+  std::vector<std::shared_ptr<const GroupCallback>> on_dones;
+  std::vector<size_t> on_done_indices;
   std::vector<int64_t> ids;
   promises.reserve(batch.requests.size());
   fulfilled.reserve(batch.requests.size());
+  on_dones.reserve(batch.requests.size());
+  on_done_indices.reserve(batch.requests.size());
   ids.reserve(batch.requests.size());
   for (Pending& pending : batch.requests) {
     promises.push_back(pending.promise);
     fulfilled.push_back(pending.fulfilled);
+    on_dones.push_back(pending.on_done);
+    on_done_indices.push_back(pending.on_done_index);
     ids.push_back(pending.id);
   }
   {
@@ -845,7 +892,7 @@ std::vector<Result<ScoringResponse>> Engine::ExecuteBatchAndFinalize(
       results[i] = Result<ScoringResponse>(
           Status::Cancelled("request cancelled while in flight; result discarded"));
     }
-    Fulfill(promises[i], fulfilled[i], results[i]);
+    Fulfill(promises[i], fulfilled[i], on_dones[i], on_done_indices[i], results[i]);
   }
   return results;
 }
@@ -854,6 +901,8 @@ Result<ScoringResponse> Engine::ExecuteAndFinalize(Pending pending) {
   const int64_t id = pending.id;
   auto promise = pending.promise;  // registry keeps its own handle
   auto fulfilled = pending.fulfilled;
+  auto on_done = pending.on_done;
+  const size_t on_done_index = pending.on_done_index;
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++executing_;
@@ -888,7 +937,7 @@ Result<ScoringResponse> Engine::ExecuteAndFinalize(Pending pending) {
     response = Result<ScoringResponse>(
         Status::Cancelled("request cancelled while in flight; result discarded"));
   }
-  Fulfill(promise, fulfilled, response);
+  Fulfill(promise, fulfilled, on_done, on_done_index, response);
   return response;
 }
 
@@ -927,9 +976,8 @@ Result<std::vector<ScoringResponse>> Engine::RunPending() {
       scheduler = scheduler_.get();
     }
     for (Pending& pending : expired) {
-      Fulfill(pending.promise, pending.fulfilled,
-              Result<ScoringResponse>(
-                  Status::DeadlineExceeded("deadline expired while queued")));
+      Fulfill(pending, Result<ScoringResponse>(
+                           Status::DeadlineExceeded("deadline expired while queued")));
     }
     if (candidates.empty()) {
       continue;
@@ -1068,9 +1116,8 @@ void Engine::DispatcherLoop() {
       UpdateShedLocked();
       lock.unlock();
       for (Pending& pending : expired) {
-        Fulfill(pending.promise, pending.fulfilled,
-                Result<ScoringResponse>(
-                    Status::DeadlineExceeded("deadline expired while queued")));
+        Fulfill(pending, Result<ScoringResponse>(
+                             Status::DeadlineExceeded("deadline expired while queued")));
       }
       lock.lock();
       continue;
@@ -1188,7 +1235,7 @@ void Engine::WatchdogLoop() {
     }
     lock.unlock();
     for (auto& [entry, id] : stuck) {
-      Fulfill(entry.promise, entry.fulfilled,
+      Fulfill(entry.promise, entry.fulfilled, entry.on_done, entry.on_done_index,
               Result<ScoringResponse>(Status::Internal(
                   "watchdog: request " + std::to_string(id) +
                   " stuck in an executor for over " +

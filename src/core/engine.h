@@ -290,8 +290,18 @@ class Engine {
   // their LengthBucket (the caller co-submitted them for one decision), so
   // multi-item API calls are co-scheduled deliberately instead of
   // probabilistically. Futures/ids are index-aligned with `requests`.
+  // Per-item completion hook for group submissions (ISSUE 8). Invoked
+  // exactly once per item, with the item's index in the submitted group and
+  // its terminal result, from whichever thread finalizes the item (an
+  // executor lane, the watchdog, Cancel(), or the dispatcher's deadline
+  // sweep). Called with NO engine locks held, so the callback may call back
+  // into this or another Engine — the ReplicaSet failover path relies on
+  // exactly that. May fire before SubmitGroupAsync returns (the index, not
+  // the engine id, identifies the item for this reason).
+  using GroupCallback =
+      std::function<void(size_t item_index, const Result<ScoringResponse>& result)>;
   Result<std::vector<AsyncSubmission>> SubmitGroupAsync(
-      std::vector<ScoringRequest> requests);
+      std::vector<ScoringRequest> requests, GroupCallback on_done = nullptr);
   // Cancels a request by engine id.
   //  * still queued  -> dequeued, never executes; its future/callback gets
   //    kCancelled and stats().cancelled increments (completed/failed and the
@@ -301,6 +311,15 @@ class Engine {
   //    stats().cancelled_in_flight increments;
   //  * unknown (completed or never existed) -> kNotFound.
   Status Cancel(int64_t id);
+  // Cancel restricted to requests that have not left the queue (ISSUE 8):
+  // the at-most-once half of replica failover. A still-queued request is
+  // dequeued (counts as cancelled, its waiter sees kCancelled) and Ok is
+  // returned — the caller may safely re-submit it elsewhere, because it
+  // provably never executed here. A dispatched request returns
+  // kFailedPrecondition and is NOT touched (no mark-and-ignore): its result
+  // is already being computed and will be delivered normally. Unknown ids
+  // return kNotFound.
+  Status CancelIfQueued(int64_t id);
   // Where a request currently is, for lifecycle polling. kUnknown covers
   // "already finished" as well as "never submitted" — terminal results are
   // delivered through the future, not queryable here.
@@ -341,6 +360,10 @@ class Engine {
     // Guards that exactly-once: the finalizer and the watchdog race for the
     // exchange, the loser's set_value is dropped (ISSUE 6).
     std::shared_ptr<std::atomic<bool>> fulfilled;
+    // Per-item completion hook + the item's index in its submitted group
+    // (ISSUE 8); delivered by Fulfill under the same exactly-once guard.
+    std::shared_ptr<const GroupCallback> on_done;
+    size_t on_done_index = 0;
   };
 
   // One dispatch decision (ISSUE 4): the requests an executor lane runs as
@@ -438,11 +461,18 @@ class Engine {
   void ExecutorLoop(ResponseCallback callback);
 
   // --- Robustness plumbing (ISSUE 6) -----------------------------------
-  // Fulfills a promise exactly once; the watchdog may have beaten us to it.
+  // Fulfills a promise (and fires the per-item completion hook, if any)
+  // exactly once; the watchdog may have beaten us to it. Every caller holds
+  // no engine locks — the hook may re-enter the engine.
   static void Fulfill(
       const std::shared_ptr<std::promise<Result<ScoringResponse>>>& promise,
       const std::shared_ptr<std::atomic<bool>>& fulfilled,
+      const std::shared_ptr<const GroupCallback>& on_done, size_t on_done_index,
       Result<ScoringResponse> result);
+  static void Fulfill(const Pending& pending, Result<ScoringResponse> result) {
+    Fulfill(pending.promise, pending.fulfilled, pending.on_done,
+            pending.on_done_index, std::move(result));
+  }
   // Cooperative abort poll for one in-flight request: kDeadlineExceeded once
   // its deadline lapses, kCancelled once Cancel() marked it. Called between
   // prefill chunks (PrefillOptions::abort_check) and between batch members;
@@ -494,6 +524,8 @@ class Engine {
     bool watchdog_fired = false;  // the watchdog fails each id at most once
     std::shared_ptr<std::promise<Result<ScoringResponse>>> promise;
     std::shared_ptr<std::atomic<bool>> fulfilled;
+    std::shared_ptr<const GroupCallback> on_done;
+    size_t on_done_index = 0;
   };
   std::unordered_map<int64_t, RunningEntry> running_;
   std::unordered_set<int64_t> cancelled_in_flight_;

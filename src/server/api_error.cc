@@ -22,6 +22,8 @@ int HttpStatusFor(StatusCode code) {
       return 501;
     case StatusCode::kDeadlineExceeded:
       return 504;
+    case StatusCode::kUnavailable:
+      return 503;
     case StatusCode::kInternal:
       return 500;
   }
@@ -46,6 +48,8 @@ std::string_view ApiErrorTypeFor(StatusCode code) {
       return "rate_limit_error";
     case StatusCode::kDeadlineExceeded:
       return "timeout_error";
+    case StatusCode::kUnavailable:
+      return "unavailable_error";
     case StatusCode::kInternal:
       return "internal_error";
   }
@@ -74,9 +78,11 @@ HttpResponse ApiErrorResponse(StatusCode code, const std::string& message) {
   HttpResponse response;
   response.status = HttpStatusFor(code);
   response.body = ApiErrorJson(code, message).Serialize();
-  if (code == StatusCode::kResourceExhausted) {
+  if (code == StatusCode::kResourceExhausted || code == StatusCode::kUnavailable) {
     // The engine sheds load transiently (queue admission, activation
-    // budget); a one-second backoff is the honest hint for a CPU prefill.
+    // budget), and a cluster with every replica tripped/draining recovers
+    // on the breaker-probe timescale; a one-second backoff is the honest
+    // hint for both.
     response.headers.emplace("Retry-After", "1");
   }
   return response;

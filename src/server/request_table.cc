@@ -20,8 +20,8 @@ std::string_view RequestTable::StateName(State state) {
   return "?";
 }
 
-RequestTable::RequestTable(Engine& engine, size_t completed_capacity)
-    : engine_(engine), completed_capacity_(completed_capacity) {}
+RequestTable::RequestTable(ReplicaSet& set, size_t completed_capacity)
+    : set_(set), completed_capacity_(completed_capacity) {}
 
 Status RequestTable::Reserve(const std::string& id) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -33,7 +33,7 @@ Status RequestTable::Reserve(const std::string& id) {
 }
 
 void RequestTable::Commit(const std::string& id,
-                          std::vector<Engine::AsyncSubmission> submissions,
+                          std::vector<ReplicaSet::Submission> submissions,
                           int32_t priority) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(id);
@@ -43,9 +43,9 @@ void RequestTable::Commit(const std::string& id,
   Entry& entry = it->second;
   entry.priority = priority;
   entry.items.reserve(submissions.size());
-  for (Engine::AsyncSubmission& submission : submissions) {
+  for (ReplicaSet::Submission& submission : submissions) {
     Item item;
-    item.engine_id = submission.id;
+    item.cluster_id = submission.id;
     item.future = std::move(submission.future);
     entry.items.push_back(std::move(item));
   }
@@ -126,7 +126,7 @@ RequestTable::Snapshot RequestTable::SnapshotLocked(const Entry& entry) const {
       snapshot.state = State::kRunning;
       break;
     }
-    const Engine::RequestPhase phase = engine_.Phase(item.engine_id);
+    const Engine::RequestPhase phase = set_.Phase(item.cluster_id);
     if (phase != Engine::RequestPhase::kQueued) {
       // kRunning, or kUnknown because it finished between the future check
       // and now — either way it has left the queue.
@@ -178,7 +178,7 @@ Result<RequestTable::Snapshot> RequestTable::Cancel(const std::string& id) {
         // Queued items resolve synchronously with kCancelled; in-flight
         // ones are marked and resolve at their finalize. kNotFound (raced
         // to completion) is fine — the next refresh harvests the result.
-        (void)engine_.Cancel(item.engine_id);
+        (void)set_.Cancel(item.cluster_id);
       }
     }
     RefreshLocked(id, entry);

@@ -6,9 +6,12 @@
 // blocking, and where finished results stay readable for a while after
 // completion. That place is this table:
 //
-//  * one entry per client request, holding the (engine id, future) pair of
+//  * one entry per client request, holding the (cluster id, future) pair of
 //    every item of the submission (multi-item /v1/score bodies fan out to
-//    several engine requests under one client id);
+//    several engine requests under one client id). Since ISSUE 8 the table
+//    fronts a ReplicaSet, not a bare Engine: ids are CLUSTER ids, stable
+//    across breaker-driven failover re-submits, so a poll or cancel follows
+//    a request wherever it moves;
 //  * Poll() harvests ready futures non-blockingly and classifies the entry:
 //    all items terminal -> done/failed/cancelled (any kCancelled outranks
 //    any other failure, any failure outranks done); otherwise running if
@@ -35,6 +38,7 @@
 #include <tuple>
 #include <vector>
 
+#include "src/cluster/replica_set.h"
 #include "src/core/engine.h"
 
 namespace prefillonly {
@@ -51,9 +55,9 @@ class RequestTable {
     std::vector<std::optional<Result<ScoringResponse>>> results;
   };
 
-  // `engine` must outlive the table. `completed_capacity` bounds how many
+  // `set` must outlive the table. `completed_capacity` bounds how many
   // terminal entries are retained for polling.
-  RequestTable(Engine& engine, size_t completed_capacity);
+  RequestTable(ReplicaSet& set, size_t completed_capacity);
 
   // Three-step registration, so the duplicate-id check happens BEFORE the
   // engine admits any work (a duplicate must cost a 409, not a prefill):
@@ -63,15 +67,16 @@ class RequestTable {
   // `priority` is the submission's scheduling class (higher = more
   // important); it decides eviction order once the entry is terminal.
   Status Reserve(const std::string& id);
-  void Commit(const std::string& id, std::vector<Engine::AsyncSubmission> submissions,
+  void Commit(const std::string& id, std::vector<ReplicaSet::Submission> submissions,
               int32_t priority = 0);
   void Abandon(const std::string& id);
 
   // Non-blocking state read; kNotFound for unknown or evicted ids.
   Result<Snapshot> Poll(const std::string& id);
 
-  // Cancels every unresolved item (Engine::Cancel: dequeue if queued,
-  // mark-and-ignore if in flight) and returns the resulting snapshot.
+  // Cancels every unresolved item (ReplicaSet::Cancel: dequeue if queued,
+  // mark-and-ignore if in flight, no failover re-submit) and returns the
+  // resulting snapshot.
   // Idempotent on terminal entries: cancelling a done/failed/cancelled
   // request just returns its current state. kNotFound for unknown ids.
   Result<Snapshot> Cancel(const std::string& id);
@@ -80,7 +85,7 @@ class RequestTable {
 
  private:
   struct Item {
-    int64_t engine_id = 0;
+    int64_t cluster_id = 0;
     Engine::ResponseFuture future;  // valid until resolved
     std::optional<Result<ScoringResponse>> result;
   };
@@ -97,7 +102,7 @@ class RequestTable {
   void RefreshLocked(const std::string& id, Entry& entry);
   Snapshot SnapshotLocked(const Entry& entry) const;
 
-  Engine& engine_;
+  ReplicaSet& set_;
   const size_t completed_capacity_;
   mutable std::mutex mu_;
   std::map<std::string, Entry> entries_;

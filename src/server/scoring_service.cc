@@ -77,14 +77,14 @@ ScoringService::ScoringService(EngineOptions options,
                                ScoringServiceOptions service_options) {
   tokenizer_ = std::make_unique<HashTokenizer>(
       static_cast<int32_t>(options.model.vocab_size));
-  engine_ = std::make_unique<Engine>(std::move(options));
+  // One EngineOptions for every replica: identical weights (same seed) make
+  // failover bitwise invisible. The ReplicaSet starts each replica's
+  // concurrent runtime itself; ~ReplicaSet stops them.
+  ReplicaSetOptions cluster = service_options.cluster;
+  cluster.engine = std::move(options);
+  set_ = std::make_unique<ReplicaSet>(std::move(cluster));
   requests_ = std::make_unique<RequestTable>(
-      *engine_, service_options.completed_requests_capacity);
-  // Connection threads enqueue and wait on futures; the dispatcher overlaps
-  // up to max_concurrent_requests of them. ~Engine stops the runtime.
-  Status started = engine_->StartWorker(/*callback=*/nullptr);
-  assert(started.ok());
-  (void)started;
+      *set_, service_options.completed_requests_capacity);
   server_ = std::make_unique<HttpServer>(
       [this](const HttpRequest& request) { return Handle(request); });
 }
@@ -116,6 +116,16 @@ HttpResponse ScoringService::Handle(const HttpRequest& request) {
       return HandleSubmitRequest(request);
     }
     return MethodNotAllowed(request.method, path, "POST");
+  }
+  if (path == "/v1/replicas") {
+    if (request.method == "GET") {
+      return HandleListReplicas();
+    }
+    return MethodNotAllowed(request.method, path, "GET");
+  }
+  constexpr std::string_view kReplicaPrefix = "/v1/replicas/";
+  if (path.rfind(kReplicaPrefix, 0) == 0) {
+    return HandleReplicaAdmin(request, path.substr(kReplicaPrefix.size()));
   }
   constexpr std::string_view kRequestPrefix = "/v1/requests/";
   if (path.rfind(kRequestPrefix, 0) == 0) {
@@ -288,17 +298,17 @@ HttpResponse ScoringService::HandleScore(const HttpRequest& request) {
   const bool multi_item = parsed.value().multi_item;
 
   // Blocking handoff: the whole submission is admitted atomically as one
-  // co-batch group (multi-item bodies become deliberate PrefillBatch
-  // candidates), then this connection thread waits on every future, in item
-  // order — the engine doesn't block, other connections' requests run
-  // alongside under the SRJF dispatcher.
-  auto submitted = engine_->SubmitGroupAsync(std::move(parsed.value().items));
+  // co-batch group on ONE replica (multi-item bodies become deliberate
+  // PrefillBatch candidates), then this connection thread waits on every
+  // future, in item order — the set doesn't block, other connections'
+  // requests run alongside under each replica's SRJF dispatcher.
+  auto submitted = set_->SubmitGroup(std::move(parsed.value().items));
   if (!submitted.ok()) {
     return ApiErrorResponse(submitted.status());
   }
   std::vector<Result<ScoringResponse>> results;
   results.reserve(submitted.value().size());
-  for (Engine::AsyncSubmission& submission : submitted.value()) {
+  for (ReplicaSet::Submission& submission : submitted.value()) {
     results.push_back(submission.future.get());
   }
 
@@ -347,7 +357,7 @@ HttpResponse ScoringService::HandleSubmitRequest(const HttpRequest& request) {
   if (Status reserved = requests_->Reserve(id); !reserved.ok()) {
     return ApiErrorResponse(reserved);
   }
-  auto submitted = engine_->SubmitGroupAsync(std::move(parsed.value().items));
+  auto submitted = set_->SubmitGroup(std::move(parsed.value().items));
   if (!submitted.ok()) {
     // Includes the pre-dispatch rejections: an already-expired deadline
     // maps to 504 here, before any queue slot or prefill was spent.
@@ -406,8 +416,54 @@ HttpResponse ScoringService::HandleCancelRequest(const std::string& id) {
   return LifecycleResponse(id, snapshot.value());
 }
 
+namespace {
+
+// One replica's /v1/stats | /v1/replicas entry: router-side state and
+// counters. The engine's own counters ride along under "engine" only in the
+// stats payload (the admin list stays terse).
+Json ReplicaSnapshotJson(const ReplicaSnapshot& replica) {
+  Json::Object out;
+  out.emplace("index", Json(static_cast<int64_t>(replica.index)));
+  out.emplace("breaker", Json(std::string(BreakerStateName(replica.breaker))));
+  out.emplace("admitting", Json(replica.admitting));
+  out.emplace("draining", Json(replica.draining));
+  out.emplace("drained", Json(replica.drained));
+  out.emplace("outstanding", Json(replica.outstanding));
+  switch (replica.engine_health) {
+    case Engine::HealthStatus::kOk:
+      out.emplace("engine_health", Json("ok"));
+      break;
+    case Engine::HealthStatus::kDegraded:
+      out.emplace("engine_health", Json("degraded"));
+      break;
+    case Engine::HealthStatus::kOverloaded:
+      out.emplace("engine_health", Json("overloaded"));
+      break;
+  }
+  const ReplicaCounters& c = replica.counters;
+  out.emplace("routed_affinity", Json(c.routed_affinity));
+  out.emplace("routed_spill", Json(c.routed_spill));
+  out.emplace("admit_failures", Json(c.admit_failures));
+  out.emplace("breaker_trips", Json(c.breaker_trips));
+  out.emplace("half_open_probes", Json(c.half_open_probes));
+  out.emplace("failed_over_out", Json(c.failed_over_out));
+  out.emplace("failed_over_in", Json(c.failed_over_in));
+  // The per-replica engine counters that matter for balance checks; the
+  // full aggregate lives at the payload's top level.
+  out.emplace("submitted", Json(replica.engine.submitted));
+  out.emplace("completed", Json(replica.engine.completed));
+  out.emplace("failed", Json(replica.engine.failed));
+  out.emplace("cancelled", Json(replica.engine.cancelled));
+  out.emplace("shed", Json(replica.engine.shed));
+  out.emplace("cache_hit_rate", Json(replica.engine.cache.HitRate()));
+  return Json(std::move(out));
+}
+
+}  // namespace
+
 HttpResponse ScoringService::HandleStats() const {
-  const EngineStats stats = engine_->stats();
+  const ClusterStats cluster_stats = set_->Stats();
+  const EngineStats& stats = cluster_stats.totals;
   Json::Object out;
   out.emplace("submitted", Json(stats.submitted));
   out.emplace("completed", Json(stats.completed));
@@ -455,13 +511,37 @@ HttpResponse ScoringService::HandleStats() const {
   out.emplace("offload_read_misses", Json(stats.offload_read_misses));
   out.emplace("peak_activation_bytes",
               Json(static_cast<int64_t>(stats.peak_activation_bytes)));
+  // Cluster routing layer (ISSUE 8): router counters plus the per-replica
+  // breakdown behind the aggregated totals above.
+  out.emplace("n_replicas", Json(static_cast<int64_t>(set_->n_replicas())));
+  const ClusterCounters& cc = cluster_stats.cluster;
+  Json::Object cluster;
+  cluster.emplace("routed_affinity", Json(cc.routed_affinity));
+  cluster.emplace("routed_spill", Json(cc.routed_spill));
+  cluster.emplace("failovers", Json(cc.failovers));
+  cluster.emplace("breaker_trips", Json(cc.breaker_trips));
+  cluster.emplace("half_open_probes", Json(cc.half_open_probes));
+  cluster.emplace("unavailable_rejections", Json(cc.unavailable_rejections));
+  out.emplace("cluster", Json(std::move(cluster)));
+  Json::Array replicas;
+  for (const ReplicaSnapshot& replica : cluster_stats.replicas) {
+    replicas.push_back(ReplicaSnapshotJson(replica));
+  }
+  out.emplace("replicas", Json(std::move(replicas)));
   HttpResponse http;
   http.body = Json(std::move(out)).Serialize();
   return http;
 }
 
 HttpResponse ScoringService::HandleHealth() const {
-  const Engine::HealthStatus health = engine_->Health();
+  const Engine::HealthStatus health = set_->Health();
+  const std::vector<ReplicaSnapshot> replicas = set_->Replicas();
+  int64_t admitting = 0;
+  for (const ReplicaSnapshot& replica : replicas) {
+    if (replica.admitting) {
+      ++admitting;
+    }
+  }
   Json::Object out;
   HttpResponse http;
   switch (health) {
@@ -469,18 +549,74 @@ HttpResponse ScoringService::HandleHealth() const {
       out.emplace("status", Json("ok"));
       break;
     case Engine::HealthStatus::kDegraded:
-      // Still serving (200) — but a watchdog has fired at least once, so an
-      // operator should look before trusting latency SLOs.
+      // Still serving (200) — but some replica is impaired (breaker open or
+      // probing, draining, or an engine degraded/overloaded), so an operator
+      // should look before trusting latency SLOs.
       out.emplace("status", Json("degraded"));
       break;
     case Engine::HealthStatus::kOverloaded:
-      // Load shedding is active: new submissions are being rejected with
-      // 429, so the health probe itself answers 503 for LB draining.
+      // NO replica admits work (every breaker open/probing, draining, or
+      // engine shedding): new submissions are being rejected, so the health
+      // probe itself answers 503 for LB draining.
       out.emplace("status", Json("overloaded"));
       http.status = 503;
       http.headers.emplace("Retry-After", "1");
       break;
   }
+  out.emplace("admitting", Json(admitting));
+  out.emplace("n_replicas", Json(static_cast<int64_t>(set_->n_replicas())));
+  http.body = Json(std::move(out)).Serialize();
+  return http;
+}
+
+HttpResponse ScoringService::HandleListReplicas() const {
+  Json::Array replicas;
+  for (const ReplicaSnapshot& replica : set_->Replicas()) {
+    replicas.push_back(ReplicaSnapshotJson(replica));
+  }
+  Json::Object out;
+  out.emplace("n_replicas", Json(static_cast<int64_t>(set_->n_replicas())));
+  out.emplace("replicas", Json(std::move(replicas)));
+  HttpResponse http;
+  http.body = Json(std::move(out)).Serialize();
+  return http;
+}
+
+HttpResponse ScoringService::HandleReplicaAdmin(const HttpRequest& request,
+                                                const std::string& tail) {
+  // tail is "{index}/drain" or "{index}/rejoin".
+  const size_t slash = tail.find('/');
+  const std::string index_text = tail.substr(0, slash);
+  const std::string action =
+      slash == std::string::npos ? "" : tail.substr(slash + 1);
+  // The index must be a short run of digits — anything else (empty, signed,
+  // non-numeric, absurdly long) is an unknown route, not a 500.
+  if (index_text.empty() || index_text.size() > 6 ||
+      index_text.find_first_not_of("0123456789") != std::string::npos ||
+      (action != "drain" && action != "rejoin")) {
+    return ApiErrorResponse(StatusCode::kNotFound,
+                            "unknown route: /v1/replicas/" + tail);
+  }
+  if (request.method != "POST") {
+    return MethodNotAllowed(request.method, request.path, "POST");
+  }
+  const int index = std::stoi(index_text);
+  const Status status =
+      action == "drain" ? set_->Drain(index) : set_->Rejoin(index);
+  if (!status.ok()) {
+    // Out-of-range index: kInvalidArgument -> 400.
+    return ApiErrorResponse(status);
+  }
+  Json::Object out;
+  out.emplace("index", Json(static_cast<int64_t>(index)));
+  out.emplace("action", Json(action));
+  // The post-action snapshot, so the operator sees the new state without a
+  // second round trip.
+  const std::vector<ReplicaSnapshot> replicas = set_->Replicas();
+  if (index < static_cast<int>(replicas.size())) {
+    out.emplace("replica", ReplicaSnapshotJson(replicas[static_cast<size_t>(index)]));
+  }
+  HttpResponse http;
   http.body = Json(std::move(out)).Serialize();
   return http;
 }

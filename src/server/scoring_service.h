@@ -22,13 +22,20 @@
 //   DELETE /v1/requests/{id}  cancel (idempotent once terminal)
 //     -> { "id", "status" }
 //
-//   GET /v1/stats             engine counters (incl. robustness counters:
-//                             aborts, retries, sheds, watchdog, faults)
-//   GET /v1/health            liveness/degradation probe (ISSUE 6)
-//     -> 200 { "status": "ok" | "degraded" }   degraded = a watchdog has
-//        ever fired (delivery guarantee was exercised)
-//     -> 503 { "status": "overloaded" }        load shedding is active;
+//   GET /v1/stats             cluster-aggregated engine counters (summed
+//                             across replicas; peaks maxed) plus router
+//                             counters and a per-replica breakdown (ISSUE 8)
+//   GET /v1/health            cluster liveness/degradation probe
+//     -> 200 { "status": "ok" | "degraded", "admitting": k, "n_replicas": n }
+//        degraded = some replica is impaired (breaker open/half-open,
+//        draining, or engine degraded) but at least one still admits
+//     -> 503 { "status": "overloaded", ... }   NO replica admits work;
 //        clients should back off (Retry-After honored by the facade)
+//
+//   GET  /v1/replicas               per-replica snapshots (ISSUE 8)
+//   POST /v1/replicas/{i}/drain     stop admitting to replica i (its queued
+//                                   and in-flight work finishes normally)
+//   POST /v1/replicas/{i}/rejoin    resume admitting; resets the breaker
 //
 // `options` (both submission routes): "priority" (int, strict scheduling
 // class), "deadline_ms" (int >= 0; 0 = already expired, rejected with 504
@@ -39,13 +46,18 @@
 // Allow header. Completed async results are retained in a bounded table
 // (RequestTable) and poll as 404 after eviction.
 //
-// Concurrency (ISSUE 2): the service starts the engine's concurrent runtime
-// at construction. Each HTTP connection runs on its own server thread
-// (keep-alive aware, ISSUE 5), and scoring handlers enqueue into the engine
-// (SubmitGroupAsync) and block on the response futures — so up to
-// EngineOptions::max_concurrent_requests prefills overlap, scheduled by the
-// SRJF dispatcher, while /v1/stats and lifecycle polls stay readable
-// mid-flight.
+// Concurrency (ISSUE 2): the service starts the replica set's concurrent
+// runtime at construction. Each HTTP connection runs on its own server
+// thread (keep-alive aware, ISSUE 5), and scoring handlers enqueue into the
+// ReplicaSet (SubmitGroup) and block on the response futures — so up to
+// n_replicas * max_concurrent_requests prefills overlap, scheduled per
+// replica by the SRJF dispatcher, while /v1/stats and lifecycle polls stay
+// readable mid-flight.
+//
+// Multi-replica serving (ISSUE 8): the service fronts a ReplicaSet, not a
+// bare Engine. Requests route by prefix affinity with health-gated failover
+// and per-replica circuit breakers; n_replicas = 1 (the default) behaves
+// exactly like the pre-cluster server, including engine shed answering 429.
 #ifndef SRC_SERVER_SCORING_SERVICE_H_
 #define SRC_SERVER_SCORING_SERVICE_H_
 
@@ -54,6 +66,7 @@
 #include <string>
 #include <vector>
 
+#include "src/cluster/replica_set.h"
 #include "src/core/engine.h"
 #include "src/server/http_server.h"
 #include "src/server/json.h"
@@ -66,11 +79,15 @@ struct ScoringServiceOptions {
   // Completed async requests retained for polling before FIFO eviction
   // (the bounded completed-result table of ISSUE 5).
   size_t completed_requests_capacity = 256;
+  // Cluster shape and robustness knobs (ISSUE 8). `cluster.engine` is
+  // ignored — the constructor's EngineOptions argument is stamped over it,
+  // so every replica is built from that one configuration.
+  ReplicaSetOptions cluster;
 };
 
 class ScoringService {
  public:
-  // Starts the engine's concurrent runtime (stopped again in ~Engine).
+  // Starts every replica's concurrent runtime (stopped again in ~ReplicaSet).
   explicit ScoringService(EngineOptions options,
                           ScoringServiceOptions service_options = {});
 
@@ -79,7 +96,10 @@ class ScoringService {
   void Stop() { server_->Stop(); }
   uint16_t port() const { return server_->port(); }
 
-  Engine& engine() { return *engine_; }
+  ReplicaSet& replica_set() { return *set_; }
+  // Replica 0's engine by default — the pre-cluster accessor every existing
+  // test uses; pass an index to reach the others.
+  Engine& engine(int index = 0) { return set_->engine(index); }
 
   // Request handling, exposed for tests (no socket required). Thread-safe:
   // connection threads call this concurrently.
@@ -103,8 +123,12 @@ class ScoringService {
   HttpResponse HandleCancelRequest(const std::string& id);
   HttpResponse HandleStats() const;
   HttpResponse HandleHealth() const;
+  HttpResponse HandleListReplicas() const;
+  // POST /v1/replicas/{index}/drain|rejoin.
+  HttpResponse HandleReplicaAdmin(const HttpRequest& request,
+                                  const std::string& tail);
 
-  std::unique_ptr<Engine> engine_;
+  std::unique_ptr<ReplicaSet> set_;
   std::unique_ptr<HashTokenizer> tokenizer_;
   std::unique_ptr<RequestTable> requests_;
   std::atomic<int64_t> next_request_seq_{1};

@@ -5,33 +5,71 @@
 // same instance so that the user's profile prefix can be reused from that
 // instance's cache. Users are assigned to instances round-robin in order
 // of first appearance.
+//
+// The assignment table is BOUNDED (ISSUE 8): a long-running router sees an
+// unbounded stream of distinct user ids, and the sticky map must not grow
+// with it. Beyond `max_tracked_users` the least-recently-routed user is
+// forgotten; if it ever comes back it is simply re-assigned round-robin —
+// the cost is a possible cold cache on its next request, never unbounded
+// memory.
 #ifndef SRC_WORKLOAD_ROUTER_H_
 #define SRC_WORKLOAD_ROUTER_H_
 
 #include <cstdint>
+#include <cstddef>
+#include <list>
 #include <unordered_map>
 
 namespace prefillonly {
 
 class UserRoundRobinRouter {
  public:
-  explicit UserRoundRobinRouter(int n_instances) : n_instances_(n_instances) {}
+  // `max_tracked_users` bounds the sticky-assignment table (>= 1; the
+  // default comfortably covers the paper's multi-tenant traces while
+  // keeping worst-case memory fixed).
+  explicit UserRoundRobinRouter(int n_instances,
+                                size_t max_tracked_users = 65536)
+      : n_instances_(n_instances),
+        max_tracked_users_(max_tracked_users > 0 ? max_tracked_users : 1) {}
 
-  // Instance index in [0, n_instances) for this user; sticky per user.
+  // Instance index in [0, n_instances) for this user; sticky per user while
+  // the user stays among the `max_tracked_users` most recently routed.
   int Route(int64_t user_id) {
-    auto [it, inserted] = assignment_.try_emplace(user_id, next_);
-    if (inserted) {
-      next_ = (next_ + 1) % n_instances_;
+    auto it = assignment_.find(user_id);
+    if (it != assignment_.end()) {
+      // Refresh recency: this user is now the hardest to evict.
+      lru_.splice(lru_.end(), lru_, it->second.lru_pos);
+      return it->second.instance;
     }
-    return it->second;
+    if (assignment_.size() >= max_tracked_users_) {
+      // Evict the least-recently-routed user; its next request (if any)
+      // re-enters round-robin like a brand-new user.
+      assignment_.erase(lru_.front());
+      lru_.pop_front();
+    }
+    const int instance = next_;
+    next_ = (next_ + 1) % n_instances_;
+    lru_.push_back(user_id);
+    assignment_.emplace(user_id, Entry{instance, std::prev(lru_.end())});
+    return instance;
   }
 
   int n_instances() const { return n_instances_; }
+  // Current sticky-table occupancy (never exceeds max_tracked_users).
+  size_t tracked_users() const { return assignment_.size(); }
+  size_t max_tracked_users() const { return max_tracked_users_; }
 
  private:
+  struct Entry {
+    int instance;
+    std::list<int64_t>::iterator lru_pos;
+  };
+
   int n_instances_;
+  size_t max_tracked_users_;
   int next_ = 0;
-  std::unordered_map<int64_t, int> assignment_;
+  std::list<int64_t> lru_;  // front = least recently routed
+  std::unordered_map<int64_t, Entry> assignment_;
 };
 
 }  // namespace prefillonly

@@ -821,5 +821,126 @@ TEST(KeepAliveTest, WithoutTheHeaderConnectionsStayOneShot) {
   service.Stop();
 }
 
+// ------------------------------- Replica administration (ISSUE 8)
+
+ScoringServiceOptions TwoReplicaOptions() {
+  ScoringServiceOptions options;
+  options.cluster.n_replicas = 2;
+  options.cluster.health_poll_ms = 0;  // no monitor racing assertions
+  return options;
+}
+
+TEST(ReplicaAdminTest, ListReplicasShowsPerReplicaState) {
+  ScoringService service(SmallEngineOptions(), TwoReplicaOptions());
+  const auto response = service.Handle(Req("GET", "/v1/replicas"));
+  ASSERT_EQ(response.status, 200) << response.body;
+  auto body = Json::Parse(response.body);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(body.value().Find("n_replicas")->AsInt(), 2);
+  const Json::Array& replicas = body.value().Find("replicas")->AsArray();
+  ASSERT_EQ(replicas.size(), 2u);
+  for (size_t i = 0; i < replicas.size(); ++i) {
+    EXPECT_EQ(replicas[i].Find("index")->AsInt(), static_cast<int64_t>(i));
+    EXPECT_EQ(replicas[i].Find("breaker")->AsString(), "closed");
+    EXPECT_TRUE(replicas[i].Find("admitting")->AsBool());
+    EXPECT_FALSE(replicas[i].Find("draining")->AsBool());
+    EXPECT_EQ(replicas[i].Find("engine_health")->AsString(), "ok");
+    EXPECT_EQ(replicas[i].Find("routed_affinity")->AsInt(), 0);
+  }
+  // Wrong method follows the shared 405 + Allow convention.
+  const auto post = service.Handle(Req("POST", "/v1/replicas"));
+  EXPECT_EQ(post.status, 405);
+  EXPECT_EQ(post.headers.at("Allow"), "GET");
+}
+
+TEST(ReplicaAdminTest, DrainAndRejoinDriveClusterHealth) {
+  ScoringService service(SmallEngineOptions(), TwoReplicaOptions());
+
+  const auto drained = service.Handle(Req("POST", "/v1/replicas/0/drain"));
+  ASSERT_EQ(drained.status, 200) << drained.body;
+  auto body = Json::Parse(drained.body);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(body.value().Find("action")->AsString(), "drain");
+  EXPECT_TRUE(body.value().Find("replica")->Find("draining")->AsBool());
+  EXPECT_FALSE(body.value().Find("replica")->Find("admitting")->AsBool());
+
+  // One replica down: degraded but serving — /v1/health stays 200.
+  auto health = service.Handle(Req("GET", "/v1/health"));
+  ASSERT_EQ(health.status, 200) << health.body;
+  auto health_body = Json::Parse(health.body);
+  ASSERT_TRUE(health_body.ok());
+  EXPECT_EQ(health_body.value().Find("status")->AsString(), "degraded");
+  EXPECT_EQ(health_body.value().Find("admitting")->AsInt(), 1);
+  EXPECT_EQ(health_body.value().Find("n_replicas")->AsInt(), 2);
+
+  // Both replicas down: nothing admits — the 503 + Retry-After shape, and
+  // a submission is refused with the structured unavailable error.
+  ASSERT_EQ(service.Handle(Req("POST", "/v1/replicas/1/drain")).status, 200);
+  health = service.Handle(Req("GET", "/v1/health"));
+  EXPECT_EQ(health.status, 503);
+  EXPECT_EQ(health.headers.at("Retry-After"), "1");
+  health_body = Json::Parse(health.body);
+  ASSERT_TRUE(health_body.ok());
+  EXPECT_EQ(health_body.value().Find("admitting")->AsInt(), 0);
+  const auto refused = service.Handle(
+      Post("/v1/score", R"({"tokens":[1,2,3,4], "allowed_tokens":[10,20]})"));
+  EXPECT_EQ(refused.status, 503);
+  EXPECT_EQ(refused.headers.at("Retry-After"), "1");
+  EXPECT_NE(refused.body.find("unavailable"), std::string::npos) << refused.body;
+
+  // Rejoin both and the cluster is whole again.
+  ASSERT_EQ(service.Handle(Req("POST", "/v1/replicas/0/rejoin")).status, 200);
+  ASSERT_EQ(service.Handle(Req("POST", "/v1/replicas/1/rejoin")).status, 200);
+  health = service.Handle(Req("GET", "/v1/health"));
+  EXPECT_EQ(health.status, 200);
+  EXPECT_EQ(Json::Parse(health.body).value().Find("status")->AsString(), "ok");
+}
+
+TEST(ReplicaAdminTest, MalformedAdminRoutesGetStructuredErrors) {
+  ScoringService service(SmallEngineOptions(), TwoReplicaOptions());
+  // Unknown action / non-numeric index: not a route at all.
+  EXPECT_EQ(service.Handle(Req("POST", "/v1/replicas/0/explode")).status, 404);
+  EXPECT_EQ(service.Handle(Req("POST", "/v1/replicas/zero/drain")).status, 404);
+  // Known route, wrong method.
+  const auto got = service.Handle(Req("GET", "/v1/replicas/0/drain"));
+  EXPECT_EQ(got.status, 405);
+  EXPECT_EQ(got.headers.at("Allow"), "POST");
+  // Known route, index out of range: a 400 with the shared error shape.
+  const auto out_of_range = service.Handle(Req("POST", "/v1/replicas/9/drain"));
+  EXPECT_EQ(out_of_range.status, 400);
+  EXPECT_NE(out_of_range.body.find("invalid_argument"), std::string::npos)
+      << out_of_range.body;
+}
+
+TEST(ReplicaAdminTest, StatsAggregateAcrossReplicasWithBreakdowns) {
+  ScoringService service(SmallEngineOptions(), TwoReplicaOptions());
+  const auto scored = service.Handle(
+      Post("/v1/score", R"({"tokens":[1,2,3,4,5,6,7,8], "allowed_tokens":[10,20]})"));
+  ASSERT_EQ(scored.status, 200) << scored.body;
+
+  const auto response = service.Handle(Req("GET", "/v1/stats"));
+  ASSERT_EQ(response.status, 200);
+  auto body = Json::Parse(response.body);
+  ASSERT_TRUE(body.ok());
+  // Legacy flat keys are now cluster totals; the request above is in them.
+  EXPECT_EQ(body.value().Find("submitted")->AsInt(), 1);
+  EXPECT_EQ(body.value().Find("completed")->AsInt(), 1);
+  EXPECT_EQ(body.value().Find("n_replicas")->AsInt(), 2);
+  // Router-level counters live under "cluster".
+  const Json* cluster = body.value().Find("cluster");
+  ASSERT_NE(cluster, nullptr);
+  EXPECT_EQ(cluster->Find("routed_affinity")->AsInt(), 1);
+  EXPECT_EQ(cluster->Find("failovers")->AsInt(), 0);
+  EXPECT_EQ(cluster->Find("unavailable_rejections")->AsInt(), 0);
+  // Per-replica breakdowns: exactly one replica took the request.
+  const Json::Array& replicas = body.value().Find("replicas")->AsArray();
+  ASSERT_EQ(replicas.size(), 2u);
+  int64_t submitted = 0;
+  for (const Json& replica : replicas) {
+    submitted += replica.Find("submitted")->AsInt();
+  }
+  EXPECT_EQ(submitted, 1);
+}
+
 }  // namespace
 }  // namespace prefillonly

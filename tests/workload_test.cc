@@ -253,5 +253,45 @@ TEST(RouterTest, RoundRobinBalances) {
   EXPECT_EQ(counts[2], 3);
 }
 
+TEST(RouterTest, AssignmentTableIsBoundedByLruEviction) {
+  // ISSUE 8 regression: an unbounded stream of distinct users must not grow
+  // the sticky map past max_tracked_users.
+  UserRoundRobinRouter router(2, /*max_tracked_users=*/4);
+  for (int64_t user = 0; user < 100; ++user) {
+    router.Route(user);
+    EXPECT_LE(router.tracked_users(), 4u);
+  }
+  EXPECT_EQ(router.tracked_users(), 4u);
+  EXPECT_EQ(router.max_tracked_users(), 4u);
+  // The last 4 users are still tracked, so routing them is a no-op on the
+  // table; anyone older was forgotten.
+  for (int64_t user = 96; user < 100; ++user) {
+    router.Route(user);
+    EXPECT_EQ(router.tracked_users(), 4u);
+  }
+}
+
+TEST(RouterTest, RoutingRefreshesRecencySoHotUsersSurvive) {
+  UserRoundRobinRouter router(2, /*max_tracked_users=*/2);
+  const int hot = router.Route(1);
+  router.Route(2);
+  // Touch user 1: user 2 is now the LRU entry, so user 3 evicts 2, not 1.
+  EXPECT_EQ(router.Route(1), hot);
+  router.Route(3);
+  EXPECT_EQ(router.Route(1), hot);  // survived: still sticky, no table churn
+  EXPECT_EQ(router.tracked_users(), 2u);
+}
+
+TEST(RouterTest, EvictedUserReentersRoundRobinLikeANewcomer) {
+  UserRoundRobinRouter router(3, /*max_tracked_users=*/1);
+  const int first = router.Route(42);   // next_ was 0
+  router.Route(7);                      // evicts 42, takes instance 1
+  const int again = router.Route(42);   // re-assigned round-robin: instance 2
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(again, 2);
+  // Stickiness within the tracked window is unaffected by past evictions.
+  EXPECT_EQ(router.Route(42), again);
+}
+
 }  // namespace
 }  // namespace prefillonly
