@@ -15,9 +15,14 @@
 //
 // Output: a human table plus BENCH_batching.json (reference copy checked
 // into the repo root). Acceptance bar (ISSUE 4): batched throughput at
-// batch size 4 on short prompts >= solo. Latency inflation stays bounded by
-// the LengthBucket admission rule — only same-bucket requests share a
-// batch, so nobody waits on a much longer batchmate.
+// batch size 4 on short prompts >= solo.
+//
+// ISSUE 9 adds a mixed-length scenario: lengths cycling across several
+// power-of-two LengthBuckets, drained once under the legacy bucket rule and
+// once under budget-aware first-fit packing, same max_batch_size. The
+// packing metric is lane occupancy in the currency that costs money —
+// miss tokens per dispatched batch — and the run FAILS (exit 1) if packing
+// admits fewer miss-tokens per batch than the bucket rule on this workload.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -108,6 +113,93 @@ Point RunOnce(KernelBackend backend, const std::vector<ScoringRequest>& workload
   return p;
 }
 
+// ---------------------------------------- mixed-length packing (ISSUE 9)
+
+std::vector<ScoringRequest> MixedWorkload(int n_requests) {
+  // Lengths cycling across six DISTINCT LengthBuckets (1..6), so each
+  // bracket holds fewer requests than max_batch: under the legacy bucket
+  // rule a drain decision can only fill from the seed's bracket and strands
+  // every lane part-empty; first-fit packing welds the brackets into full
+  // lanes.
+  const int64_t kLengths[] = {2, 5, 9, 17, 33, 65};
+  std::vector<ScoringRequest> requests;
+  Rng rng(11);
+  for (int i = 0; i < n_requests; ++i) {
+    ScoringRequest request;
+    request.user_id = i;
+    request.tokens.resize(static_cast<size_t>(kLengths[i % 6]));
+    for (auto& t : request.tokens) {
+      t = static_cast<int32_t>(rng.NextBounded(256));
+    }
+    request.allowed_tokens = {10, 20};
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+struct MixedPoint {
+  std::string backend;
+  std::string packing;
+  int max_batch = 0;
+  double seconds = 0.0;
+  double prefills_per_s = 0.0;
+  double occupancy = 0.0;            // requests per dispatched batch
+  double miss_tokens_per_batch = 0.0;  // lane occupancy in miss tokens
+  int64_t batches = 0;
+};
+
+MixedPoint RunMixedOnce(KernelBackend backend,
+                        const std::vector<ScoringRequest>& workload,
+                        BatchPacking packing, int max_batch) {
+  EngineOptions options = BenchOptions(backend, max_batch);
+  options.batch_packing = packing;
+  Engine engine(options);
+  for (const auto& request : workload) {
+    auto id = engine.Submit(request);
+    (void)id;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  auto responses = engine.RunPending();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  if (!responses.ok()) {
+    std::fprintf(stderr, "RunPending failed: %s\n",
+                 responses.status().ToString().c_str());
+    std::exit(1);
+  }
+  const EngineStats stats = engine.stats();
+  MixedPoint p;
+  p.backend = KernelBackendName(engine.model().kernel_backend());
+  p.packing = BatchPackingName(packing);
+  p.max_batch = max_batch;
+  p.seconds = elapsed;
+  p.prefills_per_s = static_cast<double>(responses.value().size()) / elapsed;
+  p.batches = stats.batches_dispatched;
+  p.occupancy = stats.batches_dispatched > 0
+                    ? static_cast<double>(stats.batched_requests) /
+                          static_cast<double>(stats.batches_dispatched)
+                    : 0.0;
+  p.miss_tokens_per_batch =
+      stats.batches_dispatched > 0
+          ? static_cast<double>(stats.batched_miss_tokens) /
+                static_cast<double>(stats.batches_dispatched)
+          : 0.0;
+  return p;
+}
+
+MixedPoint RunMixedBest(KernelBackend backend,
+                        const std::vector<ScoringRequest>& workload,
+                        BatchPacking packing, int max_batch, int reps) {
+  MixedPoint best = RunMixedOnce(backend, workload, packing, max_batch);
+  for (int r = 1; r < reps; ++r) {
+    MixedPoint p = RunMixedOnce(backend, workload, packing, max_batch);
+    if (p.seconds < best.seconds) {
+      best = p;
+    }
+  }
+  return best;
+}
+
 }  // namespace
 
 int main() {
@@ -171,6 +263,50 @@ int main() {
   std::printf("(single-core container numbers; the real scaling curve is pending a "
               "multi-core host, see ROADMAP.md)\n");
 
+  // Mixed-length scenario (ISSUE 9): packed vs bucket admission on the same
+  // cross-bucket backlog, same max_batch_size.
+  constexpr int kMixedBatch = 8;
+  std::printf("\nmixed-length packing: lengths {2,5,9,17,33,65} cycling, "
+              "max_batch %d\n", kMixedBatch);
+  std::printf("%-8s %10s %10s %12s %16s %10s %18s\n", "backend", "packing",
+              "batches", "seconds", "prefills/sec", "occupancy",
+              "miss_tok/batch");
+  std::vector<MixedPoint> mixed;
+  bool gate_ok = true;
+  for (KernelBackend backend : backends) {
+    const auto workload = MixedWorkload(kRequests);
+    (void)RunMixedOnce(backend, workload, BatchPacking::kBucket, kMixedBatch);
+    MixedPoint bucket = RunMixedBest(backend, workload, BatchPacking::kBucket,
+                                     kMixedBatch, kReps);
+    MixedPoint packed = RunMixedBest(backend, workload, BatchPacking::kFirstFit,
+                                     kMixedBatch, kReps);
+    for (const MixedPoint* p : {&bucket, &packed}) {
+      std::printf("%-8s %10s %10lld %12.4f %16.2f %10.2f %18.2f\n",
+                  p->backend.c_str(), p->packing.c_str(),
+                  static_cast<long long>(p->batches), p->seconds,
+                  p->prefills_per_s, p->occupancy, p->miss_tokens_per_batch);
+      mixed.push_back(*p);
+    }
+    std::printf("%s: packed/bucket miss-tokens-per-batch = %.3f, "
+                "packed/bucket throughput = %.3f (ISSUE 9 gate: occupancy >= 1.0)\n",
+                bucket.backend.c_str(),
+                bucket.miss_tokens_per_batch > 0
+                    ? packed.miss_tokens_per_batch / bucket.miss_tokens_per_batch
+                    : 0.0,
+                bucket.prefills_per_s > 0
+                    ? packed.prefills_per_s / bucket.prefills_per_s
+                    : 0.0);
+    if (packed.miss_tokens_per_batch < bucket.miss_tokens_per_batch) {
+      std::fprintf(stderr,
+                   "GATE FAILED (%s): first-fit packing admits fewer miss "
+                   "tokens per batch (%.2f) than the bucket rule (%.2f) on "
+                   "the mixed workload\n",
+                   bucket.backend.c_str(), packed.miss_tokens_per_batch,
+                   bucket.miss_tokens_per_batch);
+      gate_ok = false;
+    }
+  }
+
   FILE* f = std::fopen("BENCH_batching.json", "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write BENCH_batching.json\n");
@@ -187,8 +323,20 @@ int main() {
                  p.requests, p.seconds, p.prefills_per_s, p.occupancy,
                  i + 1 < points.size() ? "," : "");
   }
+  std::fprintf(f, "  ],\n  \"mixed_length\": [\n");
+  for (size_t i = 0; i < mixed.size(); ++i) {
+    const auto& p = mixed[i];
+    std::fprintf(f,
+                 "    {\"backend\": \"%s\", \"packing\": \"%s\", \"max_batch\": %d, "
+                 "\"batches\": %lld, \"seconds\": %.6g, \"prefills_per_s\": %.4f, "
+                 "\"occupancy\": %.4f, \"miss_tokens_per_batch\": %.4f}%s\n",
+                 p.backend.c_str(), p.packing.c_str(), p.max_batch,
+                 static_cast<long long>(p.batches), p.seconds, p.prefills_per_s,
+                 p.occupancy, p.miss_tokens_per_batch,
+                 i + 1 < mixed.size() ? "," : "");
+  }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   std::printf("wrote BENCH_batching.json\n");
-  return 0;
+  return gate_ok ? 0 : 1;
 }

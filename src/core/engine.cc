@@ -7,6 +7,7 @@
 #include "src/common/fault.h"
 #include "src/common/hash.h"
 #include "src/common/logging.h"
+#include "src/sched/batch_cost.h"
 
 namespace prefillonly {
 
@@ -69,8 +70,11 @@ Engine::Engine(EngineOptions options)
     }
   });
   estimator_ = std::make_unique<CacheMissProxyEstimator>();
-  scheduler_ =
-      std::make_unique<Scheduler>(options_.policy, options_.lambda, estimator_.get());
+  scheduler_ = std::make_unique<Scheduler>(options_.policy, options_.lambda,
+                                           estimator_.get(), options_.batch_packing);
+  batch_budget_ = MakeBatchBudget(options_.model, options_.mode,
+                                  options_.activation_budget_bytes,
+                                  options_.block_size);
 }
 
 Engine::~Engine() { StopWorker(); }
@@ -400,39 +404,8 @@ std::vector<Engine::Candidate> Engine::SnapshotQueueLocked() const {
   return candidates;
 }
 
-namespace {
-
-// Stacked-activation bytes per new (cache-miss) token, used by batch
-// admission to keep a projected batch within the per-lane activation
-// budget. Every mode pays the per-sequence RETAINED KV copy (the engine
-// always dispatches with kPrefixBudget retention, all layers, up to the
-// miss length) on top of its working set: kStandard/kChunked keep every
-// layer's stacked pass KV plus the MLP intermediates resident, kHybrid one
-// layer's KV plus the stacked hidden/Q/attention buffers. Purely an
-// admission heuristic: the lane's TrackingAllocator stays the hard
-// guarantee (an overshooting batch falls back to solo execution).
-size_t BatchedBytesPerMissToken(const ModelConfig& model, PrefillMode mode) {
-  const int64_t h = model.hidden_size;
-  const int64_t qs = model.q_size();
-  const int64_t kvw = model.kv_size();
-  const int64_t retained_kv = 2 * kvw * model.n_layers;
-  const int64_t floats =
-      (mode == PrefillMode::kHybrid)
-          ? 3 * h + 2 * qs + 2 * kvw + retained_kv
-          : 3 * h + 2 * qs + 3 * model.intermediate_size + 2 * retained_kv;
-  return static_cast<size_t>(floats) * sizeof(float);
-}
-
-// Bytes of the assembled contiguous prefix copy per cached token (all
-// layers' K+V), also resident on the lane arena for the whole batch.
-size_t PrefixBytesPerCachedToken(const ModelConfig& model) {
-  return static_cast<size_t>(2 * model.kv_size() * model.n_layers) * sizeof(float);
-}
-
-}  // namespace
-
-std::vector<int64_t> Engine::PickBatchIds(const std::vector<Candidate>& candidates,
-                                          const Scheduler* scheduler) const {
+Engine::BatchDecision Engine::PickBatchIds(const std::vector<Candidate>& candidates,
+                                           const Scheduler* scheduler) const {
   assert(!candidates.empty());
   std::vector<SchedEntry> entries;
   entries.reserve(candidates.size());
@@ -458,31 +431,24 @@ std::vector<int64_t> Engine::PickBatchIds(const std::vector<Candidate>& candidat
       entries.push_back(entry);
     }
   }
-  const std::vector<size_t> picked =
-      scheduler->PickBatch(entries, NowSeconds(), options_.max_batch_size);
-  std::vector<int64_t> ids;
-  ids.reserve(picked.size());
-  const size_t per_miss = BatchedBytesPerMissToken(options_.model, options_.mode);
-  const size_t per_cached = PrefixBytesPerCachedToken(options_.model);
-  size_t projected = 0;
-  for (const size_t index : picked) {
-    const SchedEntry& entry = entries[index];
-    projected +=
-        static_cast<size_t>(std::max<int64_t>(entry.n_input - entry.n_cached_now, 1)) *
-            per_miss +
-        static_cast<size_t>(std::max<int64_t>(entry.n_cached_now, 0)) * per_cached;
-    // The seed always dispatches; co-batched members must keep the projected
-    // stacked footprint inside the lane's activation budget. Riders are
-    // preference-ordered (group-mates first, then same-bucket by class and
-    // score), so stopping at the first overflow truncates the least
-    // preferred tail.
-    if (!ids.empty() && options_.activation_budget_bytes > 0 &&
-        projected > options_.activation_budget_bytes) {
-      break;
-    }
-    ids.push_back(candidates[index].id);
+  // Admission — packing policy, activation budget, cost model — happens
+  // inside the scheduler (ISSUE 9): oversized candidates are skipped, not a
+  // reason to truncate the tail, and the seed always dispatches. The lane's
+  // TrackingAllocator stays the hard guarantee: the projection is asserted
+  // conservative by test, but blocks can still be evicted between this
+  // decision and AcquirePrefix, and an overshooting stacked pass falls back
+  // to solo execution.
+  const BatchPick pick = scheduler->PickBatch(entries, NowSeconds(),
+                                              options_.max_batch_size, batch_budget_);
+  BatchDecision decision;
+  decision.ids.reserve(pick.picked.size());
+  for (const size_t index : pick.picked) {
+    decision.ids.push_back(candidates[index].id);
   }
-  return ids;
+  decision.projected_bytes = pick.projected_bytes;
+  decision.miss_tokens = pick.miss_tokens;
+  decision.budget_skips = pick.budget_skips;
+  return decision;
 }
 
 std::optional<Engine::Pending> Engine::TakeWaitingLocked(int64_t id) {
@@ -982,18 +948,22 @@ Result<std::vector<ScoringResponse>> Engine::RunPending() {
     if (candidates.empty()) {
       continue;
     }
-    const std::vector<int64_t> picked = PickBatchIds(candidates, scheduler);
+    const BatchDecision decision = PickBatchIds(candidates, scheduler);
     PrefillBatchPending batch;
-    batch.requests.reserve(picked.size());
+    batch.requests.reserve(decision.ids.size());
     {
       std::lock_guard<std::mutex> lock(mu_);
-      for (const int64_t id : picked) {
+      for (const int64_t id : decision.ids) {
         if (std::optional<Pending> pending = TakeWaitingLocked(id)) {
           // Same no-blind-window rule as the dispatcher: "running" from the
           // moment the id leaves the queue.
           MarkRunningLocked(*pending);
           batch.requests.push_back(std::move(*pending));
         }
+      }
+      if (!batch.requests.empty()) {
+        stats_.batched_miss_tokens += decision.miss_tokens;
+        stats_.packing_skips += decision.budget_skips;
       }
       UpdateShedLocked();
     }
@@ -1138,15 +1108,16 @@ void Engine::DispatcherLoop() {
     std::vector<Candidate> candidates = SnapshotQueueLocked();
     const Scheduler* scheduler = scheduler_.get();
     lock.unlock();
-    // A batched decision (ISSUE 4/5): the SRJF winner plus riders — the
-    // seed's co-batch group-mates first, then same-length-bucket entries.
-    // A pick cancelled between snapshot and relock simply drops out of the
-    // batch (TakeWaitingLocked returns nullopt).
-    const std::vector<int64_t> picked = PickBatchIds(candidates, scheduler);
+    // A batched decision (ISSUE 4/5/9): the SRJF winner plus riders — the
+    // seed's co-batch group-mates first, then budget-packed any-length
+    // entries (or the legacy same-bucket tier under kBucket). A pick
+    // cancelled between snapshot and relock simply drops out of the batch
+    // (TakeWaitingLocked returns nullopt).
+    const BatchDecision decision = PickBatchIds(candidates, scheduler);
     lock.lock();
     PrefillBatchPending batch;
-    batch.requests.reserve(picked.size());
-    for (const int64_t id : picked) {
+    batch.requests.reserve(decision.ids.size());
+    for (const int64_t id : decision.ids) {
       if (std::optional<Pending> pending = TakeWaitingLocked(id)) {
         // The id becomes "running" the moment it leaves the queue, under
         // the SAME mu_ hold — a Cancel() landing while the batch rides the
@@ -1157,6 +1128,10 @@ void Engine::DispatcherLoop() {
         MarkRunningLocked(*pending);
         batch.requests.push_back(std::move(*pending));
       }
+    }
+    if (!batch.requests.empty()) {
+      stats_.batched_miss_tokens += decision.miss_tokens;
+      stats_.packing_skips += decision.budget_skips;
     }
     UpdateShedLocked();
     if (batch.requests.empty()) {
@@ -1303,7 +1278,7 @@ Result<double> Engine::ProfileJct(int64_t max_input_len, int64_t granularity) {
   const double r2 = profiled.value().r_squared();
   estimator_ = std::make_unique<ProfiledJctEstimator>(profiled.take());
   scheduler_ = std::make_unique<Scheduler>(options_.policy, options_.lambda,
-                                           estimator_.get());
+                                           estimator_.get(), options_.batch_packing);
   return r2;
 }
 

@@ -11,13 +11,14 @@
 //     before every scheduling decision the cache-hit length of each waiting
 //     request is refreshed against the live cache, and a starvation offset
 //     lambda * queueing-time keeps the tail bounded;
-//   * CONTINUOUS BATCHING inside executor lanes (ISSUE 4): each scheduling
-//     decision may hand a lane up to EngineOptions::max_batch_size
-//     compatible requests (same remaining-length bucket, fitting the
-//     activation budget), prefilled as ONE stacked pass with block-diagonal
-//     attention (LlamaModel::PrefillBatch). The SRJF winner always seeds
-//     the batch, so scheduling semantics are unchanged, and each request's
-//     logits are bitwise identical to solo execution;
+//   * CONTINUOUS BATCHING inside executor lanes (ISSUE 4, repacked in
+//     ISSUE 9): each scheduling decision may hand a lane up to
+//     EngineOptions::max_batch_size requests packed first-fit decreasing
+//     over remaining (miss) lengths against the lane's activation budget
+//     (Scheduler::PickBatch + BatchBudget), prefilled as ONE stacked pass
+//     with block-diagonal attention (LlamaModel::PrefillBatch). The SRJF
+//     winner always seeds the batch, so scheduling semantics are unchanged,
+//     and each request's logits are bitwise identical to solo execution;
 //   * constrained sampling (§2.3): probabilities over the caller's allowed
 //     token list, from a single prefill pass.
 //
@@ -110,14 +111,22 @@ struct EngineOptions {
   int max_concurrent_requests = 1;
 
   // Continuous batching inside one executor lane (ISSUE 4): up to this many
-  // compatible queued requests (same LengthBucket of remaining tokens,
-  // fitting the activation budget) are stacked into ONE batched prefill
-  // when a lane frees. 1 = exact legacy behavior (every request prefills
-  // solo). The batch seed is always the scheduler's PickNext winner, so
-  // SRJF aging semantics are unchanged. Logits do not depend on this value:
-  // a request's bits are identical solo, concurrent, or batched at any
-  // batch composition (tests/batching_test.cc).
+  // queued requests that fit the lane's activation budget are stacked into
+  // ONE batched prefill when a lane frees. 1 = exact legacy behavior (every
+  // request prefills solo). The batch seed is always the scheduler's
+  // PickNext winner, so SRJF aging semantics are unchanged. Logits do not
+  // depend on this value: a request's bits are identical solo, concurrent,
+  // or batched at any batch composition (tests/batching_test.cc).
   int max_batch_size = 1;
+
+  // How the scheduler fills the remaining batch slots behind the seed
+  // (ISSUE 9). kFirstFit (default) packs any-length riders first-fit
+  // decreasing over remaining (miss) tokens against the activation budget —
+  // the Prepacking policy; mixed-length batches stay bitwise identical to
+  // solo because block-diagonal attention slices rows per sequence.
+  // kBucket restores the legacy ISSUE 4 same-LengthBucket gate, kept for
+  // bisection and A/B latency comparisons.
+  BatchPacking batch_packing = BatchPacking::kFirstFit;
 
   // Activation budget in bytes (0 = unlimited), applied PER LANE: each
   // in-flight execution tracks its own activation arena, and a prefill
@@ -220,6 +229,15 @@ struct EngineStats {
   int64_t batches_dispatched = 0;
   int64_t batched_requests = 0;
   int64_t peak_batch_size = 0;
+  // Lane occupancy under packing (ISSUE 9): remaining (miss) tokens the
+  // admission decisions stacked into dispatched batches —
+  // batched_miss_tokens / batches_dispatched is the miss_tokens_per_batch
+  // /v1/stats reports — and candidates passed over because admitting them
+  // would have exceeded the activation budget (each skip leaves the
+  // request queued for a later decision; the legacy code broke the whole
+  // tail instead).
+  int64_t batched_miss_tokens = 0;
+  int64_t packing_skips = 0;
   size_t peak_activation_bytes = 0;
   size_t cache_bytes = 0;
   PrefixCacheStats cache;
@@ -448,12 +466,21 @@ class Engine {
       TrackingAllocator& activations, std::vector<Pending>& pendings);
   // Snapshot of waiting_ for one scheduling decision; requires mu_.
   std::vector<Candidate> SnapshotQueueLocked() const;
-  // One scheduling decision (refreshing n_cached_now against the live cache
-  // under cache_mu_): the ids of up to max_batch_size requests to run as one
-  // batch, seed first, capped so the projected stacked activation footprint
-  // fits the per-lane budget. Called WITHOUT mu_.
-  std::vector<int64_t> PickBatchIds(const std::vector<Candidate>& candidates,
-                                    const Scheduler* scheduler) const;
+  // One scheduling decision (ISSUE 9): the ids of up to max_batch_size
+  // requests to run as one batch, seed first, plus the admission
+  // accounting for the stats counters. The packing policy, activation
+  // budget, and cost model all live in the scheduler (Scheduler::PickBatch
+  // + BatchBudget); this method only refreshes n_cached_now against the
+  // live cache under cache_mu_ and maps queue indices back to ids. Called
+  // WITHOUT mu_.
+  struct BatchDecision {
+    std::vector<int64_t> ids;
+    size_t projected_bytes = 0;
+    int64_t miss_tokens = 0;
+    int64_t budget_skips = 0;
+  };
+  BatchDecision PickBatchIds(const std::vector<Candidate>& candidates,
+                             const Scheduler* scheduler) const;
   // Removes and returns the waiting request with `id`; nullopt if another
   // drain loop claimed it meanwhile. Requires mu_.
   std::optional<Pending> TakeWaitingLocked(int64_t id);
@@ -506,6 +533,9 @@ class Engine {
 
   std::unique_ptr<JctEstimator> estimator_;
   std::unique_ptr<Scheduler> scheduler_;
+  // Admission cost model handed to Scheduler::PickBatch (ISSUE 9); built
+  // once from the model config + prefill mode, immutable afterwards.
+  BatchBudget batch_budget_;
 
   std::chrono::steady_clock::time_point epoch_;
 

@@ -48,6 +48,10 @@ struct EngineConfig {
   // prefill timing comes from the cost model, which prices tokens, not
   // batch compositions.
   int max_batch_size = 1;
+  // Batch-admission packing rule (ISSUE 9); parity knob with
+  // EngineOptions::batch_packing. Ignored by the analytic simulation for
+  // the same reason as max_batch_size.
+  BatchPacking batch_packing = BatchPacking::kFirstFit;
   // Profile-run reserve (§3.1): activation memory is reserved for requests
   // up to this many tokens; what remains becomes the prefix-cache pool.
   // 0 = choose automatically: min(workload max length, engine MIL).

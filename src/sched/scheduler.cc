@@ -23,8 +23,42 @@ std::string_view SchedPolicyName(SchedPolicy policy) {
   return "?";
 }
 
-Scheduler::Scheduler(SchedPolicy policy, double lambda, const JctEstimator* estimator)
-    : policy_(policy), lambda_(lambda), estimator_(estimator) {
+std::string_view BatchPackingName(BatchPacking packing) {
+  switch (packing) {
+    case BatchPacking::kFirstFit:
+      return "first-fit decreasing";
+    case BatchPacking::kBucket:
+      return "length bucket";
+  }
+  return "?";
+}
+
+int64_t BatchBudget::CachedTokens(int64_t n_input, int64_t n_cached_now) const {
+  int64_t cached =
+      std::clamp<int64_t>(n_cached_now, 0, std::max<int64_t>(n_input - 1, 0));
+  if (block_tokens > 0) {
+    cached -= cached % block_tokens;
+  }
+  return cached;
+}
+
+int64_t BatchBudget::MissTokens(int64_t n_input, int64_t n_cached_now) const {
+  // Even a fully-cached request stacks at least one row (the engine clamps
+  // reuse to n_input - 1 so the final token is always recomputed).
+  return std::max<int64_t>(n_input - CachedTokens(n_input, n_cached_now), 1);
+}
+
+size_t BatchBudget::SequenceBytes(int64_t n_input, int64_t n_cached_now) const {
+  const int64_t cached = CachedTokens(n_input, n_cached_now);
+  const int64_t miss = MissTokens(n_input, n_cached_now);
+  return static_cast<size_t>(miss) * bytes_per_miss_token +
+         static_cast<size_t>(cached) * bytes_per_cached_token +
+         bytes_per_sequence;
+}
+
+Scheduler::Scheduler(SchedPolicy policy, double lambda,
+                     const JctEstimator* estimator, BatchPacking packing)
+    : policy_(policy), lambda_(lambda), estimator_(estimator), packing_(packing) {
   assert(policy == SchedPolicy::kFifo || estimator != nullptr);
 }
 
@@ -43,22 +77,32 @@ double Scheduler::Score(const SchedEntry& entry, double now) const {
   return 0.0;
 }
 
-std::vector<size_t> Scheduler::PickBatch(std::span<const SchedEntry> queue,
-                                         double now, int max_batch) const {
+BatchPick Scheduler::PickBatch(std::span<const SchedEntry> queue, double now,
+                               int max_batch, const BatchBudget& budget) const {
   assert(!queue.empty());
-  std::vector<size_t> picked;
+  BatchPick pick;
   const size_t seed = PickNext(queue, now);
-  picked.push_back(seed);
+  // The seed is always admitted — running it solo would charge the lane the
+  // same bytes, so rejecting it on budget grounds could only stall the queue.
+  pick.picked.push_back(seed);
+  pick.projected_bytes =
+      budget.SequenceBytes(queue[seed].n_input, queue[seed].n_cached_now);
+  pick.miss_tokens =
+      budget.MissTokens(queue[seed].n_input, queue[seed].n_cached_now);
   if (max_batch <= 1 || queue.size() <= 1) {
-    return picked;
+    return pick;
   }
   const auto miss = [](const SchedEntry& e) { return e.n_input - e.n_cached_now; };
   const int64_t seed_bucket = LengthBucket(miss(queue[seed]));
   const int64_t seed_group = queue[seed].group;
-  // Two rider tiers (ISSUE 5): the seed's co-batch group-mates ride first,
-  // exempt from the bucket rule — their caller submitted them as one
+  // Two rider tiers: the seed's co-batch group-mates ride first (ISSUE 5),
+  // exempt from any length rule — their caller submitted them as one
   // multi-item decision, so co-scheduling them is the deliberate outcome
-  // the API promises. Everyone else still needs the seed's LengthBucket.
+  // the API promises. The second tier depends on the packing mode:
+  // kFirstFit considers EVERY other entry, longest remaining length first
+  // (first-fit decreasing packs tightest when big items go in early);
+  // kBucket keeps the legacy same-LengthBucket gate in score order.
+  // Both tiers still charge the budget below.
   std::vector<std::pair<double, size_t>> mates;
   std::vector<std::pair<double, size_t>> rest;
   for (size_t i = 0; i < queue.size(); ++i) {
@@ -67,29 +111,50 @@ std::vector<size_t> Scheduler::PickBatch(std::span<const SchedEntry> queue,
     }
     if (seed_group != 0 && queue[i].group == seed_group) {
       mates.emplace_back(Score(queue[i], now), i);
+    } else if (packing_ == BatchPacking::kFirstFit) {
+      rest.emplace_back(-static_cast<double>(miss(queue[i])), i);
     } else if (LengthBucket(miss(queue[i])) == seed_bucket) {
       rest.emplace_back(Score(queue[i], now), i);
     }
   }
   // stable_sort keeps ties FIFO (queues are arrival-ordered); the priority
-  // class dominates the score, mirroring PickNext.
-  const auto by_class_then_score = [&queue](const auto& a, const auto& b) {
+  // class dominates the sort key, mirroring PickNext. For kFirstFit the key
+  // is the negated miss length, so within a class longer candidates sort
+  // first — starvation is unaffected because classes still dominate and the
+  // seed choice already happened.
+  const auto by_class_then_key = [&queue](const auto& a, const auto& b) {
     if (queue[a.second].priority != queue[b.second].priority) {
       return queue[a.second].priority > queue[b.second].priority;
     }
     return a.first < b.first;
   };
-  std::stable_sort(mates.begin(), mates.end(), by_class_then_score);
-  std::stable_sort(rest.begin(), rest.end(), by_class_then_score);
+  std::stable_sort(mates.begin(), mates.end(), by_class_then_key);
+  std::stable_sort(rest.begin(), rest.end(), by_class_then_key);
+  const bool limited = budget.budget_bytes > 0;
   for (const auto* tier : {&mates, &rest}) {
-    for (const auto& [score, index] : *tier) {
-      if (picked.size() >= static_cast<size_t>(max_batch)) {
-        return picked;
+    for (const auto& [key, index] : *tier) {
+      if (pick.picked.size() >= static_cast<size_t>(max_batch)) {
+        return pick;
       }
-      picked.push_back(index);
+      const SchedEntry& entry = queue[index];
+      const size_t cost = budget.SequenceBytes(entry.n_input, entry.n_cached_now);
+      if (limited && pick.projected_bytes + cost > budget.budget_bytes) {
+        // Skip, don't break (the ISSUE 9 bugfix): an oversized candidate
+        // stays queued for a later decision while smaller ones still ride.
+        ++pick.budget_skips;
+        continue;
+      }
+      pick.projected_bytes += cost;
+      pick.miss_tokens += budget.MissTokens(entry.n_input, entry.n_cached_now);
+      pick.picked.push_back(index);
     }
   }
-  return picked;
+  return pick;
+}
+
+std::vector<size_t> Scheduler::PickBatch(std::span<const SchedEntry> queue,
+                                         double now, int max_batch) const {
+  return PickBatch(queue, now, max_batch, BatchBudget{}).picked;
 }
 
 size_t Scheduler::PickNext(std::span<const SchedEntry> queue, double now) const {

@@ -24,6 +24,7 @@
 #ifndef SRC_SCHED_SCHEDULER_H_
 #define SRC_SCHED_SCHEDULER_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <string_view>
@@ -36,6 +37,20 @@ namespace prefillonly {
 enum class SchedPolicy { kFifo, kSjfStatic, kSrjfCalibrated };
 
 std::string_view SchedPolicyName(SchedPolicy policy);
+
+// How PickBatch fills the lane behind the seed (ISSUE 9):
+//
+//  * kFirstFit — budget-aware first-fit decreasing over remaining (miss)
+//                lengths: any-length riders are considered longest-first and
+//                admitted whenever they fit the remaining activation budget
+//                (Prepacking, PAPERS.md). Oversized candidates are SKIPPED,
+//                not a reason to stop — a smaller later rider still rides.
+//  * kBucket   — the legacy ISSUE 4 gate: riders must share the seed's
+//                power-of-two LengthBucket. Kept selectable for bisection
+//                and for the latency argument the bucket rule encodes.
+enum class BatchPacking { kFirstFit, kBucket };
+
+std::string_view BatchPackingName(BatchPacking packing);
 
 struct SchedEntry {
   double arrival_time = 0.0;
@@ -51,40 +66,104 @@ struct SchedEntry {
   int32_t priority = 0;
   // Deliberate co-batch group (ISSUE 5): requests submitted together by one
   // multi-item API call share a non-zero group id. PickBatch fills lanes
-  // with the seed's group-mates FIRST, regardless of their LengthBucket —
-  // the caller co-submitted them for one decision, so welding them is
-  // deliberate, not the probabilistic latency hazard the bucket rule
-  // guards against. 0 = ungrouped.
+  // with the seed's group-mates FIRST, regardless of their length — the
+  // caller co-submitted them for one decision, so welding them is
+  // deliberate. 0 = ungrouped.
   int64_t group = 0;
 };
 
-// Batch-admission bucket (ISSUE 4): the power-of-two bracket of a request's
-// remaining (cache-miss) token count. Requests may share one stacked
-// prefill batch only when their miss lengths fall in the same bucket, so a
-// batch never welds a short request to a much longer one (the short one
-// would inherit the long one's completion time — the latency inflation the
-// paper's §6.1 warns about).
+// Legacy batch-admission bucket (ISSUE 4, now BatchPacking::kBucket): the
+// power-of-two bracket of a request's remaining (cache-miss) token count.
+// Under the bucket rule requests share one stacked prefill batch only when
+// their miss lengths fall in the same bucket, so a batch never welds a
+// short request to a much longer one.
 int64_t LengthBucket(int64_t n_miss_tokens);
+
+// Per-sequence admission cost model (ISSUE 9). The engine builds this from
+// the model config (src/sched/batch_cost.h) so the scheduler can project
+// what a candidate batch will charge against the lane's TrackingAllocator
+// and admit riders only while the projection fits `budget_bytes`.
+//
+// The projection must never be optimistic: every byte the stacked prefill
+// pass allocates per miss token, per assembled-prefix token, and per
+// sequence must be covered, or admission silently converts packed batches
+// into batch-OOM solo-fallback retries. The randomized sweep in
+// tests/batching_test.cc asserts projected >= actual peak per composition.
+struct BatchBudget {
+  // Lane activation budget. 0 = unlimited (no admission constraint).
+  size_t budget_bytes = 0;
+  // Bytes charged per remaining (cache-miss) token of a sequence.
+  size_t bytes_per_miss_token = 0;
+  // Bytes charged per reused-prefix token (the assembled KV copy).
+  size_t bytes_per_cached_token = 0;
+  // Fixed bytes charged per admitted sequence (logit staging, slack for
+  // allocator minimums).
+  size_t bytes_per_sequence = 0;
+  // Cache block size in tokens. The engine refreshes n_cached_now as
+  // min(match, n_input - 1), but the prefix it can actually assemble is
+  // block-aligned — rounding down here keeps the projected miss count
+  // conservative (never below what the model will really stack).
+  int64_t block_tokens = 0;
+
+  // Reusable prefix tokens after block alignment (what the engine's
+  // AcquirePrefix will really assemble), and the resulting stacked rows.
+  int64_t CachedTokens(int64_t n_input, int64_t n_cached_now) const;
+  int64_t MissTokens(int64_t n_input, int64_t n_cached_now) const;
+  // Projected lane bytes for one sequence.
+  size_t SequenceBytes(int64_t n_input, int64_t n_cached_now) const;
+};
+
+// One batch-formation decision (ISSUE 9): the admitted entries plus the
+// admission accounting the engine exports through /v1/stats.
+struct BatchPick {
+  // Queue indices of the admitted entries, seed first, then riders in
+  // admission order.
+  std::vector<size_t> picked;
+  // Projected lane bytes for the admitted set under the BatchBudget.
+  size_t projected_bytes = 0;
+  // Admitted remaining (miss) tokens across the set — the lane-occupancy
+  // numerator for miss_tokens_per_batch.
+  int64_t miss_tokens = 0;
+  // Candidates passed over because admitting them would exceed the budget.
+  // Each skip leaves the candidate queued for a later decision.
+  int64_t budget_skips = 0;
+};
 
 class Scheduler {
  public:
   // `estimator` must outlive the scheduler. `lambda` is the starvation
   // offset in estimator units per second of queueing (paper default 500
-  // with the cache-miss-token proxy).
-  Scheduler(SchedPolicy policy, double lambda, const JctEstimator* estimator);
+  // with the cache-miss-token proxy). `packing` selects the PickBatch
+  // rider-admission rule (ISSUE 9); the seed choice never depends on it.
+  Scheduler(SchedPolicy policy, double lambda, const JctEstimator* estimator,
+            BatchPacking packing = BatchPacking::kFirstFit);
 
   // Index of the entry to run next. Precondition: non-empty queue.
   size_t PickNext(std::span<const SchedEntry> queue, double now) const;
 
-  // Indices of up to `max_batch` entries to run as ONE batched prefill,
-  // best first. The seed is exactly PickNext's winner — batching never
-  // changes which request wins the scheduling decision, so SRJF aging and
-  // the lambda starvation bound are unaffected (a starved long request
-  // becomes the seed and rides in its own batch). The remaining slots are
-  // filled first with the seed's co-batch group-mates (any bucket, ISSUE 5),
-  // then with the best-scored entries from the seed's LengthBucket —
-  // highest priority class first, ties FIFO by queue order.
+  // Up to `max_batch` entries to run as ONE batched prefill. The seed is
+  // exactly PickNext's winner — batching never changes which request wins
+  // the scheduling decision, so SRJF aging and the lambda starvation bound
+  // are unaffected (a starved long request becomes the seed and is always
+  // admitted, even when it alone exceeds the budget — it would be charged
+  // the same running solo). The remaining slots fill in two tiers:
+  //
+  //  1. the seed's co-batch group-mates (ISSUE 5), highest priority class
+  //     first then best score, ties FIFO;
+  //  2. kFirstFit: every other waiting entry, highest priority class first
+  //     then LONGEST remaining length first (first-fit decreasing), ties
+  //     FIFO. kBucket: only entries from the seed's LengthBucket, by class
+  //     then score.
+  //
+  // Both tiers charge the BatchBudget cost model; a candidate that does not
+  // fit the remaining budget is skipped (counted in budget_skips) and the
+  // scan continues — a smaller later candidate can still ride.
   // Precondition: non-empty queue.
+  BatchPick PickBatch(std::span<const SchedEntry> queue, double now,
+                      int max_batch, const BatchBudget& budget) const;
+
+  // Budget-free convenience overload (unit tests, Fig. 5 walkthrough):
+  // unlimited budget, indices only.
   std::vector<size_t> PickBatch(std::span<const SchedEntry> queue, double now,
                                 int max_batch) const;
 
@@ -94,11 +173,13 @@ class Scheduler {
 
   SchedPolicy policy() const { return policy_; }
   double lambda() const { return lambda_; }
+  BatchPacking packing() const { return packing_; }
 
  private:
   SchedPolicy policy_;
   double lambda_;
   const JctEstimator* estimator_;
+  BatchPacking packing_;
 };
 
 }  // namespace prefillonly

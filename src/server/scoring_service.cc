@@ -492,6 +492,16 @@ HttpResponse ScoringService::HandleStats() const {
                              static_cast<double>(stats.batches_dispatched)
                        : 0.0));
   out.emplace("peak_batch_size", Json(stats.peak_batch_size));
+  // Lane occupancy under length-aware packing (ISSUE 9): admitted miss
+  // tokens per dispatched batch, plus candidates skipped because admitting
+  // them would have exceeded the activation budget.
+  out.emplace("batched_miss_tokens", Json(stats.batched_miss_tokens));
+  out.emplace("packing_skips", Json(stats.packing_skips));
+  out.emplace("miss_tokens_per_batch",
+              Json(stats.batches_dispatched > 0
+                       ? static_cast<double>(stats.batched_miss_tokens) /
+                             static_cast<double>(stats.batches_dispatched)
+                       : 0.0));
   // Two-tier prefix cache (ISSUE 7): token-accurate GPU-tier hit/miss plus
   // the offload tier's demote/reload/evict traffic.
   out.emplace("cache_hit_rate", Json(stats.cache.HitRate()));

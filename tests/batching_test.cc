@@ -14,7 +14,9 @@
 // tier-1 iteration loop while CI still runs it per backend.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
+#include <map>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -22,6 +24,7 @@
 #include "src/core/engine.h"
 #include "src/core/request.h"
 #include "src/model/llama.h"
+#include "src/sched/batch_cost.h"
 
 namespace prefillonly {
 namespace {
@@ -462,6 +465,234 @@ TEST(BatchingEngineTest, PoolContentionFallsBackToSoloNotFailure) {
   EXPECT_EQ(stats.batched_requests, 2);
 }
 
+// ------------------------------------- length-aware packing (ISSUE 9)
+
+// Mixed-length compositions through the packed (first-fit) engine, compared
+// bitwise against a single-thread solo reference. Lengths span several
+// power-of-two LengthBuckets on purpose: under the legacy bucket rule these
+// requests could never co-batch, so `batch_size == n` proves cross-bucket
+// welding actually happened.
+void RunMixedLengthPacked(KernelBackend backend, int threads, PrefillMode mode,
+                          uint64_t seed, int rounds) {
+  EngineOptions ref_options = BatchEngineOptions();
+  ref_options.kernel_backend = backend;
+  ref_options.mode = mode;
+  ref_options.num_threads = 1;
+  Engine reference(ref_options);
+
+  EngineOptions packed_options = BatchEngineOptions();
+  packed_options.kernel_backend = backend;
+  packed_options.mode = mode;
+  packed_options.num_threads = threads;
+  packed_options.max_batch_size = 6;
+  Engine packed(packed_options);
+  ASSERT_EQ(packed.options().batch_packing, BatchPacking::kFirstFit);
+
+  Rng rng(seed);
+  int64_t user = 0;
+  for (int round = 0; round < rounds; ++round) {
+    const int n = 2 + static_cast<int>(rng.NextBounded(5));  // 2..6
+    std::vector<ScoringRequest> requests;
+    for (int i = 0; i < n; ++i) {
+      const int len = 1 + static_cast<int>(rng.NextBounded(96));
+      requests.push_back(YesNoRequest(RandomTokens(rng, len), user++));
+    }
+
+    std::map<int64_t, std::vector<TokenProbability>> expected;
+    for (const auto& request : requests) {
+      auto solo = reference.ScoreSync(request);
+      ASSERT_TRUE(solo.ok()) << solo.status().ToString();
+      expected[request.user_id] = solo.value().probabilities;
+    }
+
+    const EngineStats before = packed.stats();
+    for (const auto& request : requests) {
+      ASSERT_TRUE(packed.Submit(request).ok());
+    }
+    auto responses = packed.RunPending();
+    ASSERT_TRUE(responses.ok()) << responses.status().ToString();
+    ASSERT_EQ(responses.value().size(), requests.size());
+    for (const ScoringResponse& response : responses.value()) {
+      const auto& want = expected.at(response.user_id);
+      ASSERT_EQ(response.probabilities.size(), want.size());
+      for (size_t p = 0; p < want.size(); ++p) {
+        EXPECT_EQ(response.probabilities[p].token, want[p].token);
+        EXPECT_EQ(std::memcmp(&response.probabilities[p].probability,
+                              &want[p].probability, sizeof(double)),
+                  0)
+            << "user " << response.user_id << " prob " << p << " round "
+            << round << " threads " << threads << " mode "
+            << static_cast<int>(mode);
+      }
+      // Every length landed in ONE batch: mixed lengths co-batched.
+      EXPECT_EQ(response.batch_size, n) << "round " << round;
+    }
+    const EngineStats after = packed.stats();
+    EXPECT_EQ(after.batches_dispatched - before.batches_dispatched, 1);
+    EXPECT_EQ(after.batched_requests - before.batched_requests, n);
+    EXPECT_EQ(after.packing_skips - before.packing_skips, 0);
+  }
+}
+
+TEST(BatchingEngineTest, MixedLengthPackedBatchesMatchSoloBitwise) {
+  // Tier-1 slice of the matrix; the full sweep lives in the slow suite.
+  for (KernelBackend backend : BackendsUnderTest()) {
+    for (PrefillMode mode : kAllModes) {
+      RunMixedLengthPacked(backend, /*threads=*/2, mode,
+                           /*seed=*/9100 + static_cast<uint64_t>(mode),
+                           /*rounds=*/2);
+    }
+  }
+}
+
+TEST(BatchingEngineTest, BudgetSkipStillDispatchesTheSmallerRider) {
+  // Regression for the first-overflow `break` bug: an oversized rider must
+  // be skipped — not truncate the tail — so a smaller rider behind it still
+  // co-batches with the seed. The budget is sized from the engine's own
+  // admission cost model: seed(8) + rider(16) fits, seed(8) + rider(24)
+  // does not.
+  const EngineOptions base = BatchEngineOptions();
+  const BatchBudget projector =
+      MakeBatchBudget(base.model, base.mode, /*activation_budget_bytes=*/0,
+                      base.block_size);
+  Rng rng(7);
+  std::vector<ScoringRequest> requests{YesNoRequest(RandomTokens(rng, 8), 0),
+                                       YesNoRequest(RandomTokens(rng, 16), 1),
+                                       YesNoRequest(RandomTokens(rng, 24), 2)};
+
+  std::map<int64_t, std::vector<TokenProbability>> expected;
+  {
+    EngineOptions ref = base;
+    ref.num_threads = 1;
+    Engine reference(ref);
+    for (const auto& request : requests) {
+      auto solo = reference.ScoreSync(request);
+      ASSERT_TRUE(solo.ok()) << solo.status().ToString();
+      expected[request.user_id] = solo.value().probabilities;
+    }
+  }
+
+  EngineOptions options = base;
+  options.max_batch_size = 3;
+  options.activation_budget_bytes =
+      projector.SequenceBytes(8, 0) + projector.SequenceBytes(16, 0);
+  Engine engine(options);
+  for (const auto& request : requests) {
+    ASSERT_TRUE(engine.Submit(request).ok());
+  }
+  auto responses = engine.RunPending();
+  ASSERT_TRUE(responses.ok()) << responses.status().ToString();
+  ASSERT_EQ(responses.value().size(), 3u);
+  for (const ScoringResponse& response : responses.value()) {
+    const auto& want = expected.at(response.user_id);
+    ASSERT_EQ(response.probabilities.size(), want.size());
+    for (size_t p = 0; p < want.size(); ++p) {
+      EXPECT_EQ(std::memcmp(&response.probabilities[p].probability,
+                            &want[p].probability, sizeof(double)),
+                0)
+          << "user " << response.user_id;
+    }
+  }
+
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.completed, 3);
+  EXPECT_EQ(stats.failed, 0);
+  // Seed(8) + rider(16) in batch one, the skipped 24-token request seeds
+  // batch two. Before the fix the 16-token rider was dropped too and three
+  // batches dispatched.
+  EXPECT_EQ(stats.batches_dispatched, 2);
+  EXPECT_EQ(stats.batched_requests, 3);
+  EXPECT_EQ(stats.peak_batch_size, 2);
+  EXPECT_EQ(stats.packing_skips, 1);
+}
+
+TEST(BatchingEngineTest, PackedAdmissionProjectionNeverOptimistic) {
+  // The scheduler admits batches against projected bytes; the lane arena
+  // measures actual bytes. Admission is only sound if projected >= actual
+  // for every composition, so sweep random cold compositions per prefill
+  // mode and compare against the engine's tracked peak.
+  Rng rng(2024);
+  for (PrefillMode mode : kAllModes) {
+    const BatchBudget projector = MakeBatchBudget(
+        ModelConfig::Tiny(), mode, /*activation_budget_bytes=*/0,
+        /*block_tokens=*/16);
+    for (int round = 0; round < 6; ++round) {
+      EngineOptions options = BatchEngineOptions();
+      options.mode = mode;
+      options.cache_budget_tokens = 4096;
+      options.max_batch_size = 8;
+      options.num_threads = 2;
+      Engine engine(options);
+
+      const int n = 1 + static_cast<int>(rng.NextBounded(6));
+      size_t projected = 0;
+      for (int i = 0; i < n; ++i) {
+        const int len = 1 + static_cast<int>(rng.NextBounded(96));
+        ASSERT_TRUE(engine.Submit(YesNoRequest(RandomTokens(rng, len), i)).ok());
+        projected += projector.SequenceBytes(len, /*n_cached_now=*/0);
+      }
+      auto responses = engine.RunPending();
+      ASSERT_TRUE(responses.ok()) << responses.status().ToString();
+      ASSERT_EQ(responses.value().size(), static_cast<size_t>(n));
+
+      const EngineStats stats = engine.stats();
+      EXPECT_EQ(stats.batches_dispatched, 1);
+      EXPECT_LE(stats.peak_activation_bytes, projected)
+          << "mode " << static_cast<int>(mode) << " round " << round << " n "
+          << n << ": projection must never be optimistic";
+    }
+  }
+}
+
+TEST(BatchingEngineTest, PackedProjectionCoversWarmedPrefixes) {
+  // Same soundness bound with prefix hits in play: cached tokens are charged
+  // at the (cheaper) retained-KV rate, and the projection's block-aligned
+  // rounding of n_cached must stay conservative against what the engine
+  // actually assembles.
+  for (PrefillMode mode : kAllModes) {
+    const BatchBudget projector = MakeBatchBudget(
+        ModelConfig::Tiny(), mode, /*activation_budget_bytes=*/0,
+        /*block_tokens=*/16);
+    EngineOptions options = BatchEngineOptions();
+    options.mode = mode;
+    options.cache_budget_tokens = 4096;
+    options.max_batch_size = 8;
+    Engine engine(options);
+
+    Rng rng(77 + static_cast<uint64_t>(mode));
+    const std::vector<int32_t> prefix = RandomTokens(rng, 48);
+    std::vector<int32_t> warm = prefix;
+    for (int32_t tail : RandomTokens(rng, 16)) warm.push_back(tail);
+    ASSERT_TRUE(engine.ScoreSync(YesNoRequest(warm, 100)).ok());
+    const size_t projected_warm = projector.SequenceBytes(64, 0);
+
+    size_t projected_batch = 0;
+    std::vector<int> lengths;
+    for (int i = 0; i < 3; ++i) {
+      std::vector<int32_t> tokens = prefix;
+      const int tail = 1 + static_cast<int>(rng.NextBounded(32));
+      for (int32_t t : RandomTokens(rng, tail)) tokens.push_back(t);
+      lengths.push_back(static_cast<int>(tokens.size()));
+      ASSERT_TRUE(engine.Submit(YesNoRequest(std::move(tokens), i)).ok());
+    }
+    auto responses = engine.RunPending();
+    ASSERT_TRUE(responses.ok()) << responses.status().ToString();
+    ASSERT_EQ(responses.value().size(), 3u);
+    for (size_t i = 0; i < responses.value().size(); ++i) {
+      const ScoringResponse& response = responses.value()[i];
+      EXPECT_EQ(response.n_cached, 48) << "mode " << static_cast<int>(mode);
+      const auto user = static_cast<size_t>(response.user_id);
+      projected_batch +=
+          projector.SequenceBytes(lengths[user], response.n_cached);
+    }
+
+    const EngineStats stats = engine.stats();
+    EXPECT_LE(stats.peak_activation_bytes,
+              std::max(projected_warm, projected_batch))
+        << "mode " << static_cast<int>(mode);
+  }
+}
+
 // ---------------------------------------------- randomized slow sweep
 //
 // The full composition sweep: more rounds, larger batches, all cells. ~a few
@@ -476,6 +707,22 @@ TEST(BatchingSweepSlowTest, RandomizedCompositionSweep) {
                         /*seed=*/5000 + static_cast<uint64_t>(threads) * 31 +
                             static_cast<uint64_t>(mode),
                         /*rounds=*/5, /*max_batch=*/6, /*max_len=*/72);
+      }
+    }
+  }
+}
+
+TEST(BatchingSweepSlowTest, MixedLengthPackedSweep) {
+  // Full ISSUE 9 matrix: engine-level first-fit packing of mixed-length
+  // compositions, bitwise vs solo, across backends x threads x modes.
+  for (KernelBackend backend : BackendsUnderTest()) {
+    for (int threads : {1, 2, 8}) {
+      for (PrefillMode mode : kAllModes) {
+        RunMixedLengthPacked(backend, threads, mode,
+                             /*seed=*/9500 +
+                                 static_cast<uint64_t>(threads) * 17 +
+                                 static_cast<uint64_t>(mode),
+                             /*rounds=*/3);
       }
     }
   }

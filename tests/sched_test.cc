@@ -142,17 +142,21 @@ TEST(LengthBucketTest, PowerOfTwoBrackets) {
 
 TEST(SchedulerBatchTest, SeedIsExactlyThePickNextWinner) {
   CacheMissProxyEstimator proxy;
-  Scheduler sched(SchedPolicy::kSrjfCalibrated, 0.0, &proxy);
-  std::vector<SchedEntry> queue{
-      Entry(0.0, 500, 0, 0), Entry(0.0, 100, 0, 0), Entry(0.0, 900, 0, 0)};
-  const auto batch = sched.PickBatch(queue, 1.0, 4);
-  ASSERT_FALSE(batch.empty());
-  EXPECT_EQ(batch[0], sched.PickNext(queue, 1.0));
+  for (const BatchPacking packing : {BatchPacking::kFirstFit, BatchPacking::kBucket}) {
+    Scheduler sched(SchedPolicy::kSrjfCalibrated, 0.0, &proxy, packing);
+    std::vector<SchedEntry> queue{
+        Entry(0.0, 500, 0, 0), Entry(0.0, 100, 0, 0), Entry(0.0, 900, 0, 0)};
+    const auto batch = sched.PickBatch(queue, 1.0, 4);
+    ASSERT_FALSE(batch.empty());
+    EXPECT_EQ(batch[0], sched.PickNext(queue, 1.0))
+        << "packing=" << BatchPackingName(packing);
+  }
 }
 
 TEST(SchedulerBatchTest, FillsOnlyFromTheSeedsBucketInScoreOrder) {
+  // Legacy kBucket semantics (ISSUE 4), kept selectable for bisection.
   CacheMissProxyEstimator proxy;
-  Scheduler sched(SchedPolicy::kSrjfCalibrated, 0.0, &proxy);
+  Scheduler sched(SchedPolicy::kSrjfCalibrated, 0.0, &proxy, BatchPacking::kBucket);
   // Seed is the 33-token job (bucket 5, = lengths 32..63): the smallest
   // remaining work in the queue. 40 and 60 share the bucket and join in
   // score order; 900 and 700 do not.
@@ -181,7 +185,7 @@ TEST(SchedulerBatchTest, BucketsJudgeRemainingNotTotalLength) {
   // A 1000-token request with 990 cached has 10 miss tokens — it batches
   // with genuinely short requests, not with other 1000-token ones.
   CacheMissProxyEstimator proxy;
-  Scheduler sched(SchedPolicy::kSrjfCalibrated, 0.0, &proxy);
+  Scheduler sched(SchedPolicy::kSrjfCalibrated, 0.0, &proxy, BatchPacking::kBucket);
   std::vector<SchedEntry> queue{
       Entry(0.0, 1000, 0, 990),  // 10 miss -> bucket 3
       Entry(1.0, 12, 0, 0),      // bucket 3
@@ -194,11 +198,13 @@ TEST(SchedulerBatchTest, BucketsJudgeRemainingNotTotalLength) {
 
 TEST(SchedulerBatchTest, AgedLongJobSeedsItsOwnBatchDespiteShortBacklog) {
   // The starvation scenario batching must not reintroduce: a long job aged
-  // past the lambda bound seeds the next batch ALONE (the shorts are in
-  // another bucket) — small-batch formation around short jobs cannot keep
-  // deferring it, because the seed choice is pure PickNext.
+  // past the lambda bound seeds the next batch ALONE under the legacy
+  // bucket rule (the shorts are in another bucket) — small-batch formation
+  // around short jobs cannot keep deferring it, because the seed choice is
+  // pure PickNext.
   CacheMissProxyEstimator proxy;
-  Scheduler sched(SchedPolicy::kSrjfCalibrated, /*lambda=*/500.0, &proxy);
+  Scheduler sched(SchedPolicy::kSrjfCalibrated, /*lambda=*/500.0, &proxy,
+                  BatchPacking::kBucket);
   // Shorts that arrived soon after the long job: their scores stay ahead
   // (everyone ages at the same rate), so they batch together and the long
   // job waits — the efficient steady state.
@@ -244,30 +250,32 @@ TEST(SchedulerTest, PriorityClassOverridesPolicyScore) {
 
 TEST(SchedulerBatchTest, GroupMatesRideRegardlessOfBucketAndBeforeStrangers) {
   CacheMissProxyEstimator proxy;
-  Scheduler sched(SchedPolicy::kSrjfCalibrated, 0.0, &proxy);
-  // Seed: 33 tokens, group 7. Its group-mate has 900 miss tokens — a
-  // different bucket, normally unweldable — but the caller co-submitted
-  // them, so the mate rides, and it outranks the same-bucket stranger when
-  // slots are scarce.
-  std::vector<SchedEntry> queue{
-      Entry(0.0, 33, 0, 0),    // seed, group 7
-      Entry(1.0, 900, 0, 0),   // group 7, bucket 9
-      Entry(2.0, 40, 0, 0)};   // ungrouped, seed's bucket
-  queue[0].group = 7;
-  queue[1].group = 7;
-  const auto pair = sched.PickBatch(queue, 3.0, 2);
-  ASSERT_EQ(pair.size(), 2u);
-  EXPECT_EQ(pair[0], 0u);
-  EXPECT_EQ(pair[1], 1u);  // the mate, despite bucket 9
-  const auto full = sched.PickBatch(queue, 3.0, 4);
-  ASSERT_EQ(full.size(), 3u);
-  EXPECT_EQ(full[1], 1u);  // mates first...
-  EXPECT_EQ(full[2], 2u);  // ...then same-bucket strangers
+  for (const BatchPacking packing : {BatchPacking::kFirstFit, BatchPacking::kBucket}) {
+    Scheduler sched(SchedPolicy::kSrjfCalibrated, 0.0, &proxy, packing);
+    // Seed: 33 tokens, group 7. Its group-mate has 900 miss tokens — a
+    // different bucket, normally unweldable under kBucket — but the caller
+    // co-submitted them, so the mate rides in BOTH packing modes, and it
+    // outranks the stranger when slots are scarce.
+    std::vector<SchedEntry> queue{
+        Entry(0.0, 33, 0, 0),    // seed, group 7
+        Entry(1.0, 900, 0, 0),   // group 7, bucket 9
+        Entry(2.0, 40, 0, 0)};   // ungrouped, seed's bucket
+    queue[0].group = 7;
+    queue[1].group = 7;
+    const auto pair = sched.PickBatch(queue, 3.0, 2);
+    ASSERT_EQ(pair.size(), 2u);
+    EXPECT_EQ(pair[0], 0u);
+    EXPECT_EQ(pair[1], 1u);  // the mate, despite bucket 9
+    const auto full = sched.PickBatch(queue, 3.0, 4);
+    ASSERT_EQ(full.size(), 3u);
+    EXPECT_EQ(full[1], 1u);  // mates first...
+    EXPECT_EQ(full[2], 2u);  // ...then strangers
+  }
 }
 
 TEST(SchedulerBatchTest, UngroupedSeedStillFillsFromItsBucket) {
   CacheMissProxyEstimator proxy;
-  Scheduler sched(SchedPolicy::kSrjfCalibrated, 0.0, &proxy);
+  Scheduler sched(SchedPolicy::kSrjfCalibrated, 0.0, &proxy, BatchPacking::kBucket);
   // A stranger's group membership neither blocks nor boosts it when the
   // seed is ungrouped: the bucket rule governs as before.
   std::vector<SchedEntry> queue{
@@ -280,6 +288,158 @@ TEST(SchedulerBatchTest, UngroupedSeedStillFillsFromItsBucket) {
   ASSERT_EQ(batch.size(), 2u);
   EXPECT_EQ(batch[0], 0u);
   EXPECT_EQ(batch[1], 1u);
+}
+
+// ----------------------- Budget-aware first-fit packing (ISSUE 9)
+
+// A budget in "token units": 1 byte per miss token (optionally per cached
+// token) makes the arithmetic readable — budget_bytes is a token count.
+BatchBudget TokenBudget(size_t budget_tokens, size_t per_cached = 0) {
+  BatchBudget budget;
+  budget.budget_bytes = budget_tokens;
+  budget.bytes_per_miss_token = 1;
+  budget.bytes_per_cached_token = per_cached;
+  return budget;
+}
+
+TEST(BatchBudgetTest, MissTokensAreBlockAlignedAndNeverZero) {
+  BatchBudget budget;
+  budget.block_tokens = 16;
+  // The engine refreshes n_cached_now as min(match, n_input - 1) = 63, but
+  // the prefix AcquirePrefix can really assemble is block-aligned: 48
+  // tokens, so 16 rows stack — the projection must not assume 1.
+  EXPECT_EQ(budget.CachedTokens(64, 63), 48);
+  EXPECT_EQ(budget.MissTokens(64, 63), 16);
+  // An over-reported match clamps to n_input - 1 first.
+  EXPECT_EQ(budget.MissTokens(64, 64), 16);
+  // Fully-aligned reuse passes through.
+  EXPECT_EQ(budget.CachedTokens(65, 64), 64);
+  EXPECT_EQ(budget.MissTokens(65, 64), 1);
+  // At least one row always stacks.
+  EXPECT_EQ(budget.MissTokens(1, 0), 1);
+  budget.block_tokens = 0;  // no alignment information: trust the caller
+  EXPECT_EQ(budget.CachedTokens(64, 63), 63);
+  EXPECT_EQ(budget.MissTokens(64, 63), 1);
+}
+
+TEST(BatchBudgetTest, SequenceBytesChargesAllThreeRates) {
+  BatchBudget budget;
+  budget.bytes_per_miss_token = 10;
+  budget.bytes_per_cached_token = 2;
+  budget.bytes_per_sequence = 100;
+  budget.block_tokens = 16;
+  // n_input 64, match 63 -> 48 cached, 16 miss.
+  EXPECT_EQ(budget.SequenceBytes(64, 63), 16u * 10u + 48u * 2u + 100u);
+  EXPECT_EQ(budget.SequenceBytes(8, 0), 8u * 10u + 100u);
+}
+
+TEST(SchedulerBatchTest, PackedFillsAnyLengthLongestFirst) {
+  // kFirstFit with an unlimited budget: the bucket gate is gone — every
+  // waiting entry rides, longest remaining length first (first-fit
+  // decreasing), behind the unchanged SRJF seed.
+  CacheMissProxyEstimator proxy;
+  Scheduler sched(SchedPolicy::kSrjfCalibrated, 0.0, &proxy);
+  std::vector<SchedEntry> queue{
+      Entry(0.0, 900, 0, 0), Entry(1.0, 40, 0, 0), Entry(2.0, 33, 0, 0),
+      Entry(3.0, 700, 0, 0), Entry(4.0, 60, 0, 0)};
+  const BatchPick pick = sched.PickBatch(queue, 5.0, 5, BatchBudget{});
+  ASSERT_EQ(pick.picked.size(), 5u);
+  EXPECT_EQ(pick.picked[0], 2u);  // seed: best score (33)
+  EXPECT_EQ(pick.picked[1], 0u);  // 900
+  EXPECT_EQ(pick.picked[2], 3u);  // 700
+  EXPECT_EQ(pick.picked[3], 4u);  // 60
+  EXPECT_EQ(pick.picked[4], 1u);  // 40
+  EXPECT_EQ(pick.miss_tokens, 900 + 700 + 60 + 40 + 33);
+  EXPECT_EQ(pick.budget_skips, 0);
+}
+
+TEST(SchedulerBatchTest, PackedSkipsOversizedRidersAndStillAdmitsSmallerOnes) {
+  // THE ISSUE 9 regression: under the old admission code the first rider
+  // that overflowed the budget truncated the whole tail. First-fit must
+  // skip the oversized candidates and keep scanning — the 60-token rider
+  // fits next to the 33-token seed even though 900 and 700 do not.
+  CacheMissProxyEstimator proxy;
+  Scheduler sched(SchedPolicy::kSrjfCalibrated, 0.0, &proxy);
+  std::vector<SchedEntry> queue{
+      Entry(0.0, 900, 0, 0), Entry(1.0, 40, 0, 0), Entry(2.0, 33, 0, 0),
+      Entry(3.0, 700, 0, 0), Entry(4.0, 60, 0, 0)};
+  const BatchPick pick = sched.PickBatch(queue, 5.0, 5, TokenBudget(100));
+  ASSERT_EQ(pick.picked.size(), 2u);
+  EXPECT_EQ(pick.picked[0], 2u);  // seed (33)
+  EXPECT_EQ(pick.picked[1], 4u);  // 60 fits: 33 + 60 = 93 <= 100
+  EXPECT_EQ(pick.projected_bytes, 93u);
+  EXPECT_EQ(pick.miss_tokens, 93);
+  // 900 and 700 were skipped before 60; 40 after it (93 + 40 > 100).
+  EXPECT_EQ(pick.budget_skips, 3);
+}
+
+TEST(SchedulerBatchTest, BucketModeAlsoSkipsInsteadOfTruncatingTheTail) {
+  // The same skip-not-break fix must hold in the legacy bucket mode: a
+  // better-scored rider whose PROJECTED COST is huge (tiny miss length but
+  // a megaprefix of cached tokens to assemble) must not evict the cheap
+  // rider behind it from consideration.
+  CacheMissProxyEstimator proxy;
+  Scheduler sched(SchedPolicy::kSrjfCalibrated, 0.0, &proxy, BatchPacking::kBucket);
+  std::vector<SchedEntry> queue{
+      Entry(0.0, 33, 0, 0),      // seed: 33 miss, cost 33
+      Entry(1.0, 1000, 0, 960),  // 40 miss (bucket 5), cost 40 + 960 = 1000
+      Entry(2.0, 60, 0, 0)};     // 60 miss (bucket 5), cost 60
+  const BatchPick pick =
+      sched.PickBatch(queue, 3.0, 4, TokenBudget(100, /*per_cached=*/1));
+  ASSERT_EQ(pick.picked.size(), 2u);
+  EXPECT_EQ(pick.picked[0], 0u);
+  EXPECT_EQ(pick.picked[1], 2u);  // 33 + 60 = 93 <= 100; the megaprefix skipped
+  EXPECT_EQ(pick.budget_skips, 1);
+  EXPECT_EQ(pick.projected_bytes, 93u);
+}
+
+TEST(SchedulerBatchTest, PackedSeedAlwaysDispatchesEvenOverBudget) {
+  // A seed alone over budget still dispatches (it would charge the lane the
+  // same bytes running solo); only riders are subject to admission.
+  CacheMissProxyEstimator proxy;
+  Scheduler sched(SchedPolicy::kSrjfCalibrated, 0.0, &proxy);
+  std::vector<SchedEntry> queue{Entry(0.0, 200, 0, 0), Entry(1.0, 300, 0, 0)};
+  const BatchPick pick = sched.PickBatch(queue, 2.0, 4, TokenBudget(100));
+  ASSERT_EQ(pick.picked.size(), 1u);
+  EXPECT_EQ(pick.picked[0], 0u);
+  EXPECT_EQ(pick.projected_bytes, 200u);
+  EXPECT_EQ(pick.budget_skips, 1);
+}
+
+TEST(SchedulerBatchTest, PackedPriorityClassesStillDominateLength) {
+  // First-fit decreasing orders riders by length only WITHIN a priority
+  // class; a higher class still rides first even when it is shorter.
+  CacheMissProxyEstimator proxy;
+  Scheduler sched(SchedPolicy::kSrjfCalibrated, 0.0, &proxy);
+  std::vector<SchedEntry> queue{
+      Entry(0.0, 10, 0, 0),    // priority 1: best score in top class -> seed
+      Entry(1.0, 500, 0, 0),   // priority 0: longest overall
+      Entry(2.0, 100, 0, 0)};  // priority 1
+  queue[0].priority = 1;
+  queue[2].priority = 1;
+  const BatchPick pick = sched.PickBatch(queue, 3.0, 2, BatchBudget{});
+  ASSERT_EQ(pick.picked.size(), 2u);
+  EXPECT_EQ(pick.picked[0], 0u);
+  EXPECT_EQ(pick.picked[1], 2u);  // class beats the 500-token rider
+}
+
+TEST(SchedulerBatchTest, PackedAgedLongSeedGetsShortRiders) {
+  // The flip side of AgedLongJobSeedsItsOwnBatchDespiteShortBacklog: under
+  // first-fit the aged long job still wins the seed (the starvation bound
+  // is untouched), but the backlogged shorts now ride WITH it instead of
+  // leaving the lane nearly empty.
+  CacheMissProxyEstimator proxy;
+  Scheduler sched(SchedPolicy::kSrjfCalibrated, /*lambda=*/500.0, &proxy);
+  std::vector<SchedEntry> aged{
+      Entry(0.0, 10000, 0, 0),
+      Entry(25.0, 100, 0, 0),
+      Entry(25.0, 101, 0, 0)};
+  const BatchPick pick = sched.PickBatch(aged, 25.0, 4, BatchBudget{});
+  ASSERT_EQ(pick.picked.size(), 3u);
+  EXPECT_EQ(pick.picked[0], 0u);  // the starved long job still seeds
+  EXPECT_EQ(pick.picked[1], 2u);  // 101 before 100: longest first
+  EXPECT_EQ(pick.picked[2], 1u);
+  EXPECT_EQ(pick.miss_tokens, 10000 + 101 + 100);
 }
 
 // ------------------------------------------------- Fig. 5 walkthrough
@@ -459,38 +619,65 @@ TEST(EngineSchedulingOrderTest, LambdaBoundsQueueingOfTheLongJob) {
 }
 
 TEST(EngineSchedulingOrderTest, BatchFormationKeepsTheStarvationBound) {
-  // ISSUE 4's admission-ordering requirement on the REAL engine: with
-  // batching on, SRJF must not starve a long request behind repeated
-  // small-batch formation. The same backlog as LambdaBounds... but drained
-  // in batches of up to 2 (the four shorts share a bucket, the long job
-  // does not): with lambda = 0 the shorts batch pairwise ahead of the long
-  // job; with a large lambda the aged long job seeds the FIRST dispatch,
-  // alone, and completes first.
-  for (const double lambda : {0.0, 1e9}) {
-    EngineOptions options = OrderTestOptions(SchedPolicy::kSrjfCalibrated, lambda);
-    options.max_batch_size = 2;
-    Engine engine(options);
-    const auto long_id = engine.Submit(EngineRequest(EngineTokens(120, 40), 1)).value();
-    std::this_thread::sleep_for(std::chrono::milliseconds(50));
-    for (int i = 0; i < 4; ++i) {
-      // Lengths 20..23 share LengthBucket 4.
-      ASSERT_TRUE(engine.Submit(EngineRequest(EngineTokens(20 + i, 50 + i), 2 + i)).ok());
+  // The admission-ordering requirement on the REAL engine (ISSUE 4,
+  // re-proven for first-fit packing in ISSUE 9): with batching on, SRJF
+  // must not starve a long request behind repeated small-batch formation.
+  // The backlog is one aged 120-token job plus four shorts (20..23 tokens,
+  // one LengthBucket), drained in batches of up to 2. In BOTH packing
+  // modes the seed sequence is identical — packing only changes who RIDES:
+  //
+  //  * lambda = 0   — seeds are the shorts, the long job scores last.
+  //    kBucket: the shorts pair up and the long job runs alone, dead last.
+  //    kFirstFit: the long job is the biggest rider, so it is welded into
+  //    the FIRST batch behind the short seed — same seed order, better
+  //    occupancy, and the long job now finishes EARLIER than the legacy
+  //    rule allowed (delivery slot 1 instead of last).
+  //  * lambda = 1e9 — arrival order dominates: the aged long job seeds the
+  //    first dispatch in both modes (the starvation bound). kBucket leaves
+  //    it alone in the lane; kFirstFit gives it the longest short as a
+  //    rider.
+  //
+  // Either way: 5 requests over 3 dispatches, peak batch 2.
+  for (const BatchPacking packing : {BatchPacking::kFirstFit, BatchPacking::kBucket}) {
+    for (const double lambda : {0.0, 1e9}) {
+      EngineOptions options = OrderTestOptions(SchedPolicy::kSrjfCalibrated, lambda);
+      options.max_batch_size = 2;
+      options.batch_packing = packing;
+      Engine engine(options);
+      const auto long_id =
+          engine.Submit(EngineRequest(EngineTokens(120, 40), 1)).value();
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      for (int i = 0; i < 4; ++i) {
+        // Lengths 20..23 share LengthBucket 4.
+        ASSERT_TRUE(
+            engine.Submit(EngineRequest(EngineTokens(20 + i, 50 + i), 2 + i)).ok());
+      }
+      const auto order = DrainAndCollect(engine);
+      ASSERT_EQ(order.size(), 5u);
+      if (lambda == 0.0) {
+        if (packing == BatchPacking::kBucket) {
+          EXPECT_EQ(order.back(), long_id)
+              << "pure SRJF + bucket rule: short batches first, long job last";
+        } else {
+          EXPECT_EQ(order[1], long_id)
+              << "first-fit: the long job rides the first short-seeded batch";
+          EXPECT_NE(order.front(), long_id)
+              << "packing must not usurp the short seed's win";
+        }
+      } else {
+        EXPECT_EQ(order.front(), long_id)
+            << "batch formation must not defer the aged long job";
+      }
+      const auto stats = engine.stats();
+      EXPECT_EQ(stats.completed, 5);
+      EXPECT_EQ(stats.batched_requests, 5);
+      EXPECT_EQ(stats.batches_dispatched, 3);
+      EXPECT_EQ(stats.peak_batch_size, 2);
+      // Every miss token of every request went through admission accounting
+      // (no prefix reuse in this workload: 5 distinct prompts).
+      EXPECT_EQ(stats.batched_miss_tokens, 120 + 20 + 21 + 22 + 23);
+      EXPECT_EQ(stats.packing_skips, 0);
     }
-    const auto order = DrainAndCollect(engine);
-    ASSERT_EQ(order.size(), 5u);
-    if (lambda == 0.0) {
-      EXPECT_EQ(order.back(), long_id)
-          << "pure SRJF: short batches first, long job last";
-    } else {
-      EXPECT_EQ(order.front(), long_id)
-          << "batch formation must not defer the aged long job";
-    }
-    const auto stats = engine.stats();
-    EXPECT_EQ(stats.completed, 5);
-    EXPECT_EQ(stats.batched_requests, 5);
-    // 4 same-bucket shorts pair into 2 batches; the long job runs alone.
-    EXPECT_EQ(stats.batches_dispatched, 3);
-    EXPECT_EQ(stats.peak_batch_size, 2);
   }
 }
 
