@@ -2,9 +2,15 @@
 // setups (8 panels). PrefillOnly should hold the lowest latency at high
 // QPS everywhere; tensor parallelism may win at low QPS (2 GPUs per
 // request), which is the paper's observed crossover.
+//
+// Output: the human panels plus BENCH_fig6.json. With --real (or
+// PO_FIG_REAL=1) the repo's real CPU engine is ALSO swept through the
+// open-loop loadgen runner (ISSUE 10) on the scaled Table-1 workloads, and
+// that series lands in the same JSON under "real" — the simulator panels
+// are preserved unchanged under "simulator".
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace prefillonly;
   using namespace prefillonly::bench;
   Header("Fig. 6 - QPS vs mean latency (5 engines, 2 workloads, 4 setups)");
@@ -12,13 +18,34 @@ int main() {
   const Dataset post_rec = MakePostRecommendationDataset({});
   const Dataset credit = MakeCreditVerificationDataset({});
 
+  Json::Array sim_panels;
   for (const Dataset* dataset : {&post_rec, &credit}) {
     for (const auto& hw : HardwareSetup::All()) {
       const auto grid = QpsGrid(hw, *dataset);
       const auto series = RunQpsSweep(hw, *dataset, grid);
       PrintLatencyPanel(dataset->name + " / " + hw.name, series,
                         LatencyMetric::kMean);
+      sim_panels.push_back(SimPanelJson(*dataset, hw, series));
     }
   }
+
+  Json::Object out;
+  out.emplace("figure", "fig6_qps_mean_latency");
+  out.emplace("metric", "mean");
+  out.emplace("simulator", Json(std::move(sim_panels)));
+  if (RealEngineRequested(argc, argv)) {
+    Json::Array real;
+    real.push_back(RealEngineSweepJson("post-rec", /*seed=*/1));
+    real.push_back(RealEngineSweepJson("credit", /*seed=*/2));
+    out.emplace("real", Json(std::move(real)));
+  }
+
+  FILE* f = std::fopen("BENCH_fig6.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_fig6.json\n");
+    return 1;
+  }
+  std::fprintf(f, "%s\n", Json(std::move(out)).Serialize().c_str());
+  std::fclose(f);
   return 0;
 }

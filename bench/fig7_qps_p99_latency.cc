@@ -1,9 +1,14 @@
 // Fig. 7: QPS vs P99 latency, same grid as Fig. 6. Shows that PrefillOnly's
 // JCT-based scheduling does not hurt the tail once the starvation offset
 // (lambda = 500) is applied.
+//
+// Output: the human panels plus BENCH_fig7.json. With --real (or
+// PO_FIG_REAL=1) the real CPU engine's p99 curve from the open-loop loadgen
+// runner (ISSUE 10) joins the same JSON under "real"; the simulator panels
+// stay unchanged under "simulator".
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace prefillonly;
   using namespace prefillonly::bench;
   Header("Fig. 7 - QPS vs P99 latency (5 engines, 2 workloads, 4 setups)");
@@ -11,12 +16,33 @@ int main() {
   const Dataset post_rec = MakePostRecommendationDataset({});
   const Dataset credit = MakeCreditVerificationDataset({});
 
+  Json::Array sim_panels;
   for (const Dataset* dataset : {&post_rec, &credit}) {
     for (const auto& hw : HardwareSetup::All()) {
       const auto grid = QpsGrid(hw, *dataset);
       const auto series = RunQpsSweep(hw, *dataset, grid);
       PrintLatencyPanel(dataset->name + " / " + hw.name, series, LatencyMetric::kP99);
+      sim_panels.push_back(SimPanelJson(*dataset, hw, series));
     }
   }
+
+  Json::Object out;
+  out.emplace("figure", "fig7_qps_p99_latency");
+  out.emplace("metric", "p99");
+  out.emplace("simulator", Json(std::move(sim_panels)));
+  if (RealEngineRequested(argc, argv)) {
+    Json::Array real;
+    real.push_back(RealEngineSweepJson("post-rec", /*seed=*/1));
+    real.push_back(RealEngineSweepJson("credit", /*seed=*/2));
+    out.emplace("real", Json(std::move(real)));
+  }
+
+  FILE* f = std::fopen("BENCH_fig7.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_fig7.json\n");
+    return 1;
+  }
+  std::fprintf(f, "%s\n", Json(std::move(out)).Serialize().c_str());
+  std::fclose(f);
   return 0;
 }

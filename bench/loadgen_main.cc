@@ -1,0 +1,339 @@
+// po_loadgen — open-loop SLO benchmark for the serving stack (ISSUE 10).
+//
+// Sweeps the two Table-1 workloads (scaled to CI size, raw tokens kept so
+// the REAL CPU engine runs them) across a QPS grid against:
+//
+//   * the in-process target — the engine linked into this binary, and
+//   * the remote target — the same engine behind the v1 HTTP API, either
+//     self-hosted on an ephemeral port (the default) or an external server
+//     via --endpoint.
+//
+// Each (workload, n_replicas, target) cell first measures the saturated
+// throughput x (all requests back to back), then probes {x/4, x/2, x, 2x}
+// — the paper's anchored-grid method — recording mean/p99 JCT, goodput,
+// shed rate, and the SLO-attainment number "max QPS sustaining p99 <= D ms"
+// per point, written as BENCH_slo.json.
+//
+// The binary is its own acceptance gate: it exits nonzero unless every
+// sweep finished with ZERO lost requests (every dispatched request came
+// back terminal) and a balanced engine ledger at every rate, with at least
+// one successful completion per sweep. CI uploads the JSON and trusts the
+// exit code.
+//
+// Flags (all --key=value):
+//   --workload=post-rec|credit|both     default both
+//   --target=inprocess|remote|both      default both
+//   --endpoint=host:port                drive an external server (remote
+//                                       target only; replica sweep skipped)
+//   --replicas=1,2                      replica counts, default 1,2
+//   --rates=2,4,8                       explicit QPS grid (skips anchoring)
+//   --warmup-s=0.25  --concurrency=8  --slo-ms=500  --seed=42
+//   --max-items=N                       cap requests per run (0 = all)
+//   --out=BENCH_slo.json
+//   --smoke                             one tiny sweep (~2 s), for
+//                                       scripts/smoke_api.sh
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/loadgen/runner.h"
+#include "src/loadgen/target.h"
+#include "src/server/scoring_service.h"
+#include "src/workload/dataset.h"
+
+namespace {
+
+using namespace prefillonly;
+
+struct Flags {
+  std::string workload = "both";
+  std::string target = "both";
+  std::string endpoint;
+  std::vector<int> replicas = {1, 2};
+  std::vector<double> rates;  // empty = anchor on measured saturation
+  double warmup_s = 0.25;
+  int concurrency = 8;
+  double slo_ms = 500.0;
+  uint64_t seed = 42;
+  size_t max_items = 0;
+  std::string out = "BENCH_slo.json";
+  bool smoke = false;
+};
+
+std::vector<std::string> SplitCsv(const std::string& value) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= value.size()) {
+    const size_t comma = value.find(',', start);
+    parts.push_back(value.substr(
+        start, (comma == std::string::npos ? value.size() : comma) - start));
+    if (comma == std::string::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  return parts;
+}
+
+bool ParseFlags(int argc, char** argv, Flags& flags) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* name) -> const char* {
+      const size_t len = std::strlen(name);
+      if (arg.compare(0, len, name) == 0 && arg.size() > len && arg[len] == '=') {
+        return arg.c_str() + len + 1;
+      }
+      return nullptr;
+    };
+    if (arg == "--smoke") {
+      flags.smoke = true;
+    } else if (const char* v = value("--workload")) {
+      flags.workload = v;
+    } else if (const char* v = value("--target")) {
+      flags.target = v;
+    } else if (const char* v = value("--endpoint")) {
+      flags.endpoint = v;
+    } else if (const char* v = value("--replicas")) {
+      flags.replicas.clear();
+      for (const std::string& part : SplitCsv(v)) {
+        flags.replicas.push_back(std::atoi(part.c_str()));
+      }
+    } else if (const char* v = value("--rates")) {
+      flags.rates.clear();
+      for (const std::string& part : SplitCsv(v)) {
+        flags.rates.push_back(std::atof(part.c_str()));
+      }
+    } else if (const char* v = value("--warmup-s")) {
+      flags.warmup_s = std::atof(v);
+    } else if (const char* v = value("--concurrency")) {
+      flags.concurrency = std::atoi(v);
+    } else if (const char* v = value("--slo-ms")) {
+      flags.slo_ms = std::atof(v);
+    } else if (const char* v = value("--seed")) {
+      flags.seed = static_cast<uint64_t>(std::strtoull(v, nullptr, 10));
+    } else if (const char* v = value("--max-items")) {
+      flags.max_items = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (const char* v = value("--out")) {
+      flags.out = v;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<LoadItem> BuildItems(const std::string& workload, uint64_t seed,
+                                 size_t max_items) {
+  Dataset dataset =
+      workload == "post-rec"
+          ? MakePostRecommendationDataset(ScaledPostRecommendationConfig(seed))
+          : MakeCreditVerificationDataset(ScaledCreditVerificationConfig(seed));
+  std::vector<LoadItem> items;
+  items.reserve(dataset.requests.size());
+  for (SimRequest& request : dataset.requests) {
+    LoadItem item;
+    item.tokens = std::move(request.tokens);
+    item.user_id = request.user_id;
+    items.push_back(std::move(item));
+  }
+  if (max_items > 0 && items.size() > max_items) {
+    items.resize(max_items);
+  }
+  return items;
+}
+
+// The one engine configuration every cell uses — the facade options (for
+// the in-process target) and the self-hosted server's EngineOptions are
+// derived from it so in-process and remote score the SAME engine.
+ClientOptions LoadgenClientOptions(int n_replicas) {
+  ClientOptions options;
+  options.model = "tiny";  // vocab 256 matches the scaled workloads
+  options.max_concurrent_requests = 2;
+  options.max_batch_size = 4;
+  options.n_replicas = n_replicas;
+  return options;
+}
+
+EngineOptions LoadgenEngineOptions() {
+  EngineOptions options;
+  options.model = ModelConfig::Tiny();
+  options.max_concurrent_requests = 2;
+  options.max_batch_size = 4;
+  return options;
+}
+
+// Saturated throughput x of this target on this workload: all requests back
+// to back (schedule all-zero, so the worker pool free-runs), x = n / wall.
+// Also the cache warmer — after this, every sweep point sees steady state.
+double MeasureSaturation(LoadTarget& target, const std::vector<LoadItem>& items,
+                         const RunOptions& run_options) {
+  const std::vector<double> schedule(items.size(), 0.0);
+  RunOptions options = run_options;
+  options.warmup_s = 0.0;
+  const auto t0 = std::chrono::steady_clock::now();
+  const RunReport report = RunLoad(target, items, schedule, options);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  if (report.ok == 0 || wall <= 0.0) {
+    return 0.0;
+  }
+  return static_cast<double>(report.ok) / wall;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  if (!ParseFlags(argc, argv, flags)) {
+    return 2;
+  }
+
+  std::vector<std::string> workloads;
+  if (flags.workload == "both") {
+    workloads = {"post-rec", "credit"};
+  } else {
+    workloads = {flags.workload};
+  }
+  std::vector<std::string> targets;
+  if (flags.target == "both") {
+    targets = {"inprocess", "remote"};
+  } else {
+    targets = {flags.target};
+  }
+  // An external endpoint fixes the server: only the remote target makes
+  // sense and the replica sweep is the server's business, not ours.
+  if (!flags.endpoint.empty()) {
+    targets = {"remote"};
+    flags.replicas = {0};  // 0 = "as deployed"
+  }
+  if (flags.smoke) {
+    // One tiny cell, sized to finish in ~2 s: the smoke-script contract is
+    // "nonzero completions, well-formed JSON, exit 0".
+    workloads = {"post-rec"};
+    if (flags.endpoint.empty()) {
+      flags.replicas = {1};
+    }
+    if (flags.max_items == 0) {
+      flags.max_items = 16;
+    }
+    if (flags.rates.empty()) {
+      flags.rates = {16.0};
+    }
+    flags.warmup_s = 0.0;
+  }
+
+  bool gate_passed = true;
+  Json::Array sweeps;
+
+  for (const std::string& workload : workloads) {
+    const std::vector<LoadItem> items =
+        BuildItems(workload, flags.seed, flags.max_items);
+    for (int n_replicas : flags.replicas) {
+      for (const std::string& target_kind : targets) {
+        // Self-hosted server for the remote target (unless --endpoint).
+        std::unique_ptr<ScoringService> service;
+        std::unique_ptr<LoadTarget> target;
+        if (target_kind == "remote") {
+          std::string endpoint = flags.endpoint;
+          if (endpoint.empty()) {
+            ScoringServiceOptions service_options;
+            service_options.cluster.n_replicas = std::max(1, n_replicas);
+            service = std::make_unique<ScoringService>(LoadgenEngineOptions(),
+                                                       service_options);
+            if (Status status = service->Start(0); !status.ok()) {
+              std::fprintf(stderr, "cannot start self-hosted server: %s\n",
+                           status.message().c_str());
+              return 1;
+            }
+            endpoint = "127.0.0.1:" + std::to_string(service->port());
+          }
+          ClientOptions remote_options;
+          remote_options.model = "tiny";
+          target = MakeRemoteTarget(endpoint, remote_options);
+        } else {
+          target = MakeInProcessTarget(LoadgenClientOptions(std::max(1, n_replicas)));
+        }
+
+        SweepOptions sweep_options;
+        sweep_options.seed = flags.seed;
+        sweep_options.slo_p99_ms = flags.slo_ms;
+        sweep_options.run.warmup_s = flags.warmup_s;
+        sweep_options.run.concurrency = flags.concurrency;
+        sweep_options.run.allowed = {7, 9};
+        sweep_options.rates = flags.rates;
+        if (sweep_options.rates.empty()) {
+          const double x = MeasureSaturation(*target, items, sweep_options.run);
+          if (x <= 0.0) {
+            std::fprintf(stderr, "%s/%s N=%d: saturation run produced no "
+                         "completions\n",
+                         workload.c_str(), target_kind.c_str(), n_replicas);
+            gate_passed = false;
+            continue;
+          }
+          sweep_options.rates = {x / 4, x / 2, x, 2 * x};
+        } else if (flags.warmup_s > 0.0 || flags.smoke) {
+          // Explicit grid skips the anchoring run; still warm the engine so
+          // the first point isn't charged cold caches.
+          (void)MeasureSaturation(*target, items, sweep_options.run);
+        }
+
+        SweepReport sweep = RunSweep(*target, workload, items, sweep_options);
+        sweep.n_replicas = n_replicas;
+        gate_passed = gate_passed && sweep.GatePassed();
+        bool any_ok = false;
+        for (const RatePoint& point : sweep.points) {
+          any_ok = any_ok || point.report.ok > 0;
+        }
+        if (!any_ok) {
+          std::fprintf(stderr, "%s/%s N=%d: no successful completions\n",
+                       workload.c_str(), target_kind.c_str(), n_replicas);
+          gate_passed = false;
+        }
+
+        std::printf("%-9s %-9s N=%d  max_qps(p99<=%.0fms)=%.2f\n",
+                    workload.c_str(), target_kind.c_str(), n_replicas,
+                    flags.slo_ms, sweep.max_qps_slo);
+        for (const RatePoint& point : sweep.points) {
+          const RunReport& r = point.report;
+          std::printf(
+              "  rate=%8.2f qps  goodput=%8.2f  mean=%8.2fms  p99=%8.2fms  "
+              "shed=%lld  lost=%lld  balance=%s\n",
+              point.rate, r.goodput_qps, r.latency.Mean() * 1e3,
+              r.latency.Percentile(0.99) * 1e3, static_cast<long long>(r.shed),
+              static_cast<long long>(r.lost), r.BalanceOk() ? "ok" : "BROKEN");
+        }
+        sweeps.push_back(sweep.ToJson());
+
+        if (service) {
+          service->Stop();
+        }
+      }
+    }
+  }
+
+  Json::Object report;
+  report.emplace("benchmark", "slo_loadgen");
+  report.emplace("slo_p99_ms", flags.slo_ms);
+  report.emplace("seed", static_cast<int64_t>(flags.seed));
+  report.emplace("smoke", flags.smoke);
+  report.emplace("sweeps", Json(std::move(sweeps)));
+  report.emplace("gate_passed", gate_passed);
+
+  FILE* f = std::fopen(flags.out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", flags.out.c_str());
+    return 1;
+  }
+  const std::string serialized = Json(std::move(report)).Serialize();
+  std::fprintf(f, "%s\n", serialized.c_str());
+  std::fclose(f);
+  std::printf("wrote %s (gate %s)\n", flags.out.c_str(),
+              gate_passed ? "PASSED" : "FAILED");
+  return gate_passed ? 0 : 1;
+}

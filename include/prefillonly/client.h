@@ -71,6 +71,19 @@ struct RetryPolicy {
 // Engine configuration, restricted to stable knobs with string-named
 // presets; defaults reproduce EngineOptions defaults.
 struct ClientOptions {
+  // Remote mode (ISSUE 10): when non-empty ("host:port", e.g.
+  // "127.0.0.1:8080"), the client builds NO local engine. Every call is
+  // carried over a keep-alive HTTP/1.1 connection to that server's v1 API
+  // (src/client/http_client.h), the api_error status<->HTTP table applied
+  // in reverse, so error_code values are identical to in-process mode and
+  // RetryPolicy retries the same transient classes. The engine knobs below
+  // are then ignored (the server owns its engine configuration) EXCEPT
+  // `model`, which still selects the tokenizer vocabulary for ScoreText /
+  // TokenForWord and must match the server's preset for sensible ids.
+  // Cancel() is a no-op on remote handles, and SubmitBatch items are
+  // submitted individually (server-side co-batching applies only to items
+  // that share one HTTP call).
+  std::string endpoint;
   // Model preset: "tiny" or "small" (deterministic synthetic weights).
   std::string model = "small";
   // Prefill execution strategy: "hybrid" (the paper's engine), "standard",

@@ -1,0 +1,291 @@
+#include "src/client/http_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+namespace prefillonly {
+
+namespace {
+
+std::string ToLower(std::string s) {
+  for (char& c : s) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+// Strict decimal parse mirroring the server's ParseContentLength: garbage in
+// a length header must become a framing error, never an exception or a
+// huge allocation.
+bool ParseDecimal(const std::string& value, size_t max, size_t& out) {
+  if (value.empty() || value.size() > 19) {
+    return false;
+  }
+  size_t parsed = 0;
+  for (char c : value) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    parsed = parsed * 10 + static_cast<size_t>(c - '0');
+  }
+  if (parsed > max) {
+    return false;
+  }
+  out = parsed;
+  return true;
+}
+
+}  // namespace
+
+Result<HttpClientOptions> ParseEndpoint(const std::string& endpoint) {
+  HttpClientOptions options;
+  std::string port_part = endpoint;
+  const size_t colon = endpoint.rfind(':');
+  if (colon != std::string::npos) {
+    if (colon > 0) {
+      options.host = endpoint.substr(0, colon);
+    }
+    port_part = endpoint.substr(colon + 1);
+  }
+  size_t port = 0;
+  if (!ParseDecimal(port_part, 65535, port) || port == 0) {
+    return Status::InvalidArgument("endpoint '" + endpoint +
+                                   "' is not host:port with a port in [1, 65535]");
+  }
+  options.port = static_cast<uint16_t>(port);
+  return options;
+}
+
+HttpClient::~HttpClient() { Disconnect(); }
+
+void HttpClient::Disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  residue_.clear();
+}
+
+Status HttpClient::Connect() {
+  Disconnect();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Unavailable("socket() failed: " + std::string(std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("host '" + options_.host +
+                                   "' is not an IPv4 address");
+  }
+  if (options_.io_timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = options_.io_timeout_ms / 1000;
+    tv.tv_usec = static_cast<suseconds_t>((options_.io_timeout_ms % 1000) * 1000);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+  // Scoring requests are single small writes; waiting for more payload
+  // (Nagle) only adds latency the histogram would then blame on the server.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    return Status::Unavailable("connect to " + options_.host + ":" +
+                               std::to_string(options_.port) +
+                               " failed: " + std::string(std::strerror(saved)));
+  }
+  fd_ = fd;
+  if (++connects_ > 1) {
+    ++reconnects_;
+  }
+  return Status::Ok();
+}
+
+Result<HttpClientResponse> HttpClient::RoundTrip(const std::string& raw,
+                                                 bool& got_response_bytes) {
+  got_response_bytes = !residue_.empty();
+  // Send, surviving EINTR and short writes (mirror of the server's SendAll).
+  size_t sent = 0;
+  while (sent < raw.size()) {
+    const ssize_t n = ::send(fd_, raw.data() + sent, raw.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Status::Unavailable("send failed: " + std::string(std::strerror(errno)));
+    }
+    if (n == 0) {
+      return Status::Unavailable("connection closed while sending");
+    }
+    sent += static_cast<size_t>(n);
+  }
+
+  // Frame exactly one response: status line + headers, then Content-Length
+  // bytes of body (the in-repo server always sends a length; a length-less
+  // close-delimited response is read to EOF).
+  std::string buffer = std::move(residue_);
+  residue_.clear();
+  char chunk[4096];
+  size_t header_end;
+  while ((header_end = buffer.find("\r\n\r\n")) == std::string::npos) {
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Status::Unavailable("recv failed: " + std::string(std::strerror(errno)));
+    }
+    if (n == 0) {
+      if (buffer.empty()) {
+        // Clean close before any response byte: the stale keep-alive case.
+        return Status::Unavailable("connection closed before response");
+      }
+      got_response_bytes = true;
+      return Status::Internal("connection closed mid-headers");
+    }
+    got_response_bytes = true;
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+
+  HttpClientResponse response;
+  {
+    const std::string head = buffer.substr(0, header_end);
+    size_t line_end = head.find("\r\n");
+    const std::string status_line =
+        head.substr(0, line_end == std::string::npos ? head.size() : line_end);
+    // "HTTP/1.1 200 OK"
+    const size_t sp1 = status_line.find(' ');
+    if (sp1 == std::string::npos || sp1 + 4 > status_line.size()) {
+      return Status::Internal("malformed status line: " + status_line);
+    }
+    int status = 0;
+    for (size_t i = sp1 + 1; i < status_line.size() && status_line[i] != ' '; ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(status_line[i]))) {
+        return Status::Internal("malformed status code: " + status_line);
+      }
+      status = status * 10 + (status_line[i] - '0');
+    }
+    if (status < 100 || status > 599) {
+      return Status::Internal("implausible status code: " + status_line);
+    }
+    response.status = status;
+    size_t line_start = line_end == std::string::npos ? head.size() : line_end + 2;
+    while (line_start < head.size()) {
+      line_end = head.find("\r\n", line_start);
+      const std::string line =
+          head.substr(line_start, (line_end == std::string::npos ? head.size()
+                                                                 : line_end) -
+                                      line_start);
+      const size_t colon = line.find(':');
+      if (colon != std::string::npos) {
+        std::string key = ToLower(line.substr(0, colon));
+        size_t value_start = colon + 1;
+        while (value_start < line.size() && line[value_start] == ' ') {
+          ++value_start;
+        }
+        response.headers[key] = line.substr(value_start);
+      }
+      line_start = line_end == std::string::npos ? head.size() : line_end + 2;
+    }
+  }
+
+  constexpr size_t kMaxBodyBytes = 64u << 20;
+  const size_t body_start = header_end + 4;
+  auto it = response.headers.find("content-length");
+  if (it != response.headers.end()) {
+    size_t content_length = 0;
+    if (!ParseDecimal(it->second, kMaxBodyBytes, content_length)) {
+      return Status::Internal("invalid Content-Length: " + it->second);
+    }
+    while (buffer.size() < body_start + content_length) {
+      const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return Status::Unavailable("recv failed: " + std::string(std::strerror(errno)));
+      }
+      if (n == 0) {
+        return Status::Internal("connection closed mid-body");
+      }
+      buffer.append(chunk, static_cast<size_t>(n));
+    }
+    response.body = buffer.substr(body_start, content_length);
+    residue_ = buffer.substr(body_start + content_length);
+  } else {
+    // Close-delimited: read to EOF (legacy framing; never keep-alive).
+    ssize_t n;
+    while ((n = ::read(fd_, chunk, sizeof(chunk))) != 0) {
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return Status::Unavailable("recv failed: " + std::string(std::strerror(errno)));
+      }
+      buffer.append(chunk, static_cast<size_t>(n));
+    }
+    response.body = buffer.substr(body_start);
+  }
+
+  // Honor the server's connection disposition.
+  auto conn = response.headers.find("connection");
+  if (it == response.headers.end() ||
+      (conn != response.headers.end() && ToLower(conn->second) == "close")) {
+    Disconnect();
+  }
+  return response;
+}
+
+Result<HttpClientResponse> HttpClient::Request(
+    const std::string& method, const std::string& path, const std::string& body,
+    const std::map<std::string, std::string>& headers) {
+  std::string raw = method + " " + path + " HTTP/1.1\r\nHost: " + options_.host +
+                    "\r\nConnection: keep-alive\r\nContent-Length: " +
+                    std::to_string(body.size()) + "\r\n";
+  for (const auto& [key, value] : headers) {
+    raw += key + ": " + value + "\r\n";
+  }
+  raw += "\r\n" + body;
+
+  bool fresh_connection = false;
+  if (fd_ < 0) {
+    if (Status status = Connect(); !status.ok()) {
+      return status;
+    }
+    fresh_connection = true;
+  }
+  bool got_response_bytes = false;
+  auto result = RoundTrip(raw, got_response_bytes);
+  if (result.ok()) {
+    return result;
+  }
+  Disconnect();
+  // Resend exactly once, and only when the request provably never executed:
+  // the connection was a reused keep-alive socket (the server may have
+  // closed it while idle) and it died before a single response byte.
+  if (!fresh_connection && !got_response_bytes) {
+    if (Status status = Connect(); !status.ok()) {
+      return status;
+    }
+    auto retried = RoundTrip(raw, got_response_bytes);
+    if (!retried.ok()) {
+      Disconnect();
+    }
+    return retried;
+  }
+  return result;
+}
+
+}  // namespace prefillonly

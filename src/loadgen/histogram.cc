@@ -1,0 +1,130 @@
+#include "src/loadgen/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace prefillonly {
+
+namespace {
+
+// Values are capped at 2^kMaxValueBits - 1 micros (~36 years): keeps the
+// bucket array finite without ever clamping a latency a load test could
+// plausibly observe.
+constexpr int kMaxValueBits = 50;
+
+}  // namespace
+
+LatencyHistogram::LatencyHistogram(int sub_bucket_bits)
+    : bits_(std::clamp(sub_bucket_bits, 1, 20)) {
+  // One exact bucket per value below 2^b, then 2^(b-1) sub-buckets per
+  // additional power-of-two range up to 2^kMaxValueBits.
+  const size_t exact = size_t{1} << bits_;
+  const size_t per_range = size_t{1} << (bits_ - 1);
+  counts_.assign(exact + per_range * static_cast<size_t>(kMaxValueBits - bits_), 0);
+}
+
+int64_t LatencyHistogram::ToMicros(double seconds) {
+  if (!(seconds > 0.0)) {  // negative, zero, or NaN
+    return 0;
+  }
+  return static_cast<int64_t>(std::llround(seconds * 1e6));
+}
+
+size_t LatencyHistogram::BucketIndex(int64_t micros) const {
+  uint64_t v = static_cast<uint64_t>(std::max<int64_t>(micros, 0));
+  v = std::min(v, (uint64_t{1} << kMaxValueBits) - 1);
+  if (v < (uint64_t{1} << bits_)) {
+    return static_cast<size_t>(v);  // exact region
+  }
+  // v has bit_width(v) significant bits; keep the top `bits_` of them. The
+  // shift e >= 1 is the log2 of the bucket width, and the kept prefix
+  // (v >> e) lies in [2^(b-1), 2^b) — 2^(b-1) sub-buckets per range.
+  const int e = std::bit_width(v) - bits_;
+  const uint64_t sub = v >> e;
+  const size_t per_range = size_t{1} << (bits_ - 1);
+  return (size_t{1} << bits_) + static_cast<size_t>(e - 1) * per_range +
+         static_cast<size_t>(sub - per_range);
+}
+
+int64_t LatencyHistogram::BucketMidpointMicros(size_t index) const {
+  const size_t exact = size_t{1} << bits_;
+  if (index < exact) {
+    return static_cast<int64_t>(index);
+  }
+  const size_t per_range = size_t{1} << (bits_ - 1);
+  const int e = static_cast<int>((index - exact) / per_range) + 1;
+  const uint64_t sub = per_range + (index - exact) % per_range;
+  // Bucket covers [sub << e, (sub + 1) << e); report its midpoint.
+  return static_cast<int64_t>((sub << e) + (uint64_t{1} << (e - 1)));
+}
+
+void LatencyHistogram::RecordMicros(int64_t micros) {
+  micros = std::max<int64_t>(micros, 0);
+  ++counts_[BucketIndex(micros)];
+  sum_micros_ += micros;
+  if (count_ == 0 || micros < min_micros_) {
+    min_micros_ = micros;
+  }
+  max_micros_ = std::max(max_micros_, micros);
+  ++count_;
+}
+
+Status LatencyHistogram::Merge(const LatencyHistogram& other) {
+  if (other.bits_ != bits_) {
+    return Status::InvalidArgument(
+        "histogram merge requires matching sub_bucket_bits (" +
+        std::to_string(bits_) + " vs " + std::to_string(other.bits_) + ")");
+  }
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  if (other.count_ > 0) {
+    if (count_ == 0 || other.min_micros_ < min_micros_) {
+      min_micros_ = other.min_micros_;
+    }
+    max_micros_ = std::max(max_micros_, other.max_micros_);
+  }
+  sum_micros_ += other.sum_micros_;
+  count_ += other.count_;
+  return Status::Ok();
+}
+
+double LatencyHistogram::Percentile(double q) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank convention (SampleSet interpolates between ranks instead;
+  // the unit test therefore checks against its own nearest-rank reference).
+  const int64_t rank = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(q * static_cast<double>(count_))));
+  int64_t seen = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= rank) {
+      return static_cast<double>(BucketMidpointMicros(i)) * 1e-6;
+    }
+  }
+  return static_cast<double>(max_micros_) * 1e-6;  // unreachable
+}
+
+double LatencyHistogram::Mean() const {
+  return count_ == 0
+             ? 0.0
+             : static_cast<double>(sum_micros_) / static_cast<double>(count_) * 1e-6;
+}
+
+double LatencyHistogram::Min() const {
+  return static_cast<double>(min_micros_) * 1e-6;
+}
+
+double LatencyHistogram::Max() const {
+  return static_cast<double>(max_micros_) * 1e-6;
+}
+
+double LatencyHistogram::MaxRelativeError() const {
+  return std::ldexp(1.0, -bits_);
+}
+
+}  // namespace prefillonly

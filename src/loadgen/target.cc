@@ -1,0 +1,45 @@
+#include "src/loadgen/target.h"
+
+#include <utility>
+
+namespace prefillonly {
+
+namespace {
+
+// Both targets are the facade under a different configuration; the
+// subclass only contributes its display name.
+class ClientTarget : public LoadTarget {
+ public:
+  ClientTarget(std::string name, const ClientOptions& options)
+      : name_(std::move(name)), client_(options) {}
+
+  const std::string& name() const override { return name_; }
+
+  ScoreResult Score(const std::vector<int32_t>& tokens,
+                    const std::vector<int32_t>& allowed,
+                    const ScoreOptions& options) override {
+    return client_.Score(tokens, allowed, options);
+  }
+
+  ClientStats Stats() override { return client_.Stats(); }
+
+ private:
+  std::string name_;
+  Client client_;
+};
+
+}  // namespace
+
+std::unique_ptr<LoadTarget> MakeInProcessTarget(const ClientOptions& options) {
+  ClientOptions local = options;
+  local.endpoint.clear();
+  return std::make_unique<ClientTarget>("inprocess", local);
+}
+
+std::unique_ptr<LoadTarget> MakeRemoteTarget(const std::string& endpoint,
+                                             ClientOptions options) {
+  options.endpoint = endpoint;
+  return std::make_unique<ClientTarget>("remote", options);
+}
+
+}  // namespace prefillonly

@@ -1,0 +1,59 @@
+// Pluggable load-test targets (ISSUE 10).
+//
+// A LoadTarget is where the generator's requests land: the same workload,
+// schedule, and measurement code drives either the engine linked into this
+// process or a live server across the network, so a remote-vs-in-process
+// run differs ONLY in transport — which is exactly what makes the parity
+// test meaningful (same workload + seed => bitwise identical scores) and
+// the latency delta attributable to the HTTP hop.
+//
+// Both concrete targets wrap prefillonly::Client — the in-process one with
+// a local engine behind the facade, the remote one with
+// ClientOptions::endpoint set — so error codes, retry behavior, and the
+// stats surface are identical by construction.
+//
+// Targets are thread-compatible: Score() may be called from many loadgen
+// workers at once (the facade is internally synchronized in both modes).
+#ifndef SRC_LOADGEN_TARGET_H_
+#define SRC_LOADGEN_TARGET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "prefillonly/client.h"
+
+namespace prefillonly {
+
+class LoadTarget {
+ public:
+  virtual ~LoadTarget() = default;
+
+  // "inprocess" or "remote" — used in reports and JSON output.
+  virtual const std::string& name() const = 0;
+
+  // Blocking score of one request; safe to call concurrently.
+  virtual ScoreResult Score(const std::vector<int32_t>& tokens,
+                            const std::vector<int32_t>& allowed,
+                            const ScoreOptions& options) = 0;
+
+  // Engine-side counters (local stats, or GET /v1/stats for remote). The
+  // runner diffs snapshots taken before/after a run to check the balance
+  // invariant per rate point.
+  virtual ClientStats Stats() = 0;
+};
+
+// Engine in this process, configured by `options` (options.endpoint must be
+// empty).
+std::unique_ptr<LoadTarget> MakeInProcessTarget(const ClientOptions& options);
+
+// Live server at "host:port", driven through keep-alive HTTP/1.1
+// connections. `options.endpoint` is overwritten with `endpoint`; the other
+// fields keep their usual remote-mode meaning (model selects the tokenizer,
+// retry applies to transient failures).
+std::unique_ptr<LoadTarget> MakeRemoteTarget(const std::string& endpoint,
+                                             ClientOptions options = {});
+
+}  // namespace prefillonly
+
+#endif  // SRC_LOADGEN_TARGET_H_

@@ -92,4 +92,50 @@ HttpResponse ApiErrorResponse(const Status& status) {
   return ApiErrorResponse(status.code(), status.message());
 }
 
+StatusCode StatusCodeForApiErrorCode(std::string_view code) {
+  // Every code this table can answer is one ApiErrorCodeFor can produce, so
+  // the round trip StatusCode -> code -> StatusCode is the identity
+  // (asserted by tests/http_client_test idioms in loadgen_test.cc).
+  static constexpr std::pair<std::string_view, StatusCode> kCodes[] = {
+      {"ok", StatusCode::kOk},
+      {"invalid_argument", StatusCode::kInvalidArgument},
+      {"not_found", StatusCode::kNotFound},
+      {"resource_exhausted", StatusCode::kResourceExhausted},
+      {"failed_precondition", StatusCode::kFailedPrecondition},
+      {"out_of_range", StatusCode::kOutOfRange},
+      {"unimplemented", StatusCode::kUnimplemented},
+      {"internal", StatusCode::kInternal},
+      {"cancelled", StatusCode::kCancelled},
+      {"deadline_exceeded", StatusCode::kDeadlineExceeded},
+      {"unavailable", StatusCode::kUnavailable},
+  };
+  for (const auto& [name, status] : kCodes) {
+    if (code == name) {
+      return status;
+    }
+  }
+  return StatusCode::kInternal;
+}
+
+StatusCode StatusCodeForHttpStatus(int http_status) {
+  switch (http_status) {
+    case 400:
+      return StatusCode::kInvalidArgument;
+    case 404:
+      return StatusCode::kNotFound;
+    case 409:
+      return StatusCode::kFailedPrecondition;
+    case 429:
+      return StatusCode::kResourceExhausted;
+    case 501:
+      return StatusCode::kUnimplemented;
+    case 503:
+      return StatusCode::kUnavailable;
+    case 504:
+      return StatusCode::kDeadlineExceeded;
+    default:
+      return StatusCode::kInternal;
+  }
+}
+
 }  // namespace prefillonly

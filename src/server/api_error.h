@@ -50,6 +50,21 @@ Json ApiErrorJson(StatusCode code, const std::string& message);
 HttpResponse ApiErrorResponse(StatusCode code, const std::string& message);
 HttpResponse ApiErrorResponse(const Status& status);
 
+// --- The table in reverse (ISSUE 10) ----------------------------------
+// The HTTP client runs the same mapping backwards so a remote engine's
+// failures surface through the facade with exactly the in-process codes.
+
+// Inverse of ApiErrorCodeFor: "deadline_exceeded" -> kDeadlineExceeded.
+// Unknown codes map to kInternal (a server speaking a newer dialect is a
+// server-side problem from this client's point of view).
+StatusCode StatusCodeForApiErrorCode(std::string_view code);
+
+// Inverse of HttpStatusFor, for responses whose body carried no parseable
+// error.code (e.g. a proxy's bare 503). Ambiguous rows resolve to the
+// code the serving stack actually emits for that status: 400 ->
+// kInvalidArgument, 409 -> kFailedPrecondition.
+StatusCode StatusCodeForHttpStatus(int http_status);
+
 }  // namespace prefillonly
 
 #endif  // SRC_SERVER_API_ERROR_H_

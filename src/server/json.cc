@@ -4,6 +4,7 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace prefillonly {
 
@@ -315,8 +316,16 @@ std::string Json::Serialize() const {
     if (d == std::floor(d) && std::abs(d) < 1e15) {
       out = std::to_string(static_cast<int64_t>(d));
     } else {
+      // Shortest representation that parses back to the exact same double:
+      // scores crossing the HTTP boundary must stay bitwise comparable to
+      // their in-process counterparts (the remote/in-process parity
+      // contract, ISSUE 10). %.10g stays the common case so existing output
+      // is unchanged wherever 10 significant digits already round-trip.
       char buf[32];
       std::snprintf(buf, sizeof(buf), "%.10g", d);
+      if (std::strtod(buf, nullptr) != d) {
+        std::snprintf(buf, sizeof(buf), "%.17g", d);
+      }
       out = buf;
     }
   } else if (is_string()) {

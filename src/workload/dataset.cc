@@ -113,6 +113,34 @@ Dataset MakeCreditVerificationDataset(const CreditVerificationConfig& config) {
   return dataset;
 }
 
+PostRecommendationConfig ScaledPostRecommendationConfig(uint64_t seed) {
+  PostRecommendationConfig config;
+  config.n_users = 8;
+  config.posts_per_user = 6;
+  config.profile_mean_tokens = 140;
+  config.profile_std_tokens = 30;
+  config.profile_min_tokens = 110;
+  config.profile_max_tokens = 170;
+  config.post_tokens = 8;
+  config.block_size = 32;  // the engine's default KV block size
+  config.vocab = 256;
+  config.keep_tokens = true;
+  config.seed = seed;
+  return config;
+}
+
+CreditVerificationConfig ScaledCreditVerificationConfig(uint64_t seed) {
+  CreditVerificationConfig config;
+  config.n_users = 12;
+  config.min_tokens = 400;
+  config.max_tokens = 600;
+  config.block_size = 32;
+  config.vocab = 256;
+  config.keep_tokens = true;
+  config.seed = seed;
+  return config;
+}
+
 void AssignAllAtOnce(Dataset& dataset) {
   for (auto& r : dataset.requests) {
     r.arrival_time = 0.0;

@@ -73,6 +73,15 @@ struct CreditVerificationConfig {
 Dataset MakePostRecommendationDataset(const PostRecommendationConfig& config);
 Dataset MakeCreditVerificationDataset(const CreditVerificationConfig& config);
 
+// Scaled-down Table-1 workloads for driving the REAL CPU engine (the load
+// generator, ISSUE 10): same shape — post recommendation keeps the
+// shared-profile prefix reuse, credit verification stays the no-sharing
+// long-context stress — but token counts ~100x smaller so a sweep finishes
+// in CI time, raw tokens kept (keep_tokens), and ids drawn from a vocabulary
+// that fits every model preset (tiny's 256).
+PostRecommendationConfig ScaledPostRecommendationConfig(uint64_t seed = 1);
+CreditVerificationConfig ScaledCreditVerificationConfig(uint64_t seed = 2);
+
 // Arrival processes. All sort/keep requests in nondecreasing arrival order.
 //
 // All requests at t=0: the paper's way of measuring the saturated
